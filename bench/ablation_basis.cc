@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: wavelet basis choice for the offline estimator.
+ *
+ * The paper picks the Haar basis for its match to the sharp
+ * discontinuities in current waveforms (and its trivially cheap
+ * hardware). This ablation re-runs the Figure-9 estimation experiment
+ * under Haar, Daubechies-4, and Daubechies-6 and reports the RMS
+ * estimation error of each.
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+
+using namespace didt;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bench::declareCommonOptions(opts);
+    opts.declare("impedance", "1.25", "target-impedance scale");
+    opts.declare("benchmarks", "gzip,mgrid,galgel,mcf,crafty,swim,vpr,apsi",
+                 "comma-separated benchmark subset");
+    opts.parse(argc, argv);
+
+    const ExperimentSetup setup = makeStandardSetup();
+    bench::banner(setup);
+    const SupplyNetwork net =
+        setup.makeNetwork(opts.getDouble("impedance"));
+
+    std::vector<std::string> names;
+    {
+        std::string list = opts.get("benchmarks");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            names.push_back(list.substr(pos, comma - pos));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+
+    const auto instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+    std::vector<CurrentTrace> traces;
+    for (const std::string &name : names)
+        traces.push_back(benchmarkCurrentTrace(
+            setup, profileByName(name), instructions,
+            static_cast<std::uint64_t>(opts.getInt("seed"))));
+
+    Table table({"basis", "rms_error_pct", "max_error_pct"});
+    for (const char *basis_name : {"haar", "db4", "db6"}) {
+        const VoltageVarianceModel model = makeCalibratedModel(
+            setup, net, 256, 8, WaveletBasis::byName(basis_name));
+        double sq = 0.0;
+        double max_err = 0.0;
+        for (const CurrentTrace &trace : traces) {
+            const auto profile =
+                profileTrace(trace, net, model, 0.97, 1.03);
+            const double err = 100.0 * (profile.estimatedBelow -
+                                        profile.measuredBelow);
+            sq += err * err;
+            max_err = std::max(max_err, std::fabs(err));
+        }
+        table.newRow();
+        table.add(std::string(basis_name));
+        table.add(std::sqrt(sq / static_cast<double>(traces.size())), 3);
+        table.add(max_err, 3);
+    }
+    bench::emit(table, opts, "Ablation: wavelet basis for the estimator");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: wavelet-monitor configuration.
+ *
+ * Sweeps the monitor's history window and decomposition depth at a
+ * fixed term budget and reports observed tracking error against the
+ * exact voltage on a benchmark trace — quantifying the design point
+ * the paper's Figure 13/14 implementation picks (256-cycle window,
+ * 8 levels).
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+
+using namespace didt;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bench::declareCommonOptions(opts);
+    opts.declare("impedance", "1.5", "target-impedance scale");
+    opts.declare("benchmark", "mgrid", "benchmark supplying the trace");
+    opts.declare("terms", "13", "retained wavelet convolution terms");
+    opts.parse(argc, argv);
+
+    const ExperimentSetup setup = makeStandardSetup();
+    bench::banner(setup);
+    const SupplyNetwork net =
+        setup.makeNetwork(opts.getDouble("impedance"));
+
+    const CurrentTrace trace = benchmarkCurrentTrace(
+        setup, profileByName(opts.get("benchmark")),
+        static_cast<std::uint64_t>(opts.getInt("instructions")),
+        static_cast<std::uint64_t>(opts.getInt("seed")));
+    const VoltageTrace truth = net.computeVoltage(trace);
+    const auto terms = static_cast<std::size_t>(opts.getInt("terms"));
+
+    struct Case
+    {
+        std::size_t window;
+        std::size_t levels;
+    };
+    Table table({"window", "levels", "terms", "mean_err_mV", "max_err_mV",
+                 "bound_mV"});
+    for (const Case c : {Case{64, 6}, Case{128, 7}, Case{256, 8},
+                         Case{512, 9}, Case{256, 4}, Case{256, 6}}) {
+        WaveletMonitor monitor(net, terms, c.window, c.levels);
+        double sum_err = 0.0;
+        double max_err = 0.0;
+        std::size_t counted = 0;
+        for (std::size_t n = 0; n < trace.size(); ++n) {
+            const Volt est = monitor.update(trace[n], truth[n]);
+            if (n < 1024)
+                continue;
+            const double err = std::fabs(est - truth[n]);
+            sum_err += err;
+            max_err = std::max(max_err, err);
+            ++counted;
+        }
+        table.newRow();
+        table.add(static_cast<long long>(c.window));
+        table.add(static_cast<long long>(c.levels));
+        table.add(static_cast<long long>(terms));
+        table.add(1000.0 * sum_err / static_cast<double>(counted), 2);
+        table.add(1000.0 * max_err, 2);
+        table.add(1000.0 * monitor.maxError(
+                               (setup.peakCurrent - setup.idleCurrent) /
+                               2.0),
+                  2);
+    }
+    bench::emit(table, opts,
+                "Ablation: wavelet monitor window/depth at fixed terms");
+    return 0;
+}

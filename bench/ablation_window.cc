@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: analysis window length for the offline estimator.
+ *
+ * The paper chose 256 cycles because it covers the tens-to-hundreds of
+ * cycles that matter for dI/dt. This ablation re-runs the Figure-9
+ * estimation at 128-, 256-, and 512-cycle windows (with decomposition
+ * depth scaled to keep one approximation coefficient).
+ */
+
+#include <cmath>
+
+#include "bench_common.hh"
+
+using namespace didt;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bench::declareCommonOptions(opts);
+    opts.declare("impedance", "1.25", "target-impedance scale");
+    opts.parse(argc, argv);
+
+    const ExperimentSetup setup = makeStandardSetup();
+    bench::banner(setup);
+    const SupplyNetwork net =
+        setup.makeNetwork(opts.getDouble("impedance"));
+
+    const auto instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+    std::vector<CurrentTrace> traces;
+    std::vector<std::string> names;
+    for (const char *name :
+         {"gzip", "mgrid", "galgel", "mcf", "vpr", "swim", "apsi"}) {
+        names.emplace_back(name);
+        traces.push_back(benchmarkCurrentTrace(
+            setup, profileByName(name), instructions,
+            static_cast<std::uint64_t>(opts.getInt("seed"))));
+    }
+
+    Table table({"window_cycles", "levels", "rms_error_pct",
+                 "max_error_pct"});
+    struct Case
+    {
+        std::size_t window;
+        std::size_t levels;
+    };
+    for (const Case c : {Case{128, 7}, Case{256, 8}, Case{512, 9}}) {
+        const VoltageVarianceModel model =
+            makeCalibratedModel(setup, net, c.window, c.levels);
+        double sq = 0.0;
+        double max_err = 0.0;
+        for (const CurrentTrace &trace : traces) {
+            const auto profile =
+                profileTrace(trace, net, model, 0.97, 1.03);
+            const double err = 100.0 * (profile.estimatedBelow -
+                                        profile.measuredBelow);
+            sq += err * err;
+            max_err = std::max(max_err, std::fabs(err));
+        }
+        table.newRow();
+        table.add(static_cast<long long>(c.window));
+        table.add(static_cast<long long>(c.levels));
+        table.add(std::sqrt(sq / static_cast<double>(traces.size())), 3);
+        table.add(max_err, 3);
+    }
+    bench::emit(table, opts, "Ablation: estimator window length");
+    return 0;
+}

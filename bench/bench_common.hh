@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction harnesses.
+ *
+ * Every bench binary prints the rows/series of one paper figure or
+ * table on stdout as an aligned text table and, with --csv FILE, also
+ * writes machine-readable CSV for re-plotting.
+ */
+
+#ifndef DIDT_BENCH_BENCH_COMMON_HH
+#define DIDT_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "didt/didt.hh"
+
+namespace didt::bench
+{
+
+/** Standard options shared by the figure benches. */
+inline void
+declareCommonOptions(Options &opts)
+{
+    opts.declare("instructions", "120000",
+                 "dynamic instructions per benchmark");
+    opts.declare("csv", "", "also write results as CSV to this file");
+    opts.declare("seed", "0", "extra workload seed");
+}
+
+/** Emit the table on stdout and optionally as CSV. */
+inline void
+emit(const Table &table, const Options &opts, const std::string &title)
+{
+    std::cout << "== " << title << " ==\n";
+    table.printText(std::cout);
+    const std::string path = opts.get("csv");
+    if (!path.empty()) {
+        table.writeCsvFile(path);
+        std::cout << "(csv written to " << path << ")\n";
+    }
+}
+
+/** Print a one-line banner with the experiment environment. */
+inline void
+banner(const ExperimentSetup &setup)
+{
+    std::printf("machine: 3 GHz Table-1 core, Vdd %.1f V, idle %.1f A, "
+                "peak %.1f A; supply f0 %.0f MHz, Q %.1f, 100%% R %.3e "
+                "ohm\n\n",
+                setup.proc.nominalVoltage, setup.idleCurrent,
+                setup.peakCurrent, setup.supplyBase.resonantHz / 1e6,
+                setup.supplyBase.qualityFactor,
+                setup.supplyBase.dcResistance);
+}
+
+} // namespace didt::bench
+
+#endif // DIDT_BENCH_BENCH_COMMON_HH

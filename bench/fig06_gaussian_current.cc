@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Paper Figure 6: acceptance rate of the chi-square Gaussian test at
+ * 95% significance over 32/64/128-cycle execution windows of per-cycle
+ * current, reported for SPEC Int, SPEC FP, and all benchmarks.
+ */
+
+#include "bench_common.hh"
+
+using namespace didt;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bench::declareCommonOptions(opts);
+    opts.declare("windows", "400", "windows sampled per benchmark");
+    opts.parse(argc, argv);
+
+    const ExperimentSetup setup = makeStandardSetup();
+    bench::banner(setup);
+
+    const auto instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+    const auto windows =
+        static_cast<std::size_t>(opts.getInt("windows"));
+
+    Table table({"window_cycles", "spec_int", "spec_fp", "all"});
+    Rng rng(2026);
+    for (std::size_t window : {32u, 64u, 128u}) {
+        RunningStats int_rate;
+        RunningStats fp_rate;
+        RunningStats all_rate;
+        for (const auto &prof : spec2000Profiles()) {
+            const CurrentTrace trace = benchmarkCurrentTrace(
+                setup, prof, instructions,
+                static_cast<std::uint64_t>(opts.getInt("seed")));
+            const auto summary =
+                classifyWindows(trace, window, windows, rng);
+            const double rate = summary.acceptanceRate();
+            (prof.floatingPoint ? fp_rate : int_rate).push(rate);
+            all_rate.push(rate);
+        }
+        table.newRow();
+        table.add(static_cast<long long>(window));
+        table.add(100.0 * int_rate.mean(), 1);
+        table.add(100.0 * fp_rate.mean(), 1);
+        table.add(100.0 * all_rate.mean(), 1);
+    }
+    bench::emit(table, opts,
+                "Figure 6: % windows accepted as Gaussian (chi-sq, 95%)");
+    return 0;
+}

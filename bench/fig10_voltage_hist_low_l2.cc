@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Paper Figure 10: voltage histograms for four benchmarks with few L2
+ * misses (gzip, mesa, crafty, eon). The distributions should be
+ * approximately Gaussian around the loaded operating point.
+ */
+
+#include "voltage_histogram.hh"
+
+int
+main(int argc, char **argv)
+{
+    return didt::bench::runVoltageHistogram(
+        argc, argv, {"gzip", "mesa", "crafty", "eon"},
+        "Figure 10: voltage histograms, low-L2-miss benchmarks");
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Paper Figure 11: voltage histograms for four benchmarks with many L2
+ * misses (swim, lucas, mcf, art). Long memory stalls pin the machine
+ * near idle, producing a prominent spike near the nominal voltage and
+ * a distinctly non-Gaussian shape.
+ */
+
+#include "voltage_histogram.hh"
+
+int
+main(int argc, char **argv)
+{
+    return didt::bench::runVoltageHistogram(
+        argc, argv, {"swim", "lucas", "mcf", "art"},
+        "Figure 11: voltage histograms, high-L2-miss benchmarks");
+}

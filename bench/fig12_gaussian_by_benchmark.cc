@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Paper Figure 12: percentage of 64-cycle execution windows whose
+ * per-cycle current is classified Gaussian (chi-square, 95%), per
+ * benchmark, SPEC integer and floating-point panels. The paper's
+ * shape: high-L2-miss benchmarks are the least Gaussian.
+ */
+
+#include "bench_common.hh"
+
+using namespace didt;
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bench::declareCommonOptions(opts);
+    opts.declare("window", "64", "window length in cycles");
+    opts.declare("windows", "400", "windows sampled per benchmark");
+    opts.parse(argc, argv);
+
+    const ExperimentSetup setup = makeStandardSetup();
+    bench::banner(setup);
+
+    const auto window = static_cast<std::size_t>(opts.getInt("window"));
+    const auto windows = static_cast<std::size_t>(opts.getInt("windows"));
+    const auto instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+
+    Table table({"suite", "benchmark", "accept_pct", "l2_mpki", "plot"});
+    Rng rng(2028);
+    for (const auto &prof : spec2000Profiles()) {
+        // Re-run the processor to also report the L2 miss density the
+        // paper correlates against.
+        SyntheticWorkload workload(prof, instructions,
+                                   static_cast<std::uint64_t>(
+                                       opts.getInt("seed")));
+        Processor proc(setup.proc, setup.power, workload);
+        SyntheticWorkload warm(prof, 0, 0xDEADBEEF);
+        proc.warmupFootprint(workload.dataFootprint(),
+                             workload.codeFootprint());
+        proc.warmup(warm, 150000);
+        CurrentTrace trace;
+        proc.collectTrace(trace, 64 * instructions + 100000);
+
+        const auto summary = classifyWindows(trace, window, windows, rng);
+        table.newRow();
+        table.add(std::string(prof.floatingPoint ? "FP" : "Int"));
+        table.add(prof.name);
+        table.add(100.0 * summary.acceptanceRate(), 1);
+        table.add(proc.stats().l2Mpki(), 1);
+        table.add(asciiBar(summary.acceptanceRate(), 1.0, 30));
+    }
+    bench::emit(table, opts,
+                "Figure 12: % Gaussian 64-cycle windows per benchmark");
+    return 0;
+}

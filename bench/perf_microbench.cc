@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot paths:
+ * the O(N) fast wavelet transform (the paper's complexity claim),
+ * per-cycle monitor updates, the supply-network recursion, and the
+ * cycle-level processor model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "didt/didt.hh"
+#include "workload/virus.hh"
+
+namespace
+{
+
+using namespace didt;
+
+SupplyNetworkConfig
+benchSupplyConfig()
+{
+    SupplyNetworkConfig cfg;
+    cfg.resonantHz = 125.0e6;
+    cfg.qualityFactor = 5.0;
+    cfg.dcResistance = 3.0e-4;
+    return cfg;
+}
+
+std::vector<double>
+benchSignal(std::size_t n)
+{
+    Rng rng(99);
+    std::vector<double> xs(n);
+    for (auto &x : xs)
+        x = rng.normal(40.0, 10.0);
+    return xs;
+}
+
+/** Fast DWT throughput; linear scaling demonstrates the O(N) claim. */
+void
+BM_DwtForward(benchmark::State &state)
+{
+    const Dwt dwt(WaveletBasis::haar());
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto signal = benchSignal(n);
+    const std::size_t levels = dwt.maxLevels(n);
+    for (auto _ : state) {
+        auto dec = dwt.forward(signal, levels);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetComplexityN(state.range(0));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DwtForward)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+void
+BM_DwtInverse(benchmark::State &state)
+{
+    const Dwt dwt(WaveletBasis::haar());
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto dec = dwt.forward(benchSignal(n), dwt.maxLevels(n));
+    for (auto _ : state) {
+        auto signal = dwt.inverse(dec);
+        benchmark::DoNotOptimize(signal);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DwtInverse)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
+
+/** Per-cycle cost of the wavelet monitor vs the full convolution. */
+void
+BM_WaveletMonitorUpdate(benchmark::State &state)
+{
+    const SupplyNetwork net(benchSupplyConfig());
+    WaveletMonitor monitor(net,
+                           static_cast<std::size_t>(state.range(0)));
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            monitor.update(rng.normal(40.0, 10.0), 1.0));
+}
+BENCHMARK(BM_WaveletMonitorUpdate)->Arg(9)->Arg(13)->Arg(20)->Arg(256);
+
+void
+BM_FullConvolutionUpdate(benchmark::State &state)
+{
+    const SupplyNetwork net(benchSupplyConfig());
+    FullConvolutionMonitor monitor(net);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            monitor.update(rng.normal(40.0, 10.0), 1.0));
+}
+BENCHMARK(BM_FullConvolutionUpdate);
+
+/** Batch voltage computation over a long trace (biquad recursion). */
+void
+BM_ComputeVoltage(benchmark::State &state)
+{
+    const SupplyNetwork net(benchSupplyConfig());
+    const CurrentTrace trace = benchSignal(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto v = net.computeVoltage(trace);
+        benchmark::DoNotOptimize(v);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeVoltage)->Arg(65536);
+
+/** Cycle throughput of the out-of-order processor model. */
+void
+BM_ProcessorStep(benchmark::State &state)
+{
+    DiDtVirus virus = DiDtVirus::tunedFor(3.0e9, 125.0e6, 4, 20);
+    Processor proc({}, {}, virus);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(proc.step());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProcessorStep);
+
+/** Chi-square normality classification of one 64-cycle window. */
+void
+BM_NormalityTest(benchmark::State &state)
+{
+    const auto window = benchSignal(64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chiSquareNormalityTest(window));
+}
+BENCHMARK(BM_NormalityTest);
+
+} // namespace
+
+BENCHMARK_MAIN();

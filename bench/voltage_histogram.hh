@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared implementation of the Figure 10/11 voltage-histogram benches.
+ */
+
+#ifndef DIDT_BENCH_VOLTAGE_HISTOGRAM_HH
+#define DIDT_BENCH_VOLTAGE_HISTOGRAM_HH
+
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace didt::bench
+{
+
+/**
+ * Print per-benchmark voltage histograms (paper Figures 10 and 11):
+ * fraction of cycles at each voltage level over [0.90, 1.05].
+ */
+inline int
+runVoltageHistogram(int argc, char **argv,
+                    const std::vector<const char *> &benchmarks,
+                    const std::string &title)
+{
+    Options opts;
+    declareCommonOptions(opts);
+    opts.declare("impedance", "1.5", "target-impedance scale");
+    opts.declare("bins", "30", "histogram bins over [0.90, 1.05]");
+    opts.parse(argc, argv);
+
+    const ExperimentSetup setup = makeStandardSetup();
+    banner(setup);
+
+    const SupplyNetwork net =
+        setup.makeNetwork(opts.getDouble("impedance"));
+    const auto bins = static_cast<std::size_t>(opts.getInt("bins"));
+    const auto instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+
+    Table table({"benchmark", "voltage_v", "percent_of_cycles", "plot"});
+    for (const char *name : benchmarks) {
+        const CurrentTrace trace = benchmarkCurrentTrace(
+            setup, profileByName(name), instructions,
+            static_cast<std::uint64_t>(opts.getInt("seed")));
+        const VoltageTrace voltage = net.computeVoltage(trace);
+
+        Histogram hist(0.90, 1.05, bins);
+        RunningStats stats;
+        for (Volt v : voltage) {
+            hist.push(v);
+            stats.push(v);
+        }
+
+        double peak = 0.0;
+        for (std::size_t b = 0; b < bins; ++b)
+            peak = std::max(peak, hist.fraction(b));
+        for (std::size_t b = 0; b < bins; ++b) {
+            table.newRow();
+            table.add(std::string(name));
+            table.add(hist.binCenter(b), 4);
+            table.add(100.0 * hist.fraction(b), 2);
+            table.add(asciiBar(hist.fraction(b), peak, 30));
+        }
+        std::printf("%-8s mean %.4f V, sigma %.4f V, min %.4f V\n", name,
+                    stats.mean(), stats.stddev(), stats.min());
+    }
+    std::printf("\n");
+    emit(table, opts, title);
+    return 0;
+}
+
+} // namespace didt::bench
+
+#endif // DIDT_BENCH_VOLTAGE_HISTOGRAM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Umbrella header for the wavelet dI/dt characterization library.
+ *
+ * Public API surface, by subsystem:
+ *  - wavelet/  : Haar/Daubechies DWT, subbands, scalograms, statistics
+ *  - power/    : second-order supply network, convolution, stimuli
+ *  - sim/      : cycle-level out-of-order processor with Wattch-style
+ *                power accounting (paper Table 1 machine)
+ *  - workload/ : synthetic SPEC CPU2000 profiles and trace generation
+ *  - core/     : offline wavelet variance characterization and online
+ *                wavelet-convolution dI/dt control (the paper's
+ *                contribution)
+ */
+
+#ifndef DIDT_DIDT_HH
+#define DIDT_DIDT_HH
+
+#include "core/controller.hh"
+#include "core/cosim.hh"
+#include "core/emergency_estimator.hh"
+#include "core/experiment.hh"
+#include "core/monitor.hh"
+#include "core/online_characterizer.hh"
+#include "core/variance_model.hh"
+#include "core/window_analysis.hh"
+#include "power/convolution.hh"
+#include "power/multistage.hh"
+#include "power/stimulus.hh"
+#include "power/supply_network.hh"
+#include "power/trace_io.hh"
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/instruction.hh"
+#include "sim/power_model.hh"
+#include "sim/processor.hh"
+#include "stats/chi_square.hh"
+#include "stats/gaussian.hh"
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+#include "wavelet/basis.hh"
+#include "wavelet/denoise.hh"
+#include "wavelet/dwt.hh"
+#include "wavelet/fourier.hh"
+#include "wavelet/modwt.hh"
+#include "wavelet/packet.hh"
+#include "wavelet/scalogram.hh"
+#include "wavelet/subband.hh"
+#include "wavelet/wavelet_stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+#endif // DIDT_DIDT_HH

@@ -1,0 +1,63 @@
+#include "core/controller.hh"
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+ThresholdController::ThresholdController(const ControlConfig &config)
+    : config_(config)
+{
+    if (config_.lowControl() >= config_.highControl())
+        didt_fatal("control window is empty: low ", config_.lowControl(),
+                   " >= high ", config_.highControl());
+}
+
+ControlActions
+ThresholdController::decide(Volt estimated_voltage)
+{
+    ControlActions actions;
+    if (estimated_voltage < config_.lowControl())
+        actions.stallIssue = true;
+    else if (estimated_voltage > config_.highControl())
+        actions.injectNoops = true;
+
+    if (actions.stallIssue)
+        ++stallCycles_;
+    if (actions.injectNoops)
+        ++noopCycles_;
+    if (actions.stallIssue || actions.injectNoops)
+        ++controlCycles_;
+    return actions;
+}
+
+PipelineDampingController::PipelineDampingController(std::size_t window,
+                                                     Amp delta)
+    : history_(window, 0.0), delta_(delta)
+{
+    if (window == 0)
+        didt_fatal("damping window must be positive");
+    if (delta <= 0.0)
+        didt_fatal("damping delta must be positive, got ", delta);
+}
+
+ControlActions
+PipelineDampingController::decide(Amp current)
+{
+    ControlActions actions;
+    if (pushed_ >= history_.size()) {
+        const Amp oldest = history_[head_];
+        if (current - oldest > delta_)
+            actions.stallIssue = true;
+        else if (oldest - current > delta_)
+            actions.injectNoops = true;
+    }
+    history_[head_] = current;
+    head_ = (head_ + 1) % history_.size();
+    ++pushed_;
+    if (actions.stallIssue || actions.injectNoops)
+        ++controlCycles_;
+    return actions;
+}
+
+} // namespace didt

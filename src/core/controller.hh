@@ -1,0 +1,117 @@
+/**
+ * @file
+ * dI/dt control policies (paper Sections 5.2-5.3).
+ *
+ * The threshold controller consumes a voltage estimate each cycle and
+ * actuates the two microarchitectural knobs: stall instruction issue
+ * when the estimate drops below the low control point, inject no-ops
+ * when it rises above the high control point.
+ *
+ * Pipeline damping (Powell & Vijaykumar) is included as the
+ * current-invariant baseline: it bounds the change in current over a
+ * history window without estimating voltage at all.
+ */
+
+#ifndef DIDT_CORE_CONTROLLER_HH
+#define DIDT_CORE_CONTROLLER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Actuation decided for the next cycle. */
+struct ControlActions
+{
+    bool stallIssue = false;  ///< suppress issue to cut current
+    bool injectNoops = false; ///< pad idle FUs to raise current
+};
+
+/** Control-point settings for a threshold controller. */
+struct ControlConfig
+{
+    /**
+     * Tolerance between the control point and the fault level, in
+     * volts (paper Figure 15's "threshold settings": a 10 mV setting
+     * places the low control point at fault + 0.010 V).
+     */
+    Volt tolerance = 0.010;
+
+    /** Lower fault level (nominal - 5%). */
+    Volt lowFault = 0.95;
+
+    /** Upper fault level (nominal + 5%). */
+    Volt highFault = 1.05;
+
+    /** Low control point: stall issue below this estimate. */
+    Volt lowControl() const { return lowFault + tolerance; }
+
+    /** High control point: inject no-ops above this estimate. */
+    Volt highControl() const { return highFault - tolerance; }
+};
+
+/** Threshold controller driven by a voltage estimate. */
+class ThresholdController
+{
+  public:
+    /** @param config control points. */
+    explicit ThresholdController(const ControlConfig &config);
+
+    /** Decide actions from this cycle's voltage estimate. */
+    ControlActions decide(Volt estimated_voltage);
+
+    /** Cycles in which either actuation was asserted. */
+    std::uint64_t controlCycles() const { return controlCycles_; }
+
+    /** Cycles with issue stalled. */
+    std::uint64_t stallCycles() const { return stallCycles_; }
+
+    /** Cycles with no-op injection. */
+    std::uint64_t noopCycles() const { return noopCycles_; }
+
+    /** The configured control points. */
+    const ControlConfig &config() const { return config_; }
+
+  private:
+    ControlConfig config_;
+    std::uint64_t controlCycles_ = 0;
+    std::uint64_t stallCycles_ = 0;
+    std::uint64_t noopCycles_ = 0;
+};
+
+/**
+ * Pipeline-damping controller: maintains a current history of the
+ * damping window length and bounds the cycle-to-cycle current delta.
+ * If current has risen by more than @p delta over the window, issue
+ * is stalled; if it has fallen by more, no-ops are injected. Cheap,
+ * but voltage-blind — the source of its false positives.
+ */
+class PipelineDampingController
+{
+  public:
+    /**
+     * @param window history length in cycles
+     * @param delta allowed current change (amperes) across the window
+     */
+    PipelineDampingController(std::size_t window, Amp delta);
+
+    /** Decide actions from this cycle's current draw. */
+    ControlActions decide(Amp current);
+
+    /** Cycles in which either actuation was asserted. */
+    std::uint64_t controlCycles() const { return controlCycles_; }
+
+  private:
+    std::vector<Amp> history_;
+    std::size_t head_ = 0;
+    std::uint64_t pushed_ = 0;
+    Amp delta_;
+    std::uint64_t controlCycles_ = 0;
+};
+
+} // namespace didt
+
+#endif // DIDT_CORE_CONTROLLER_HH

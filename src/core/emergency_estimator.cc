@@ -1,0 +1,60 @@
+#include "core/emergency_estimator.hh"
+
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+
+EmergencyProfile
+profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
+             const VoltageVarianceModel &model, Volt low_threshold,
+             Volt high_threshold, std::span<const std::size_t> use_levels,
+             bool use_correlation)
+{
+    const std::size_t window = model.windowLength();
+    if (trace.size() < window)
+        didt_panic("profileTrace: trace shorter than one window");
+
+    EmergencyProfile profile;
+
+    // Estimated side: consecutive windows, each contributing its
+    // Gaussian tail probabilities (window-weighted average equals the
+    // predicted fraction of cycles).
+    RunningStats est_below;
+    RunningStats est_above;
+    RunningStats est_var;
+    const std::span<const double> samples(trace.data(), trace.size());
+    for (std::size_t off = 0; off + window <= trace.size(); off += window) {
+        const WindowEstimate est = model.estimate(
+            samples.subspan(off, window), use_levels, use_correlation);
+        est_below.push(est.probBelow(low_threshold));
+        est_above.push(est.probAbove(high_threshold));
+        est_var.push(est.variance);
+        ++profile.windows;
+    }
+    profile.estimatedBelow = est_below.mean();
+    profile.estimatedAbove = est_above.mean();
+    profile.estimatedVariance = est_var.mean();
+
+    // Measured side: exact convolution through the network.
+    const VoltageTrace voltage = network.computeVoltage(trace);
+    RunningStats v_stats;
+    std::size_t below = 0;
+    std::size_t above = 0;
+    for (Volt v : voltage) {
+        v_stats.push(v);
+        if (v < low_threshold)
+            ++below;
+        if (v > high_threshold)
+            ++above;
+    }
+    profile.measuredBelow =
+        static_cast<double>(below) / static_cast<double>(voltage.size());
+    profile.measuredAbove =
+        static_cast<double>(above) / static_cast<double>(voltage.size());
+    profile.measuredVariance = v_stats.variance();
+    return profile;
+}
+
+} // namespace didt

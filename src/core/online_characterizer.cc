@@ -1,0 +1,59 @@
+#include "core/online_characterizer.hh"
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+OnlineCharacterizer::OnlineCharacterizer(const VoltageVarianceModel &model,
+                                         Volt low_threshold,
+                                         Volt high_threshold)
+    : model_(model), low_(low_threshold), high_(high_threshold)
+{
+    if (!model_.calibrated())
+        didt_fatal("OnlineCharacterizer requires a calibrated model");
+    buffer_.assign(model_.windowLength(), 0.0);
+}
+
+bool
+OnlineCharacterizer::push(Amp current)
+{
+    buffer_[fill_++] = current;
+    ++cycles_;
+    if (fill_ < buffer_.size())
+        return false;
+
+    fill_ = 0;
+    last_ = model_.estimate(buffer_);
+    lastBelow_ = last_.probBelow(low_);
+    sumBelow_ += lastBelow_;
+    sumAbove_ += last_.probAbove(high_);
+    ++windows_;
+    return true;
+}
+
+double
+OnlineCharacterizer::exposureBelow() const
+{
+    return windows_ ? sumBelow_ / static_cast<double>(windows_) : 0.0;
+}
+
+double
+OnlineCharacterizer::exposureAbove() const
+{
+    return windows_ ? sumAbove_ / static_cast<double>(windows_) : 0.0;
+}
+
+void
+OnlineCharacterizer::reset()
+{
+    fill_ = 0;
+    cycles_ = 0;
+    windows_ = 0;
+    sumBelow_ = 0.0;
+    sumAbove_ = 0.0;
+    lastBelow_ = 0.0;
+    last_ = WindowEstimate{};
+}
+
+} // namespace didt

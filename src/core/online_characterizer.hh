@@ -1,0 +1,87 @@
+/**
+ * @file
+ * On-line wavelet dI/dt characterization.
+ *
+ * The paper's Section-4 estimator is an offline profiling pass. This
+ * extension runs the same wavelet variance model incrementally during
+ * execution: it buffers the current trace one analysis window at a
+ * time and folds each completed window's Gaussian emergency estimate
+ * into running exposure statistics. A runtime system can use it to
+ * detect that the running program has entered a dI/dt-hazardous phase
+ * (and, e.g., arm a more conservative control point) without storing
+ * or post-processing any trace.
+ */
+
+#ifndef DIDT_CORE_ONLINE_CHARACTERIZER_HH
+#define DIDT_CORE_ONLINE_CHARACTERIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/variance_model.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Streaming wrapper around the wavelet voltage-variance model. */
+class OnlineCharacterizer
+{
+  public:
+    /**
+     * @param model calibrated variance model (kept by reference; must
+     *        outlive this object)
+     * @param low_threshold voltage whose crossing probability is
+     *        accumulated (paper: 0.97 V)
+     * @param high_threshold upper voltage of interest
+     */
+    OnlineCharacterizer(const VoltageVarianceModel &model,
+                        Volt low_threshold, Volt high_threshold);
+
+    /**
+     * Feed one cycle's current draw. Returns true when this push
+     * completed an analysis window (estimates just updated).
+     */
+    bool push(Amp current);
+
+    /** Cycles consumed so far. */
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** Analysis windows completed so far. */
+    std::uint64_t windows() const { return windows_; }
+
+    /** Running mean of P(V < low threshold) across windows. */
+    double exposureBelow() const;
+
+    /** Running mean of P(V > high threshold) across windows. */
+    double exposureAbove() const;
+
+    /** The most recent completed window's estimate. */
+    const WindowEstimate &lastWindow() const { return last_; }
+
+    /**
+     * P(V < low threshold) of the most recent window — the phase-
+     * sensitive hazard signal a runtime would act on.
+     */
+    double currentHazard() const { return lastBelow_; }
+
+    /** Reset all accumulated state. */
+    void reset();
+
+  private:
+    const VoltageVarianceModel &model_;
+    Volt low_;
+    Volt high_;
+    std::vector<double> buffer_;
+    std::size_t fill_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t windows_ = 0;
+    double sumBelow_ = 0.0;
+    double sumAbove_ = 0.0;
+    double lastBelow_ = 0.0;
+    WindowEstimate last_{};
+};
+
+} // namespace didt
+
+#endif // DIDT_CORE_ONLINE_CHARACTERIZER_HH

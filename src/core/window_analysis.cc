@@ -1,0 +1,49 @@
+#include "core/window_analysis.hh"
+
+#include "stats/chi_square.hh"
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+
+WindowGaussianSummary
+classifyWindows(std::span<const double> trace, std::size_t window_size,
+                std::size_t num_windows, Rng &rng, double alpha)
+{
+    if (window_size == 0)
+        didt_panic("classifyWindows: window_size must be positive");
+    if (trace.size() < window_size)
+        didt_panic("classifyWindows: trace shorter (", trace.size(),
+                   ") than the window (", window_size, ")");
+
+    WindowGaussianSummary summary;
+    RunningStats var_gaussian;
+    RunningStats var_non_gaussian;
+    RunningStats overall;
+    for (double x : trace)
+        overall.push(x);
+    summary.overallVariance = overall.variance();
+
+    const std::size_t max_offset = trace.size() - window_size;
+    for (std::size_t w = 0; w < num_windows; ++w) {
+        const std::size_t offset =
+            max_offset ? rng.uniformInt(max_offset + 1) : 0;
+        const auto window = trace.subspan(offset, window_size);
+        const NormalityResult result =
+            chiSquareNormalityTest(window, alpha);
+        const double window_var = variance(window);
+        ++summary.windows;
+        if (result.accepted) {
+            ++summary.accepted;
+            var_gaussian.push(window_var);
+        } else {
+            var_non_gaussian.push(window_var);
+        }
+    }
+    summary.meanVarianceGaussian = var_gaussian.mean();
+    summary.meanVarianceNonGaussian = var_non_gaussian.mean();
+    return summary;
+}
+
+} // namespace didt

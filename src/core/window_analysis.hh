@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Gaussian window classification (paper Section 4.1, Figures 6/7/12).
+ *
+ * Samples fixed-size execution windows at random offsets from a
+ * per-cycle trace, classifies each with the chi-square normality test
+ * at 95% significance, and summarizes acceptance rates and the
+ * variance split between Gaussian and non-Gaussian windows.
+ */
+
+#ifndef DIDT_CORE_WINDOW_ANALYSIS_HH
+#define DIDT_CORE_WINDOW_ANALYSIS_HH
+
+#include <cstddef>
+#include <span>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Summary of a window-classification experiment over one trace. */
+struct WindowGaussianSummary
+{
+    std::size_t windows = 0;        ///< windows sampled
+    std::size_t accepted = 0;       ///< windows accepted as Gaussian
+    double meanVarianceGaussian = 0.0;    ///< mean in-window variance
+    double meanVarianceNonGaussian = 0.0; ///< mean variance of rejects
+    double overallVariance = 0.0;   ///< variance of the whole trace
+
+    /** Fraction of windows accepted as Gaussian. */
+    double acceptanceRate() const
+    {
+        return windows ? static_cast<double>(accepted) /
+                             static_cast<double>(windows)
+                       : 0.0;
+    }
+};
+
+/**
+ * Classify @p num_windows windows of @p window_size cycles drawn at
+ * random offsets of @p trace (paper: "we chose these windows at random
+ * intervals throughout the execution").
+ *
+ * @param trace per-cycle samples (current or voltage)
+ * @param window_size window length in cycles (paper: 32/64/128)
+ * @param num_windows windows to sample
+ * @param rng randomness for offsets
+ * @param alpha chi-square significance (paper: 0.05)
+ */
+WindowGaussianSummary classifyWindows(std::span<const double> trace,
+                                      std::size_t window_size,
+                                      std::size_t num_windows, Rng &rng,
+                                      double alpha = 0.05);
+
+} // namespace didt
+
+#endif // DIDT_CORE_WINDOW_ANALYSIS_HH

@@ -1,0 +1,89 @@
+#include "power/convolution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+std::vector<double>
+convolve(std::span<const double> x, std::span<const double> kernel)
+{
+    std::vector<double> out(x.size(), 0.0);
+    const std::size_t klen = kernel.size();
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        const std::size_t mmax = std::min(n + 1, klen);
+        double acc = 0.0;
+        for (std::size_t m = 0; m < mmax; ++m)
+            acc += kernel[m] * x[n - m];
+        out[n] = acc;
+    }
+    return out;
+}
+
+StreamingConvolver::StreamingConvolver(std::span<const double> kernel)
+    : kernel_(kernel.begin(), kernel.end())
+{
+    if (kernel_.empty())
+        didt_panic("StreamingConvolver needs a non-empty kernel");
+    history_.assign(kernel_.size(), 0.0);
+}
+
+void
+StreamingConvolver::push(double x)
+{
+    if (!primed_) {
+        // Steady-state warm start: pretend x was the input forever.
+        std::fill(history_.begin(), history_.end(), x);
+        primed_ = true;
+    }
+    head_ = (head_ + history_.size() - 1) % history_.size();
+    history_[head_] = x;
+
+    double acc = 0.0;
+    std::size_t idx = head_;
+    for (std::size_t m = 0; m < kernel_.size(); ++m) {
+        acc += kernel_[m] * history_[idx];
+        idx = (idx + 1) % history_.size();
+    }
+    value_ = acc;
+}
+
+void
+StreamingConvolver::reset()
+{
+    std::fill(history_.begin(), history_.end(), 0.0);
+    head_ = 0;
+    primed_ = false;
+    value_ = 0.0;
+}
+
+std::vector<double>
+truncateKernel(std::span<const double> kernel, double energy_fraction)
+{
+    if (kernel.empty())
+        didt_panic("truncateKernel on empty kernel");
+    if (!(energy_fraction > 0.0 && energy_fraction <= 1.0))
+        didt_panic("energy_fraction must be in (0,1], got ", energy_fraction);
+
+    double total = 0.0;
+    for (double v : kernel)
+        total += v * v;
+    if (total == 0.0)
+        return {kernel.begin(), kernel.begin() + 1};
+
+    double acc = 0.0;
+    std::size_t cut = kernel.size();
+    for (std::size_t n = 0; n < kernel.size(); ++n) {
+        acc += kernel[n] * kernel[n];
+        if (acc >= energy_fraction * total) {
+            cut = n + 1;
+            break;
+        }
+    }
+    return {kernel.begin(), kernel.begin() + static_cast<long>(cut)};
+}
+
+} // namespace didt

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Linear convolution utilities (paper Equation 6).
+ *
+ * Besides the batch form used by offline analysis, a streaming
+ * convolver models the "full convolution" voltage monitor of
+ * Grochowski et al. that the wavelet monitor is compared against:
+ * it keeps a ring buffer of recent current samples and evaluates the
+ * truncated convolution sum each cycle.
+ */
+
+#ifndef DIDT_POWER_CONVOLUTION_HH
+#define DIDT_POWER_CONVOLUTION_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace didt
+{
+
+/**
+ * Batch linear convolution truncated to the input length:
+ * out[n] = sum_{m=0}^{min(n, len(kernel)-1)} kernel[m] x[n-m].
+ */
+std::vector<double> convolve(std::span<const double> x,
+                             std::span<const double> kernel);
+
+/**
+ * Streaming truncated convolution over a sliding window of input
+ * history. push() one sample per cycle; value() returns the current
+ * convolution sum. History before the first push is assumed equal to
+ * the first sample (steady-state warm start).
+ */
+class StreamingConvolver
+{
+  public:
+    /** @param kernel convolution kernel (copied); front tap applies to
+     *  the newest sample. */
+    explicit StreamingConvolver(std::span<const double> kernel);
+
+    /** Advance one cycle with input sample @p x. */
+    void push(double x);
+
+    /** Current convolution output (0 before any push). */
+    double value() const { return value_; }
+
+    /** Number of kernel taps. */
+    std::size_t taps() const { return kernel_.size(); }
+
+    /** Reset to the pre-first-push state. */
+    void reset();
+
+  private:
+    std::vector<double> kernel_;
+    std::vector<double> history_; // ring buffer, newest at head_
+    std::size_t head_ = 0;
+    bool primed_ = false;
+    double value_ = 0.0;
+};
+
+/**
+ * Truncate a kernel to the shortest prefix that retains at least
+ * @p energy_fraction of its total squared magnitude. Used to bound the
+ * cost of long impulse responses without losing the resonant body.
+ */
+std::vector<double> truncateKernel(std::span<const double> kernel,
+                                   double energy_fraction = 0.99999);
+
+} // namespace didt
+
+#endif // DIDT_POWER_CONVOLUTION_HH

@@ -1,0 +1,115 @@
+#include "power/multistage.hh"
+
+#include <algorithm>
+#include <complex>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+MultiStageSupplyNetwork::MultiStageSupplyNetwork(
+    std::vector<SupplyNetworkConfig> stage_configs)
+{
+    if (stage_configs.empty())
+        didt_fatal("MultiStageSupplyNetwork needs at least one stage");
+    nominal_ = stage_configs.front().nominalVoltage;
+    const Hertz clock = stage_configs.front().clockHz;
+    std::size_t longest = 0;
+    for (const SupplyNetworkConfig &cfg : stage_configs) {
+        if (cfg.clockHz != clock)
+            didt_fatal("all supply stages must share the clock");
+        if (cfg.nominalVoltage != nominal_)
+            didt_fatal("all supply stages must share the nominal voltage");
+        stages_.emplace_back(cfg);
+        longest =
+            std::max(longest, stages_.back().impulseResponse().size());
+    }
+
+    response_.assign(longest, 0.0);
+    for (const SupplyNetwork &stage : stages_) {
+        const auto &z = stage.impulseResponse();
+        for (std::size_t n = 0; n < z.size(); ++n)
+            response_[n] += z[n];
+    }
+}
+
+double
+MultiStageSupplyNetwork::impedanceAt(Hertz f) const
+{
+    // Stages are in series along the delivery path: complex impedances
+    // add before taking the magnitude.
+    std::complex<double> total(0.0, 0.0);
+    for (const SupplyNetwork &stage : stages_) {
+        const double r = stage.resistance();
+        const double l = stage.inductance();
+        const double c = stage.capacitance();
+        const std::complex<double> s(0.0, 2.0 * M_PI * f);
+        total += (r + s * l) / (1.0 + s * r * c + s * s * l * c);
+    }
+    return std::abs(total);
+}
+
+double
+MultiStageSupplyNetwork::resistance() const
+{
+    double r = 0.0;
+    for (const SupplyNetwork &stage : stages_)
+        r += stage.resistance();
+    return r;
+}
+
+VoltageTrace
+MultiStageSupplyNetwork::computeVoltage(const CurrentTrace &current) const
+{
+    VoltageTrace voltage(current.size(), nominal_);
+    if (current.empty())
+        return voltage;
+
+    // Droops superpose: run every stage's recursion and subtract the
+    // sum. (Equivalent to convolving with the combined response.)
+    std::vector<SupplyStream> streams;
+    streams.reserve(stages_.size());
+    for (const SupplyNetwork &stage : stages_)
+        streams.emplace_back(stage);
+
+    for (std::size_t n = 0; n < current.size(); ++n) {
+        double droop = 0.0;
+        for (SupplyStream &stream : streams)
+            droop += nominal_ - stream.push(current[n]);
+        voltage[n] = nominal_ - droop;
+    }
+    return voltage;
+}
+
+Volt
+MultiStageSupplyNetwork::steadyStateVoltage(Amp current) const
+{
+    return nominal_ - resistance() * current;
+}
+
+std::vector<SupplyNetworkConfig>
+calibrateMultiStage(std::vector<SupplyNetworkConfig> stages,
+                    const CurrentTrace &worst_case)
+{
+    if (stages.empty())
+        didt_fatal("calibrateMultiStage needs at least one stage");
+    if (worst_case.empty())
+        didt_fatal("calibrateMultiStage needs a non-empty stimulus");
+
+    const MultiStageSupplyNetwork probe(stages);
+    const VoltageTrace v = probe.computeVoltage(worst_case);
+    const Volt nominal = probe.nominalVoltage();
+    double excursion = 0.0;
+    for (Volt x : v)
+        excursion = std::max(excursion, std::abs(nominal - x));
+    if (excursion <= 0.0)
+        didt_fatal("worst-case stimulus produced no voltage excursion");
+
+    const double scale = 0.05 * nominal / excursion;
+    for (SupplyNetworkConfig &cfg : stages)
+        cfg.dcResistance *= scale;
+    return stages;
+}
+
+} // namespace didt

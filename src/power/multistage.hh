@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Multi-stage power-supply network.
+ *
+ * Real power-delivery paths have several anti-resonances — on-die
+ * decap against package inductance (the paper's 50-200 MHz problem
+ * band), package bulk capacitance against board inductance (single-
+ * digit MHz), and so on. The paper models one second-order stage; this
+ * extension composes N of them in series: impedances and impulse
+ * responses add, and the voltage is computed by running the stages'
+ * biquad recursions in parallel. The wavelet monitor and the variance
+ * model operate on the combined impulse response unchanged, which is
+ * exactly the point of the factorized formulation.
+ */
+
+#ifndef DIDT_POWER_MULTISTAGE_HH
+#define DIDT_POWER_MULTISTAGE_HH
+
+#include <vector>
+
+#include "power/supply_network.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** A series composition of second-order supply stages. */
+class MultiStageSupplyNetwork
+{
+  public:
+    /**
+     * @param stages per-stage configurations; all must share the clock
+     *        and nominal voltage of the first (fatal otherwise)
+     */
+    explicit MultiStageSupplyNetwork(
+        std::vector<SupplyNetworkConfig> stages);
+
+    /** The composed stages. */
+    const std::vector<SupplyNetwork> &stages() const { return stages_; }
+
+    /** Nominal supply voltage. */
+    Volt nominalVoltage() const { return nominal_; }
+
+    /** Combined cycle-sampled impulse response (sum over stages). */
+    const std::vector<double> &impulseResponse() const { return response_; }
+
+    /** Combined impedance magnitude |sum_i Z_i(j 2 pi f)|. */
+    double impedanceAt(Hertz f) const;
+
+    /** Total DC resistance (sum of stage resistances). */
+    double resistance() const;
+
+    /** Voltage trace under @p current (parallel stage recursions). */
+    VoltageTrace computeVoltage(const CurrentTrace &current) const;
+
+    /** Steady-state voltage at constant current. */
+    Volt steadyStateVoltage(Amp current) const;
+
+    /** Lower fault level (nominal - 5%). */
+    Volt lowFaultLevel() const { return nominal_ * 0.95; }
+
+    /** Upper fault level (nominal + 5%). */
+    Volt highFaultLevel() const { return nominal_ * 1.05; }
+
+  private:
+    std::vector<SupplyNetwork> stages_;
+    Volt nominal_;
+    std::vector<double> response_;
+};
+
+/**
+ * Scale all stage DC resistances by a common factor so the worst-case
+ * stimulus just keeps the combined network inside the +/-5% band
+ * (multi-stage analogue of calibrateTargetImpedance; droop is linear
+ * in the common scale).
+ */
+std::vector<SupplyNetworkConfig>
+calibrateMultiStage(std::vector<SupplyNetworkConfig> stages,
+                    const CurrentTrace &worst_case);
+
+} // namespace didt
+
+#endif // DIDT_POWER_MULTISTAGE_HH

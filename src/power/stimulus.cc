@@ -1,0 +1,65 @@
+#include "power/stimulus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+CurrentTrace
+resonantSquareWave(Hertz clock_hz, Hertz resonant_hz, Amp low, Amp high,
+                   std::size_t periods)
+{
+    if (resonant_hz <= 0.0 || clock_hz <= 0.0)
+        didt_panic("resonantSquareWave frequencies must be positive");
+    const double cycles_per_period = clock_hz / resonant_hz;
+    const auto half =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     std::lround(cycles_per_period / 2.0)));
+    CurrentTrace trace;
+    trace.reserve(2 * half * periods);
+    for (std::size_t p = 0; p < periods; ++p) {
+        trace.insert(trace.end(), half, high);
+        trace.insert(trace.end(), half, low);
+    }
+    return trace;
+}
+
+CurrentTrace
+constantCurrent(Amp level, std::size_t cycles)
+{
+    return CurrentTrace(cycles, level);
+}
+
+CurrentTrace
+stepCurrent(Amp before, Amp after, std::size_t cycles, std::size_t at)
+{
+    CurrentTrace trace(cycles, before);
+    for (std::size_t n = std::min(at, cycles); n < cycles; ++n)
+        trace[n] = after;
+    return trace;
+}
+
+CurrentTrace
+gaussianCurrent(Amp mean, Amp stddev, std::size_t cycles, Rng &rng)
+{
+    CurrentTrace trace(cycles);
+    for (auto &sample : trace)
+        sample = std::max(0.0, rng.normal(mean, stddev));
+    return trace;
+}
+
+CurrentTrace
+sineCurrent(Amp mean, Amp amplitude, Hertz freq_hz, Hertz clock_hz,
+            std::size_t cycles)
+{
+    CurrentTrace trace(cycles);
+    const double w = 2.0 * M_PI * freq_hz / clock_hz;
+    for (std::size_t n = 0; n < cycles; ++n)
+        trace[n] = mean + amplitude * std::sin(w * static_cast<double>(n));
+    return trace;
+}
+
+} // namespace didt

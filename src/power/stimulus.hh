@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic current stimuli for supply-network characterization.
+ *
+ * Commercial designers benchmark supply adequacy with custom crafted
+ * microbenchmarks (paper Section 3.1); these generators produce the
+ * equivalent synthetic current waveforms, including the worst-case
+ * resonant square wave used to define 100% target impedance.
+ */
+
+#ifndef DIDT_POWER_STIMULUS_HH
+#define DIDT_POWER_STIMULUS_HH
+
+#include <cstddef>
+
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/**
+ * Worst-case dI/dt stimulus: a square wave between @p low and @p high
+ * amperes whose period matches the supply resonance, sustained long
+ * enough to reach the steady-state resonant peak.
+ *
+ * @param clock_hz processor clock
+ * @param resonant_hz supply resonant frequency
+ * @param low idle current
+ * @param high peak current
+ * @param periods number of resonant periods to generate
+ */
+CurrentTrace resonantSquareWave(Hertz clock_hz, Hertz resonant_hz, Amp low,
+                                Amp high, std::size_t periods = 64);
+
+/** Constant current of @p cycles cycles. */
+CurrentTrace constantCurrent(Amp level, std::size_t cycles);
+
+/** A single step from @p before to @p after at cycle @p at. */
+CurrentTrace stepCurrent(Amp before, Amp after, std::size_t cycles,
+                         std::size_t at);
+
+/**
+ * Gaussian white-noise current clipped to be non-negative; models
+ * the in-window behaviour the offline estimator assumes.
+ */
+CurrentTrace gaussianCurrent(Amp mean, Amp stddev, std::size_t cycles,
+                             Rng &rng);
+
+/**
+ * Sinusoidal current at @p freq_hz, used to probe the frequency
+ * response empirically.
+ */
+CurrentTrace sineCurrent(Amp mean, Amp amplitude, Hertz freq_hz,
+                         Hertz clock_hz, std::size_t cycles);
+
+} // namespace didt
+
+#endif // DIDT_POWER_STIMULUS_HH

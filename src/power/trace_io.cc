@@ -1,0 +1,115 @@
+#include "power/trace_io.hh"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'I', 'D', 'T', 'T', 'R', 'C', '1'};
+
+} // namespace
+
+void
+writeTraceText(std::ostream &os, const CurrentTrace &trace,
+               const std::string &comment)
+{
+    if (!comment.empty()) {
+        std::istringstream lines(comment);
+        std::string line;
+        while (std::getline(lines, line))
+            os << "# " << line << '\n';
+    }
+    os.precision(10);
+    for (double sample : trace)
+        os << sample << '\n';
+}
+
+void
+writeTraceText(const std::string &path, const CurrentTrace &trace,
+               const std::string &comment)
+{
+    std::ofstream out(path);
+    if (!out)
+        didt_fatal("cannot open ", path, " for writing");
+    writeTraceText(out, trace, comment);
+    if (!out)
+        didt_fatal("error writing trace to ", path);
+}
+
+CurrentTrace
+readTraceText(std::istream &is)
+{
+    CurrentTrace trace;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        std::istringstream fields(line);
+        double value;
+        while (fields >> value)
+            trace.push_back(value);
+        if (!fields.eof())
+            didt_fatal("malformed trace sample at line ", lineno, ": '",
+                       line, "'");
+    }
+    return trace;
+}
+
+CurrentTrace
+readTraceText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        didt_fatal("cannot open trace file ", path);
+    return readTraceText(in);
+}
+
+void
+writeTraceBinary(const std::string &path, const CurrentTrace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        didt_fatal("cannot open ", path, " for writing");
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint64_t count = trace.size();
+    out.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    out.write(reinterpret_cast<const char *>(trace.data()),
+              static_cast<std::streamsize>(count * sizeof(double)));
+    if (!out)
+        didt_fatal("error writing trace to ", path);
+}
+
+CurrentTrace
+readTraceBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        didt_fatal("cannot open trace file ", path);
+    char magic[sizeof(kMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        didt_fatal(path, " is not a didt binary trace");
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in)
+        didt_fatal(path, ": truncated header");
+    CurrentTrace trace(count);
+    in.read(reinterpret_cast<char *>(trace.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+    if (!in)
+        didt_fatal(path, ": truncated sample data");
+    return trace;
+}
+
+} // namespace didt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Current/voltage trace persistence.
+ *
+ * The analyses only consume per-cycle waveforms, so traces produced by
+ * any power simulator (the bundled processor model, Wattch, or a
+ * measurement rig) can be interchanged through these functions. Two
+ * formats: a one-value-per-line text format with '#' comments, and a
+ * compact binary format with a magic header.
+ */
+
+#ifndef DIDT_POWER_TRACE_IO_HH
+#define DIDT_POWER_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "util/types.hh"
+
+namespace didt
+{
+
+/**
+ * Write a trace as text: optional '#' header lines, then one sample
+ * per line. Fatal on I/O errors.
+ */
+void writeTraceText(const std::string &path, const CurrentTrace &trace,
+                    const std::string &comment = "");
+
+/**
+ * Read a text trace written by writeTraceText (or any whitespace/
+ * newline-separated list of numbers; '#' starts a comment line).
+ * Fatal on missing files or malformed samples.
+ */
+CurrentTrace readTraceText(const std::string &path);
+
+/** Write a trace in the compact binary format. Fatal on I/O errors. */
+void writeTraceBinary(const std::string &path, const CurrentTrace &trace);
+
+/** Read a binary trace; fatal on bad magic or truncation. */
+CurrentTrace readTraceBinary(const std::string &path);
+
+/** Stream variants for testing and piping. */
+void writeTraceText(std::ostream &os, const CurrentTrace &trace,
+                    const std::string &comment = "");
+
+/** Read a text trace from a stream (see readTraceText). */
+CurrentTrace readTraceText(std::istream &is);
+
+} // namespace didt
+
+#endif // DIDT_POWER_TRACE_IO_HH

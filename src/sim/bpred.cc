@@ -1,0 +1,223 @@
+#include "sim/bpred.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/** Saturating 2-bit counter update. */
+void
+updateCounter(std::uint8_t &counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+bool
+counterTaken(std::uint8_t counter)
+{
+    return counter >= 2;
+}
+
+} // namespace
+
+double
+BPredStats::mispredictRate() const
+{
+    if (lookups == 0)
+        return 0.0;
+    return static_cast<double>(directionMispredicts + targetMispredicts) /
+           static_cast<double>(lookups);
+}
+
+BranchPredictor::BranchPredictor(const ProcessorConfig &config)
+    : config_(config)
+{
+    auto check_pow2 = [](std::size_t n, const char *what) {
+        if (n == 0 || !std::has_single_bit(n))
+            didt_fatal(what, " must be a power of two, got ", n);
+    };
+    check_pow2(config_.bimodEntries, "bimodEntries");
+    check_pow2(config_.gshareEntries, "gshareEntries");
+    check_pow2(config_.chooserEntries, "chooserEntries");
+    check_pow2(config_.btbEntries, "btbEntries");
+    if (config_.btbAssociativity == 0 ||
+        config_.btbEntries % config_.btbAssociativity != 0)
+        didt_fatal("btbEntries must be divisible by btbAssociativity");
+    if (config_.gshareHistoryBits == 0 || config_.gshareHistoryBits > 32)
+        didt_fatal("gshareHistoryBits must be in [1,32]");
+    if (config_.rasEntries == 0)
+        didt_fatal("rasEntries must be positive");
+
+    historyMask_ = (std::uint64_t(1) << config_.gshareHistoryBits) - 1;
+    reset();
+}
+
+void
+BranchPredictor::reset()
+{
+    bimod_.assign(config_.bimodEntries, 1);   // weakly not-taken
+    gshare_.assign(config_.gshareEntries, 1);
+    chooser_.assign(config_.chooserEntries, 1); // weakly prefer bimod
+    btb_.assign(config_.btbEntries, BtbEntry{});
+    ras_.assign(config_.rasEntries, 0);
+    rasTop_ = 0;
+    rasCount_ = 0;
+    history_ = 0;
+    stats_ = BPredStats{};
+}
+
+std::size_t
+BranchPredictor::bimodIndex(std::uint64_t pc) const
+{
+    return (pc >> 2) & (config_.bimodEntries - 1);
+}
+
+std::size_t
+BranchPredictor::gshareIndex(std::uint64_t pc) const
+{
+    return ((pc >> 2) ^ history_) & (config_.gshareEntries - 1);
+}
+
+std::size_t
+BranchPredictor::chooserIndex(std::uint64_t pc) const
+{
+    return (pc >> 2) & (config_.chooserEntries - 1);
+}
+
+BranchPrediction
+BranchPredictor::lookupTarget(const Instruction &inst, bool taken_pred)
+{
+    BranchPrediction pred;
+    pred.taken = taken_pred;
+
+    if (inst.isReturn) {
+        if (rasCount_ > 0) {
+            rasTop_ = (rasTop_ + config_.rasEntries - 1) % config_.rasEntries;
+            --rasCount_;
+            pred.target = ras_[rasTop_];
+            pred.btbHit = true;
+        } else {
+            ++stats_.rasUnderflows;
+        }
+        return pred;
+    }
+
+    if (inst.isCall) {
+        ras_[rasTop_] = inst.pc + 4;
+        rasTop_ = (rasTop_ + 1) % config_.rasEntries;
+        if (rasCount_ < config_.rasEntries)
+            ++rasCount_;
+    }
+
+    if (!taken_pred)
+        return pred;
+
+    const std::size_t sets = config_.btbEntries / config_.btbAssociativity;
+    const std::size_t set = (inst.pc >> 2) & (sets - 1);
+    const std::uint64_t tag = inst.pc >> 2;
+    for (std::size_t w = 0; w < config_.btbAssociativity; ++w) {
+        BtbEntry &entry = btb_[set * config_.btbAssociativity + w];
+        if (entry.valid && entry.tag == tag) {
+            pred.target = entry.target;
+            pred.btbHit = true;
+            entry.lru = 0;
+            break;
+        }
+    }
+    return pred;
+}
+
+void
+BranchPredictor::train(const Instruction &inst, bool bimod_taken,
+                       bool gshare_taken)
+{
+    // Chooser trains toward the component that was right (when they
+    // disagree), exactly as in SimpleScalar's combining predictor.
+    if (bimod_taken != gshare_taken) {
+        std::uint8_t &ch = chooser_[chooserIndex(inst.pc)];
+        updateCounter(ch, gshare_taken == inst.taken);
+    }
+    updateCounter(bimod_[bimodIndex(inst.pc)], inst.taken);
+    updateCounter(gshare_[gshareIndex(inst.pc)], inst.taken);
+
+    // BTB allocates on taken branches (not returns; those use the RAS).
+    if (inst.taken && !inst.isReturn) {
+        const std::size_t sets =
+            config_.btbEntries / config_.btbAssociativity;
+        const std::size_t set = (inst.pc >> 2) & (sets - 1);
+        const std::uint64_t tag = inst.pc >> 2;
+        // Victim selection: existing entry for this tag, else an
+        // invalid way, else the LRU way (largest age).
+        BtbEntry *victim = nullptr;
+        for (std::size_t w = 0; w < config_.btbAssociativity; ++w) {
+            BtbEntry &entry = btb_[set * config_.btbAssociativity + w];
+            if (entry.valid && entry.tag == tag) {
+                victim = &entry;
+                break;
+            }
+            if (!entry.valid) {
+                if (!victim || victim->valid)
+                    victim = &entry;
+            } else if (!victim ||
+                       (victim->valid && entry.lru > victim->lru)) {
+                victim = &entry;
+            }
+        }
+        for (std::size_t w = 0; w < config_.btbAssociativity; ++w) {
+            BtbEntry &entry = btb_[set * config_.btbAssociativity + w];
+            if (entry.lru < 255)
+                ++entry.lru;
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->target = inst.target;
+        victim->lru = 0;
+    }
+
+    // Global history records the actual outcome (speculative-history
+    // repair is not modeled; the trace-driven update is immediate).
+    history_ = ((history_ << 1) | (inst.taken ? 1 : 0)) & historyMask_;
+}
+
+BranchPrediction
+BranchPredictor::predictAndTrain(const Instruction &inst)
+{
+    ++stats_.lookups;
+
+    const bool bimod_taken = counterTaken(bimod_[bimodIndex(inst.pc)]);
+    const bool gshare_taken = counterTaken(gshare_[gshareIndex(inst.pc)]);
+    const bool use_gshare =
+        counterTaken(chooser_[chooserIndex(inst.pc)]);
+    const bool taken_pred = use_gshare ? gshare_taken : bimod_taken;
+
+    BranchPrediction pred = lookupTarget(inst, taken_pred);
+    pred.fromGshare = use_gshare;
+
+    if (pred.taken != inst.taken) {
+        ++stats_.directionMispredicts;
+        pred.mispredict = true;
+    } else if (inst.taken) {
+        // Right direction but wrong/unknown target still redirects.
+        const bool target_ok = pred.btbHit && pred.target == inst.target;
+        if (!target_ok) {
+            ++stats_.targetMispredicts;
+            pred.mispredict = true;
+        }
+    }
+
+    train(inst, bimod_taken, gshare_taken);
+    return pred;
+}
+
+} // namespace didt

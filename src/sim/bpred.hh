@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Combined branch predictor (paper Table 1).
+ *
+ * A SimpleScalar-style "comb" predictor: a 4K-entry bimodal chooser
+ * selects between a 4K-entry bimodal table and a 4K-entry gshare with
+ * 12 bits of global history. Targets come from a 1K-entry 2-way BTB;
+ * returns from a 32-entry return address stack.
+ */
+
+#ifndef DIDT_SIM_BPRED_HH
+#define DIDT_SIM_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/instruction.hh"
+
+namespace didt
+{
+
+/** Prediction produced for one branch. */
+struct BranchPrediction
+{
+    bool taken = false;          ///< predicted direction
+    std::uint64_t target = 0;    ///< predicted target (0 if BTB miss)
+    bool btbHit = false;         ///< target came from BTB/RAS
+    bool fromGshare = false;     ///< chooser picked the gshare component
+    bool mispredict = false;     ///< wrong direction or wrong target
+};
+
+/** Statistics accumulated by the predictor. */
+struct BPredStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t directionMispredicts = 0;
+    std::uint64_t targetMispredicts = 0;
+    std::uint64_t rasUnderflows = 0;
+
+    /** Fraction of lookups with a wrong direction or target. */
+    double mispredictRate() const;
+};
+
+/** The combined predictor with BTB and RAS. */
+class BranchPredictor
+{
+  public:
+    /** Build tables sized per @p config (entry counts must be powers
+     *  of two; fatal otherwise). */
+    explicit BranchPredictor(const ProcessorConfig &config);
+
+    /**
+     * Predict the branch at @p inst and immediately train with the
+     * actual outcome carried by the instruction (trace-driven update).
+     * The prediction reflects table state *before* training.
+     */
+    BranchPrediction predictAndTrain(const Instruction &inst);
+
+    /** Accumulated statistics. */
+    const BPredStats &stats() const { return stats_; }
+
+    /** Reset tables, history, and statistics. */
+    void reset();
+
+    /** Clear statistics, keeping trained table state (post-warm-up). */
+    void clearStats() { stats_ = BPredStats{}; }
+
+  private:
+    struct BtbEntry
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        bool valid = false;
+        std::uint8_t lru = 0;
+    };
+
+    std::size_t bimodIndex(std::uint64_t pc) const;
+    std::size_t gshareIndex(std::uint64_t pc) const;
+    std::size_t chooserIndex(std::uint64_t pc) const;
+
+    BranchPrediction lookupTarget(const Instruction &inst, bool taken_pred);
+    void train(const Instruction &inst, bool bimod_taken, bool gshare_taken);
+
+    ProcessorConfig config_;
+    std::vector<std::uint8_t> bimod_;   ///< 2-bit counters
+    std::vector<std::uint8_t> gshare_;  ///< 2-bit counters
+    std::vector<std::uint8_t> chooser_; ///< 2-bit: >=2 selects gshare
+    std::vector<BtbEntry> btb_;         ///< sets x ways flattened
+    std::vector<std::uint64_t> ras_;
+    std::size_t rasTop_ = 0;
+    std::size_t rasCount_ = 0;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+    BPredStats stats_;
+};
+
+} // namespace didt
+
+#endif // DIDT_SIM_BPRED_HH

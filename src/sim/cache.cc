@@ -1,0 +1,118 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    if (config_.lineBytes == 0 || !std::has_single_bit(config_.lineBytes))
+        didt_fatal("cache line size must be a power of two, got ",
+                   config_.lineBytes);
+    if (config_.associativity == 0)
+        didt_fatal("cache associativity must be positive");
+    const std::size_t line_count = config_.sizeBytes / config_.lineBytes;
+    if (line_count == 0 || line_count % config_.associativity != 0)
+        didt_fatal("cache geometry invalid: ", config_.sizeBytes, "B / ",
+                   config_.lineBytes, "B lines / ", config_.associativity,
+                   " ways");
+    sets_ = line_count / config_.associativity;
+    if (!std::has_single_bit(sets_))
+        didt_fatal("cache set count must be a power of two, got ", sets_);
+    lines_.assign(line_count, Line{});
+}
+
+std::size_t
+Cache::setIndex(std::uint64_t address) const
+{
+    return (address / config_.lineBytes) & (sets_ - 1);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t address) const
+{
+    return (address / config_.lineBytes) / sets_;
+}
+
+bool
+Cache::access(std::uint64_t address)
+{
+    ++stats_.accesses;
+    const std::size_t set = setIndex(address);
+    const std::uint64_t tag = tagOf(address);
+    Line *base = &lines_[set * config_.associativity];
+
+    Line *hit = nullptr;
+    Line *victim = base;
+    for (std::size_t w = 0; w < config_.associativity; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            hit = &line;
+            break;
+        }
+        if (!line.valid) {
+            if (victim->valid)
+                victim = &line;
+        } else if (victim->valid && line.lru > victim->lru) {
+            victim = &line;
+        }
+    }
+
+    for (std::size_t w = 0; w < config_.associativity; ++w)
+        if (base[w].lru < UINT32_MAX)
+            ++base[w].lru;
+
+    if (hit) {
+        hit->lru = 0;
+        return true;
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = 0;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t address) const
+{
+    const std::size_t set = setIndex(address);
+    const std::uint64_t tag = tagOf(address);
+    const Line *base = &lines_[set * config_.associativity];
+    for (std::size_t w = 0; w < config_.associativity; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    stats_ = CacheStats{};
+}
+
+MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1, Cache &l2,
+                                 std::size_t memory_latency)
+    : l1_(l1), l2_(l2), memoryLatency_(memory_latency)
+{
+}
+
+MemAccessResult
+MemoryHierarchy::access(std::uint64_t address)
+{
+    if (l1_.access(address))
+        return {MemLevel::L1, l1_.latency()};
+    if (l2_.access(address))
+        return {MemLevel::L2, l1_.latency() + l2_.latency()};
+    return {MemLevel::Memory,
+            l1_.latency() + l2_.latency() + memoryLatency_};
+}
+
+} // namespace didt

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement and a two-level
+ * hierarchy front-end (paper Table 1 memory system).
+ */
+
+#ifndef DIDT_SIM_CACHE_HH
+#define DIDT_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace didt
+{
+
+/** Per-cache statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    /** Miss ratio; 0 when never accessed. */
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** A single set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    /** Build from geometry; all fields must be powers of two. */
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the line containing @p address; allocates on miss.
+     * @retval true hit
+     * @retval false miss (line now resident)
+     */
+    bool access(std::uint64_t address);
+
+    /** Probe without updating LRU or allocating. */
+    bool probe(std::uint64_t address) const;
+
+    /** Access latency in cycles. */
+    std::size_t latency() const { return config_.latency; }
+
+    /** Accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Invalidate all lines and clear statistics. */
+    void reset();
+
+    /** Clear statistics but keep cache contents (post-warm-up). */
+    void clearStats() { stats_ = CacheStats{}; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint32_t lru = 0; ///< age counter; 0 = most recent
+    };
+
+    CacheConfig config_;
+    std::size_t sets_;
+    std::vector<Line> lines_;
+    CacheStats stats_;
+
+    std::size_t setIndex(std::uint64_t address) const;
+    std::uint64_t tagOf(std::uint64_t address) const;
+};
+
+/** Where in the hierarchy an access was satisfied. */
+enum class MemLevel : std::uint8_t
+{
+    L1,
+    L2,
+    Memory,
+};
+
+/** Outcome of a hierarchy access. */
+struct MemAccessResult
+{
+    MemLevel level;       ///< level that supplied the data
+    std::size_t latency;  ///< total latency in cycles
+};
+
+/**
+ * Two-level hierarchy: a private L1 backed by a (shared, unified) L2
+ * backed by main memory. The caller supplies the L2 so instruction and
+ * data sides can share it, as in the paper's unified L2.
+ */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param l1 configuration of the level-1 cache owned by this object
+     * @param l2 the shared level-2 cache (not owned; must outlive this)
+     * @param memory_latency main-memory latency in cycles
+     */
+    MemoryHierarchy(const CacheConfig &l1, Cache &l2,
+                    std::size_t memory_latency);
+
+    /** Access @p address through L1 -> L2 -> memory. */
+    MemAccessResult access(std::uint64_t address);
+
+    /** The owned L1 cache. */
+    const Cache &l1() const { return l1_; }
+
+    /** Invalidate the owned L1 (the shared L2 is reset by its owner). */
+    void resetL1() { l1_.reset(); }
+
+    /** Clear the owned L1's statistics, keeping its contents. */
+    void clearL1Stats() { l1_.clearStats(); }
+
+  private:
+    Cache l1_;
+    Cache &l2_;
+    std::size_t memoryLatency_;
+};
+
+} // namespace didt
+
+#endif // DIDT_SIM_CACHE_HH

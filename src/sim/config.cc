@@ -1,0 +1,42 @@
+#include "sim/config.hh"
+
+#include <ostream>
+
+namespace didt
+{
+
+void
+ProcessorConfig::print(std::ostream &os) const
+{
+    os << "Execution Core\n"
+       << "  Clock Rate          " << clockHz / 1e9 << " GHz\n"
+       << "  Instruction Window  " << ruuSize << "-RUU, " << lsqSize
+       << "-LSQ\n"
+       << "  Functional Units    " << intAluCount << " IntALU, "
+       << intMultCount << " IntMult/IntDiv\n"
+       << "                      " << fpAluCount << " FPALU, " << fpMultCount
+       << " FPMult/FPDiv\n"
+       << "                      " << memPortCount << " Memory Ports\n"
+       << "Front End\n"
+       << "  Fetch/Decode Width  " << fetchWidth << " inst, " << decodeWidth
+       << " inst\n"
+       << "  Branch Penalty      " << branchPenalty << " cycles\n"
+       << "  Branch Predictor    Combined: " << chooserEntries / 1024
+       << "K Bimod Chooser\n"
+       << "                      " << bimodEntries / 1024 << "K Bimod w/ "
+       << gshareEntries / 1024 << "K " << gshareHistoryBits
+       << "-bit Gshare\n"
+       << "  BTB                 " << btbEntries / 1024 << "K Entry, "
+       << btbAssociativity << "-way\n"
+       << "  RAS                 " << rasEntries << " Entry\n"
+       << "Memory Hierarchy\n"
+       << "  L1 I-Cache          " << l1i.sizeBytes / 1024 << "KB, "
+       << l1i.associativity << "-way, " << l1i.latency << " cycle latency\n"
+       << "  L1 D-Cache          " << l1d.sizeBytes / 1024 << "KB, "
+       << l1d.associativity << "-way, " << l1d.latency << " cycle latency\n"
+       << "  L2 I/D-Cache        " << l2.sizeBytes / (1024 * 1024) << "MB, "
+       << l2.associativity << "-way, " << l2.latency << " cycle latency\n"
+       << "  Main Memory         " << memoryLatency << " cycle latency\n";
+}
+
+} // namespace didt

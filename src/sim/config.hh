@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Processor configuration (paper Table 1).
+ *
+ * Models the 3.0 GHz Alpha-21264-like machine the paper simulates with
+ * a modified Wattch/SimpleScalar: 4-wide fetch/decode, deep front end
+ * with a 12-cycle branch penalty, 80-entry RUU + 40-entry LSQ,
+ * the Table-1 functional-unit mix, and a two-level cache hierarchy.
+ */
+
+#ifndef DIDT_SIM_CONFIG_HH
+#define DIDT_SIM_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Parameters of one cache level. */
+struct CacheConfig
+{
+    std::size_t sizeBytes;    ///< total capacity
+    std::size_t associativity;///< ways per set
+    std::size_t lineBytes;    ///< bytes per line
+    std::size_t latency;      ///< access latency in cycles
+};
+
+/** Full processor configuration with Table-1 defaults. */
+struct ProcessorConfig
+{
+    // --- Execution core -------------------------------------------------
+    Hertz clockHz = 3.0e9;          ///< clock rate (3.0 GHz)
+    Volt nominalVoltage = 1.0;      ///< Vdd (1.0 V)
+    std::size_t ruuSize = 80;       ///< instruction window (RUU entries)
+    std::size_t lsqSize = 40;       ///< load/store queue entries
+    std::size_t intAluCount = 4;    ///< integer ALUs
+    std::size_t intMultCount = 1;   ///< integer multiply/divide units
+    std::size_t fpAluCount = 2;     ///< floating-point ALUs
+    std::size_t fpMultCount = 1;    ///< FP multiply/divide units
+    std::size_t memPortCount = 2;   ///< cache ports
+
+    // --- Front end -------------------------------------------------------
+    std::size_t fetchWidth = 4;     ///< instructions fetched per cycle
+    std::size_t decodeWidth = 4;    ///< instructions decoded per cycle
+    std::size_t commitWidth = 4;    ///< instructions committed per cycle
+    std::size_t branchPenalty = 12; ///< misprediction redirect penalty
+    std::size_t frontEndDepth = 6;  ///< fetch-to-dispatch pipeline stages
+
+    // --- Branch prediction -------------------------------------------------
+    std::size_t chooserEntries = 4096; ///< combined-predictor chooser (4K)
+    std::size_t bimodEntries = 4096;   ///< bimodal table (4K)
+    std::size_t gshareEntries = 4096;  ///< gshare table (4K)
+    std::size_t gshareHistoryBits = 12;///< gshare global history bits
+    std::size_t btbEntries = 1024;     ///< BTB entries (1K)
+    std::size_t btbAssociativity = 2;  ///< BTB ways
+    std::size_t rasEntries = 32;       ///< return address stack
+
+    // --- Memory hierarchy ----------------------------------------------
+    CacheConfig l1i{64 * 1024, 2, 64, 3};      ///< 64KB 2-way, 3 cycles
+    CacheConfig l1d{64 * 1024, 2, 64, 3};      ///< 64KB 2-way, 3 cycles
+    CacheConfig l2{2 * 1024 * 1024, 4, 64, 16};///< 2MB 4-way, 16 cycles
+    std::size_t memoryLatency = 250;           ///< main memory, cycles
+    std::size_t mshrCount = 8;                 ///< outstanding L1D misses
+
+    // --- Execution latencies (cycles, issue-to-complete) ------------------
+    std::size_t intAluLatency = 1;
+    std::size_t intMultLatency = 3;
+    std::size_t intDivLatency = 20;
+    std::size_t fpAluLatency = 2;
+    std::size_t fpMultLatency = 4;
+    std::size_t fpDivLatency = 12;
+
+    /** Pretty-print the configuration in Table-1 layout. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace didt
+
+#endif // DIDT_SIM_CONFIG_HH

@@ -1,0 +1,128 @@
+#include "sim/fu_pool.hh"
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+FuClass
+fuClassFor(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        return FuClass::IntAlu;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return FuClass::IntMultDiv;
+      case OpClass::FpAlu:
+        return FuClass::FpAlu;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return FuClass::FpMultDiv;
+      case OpClass::Load:
+      case OpClass::Store:
+        return FuClass::MemPort;
+    }
+    didt_panic("unknown OpClass ", static_cast<int>(op));
+}
+
+FuPool::FuPool(const ProcessorConfig &config)
+{
+    busyUntil_.resize(5);
+    busyUntil_[static_cast<std::size_t>(FuClass::IntAlu)]
+        .assign(config.intAluCount, 0);
+    busyUntil_[static_cast<std::size_t>(FuClass::IntMultDiv)]
+        .assign(config.intMultCount, 0);
+    busyUntil_[static_cast<std::size_t>(FuClass::FpAlu)]
+        .assign(config.fpAluCount, 0);
+    busyUntil_[static_cast<std::size_t>(FuClass::FpMultDiv)]
+        .assign(config.fpMultCount, 0);
+    busyUntil_[static_cast<std::size_t>(FuClass::MemPort)]
+        .assign(config.memPortCount, 0);
+}
+
+bool
+FuPool::tryIssue(FuClass cls, Cycle now, Cycle busy_cycles)
+{
+    auto &units = busyUntil_[static_cast<std::size_t>(cls)];
+    for (auto &busy_until : units) {
+        if (busy_until <= now) {
+            busy_until = now + busy_cycles;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FuPool::undoIssue(FuClass cls, Cycle now, Cycle busy_cycles)
+{
+    auto &units = busyUntil_[static_cast<std::size_t>(cls)];
+    for (auto &busy_until : units) {
+        if (busy_until == now + busy_cycles) {
+            busy_until = 0;
+            return;
+        }
+    }
+    didt_panic("undoIssue with no matching reservation");
+}
+
+std::size_t
+FuPool::busyCount(FuClass cls, Cycle now) const
+{
+    const auto &units = busyUntil_[static_cast<std::size_t>(cls)];
+    std::size_t busy = 0;
+    for (auto busy_until : units)
+        if (busy_until > now)
+            ++busy;
+    return busy;
+}
+
+std::size_t
+FuPool::unitCount(FuClass cls) const
+{
+    return busyUntil_[static_cast<std::size_t>(cls)].size();
+}
+
+void
+FuPool::reset()
+{
+    for (auto &units : busyUntil_)
+        for (auto &busy_until : units)
+            busy_until = 0;
+}
+
+std::size_t
+executeLatency(const ProcessorConfig &config, OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Nop:
+        return config.intAluLatency;
+      case OpClass::IntMult:
+        return config.intMultLatency;
+      case OpClass::IntDiv:
+        return config.intDivLatency;
+      case OpClass::FpAlu:
+        return config.fpAluLatency;
+      case OpClass::FpMult:
+        return config.fpMultLatency;
+      case OpClass::FpDiv:
+        return config.fpDivLatency;
+      case OpClass::Load:
+      case OpClass::Store:
+        return 1; // address generation; cache latency added separately
+    }
+    didt_panic("unknown OpClass ", static_cast<int>(op));
+}
+
+bool
+isUnpipelined(OpClass op)
+{
+    return op == OpClass::IntDiv || op == OpClass::FpDiv;
+}
+
+} // namespace didt

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Functional-unit pool (paper Table 1 execution resources).
+ *
+ * Tracks per-class unit availability: ALUs are fully pipelined (busy
+ * one cycle per issue); multipliers are pipelined; dividers occupy
+ * their unit for the full operation latency.
+ */
+
+#ifndef DIDT_SIM_FU_POOL_HH
+#define DIDT_SIM_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/instruction.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Functional-unit classes (mult and div share physical units). */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,
+    IntMultDiv,
+    FpAlu,
+    FpMultDiv,
+    MemPort,
+};
+
+/** Map an operation class to the unit class that executes it. */
+FuClass fuClassFor(OpClass op);
+
+/** Availability tracker for all functional units. */
+class FuPool
+{
+  public:
+    /** Size the pool from the processor configuration. */
+    explicit FuPool(const ProcessorConfig &config);
+
+    /**
+     * Try to claim a unit of @p cls at @p now, holding it busy for
+     * @p busy_cycles (1 for pipelined units, the full latency for
+     * unpipelined dividers).
+     * @retval true a unit was claimed
+     */
+    bool tryIssue(FuClass cls, Cycle now, Cycle busy_cycles);
+
+    /**
+     * Roll back a tryIssue() made this cycle: releases one unit whose
+     * reservation matches (now + busy_cycles). Panics if no such
+     * reservation exists.
+     */
+    void undoIssue(FuClass cls, Cycle now, Cycle busy_cycles = 1);
+
+    /** Number of units of @p cls currently busy at @p now. */
+    std::size_t busyCount(FuClass cls, Cycle now) const;
+
+    /** Total units of @p cls. */
+    std::size_t unitCount(FuClass cls) const;
+
+    /** Release all units (between runs). */
+    void reset();
+
+  private:
+    /** busyUntil_[class][unit]: first cycle the unit is free again. */
+    std::vector<std::vector<Cycle>> busyUntil_;
+};
+
+/**
+ * Execution latency of @p op per the configuration; memory ops return
+ * only the non-memory part (address generation) — cache latency is
+ * added by the pipeline from the hierarchy model.
+ */
+std::size_t executeLatency(const ProcessorConfig &config, OpClass op);
+
+/** True when the op holds its unit for the whole latency (dividers). */
+bool isUnpipelined(OpClass op);
+
+} // namespace didt
+
+#endif // DIDT_SIM_FU_POOL_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The dynamic instruction record consumed by the processor model.
+ *
+ * Instructions are produced by a workload source (the synthetic SPEC
+ * substitute) carrying the architectural information the pipeline
+ * needs: opcode class, register dependencies expressed as distances to
+ * earlier in-flight producers, program counter, and, for memory and
+ * branch operations, the effective address / actual outcome.
+ */
+
+#ifndef DIDT_SIM_INSTRUCTION_HH
+#define DIDT_SIM_INSTRUCTION_HH
+
+#include <cstdint>
+
+namespace didt
+{
+
+/** Operation classes recognized by the pipeline and power model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAlu,
+    FpMult,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Nop,
+};
+
+/** True for loads and stores. */
+inline bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** True for floating-point operation classes. */
+inline bool
+isFpOp(OpClass op)
+{
+    return op == OpClass::FpAlu || op == OpClass::FpMult ||
+           op == OpClass::FpDiv;
+}
+
+/** One dynamic instruction. */
+struct Instruction
+{
+    /** Operation class. */
+    OpClass op = OpClass::IntAlu;
+
+    /** Program counter (byte address of the instruction). */
+    std::uint64_t pc = 0;
+
+    /**
+     * Input dependencies as distances (in dynamic instructions) to the
+     * producing instruction; 0 means no dependency. A distance larger
+     * than the in-flight window means the value is long since ready.
+     */
+    std::uint32_t dep1 = 0;
+
+    /** Second input dependency distance; 0 means none. */
+    std::uint32_t dep2 = 0;
+
+    /** Effective address for loads/stores. */
+    std::uint64_t address = 0;
+
+    /** For branches: the actual direction. */
+    bool taken = false;
+
+    /** For branches: the actual target (for BTB training). */
+    std::uint64_t target = 0;
+
+    /** For branches: call/return markers driving the RAS. */
+    bool isCall = false;
+
+    /** Return instruction marker. */
+    bool isReturn = false;
+};
+
+/**
+ * Abstract producer of the dynamic instruction stream.
+ *
+ * The processor pulls one instruction at a time; a source returning
+ * false signals end of stream and ends the simulation after drain.
+ */
+class InstructionSource
+{
+  public:
+    virtual ~InstructionSource() = default;
+
+    /**
+     * Produce the next instruction.
+     * @param out receives the instruction when available
+     * @retval true an instruction was produced
+     * @retval false the stream is exhausted
+     */
+    virtual bool next(Instruction &out) = 0;
+};
+
+} // namespace didt
+
+#endif // DIDT_SIM_INSTRUCTION_HH

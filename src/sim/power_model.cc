@@ -1,0 +1,165 @@
+#include "sim/power_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+PowerModel::PowerModel(const PowerModelConfig &power,
+                       const ProcessorConfig &proc)
+    : config_(power), proc_(proc), vdd_(proc.nominalVoltage)
+{
+    if (vdd_ <= 0.0)
+        didt_fatal("nominal voltage must be positive, got ", vdd_);
+    if (config_.idleFraction < 0.0 || config_.idleFraction >= 1.0)
+        didt_fatal("idleFraction must be in [0,1), got ",
+                   config_.idleFraction);
+}
+
+Watt
+PowerModel::gated(PowerUnit unit, double utilization) const
+{
+    const Watt peak = config_.peak[static_cast<std::size_t>(unit)];
+    const double util = std::clamp(utilization, 0.0, 1.0);
+    switch (config_.gating) {
+      case ClockGating::None:
+        return peak;
+      case ClockGating::AllOrNothing:
+        return util > 0.0 ? peak : 0.0;
+      case ClockGating::Linear:
+        return peak * util;
+      case ClockGating::LinearIdle:
+        return peak * (config_.idleFraction +
+                       (1.0 - config_.idleFraction) * util);
+    }
+    didt_panic("unknown gating style");
+}
+
+std::array<Watt, kNumPowerUnits>
+PowerModel::unitPower(const ActivitySample &a) const
+{
+    auto ratio = [](std::size_t used, std::size_t ports) {
+        if (ports == 0)
+            return 0.0;
+        return static_cast<double>(used) / static_cast<double>(ports);
+    };
+
+    std::array<Watt, kNumPowerUnits> out{};
+
+    out[static_cast<std::size_t>(PowerUnit::Fetch)] =
+        gated(PowerUnit::Fetch, ratio(a.fetched, proc_.fetchWidth));
+    out[static_cast<std::size_t>(PowerUnit::Bpred)] =
+        gated(PowerUnit::Bpred, a.bpredLookups > 0 ? 1.0 : 0.0);
+    out[static_cast<std::size_t>(PowerUnit::Decode)] =
+        gated(PowerUnit::Decode, ratio(a.decoded, proc_.decodeWidth));
+
+    // Window power has a wakeup component proportional to occupancy
+    // and a selection component proportional to issue activity.
+    const std::size_t issued = a.issuedIntAlu + a.issuedIntMult +
+                               a.issuedFpAlu + a.issuedFpMult;
+    const std::size_t total_units = proc_.intAluCount + proc_.intMultCount +
+                                    proc_.fpAluCount + proc_.fpMultCount;
+    const double window_util =
+        0.5 * ratio(a.windowOccupancy, proc_.ruuSize) +
+        0.5 * ratio(issued, total_units);
+    out[static_cast<std::size_t>(PowerUnit::Window)] =
+        gated(PowerUnit::Window, window_util);
+
+    const std::size_t reg_ports = 2 * proc_.decodeWidth + proc_.commitWidth;
+    out[static_cast<std::size_t>(PowerUnit::RegFile)] =
+        gated(PowerUnit::RegFile, ratio(a.regReads + a.regWrites, reg_ports));
+
+    out[static_cast<std::size_t>(PowerUnit::IntAlu)] =
+        gated(PowerUnit::IntAlu, ratio(a.issuedIntAlu, proc_.intAluCount));
+    out[static_cast<std::size_t>(PowerUnit::IntMult)] =
+        gated(PowerUnit::IntMult, ratio(a.issuedIntMult, proc_.intMultCount));
+    out[static_cast<std::size_t>(PowerUnit::FpAlu)] =
+        gated(PowerUnit::FpAlu, ratio(a.issuedFpAlu, proc_.fpAluCount));
+    out[static_cast<std::size_t>(PowerUnit::FpMult)] =
+        gated(PowerUnit::FpMult, ratio(a.issuedFpMult, proc_.fpMultCount));
+
+    out[static_cast<std::size_t>(PowerUnit::Lsq)] =
+        gated(PowerUnit::Lsq, ratio(a.lsqOps, proc_.memPortCount));
+    out[static_cast<std::size_t>(PowerUnit::DCache)] =
+        gated(PowerUnit::DCache,
+              ratio(a.dcacheAccesses, proc_.memPortCount));
+    out[static_cast<std::size_t>(PowerUnit::L2)] =
+        gated(PowerUnit::L2, a.l2Accesses > 0 ? 1.0 : 0.0);
+
+    // Clock power: an ungated fraction plus a gated part tracking core
+    // activity (average utilization of the other structures).
+    double activity_sum = 0.0;
+    const Watt clock_peak =
+        config_.peak[static_cast<std::size_t>(PowerUnit::Clock)];
+    Watt others_peak = 0.0;
+    for (std::size_t u = 0; u < kNumPowerUnits; ++u) {
+        if (u == static_cast<std::size_t>(PowerUnit::Clock))
+            continue;
+        activity_sum += out[u];
+        others_peak += config_.peak[u];
+    }
+    const double core_activity =
+        others_peak > 0.0 ? activity_sum / others_peak : 0.0;
+    out[static_cast<std::size_t>(PowerUnit::Clock)] =
+        clock_peak * (config_.clockUngatedFraction +
+                      (1.0 - config_.clockUngatedFraction) * core_activity);
+    return out;
+}
+
+Watt
+PowerModel::cyclePower(const ActivitySample &activity) const
+{
+    const auto units = unitPower(activity);
+    Watt total = config_.leakage;
+    for (Watt w : units)
+        total += w;
+    return total;
+}
+
+Amp
+PowerModel::cycleCurrent(const ActivitySample &activity) const
+{
+    return cyclePower(activity) / vdd_;
+}
+
+Watt
+PowerModel::peakPower() const
+{
+    Watt total = config_.leakage;
+    for (Watt w : config_.peak)
+        total += w;
+    return total;
+}
+
+Watt
+PowerModel::idlePower() const
+{
+    ActivitySample idle{};
+    return cyclePower(idle);
+}
+
+const char *
+powerUnitName(PowerUnit unit)
+{
+    switch (unit) {
+      case PowerUnit::Fetch: return "fetch";
+      case PowerUnit::Bpred: return "bpred";
+      case PowerUnit::Decode: return "decode";
+      case PowerUnit::Window: return "window";
+      case PowerUnit::RegFile: return "regfile";
+      case PowerUnit::IntAlu: return "intalu";
+      case PowerUnit::IntMult: return "intmult";
+      case PowerUnit::FpAlu: return "fpalu";
+      case PowerUnit::FpMult: return "fpmult";
+      case PowerUnit::Lsq: return "lsq";
+      case PowerUnit::DCache: return "dcache";
+      case PowerUnit::L2: return "l2";
+      case PowerUnit::Clock: return "clock";
+      case PowerUnit::NumUnits: break;
+    }
+    didt_panic("unknown power unit");
+}
+
+} // namespace didt

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Wattch-style activity-based power model (paper Section 3.2).
+ *
+ * Each microarchitectural structure has a peak power; per-cycle power
+ * scales with that cycle's access counts under a selectable
+ * conditional-clock-gating style (Wattch's cc0-cc3). Per-cycle current
+ * is power divided by the supply voltage — with Vdd = 1.0 V one watt
+ * corresponds to one ampere, as the paper notes.
+ */
+
+#ifndef DIDT_SIM_POWER_MODEL_HH
+#define DIDT_SIM_POWER_MODEL_HH
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+#include "sim/config.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Structures tracked by the power model. */
+enum class PowerUnit : std::size_t
+{
+    Fetch,     ///< I-cache and fetch datapath
+    Bpred,     ///< branch predictor tables and BTB
+    Decode,    ///< decode and rename
+    Window,    ///< RUU wakeup + selection logic
+    RegFile,   ///< register file read/write ports
+    IntAlu,    ///< integer ALUs
+    IntMult,   ///< integer multiplier/divider
+    FpAlu,     ///< floating-point adders
+    FpMult,    ///< FP multiplier/divider
+    Lsq,       ///< load/store queue
+    DCache,    ///< L1 data cache
+    L2,        ///< unified L2 cache
+    Clock,     ///< global clock distribution
+    NumUnits,
+};
+
+/** Number of tracked power units. */
+constexpr std::size_t kNumPowerUnits =
+    static_cast<std::size_t>(PowerUnit::NumUnits);
+
+/** Wattch conditional clock-gating styles. */
+enum class ClockGating
+{
+    None,        ///< cc0: every structure always burns peak power
+    AllOrNothing,///< cc1: full peak when used at all, zero when idle
+    Linear,      ///< cc2: power scales with port utilization, zero idle
+    LinearIdle,  ///< cc3: linear scaling with a non-zero idle floor
+};
+
+/** Peak-power budget and gating parameters. */
+struct PowerModelConfig
+{
+    /** Peak power per unit in watts (index by PowerUnit). */
+    std::array<Watt, kNumPowerUnits> peak{
+        5.0,  // Fetch
+        2.5,  // Bpred
+        6.0,  // Decode
+        9.0,  // Window
+        7.0,  // RegFile
+        8.0,  // IntAlu (all units combined)
+        3.0,  // IntMult
+        8.0,  // FpAlu (all units combined)
+        5.0,  // FpMult
+        4.0,  // Lsq
+        9.0,  // DCache
+        14.0, // L2
+        15.0, // Clock
+    };
+
+    /** Always-on leakage power in watts. */
+    Watt leakage = 8.0;
+
+    /** Idle floor fraction for the LinearIdle (cc3) style. */
+    double idleFraction = 0.10;
+
+    /** Fraction of clock power that cannot be gated. */
+    double clockUngatedFraction = 0.30;
+
+    /** Gating style (paper-era Wattch default is cc3). */
+    ClockGating gating = ClockGating::LinearIdle;
+
+    /**
+     * Standard deviation (amperes) of the data-dependent switching
+     * noise added to the per-cycle current. Activity counts alone
+     * quantize the current to a few discrete levels; real current
+     * varies continuously with operand values and toggled bit counts.
+     */
+    Amp currentNoiseSigma = 3.0;
+
+    /**
+     * Stages over which a cycle's dynamic power is spread (the paper:
+     * "we updated Wattch to spread the power usage of pipelined
+     * structures over multiple stages"). 1 charges everything in the
+     * access cycle; 2-3 models deeply pipelined structures whose
+     * switching extends over following cycles.
+     */
+    std::size_t spreadStages = 2;
+};
+
+/** Per-cycle activity counts reported by the pipeline. */
+struct ActivitySample
+{
+    std::size_t fetched = 0;        ///< instructions fetched
+    std::size_t bpredLookups = 0;   ///< predictor lookups
+    std::size_t decoded = 0;        ///< instructions decoded/renamed
+    std::size_t dispatched = 0;     ///< instructions entering the RUU
+    std::size_t issuedIntAlu = 0;   ///< ops issued to integer ALUs
+    std::size_t issuedIntMult = 0;  ///< ops issued to int mult/div
+    std::size_t issuedFpAlu = 0;    ///< ops issued to FP ALUs
+    std::size_t issuedFpMult = 0;   ///< ops issued to FP mult/div
+    std::size_t regReads = 0;       ///< register file reads
+    std::size_t regWrites = 0;      ///< register file writes
+    std::size_t lsqOps = 0;         ///< LSQ insertions/searches
+    std::size_t dcacheAccesses = 0; ///< L1D accesses
+    std::size_t l2Accesses = 0;     ///< L2 accesses (from either L1)
+    std::size_t committed = 0;      ///< instructions committed
+    std::size_t windowOccupancy = 0;///< RUU entries valid this cycle
+};
+
+/** The activity-to-power mapping. */
+class PowerModel
+{
+  public:
+    /** Bind the budget to the machine geometry (port counts). */
+    PowerModel(const PowerModelConfig &power, const ProcessorConfig &proc);
+
+    /** Total power for one cycle's activity. */
+    Watt cyclePower(const ActivitySample &activity) const;
+
+    /** Per-unit power breakdown for one cycle (plus leakage). */
+    std::array<Watt, kNumPowerUnits>
+    unitPower(const ActivitySample &activity) const;
+
+    /** Per-cycle current: cyclePower / Vdd. */
+    Amp cycleCurrent(const ActivitySample &activity) const;
+
+    /** Sum of all peaks plus leakage: the maximum possible draw. */
+    Watt peakPower() const;
+
+    /** Minimum possible draw (everything idle). */
+    Watt idlePower() const;
+
+    /** The configuration in use. */
+    const PowerModelConfig &config() const { return config_; }
+
+  private:
+    PowerModelConfig config_;
+    ProcessorConfig proc_;
+    Volt vdd_;
+
+    /** Gated power of one unit given utilization in [0, 1]. */
+    Watt gated(PowerUnit unit, double utilization) const;
+};
+
+/** Human-readable unit name. */
+const char *powerUnitName(PowerUnit unit);
+
+} // namespace didt
+
+#endif // DIDT_SIM_POWER_MODEL_HH

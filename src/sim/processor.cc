@@ -1,0 +1,523 @@
+#include "sim/processor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+Processor::Processor(const ProcessorConfig &config,
+                     const PowerModelConfig &power_config,
+                     InstructionSource &source)
+    : config_(config),
+      power_(power_config, config),
+      source_(source),
+      bpred_(config),
+      l2_(config.l2),
+      icache_(config.l1i, l2_, config.memoryLatency),
+      dcache_(config.l1d, l2_, config.memoryLatency),
+      fus_(config),
+      seqRing_(kSeqRingSize),
+      missRetireRing_(1024, 0)
+{
+    if (config_.memoryLatency + config_.l2.latency + config_.l1d.latency +
+            8 >=
+        missRetireRing_.size())
+        didt_fatal("memory latency too large for the MSHR retire ring");
+    if (config_.ruuSize == 0 || config_.lsqSize == 0)
+        didt_fatal("window sizes must be positive");
+    if (config_.ruuSize + config_.frontEndDepth * config_.fetchWidth >=
+        kSeqRingSize)
+        didt_fatal("RUU too large for the dependency ring");
+}
+
+Cycle
+Processor::depReadyCycle(std::uint64_t producer_seq) const
+{
+    const SeqSlot &slot = seqRing_[producer_seq % kSeqRingSize];
+    if (slot.seq != producer_seq)
+        return 0; // overwritten: the producer is long since done
+    return slot.ready;
+}
+
+bool
+Processor::depReady(const WindowEntry &entry) const
+{
+    auto check = [&](std::uint32_t dist) {
+        if (dist == 0)
+            return true;
+        if (dist > entry.seq)
+            return true; // depends on pre-trace state
+        const Cycle ready = depReadyCycle(entry.seq - dist);
+        return ready != kUnknownReady && ready <= now_;
+    };
+    return check(entry.inst.dep1) && check(entry.inst.dep2);
+}
+
+void
+Processor::doCommit()
+{
+    std::size_t committed = 0;
+    while (!window_.empty() && committed < config_.commitWidth) {
+        WindowEntry &head = window_.front();
+        if (!head.complete || head.completeCycle > now_)
+            break;
+        if (head.inLsq) {
+            if (lsqOccupancy_ == 0)
+                didt_panic("LSQ underflow at commit");
+            --lsqOccupancy_;
+        }
+        window_.pop_front();
+        ++committed;
+        ++stats_.committed;
+    }
+    lastActivity_.committed = committed;
+}
+
+void
+Processor::doComplete()
+{
+    // Mark instructions whose execution finishes this cycle and charge
+    // their writeback register-file traffic.
+    std::size_t writes = 0;
+    for (auto &entry : window_) {
+        if (entry.issued && !entry.complete &&
+            entry.completeCycle <= now_) {
+            entry.complete = true;
+            if (entry.inst.op != OpClass::Store &&
+                entry.inst.op != OpClass::Branch &&
+                entry.inst.op != OpClass::Nop)
+                ++writes;
+        }
+    }
+    lastActivity_.regWrites += writes;
+}
+
+void
+Processor::doIssue()
+{
+    if (stallIssue_) {
+        ++stats_.issueStallCycles;
+    } else {
+        std::size_t issued = 0;
+        const std::size_t issue_width = config_.decodeWidth + 2;
+        for (auto &entry : window_) {
+            if (issued >= issue_width)
+                break;
+            if (entry.issued || !depReady(entry))
+                continue;
+
+            const OpClass op = entry.inst.op;
+            const FuClass cls = fuClassFor(op);
+            const std::size_t exec_lat = executeLatency(config_, op);
+            const Cycle busy = isUnpipelined(op) ? exec_lat : 1;
+            if (!fus_.tryIssue(cls, now_, busy))
+                continue;
+
+            Cycle total_lat = exec_lat;
+            if (op == OpClass::Load) {
+                // MSHR limit: a load that would miss the L1 cannot
+                // issue while all miss registers are busy.
+                if (outstandingMisses_ >= config_.mshrCount &&
+                    !dcache_.l1().probe(entry.inst.address)) {
+                    fus_.undoIssue(cls, now_);
+                    continue;
+                }
+                const MemAccessResult res =
+                    dcache_.access(entry.inst.address);
+                total_lat += res.latency;
+                ++stats_.l1dAccesses;
+                if (res.level != MemLevel::L1) {
+                    ++stats_.l1dMisses;
+                    ++lastActivity_.l2Accesses;
+                    ++outstandingMisses_;
+                    ++missRetireRing_[(now_ + total_lat) %
+                                      missRetireRing_.size()];
+                }
+                ++lastActivity_.dcacheAccesses;
+                ++lastActivity_.lsqOps;
+            } else if (op == OpClass::Store) {
+                // Stores write the cache at issue (simplified
+                // write-allocate; store completion does not gate
+                // dependents through memory).
+                const MemAccessResult res =
+                    dcache_.access(entry.inst.address);
+                ++stats_.l1dAccesses;
+                if (res.level != MemLevel::L1) {
+                    ++stats_.l1dMisses;
+                    ++lastActivity_.l2Accesses;
+                }
+                ++lastActivity_.dcacheAccesses;
+                ++lastActivity_.lsqOps;
+            }
+
+            entry.issued = true;
+            entry.completeCycle = now_ + total_lat;
+            seqRing_[entry.seq % kSeqRingSize].ready = entry.completeCycle;
+            ++issued;
+            ++stats_.issued;
+            lastActivity_.regReads += 2;
+
+            switch (cls) {
+              case FuClass::IntAlu:
+                ++lastActivity_.issuedIntAlu;
+                break;
+              case FuClass::IntMultDiv:
+                ++lastActivity_.issuedIntMult;
+                break;
+              case FuClass::FpAlu:
+                ++lastActivity_.issuedFpAlu;
+                break;
+              case FuClass::FpMultDiv:
+                ++lastActivity_.issuedFpMult;
+                break;
+              case FuClass::MemPort:
+                break;
+            }
+
+            // A resolving mispredicted branch unblocks fetch after the
+            // redirect penalty (minus the front-end refill already
+            // modeled by the dispatch-ready delay).
+            if (fetchBlockedOnBranch_ && entry.seq == blockingBranchSeq_) {
+                const std::size_t refill =
+                    config_.branchPenalty > config_.frontEndDepth
+                        ? config_.branchPenalty - config_.frontEndDepth
+                        : 0;
+                fetchBlockedOnBranch_ = false;
+                fetchResumeCycle_ =
+                    std::max(fetchResumeCycle_, entry.completeCycle + refill);
+                branchRecoveryUntil_ = fetchResumeCycle_;
+            }
+        }
+    }
+
+    // dI/dt high actuation: issue no-ops to the still-idle units to pull
+    // current up. No architectural effect; pure activity.
+    if (injectNoops_) {
+        auto fill = [&](FuClass cls, std::size_t &counter) {
+            const std::size_t idle =
+                fus_.unitCount(cls) - fus_.busyCount(cls, now_);
+            counter += idle;
+            stats_.noopsInjected += idle;
+        };
+        fill(FuClass::IntAlu, lastActivity_.issuedIntAlu);
+        fill(FuClass::FpAlu, lastActivity_.issuedFpAlu);
+        fill(FuClass::IntMultDiv, lastActivity_.issuedIntMult);
+        fill(FuClass::FpMultDiv, lastActivity_.issuedFpMult);
+    }
+}
+
+void
+Processor::doDispatch()
+{
+    std::size_t dispatched = 0;
+    while (!frontEnd_.empty() && dispatched < config_.decodeWidth) {
+        FrontEndEntry &fe = frontEnd_.front();
+        if (fe.dispatchReady > now_)
+            break;
+        if (window_.size() >= config_.ruuSize)
+            break;
+        const bool is_mem = isMemOp(fe.inst.op);
+        if (is_mem && lsqOccupancy_ >= config_.lsqSize)
+            break;
+
+        WindowEntry entry;
+        entry.inst = fe.inst;
+        entry.seq = fe.seq;
+        entry.inLsq = is_mem;
+        if (is_mem)
+            ++lsqOccupancy_;
+
+        seqRing_[entry.seq % kSeqRingSize] =
+            SeqSlot{entry.seq, kUnknownReady};
+        window_.push_back(entry);
+        frontEnd_.pop_front();
+        ++dispatched;
+        ++stats_.dispatched;
+    }
+    lastActivity_.dispatched = dispatched;
+    lastActivity_.decoded = dispatched;
+}
+
+void
+Processor::doFetch()
+{
+    if (sourceExhausted_)
+        return;
+    if (fetchBlockedOnBranch_ || branchRecoveryUntil_ > now_) {
+        // Wrong-path execution: while recovering from a misprediction
+        // the front end keeps fetching and decoding down the wrong
+        // path, so its power does not drop to idle (only the useful
+        // work does). Charged as activity, discarded architecturally.
+        lastActivity_.fetched = config_.fetchWidth;
+        lastActivity_.decoded = config_.decodeWidth;
+        ++lastActivity_.bpredLookups;
+        return;
+    }
+    if (fetchResumeCycle_ > now_)
+        return;
+    // Bound the front-end queue to its pipeline capacity plus two
+    // fetch groups of slack so balanced fill/drain does not stutter.
+    if (frontEnd_.size() >=
+        (config_.frontEndDepth + 2) * config_.fetchWidth)
+        return;
+
+    std::size_t fetched = 0;
+    while (fetched < config_.fetchWidth) {
+        Instruction inst;
+        if (!source_.next(inst)) {
+            sourceExhausted_ = true;
+            break;
+        }
+
+        // Instruction-cache access for the first instruction of each
+        // fetch block; a miss stalls fetch for the fill latency.
+        if (fetched == 0) {
+            const MemAccessResult res = icache_.access(inst.pc);
+            if (res.level != MemLevel::L1) {
+                ++stats_.l1iMisses;
+                ++lastActivity_.l2Accesses;
+                fetchResumeCycle_ = now_ + res.latency;
+            }
+        }
+
+        FrontEndEntry fe;
+        fe.inst = inst;
+        fe.seq = nextSeq_++;
+        fe.dispatchReady = now_ + config_.frontEndDepth;
+        frontEnd_.push_back(fe);
+        ++fetched;
+        ++stats_.fetched;
+
+        if (inst.op == OpClass::Branch) {
+            ++stats_.branches;
+            ++lastActivity_.bpredLookups;
+            const BranchPrediction pred = bpred_.predictAndTrain(inst);
+            if (pred.mispredict) {
+                ++stats_.mispredicts;
+                fetchBlockedOnBranch_ = true;
+                blockingBranchSeq_ = fe.seq;
+                break;
+            }
+            if (inst.taken)
+                break; // taken branches end the fetch block
+        }
+    }
+    lastActivity_.fetched = fetched;
+}
+
+bool
+Processor::step()
+{
+    lastActivity_ = ActivitySample{};
+    lastActivity_.windowOccupancy = window_.size();
+
+    // Retire MSHRs whose misses complete this cycle.
+    auto &retiring = missRetireRing_[now_ % missRetireRing_.size()];
+    if (retiring > 0) {
+        outstandingMisses_ -= retiring;
+        retiring = 0;
+    }
+
+    // Stage order models same-cycle structural reuse conservatively:
+    // commit frees slots for next cycle's dispatch, not this one's.
+    doCommit();
+    doComplete();
+    doIssue();
+    doDispatch();
+    doFetch();
+
+    // Wrong-path execution: while recovering from a misprediction the
+    // machine keeps issuing and executing down the wrong path at close
+    // to its recent pace, so current does not collapse to idle. Charge
+    // synthetic activity tracking the pre-recovery moving average.
+    const bool recovering =
+        fetchBlockedOnBranch_ || branchRecoveryUntil_ > now_;
+    if (recovering) {
+        auto boost = [](std::size_t &field, double ema) {
+            const auto target = static_cast<std::size_t>(ema + 0.5);
+            field = std::max(field, target);
+        };
+        boost(lastActivity_.issuedIntAlu, emaIntAlu_);
+        boost(lastActivity_.issuedFpAlu, emaFpAlu_);
+        boost(lastActivity_.issuedIntMult, emaIntMult_);
+        boost(lastActivity_.issuedFpMult, emaFpMult_);
+        boost(lastActivity_.lsqOps, emaLsq_);
+        boost(lastActivity_.dcacheAccesses, emaDcache_);
+        boost(lastActivity_.regReads, emaRegReads_);
+        boost(lastActivity_.regWrites, emaRegWrites_);
+        boost(lastActivity_.dispatched, emaDispatch_);
+        boost(lastActivity_.decoded, emaDispatch_);
+    } else {
+        constexpr double alpha = 1.0 / 32.0;
+        auto track = [](double &ema, std::size_t value) {
+            ema += alpha * (static_cast<double>(value) - ema);
+        };
+        track(emaIntAlu_, lastActivity_.issuedIntAlu);
+        track(emaFpAlu_, lastActivity_.issuedFpAlu);
+        track(emaIntMult_, lastActivity_.issuedIntMult);
+        track(emaFpMult_, lastActivity_.issuedFpMult);
+        track(emaLsq_, lastActivity_.lsqOps);
+        track(emaDcache_, lastActivity_.dcacheAccesses);
+        track(emaRegReads_, lastActivity_.regReads);
+        track(emaRegWrites_, lastActivity_.regWrites);
+        track(emaDispatch_, lastActivity_.dispatched);
+    }
+
+    const std::uint64_t l2_misses_now = l2_.stats().misses;
+    lastCycleL2Miss_ = l2_misses_now != prevL2Misses_;
+    prevL2Misses_ = l2_misses_now;
+    stats_.l2Accesses = l2_.stats().accesses;
+    stats_.l2Misses = l2_misses_now;
+
+    Watt watts = power_.cyclePower(lastActivity_);
+
+    // Pipelined structures keep switching for a few cycles after the
+    // access that started them: spread this cycle's dynamic power over
+    // the next spreadStages cycles (paper Section 3.2).
+    const std::size_t spread = power_.config().spreadStages;
+    if (spread > 1) {
+        if (spreadRing_.size() != spread)
+            spreadRing_.assign(spread, 0.0);
+        const Watt idle = power_.idlePower();
+        const Watt dynamic = std::max(0.0, watts - idle);
+        for (std::size_t s = 0; s < spread; ++s)
+            spreadRing_[(spreadHead_ + s) % spread] +=
+                dynamic / static_cast<double>(spread);
+        watts = idle + spreadRing_[spreadHead_];
+        spreadRing_[spreadHead_] = 0.0;
+        spreadHead_ = (spreadHead_ + 1) % spread;
+    }
+
+    // Data-dependent switching noise: operand values modulate the
+    // toggled capacitance, so real current is not quantized to the
+    // handful of levels the activity counts alone produce. The noise
+    // scales with switching activity — an idle, stalled machine draws
+    // a nearly deterministic current (which is why the paper's
+    // low-variance memory-stall windows classify as non-Gaussian).
+    const double sigma = power_.config().currentNoiseSigma;
+    if (sigma > 0.0) {
+        const Watt idle = power_.idlePower();
+        const Watt peak = power_.peakPower();
+        const double activity = std::clamp(
+            (watts - idle) / std::max(1.0, peak - idle), 0.0, 1.0);
+        // A stalled machine barely switches: below a small activity
+        // floor the current is effectively deterministic, which is
+        // what makes memory-bound stall windows non-Gaussian
+        // (degenerate) in the paper's Figure 12.
+        const double sigma_eff =
+            activity < 0.15 ? 0.0 : sigma * std::sqrt(activity);
+        watts = std::max(idle * 0.9,
+                         watts + noiseRng_.normal(0.0, sigma_eff) *
+                                     config_.nominalVoltage);
+    }
+    lastCurrent_ = watts / config_.nominalVoltage;
+    stats_.totalEnergyJ += watts / config_.clockHz;
+
+    ++now_;
+    ++stats_.cycles;
+
+    const bool drained =
+        sourceExhausted_ && window_.empty() && frontEnd_.empty();
+    return !drained;
+}
+
+void
+Processor::warmup(InstructionSource &warm_source,
+                  std::uint64_t instructions)
+{
+    if (now_ != 0)
+        didt_panic("warmup() must run before the timed simulation");
+    Instruction inst;
+    for (std::uint64_t i = 0; i < instructions; ++i) {
+        if (!warm_source.next(inst))
+            break;
+        icache_.access(inst.pc);
+        if (isMemOp(inst.op))
+            dcache_.access(inst.address);
+        if (inst.op == OpClass::Branch)
+            bpred_.predictAndTrain(inst);
+    }
+    // The warm-up must not pollute the measured statistics: clear
+    // counters while keeping trained/loaded state.
+    bpred_.clearStats();
+    l2_.clearStats();
+    icache_.clearL1Stats();
+    dcache_.clearL1Stats();
+    prevL2Misses_ = 0;
+}
+
+void
+Processor::warmupFootprint(std::span<const std::uint64_t> data_lines,
+                           std::span<const std::uint64_t> code_lines)
+{
+    if (now_ != 0)
+        didt_panic("warmupFootprint() must run before the timed "
+                   "simulation");
+    for (std::uint64_t addr : data_lines)
+        dcache_.access(addr);
+    for (std::uint64_t addr : code_lines)
+        icache_.access(addr);
+    l2_.clearStats();
+    icache_.clearL1Stats();
+    dcache_.clearL1Stats();
+    prevL2Misses_ = 0;
+}
+
+void
+Processor::dumpStats(std::ostream &os) const
+{
+    auto line = [&os](const char *name, double value) {
+        os << std::left << std::setw(28) << name << value << '\n';
+    };
+    line("sim.cycles", static_cast<double>(stats_.cycles));
+    line("sim.fetched", static_cast<double>(stats_.fetched));
+    line("sim.dispatched", static_cast<double>(stats_.dispatched));
+    line("sim.issued", static_cast<double>(stats_.issued));
+    line("sim.committed", static_cast<double>(stats_.committed));
+    line("sim.ipc", stats_.ipc());
+    line("bpred.lookups", static_cast<double>(bpred_.stats().lookups));
+    line("bpred.mispredictRate", bpred_.stats().mispredictRate());
+    line("bpred.rasUnderflows",
+         static_cast<double>(bpred_.stats().rasUnderflows));
+    line("cache.l1d.accesses", static_cast<double>(stats_.l1dAccesses));
+    line("cache.l1d.missRate",
+         stats_.l1dAccesses
+             ? static_cast<double>(stats_.l1dMisses) /
+                   static_cast<double>(stats_.l1dAccesses)
+             : 0.0);
+    line("cache.l1i.misses", static_cast<double>(stats_.l1iMisses));
+    line("cache.l2.accesses", static_cast<double>(stats_.l2Accesses));
+    line("cache.l2.misses", static_cast<double>(stats_.l2Misses));
+    line("cache.l2.mpki", stats_.l2Mpki());
+    line("power.energyJ", stats_.totalEnergyJ);
+    line("power.meanWatts",
+         stats_.cycles ? stats_.totalEnergyJ /
+                             (static_cast<double>(stats_.cycles) /
+                              config_.clockHz)
+                       : 0.0);
+    line("didt.noopsInjected",
+         static_cast<double>(stats_.noopsInjected));
+    line("didt.issueStallCycles",
+         static_cast<double>(stats_.issueStallCycles));
+}
+
+Cycle
+Processor::collectTrace(CurrentTrace &trace, Cycle max_cycles)
+{
+    Cycle executed = 0;
+    while (executed < max_cycles) {
+        const bool more = step();
+        trace.push_back(lastCurrent_);
+        ++executed;
+        if (!more)
+            break;
+    }
+    return executed;
+}
+
+} // namespace didt

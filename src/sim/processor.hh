@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Cycle-level out-of-order processor model (paper Section 3.2).
+ *
+ * A trace-driven RUU-style machine in the spirit of SimpleScalar's
+ * sim-outorder, instrumented with a Wattch-style power model: fetch
+ * (with L1I and branch prediction), a multi-stage front end, dispatch
+ * into an 80-entry RUU + 40-entry LSQ, dependency-driven issue to the
+ * Table-1 functional-unit mix, completion, and in-order commit.
+ *
+ * Branch mispredictions block fetch until the branch resolves and then
+ * charge the redirect penalty; cache misses propagate through the
+ * two-level hierarchy. Each cycle produces an activity sample and a
+ * current draw, forming the waveform all dI/dt analyses consume.
+ *
+ * The two dI/dt actuation hooks the paper's controller uses are
+ * exposed directly: stallIssue() suppresses instruction issue to cut
+ * current, injectNoops() fills idle functional units with no-ops to
+ * raise it.
+ */
+
+#ifndef DIDT_SIM_PROCESSOR_HH
+#define DIDT_SIM_PROCESSOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/fu_pool.hh"
+#include "sim/instruction.hh"
+#include "sim/power_model.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Aggregate execution statistics. */
+struct ProcessorStats
+{
+    Cycle cycles = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t noopsInjected = 0;
+    std::uint64_t issueStallCycles = 0;
+    double totalEnergyJ = 0.0; ///< integral of power over time
+
+    /** Committed instructions per cycle. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committed) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** L2 misses per thousand committed instructions. */
+    double l2Mpki() const
+    {
+        return committed ? 1000.0 * static_cast<double>(l2Misses) /
+                               static_cast<double>(committed)
+                         : 0.0;
+    }
+};
+
+/** The cycle-level processor model. */
+class Processor
+{
+  public:
+    /**
+     * @param config machine parameters (Table 1 defaults)
+     * @param power_config power-model budget
+     * @param source dynamic instruction stream (must outlive this)
+     */
+    Processor(const ProcessorConfig &config,
+              const PowerModelConfig &power_config,
+              InstructionSource &source);
+
+    /**
+     * Advance one cycle.
+     * @retval true the machine did or may still do work
+     * @retval false the source is exhausted and the pipeline drained
+     */
+    bool step();
+
+    /** Suppress instruction issue while @p stall (dI/dt low actuation). */
+    void setStallIssue(bool stall) { stallIssue_ = stall; }
+
+    /** Fill idle FUs with no-ops while @p inject (dI/dt high actuation). */
+    void setInjectNoops(bool inject) { injectNoops_ = inject; }
+
+    /** Current drawn during the most recent cycle. */
+    Amp lastCurrent() const { return lastCurrent_; }
+
+    /** Activity sample of the most recent cycle. */
+    const ActivitySample &lastActivity() const { return lastActivity_; }
+
+    /** True when an L2 miss (to memory) completed in the last cycle. */
+    bool lastCycleHadL2Miss() const { return lastCycleL2Miss_; }
+
+    /** Aggregate statistics. */
+    const ProcessorStats &stats() const { return stats_; }
+
+    /** Write a gem5-style aligned dump of all counters. */
+    void dumpStats(std::ostream &os) const;
+
+    /** Branch predictor statistics. */
+    const BPredStats &bpredStats() const { return bpred_.stats(); }
+
+    /** The machine configuration. */
+    const ProcessorConfig &config() const { return config_; }
+
+    /** The power model in use. */
+    const PowerModel &powerModel() const { return power_; }
+
+    /**
+     * Run until @p max_cycles elapse or the source is exhausted,
+     * recording per-cycle current into @p trace (appended).
+     * @return number of cycles executed
+     */
+    Cycle collectTrace(CurrentTrace &trace, Cycle max_cycles);
+
+    /**
+     * Architectural warm-up: stream @p instructions through the
+     * caches and branch predictor without timing, then clear the
+     * warm-up's statistics. Models SimPoint-style warm simulation
+     * starts; call before the timed run.
+     */
+    void warmup(InstructionSource &warm_source, std::uint64_t instructions);
+
+    /**
+     * Touch explicit data/code line addresses through the hierarchy
+     * before the timed run (full-footprint warm start). Combine with
+     * warmup() for predictor training.
+     */
+    void warmupFootprint(std::span<const std::uint64_t> data_lines,
+                         std::span<const std::uint64_t> code_lines);
+
+  private:
+    /** An instruction in flight inside the window. */
+    struct WindowEntry
+    {
+        Instruction inst;
+        std::uint64_t seq = 0;
+        bool issued = false;
+        bool complete = false;
+        Cycle completeCycle = 0;
+        bool inLsq = false;
+    };
+
+    /** A fetched instruction progressing through the front end. */
+    struct FrontEndEntry
+    {
+        Instruction inst;
+        std::uint64_t seq = 0;
+        Cycle dispatchReady = 0; ///< earliest dispatch cycle
+    };
+
+    static constexpr std::uint64_t kUnknownReady = ~std::uint64_t(0);
+    static constexpr std::size_t kSeqRingSize = 1024;
+
+    struct SeqSlot
+    {
+        std::uint64_t seq = ~std::uint64_t(0);
+        Cycle ready = 0;
+    };
+
+    void doCommit();
+    void doComplete();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+    bool depReady(const WindowEntry &entry) const;
+    Cycle depReadyCycle(std::uint64_t producer_seq) const;
+
+    ProcessorConfig config_;
+    PowerModel power_;
+    InstructionSource &source_;
+
+    BranchPredictor bpred_;
+    Cache l2_;
+    MemoryHierarchy icache_;
+    MemoryHierarchy dcache_;
+    FuPool fus_;
+
+    std::deque<WindowEntry> window_;
+    std::deque<FrontEndEntry> frontEnd_;
+    std::size_t lsqOccupancy_ = 0;
+
+    std::vector<SeqSlot> seqRing_;
+    std::uint64_t nextSeq_ = 0;
+
+    /** Outstanding-miss (MSHR) tracking: count per completion cycle. */
+    std::vector<std::uint16_t> missRetireRing_;
+    std::size_t outstandingMisses_ = 0;
+
+    Cycle now_ = 0;
+    bool sourceExhausted_ = false;
+    Cycle fetchResumeCycle_ = 0;       ///< fetch blocked until this cycle
+    Cycle branchRecoveryUntil_ = 0;    ///< wrong-path fetch until here
+    std::uint64_t blockingBranchSeq_ = ~std::uint64_t(0);
+    bool fetchBlockedOnBranch_ = false;
+
+    bool stallIssue_ = false;
+    bool injectNoops_ = false;
+
+    // Moving averages of issue-side activity, used to charge
+    // wrong-path execution power during misprediction recovery.
+    double emaIntAlu_ = 0.0;
+    double emaFpAlu_ = 0.0;
+    double emaIntMult_ = 0.0;
+    double emaFpMult_ = 0.0;
+    double emaLsq_ = 0.0;
+    double emaDcache_ = 0.0;
+    double emaRegReads_ = 0.0;
+    double emaRegWrites_ = 0.0;
+    double emaDispatch_ = 0.0;
+
+    ActivitySample lastActivity_{};
+    Amp lastCurrent_ = 0.0;
+    Rng noiseRng_{0x51CA7E5EEDULL}; ///< data-dependent switching noise
+    std::vector<Watt> spreadRing_;  ///< pipelined-power spreading FIFO
+    std::size_t spreadHead_ = 0;
+    bool lastCycleL2Miss_ = false;
+    std::uint64_t prevL2Misses_ = 0;
+
+    ProcessorStats stats_;
+};
+
+} // namespace didt
+
+#endif // DIDT_SIM_PROCESSOR_HH

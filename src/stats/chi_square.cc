@@ -1,0 +1,173 @@
+#include "stats/chi_square.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/gaussian.hh"
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/** Lower incomplete gamma by series expansion (valid for x < a + 1). */
+double
+gammaPSeries(double a, double x)
+{
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if (std::fabs(term) < std::fabs(sum) * 1e-15)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Upper incomplete gamma by continued fraction (valid for x >= a + 1). */
+double
+gammaQContinuedFraction(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 500; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double delta = d * c;
+        h *= delta;
+        if (std::fabs(delta - 1.0) < 1e-15)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // namespace
+
+double
+regularizedGammaP(double a, double x)
+{
+    if (a <= 0.0)
+        didt_panic("regularizedGammaP requires a > 0, got ", a);
+    if (x < 0.0)
+        didt_panic("regularizedGammaP requires x >= 0, got ", x);
+    if (x == 0.0)
+        return 0.0;
+    if (x < a + 1.0)
+        return gammaPSeries(a, x);
+    return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double
+chiSquareCdf(double x, std::size_t dof)
+{
+    if (dof == 0)
+        didt_panic("chiSquareCdf requires dof >= 1");
+    if (x <= 0.0)
+        return 0.0;
+    return regularizedGammaP(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+double
+chiSquareCriticalValue(std::size_t dof, double alpha)
+{
+    if (!(alpha > 0.0 && alpha < 1.0))
+        didt_panic("alpha must be in (0,1), got ", alpha);
+    const double target = 1.0 - alpha;
+    double lo = 0.0;
+    double hi = static_cast<double>(dof);
+    while (chiSquareCdf(hi, dof) < target)
+        hi *= 2.0;
+    for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (chiSquareCdf(mid, dof) < target)
+            lo = mid;
+        else
+            hi = mid;
+        if (hi - lo < 1e-10 * (1.0 + hi))
+            break;
+    }
+    return 0.5 * (lo + hi);
+}
+
+NormalityResult
+chiSquareNormalityTest(std::span<const double> xs, double alpha)
+{
+    NormalityResult result{};
+    result.accepted = false;
+    result.degenerate = false;
+
+    if (xs.size() < 16) {
+        // Too few samples for a meaningful bin layout.
+        result.degenerate = true;
+        return result;
+    }
+
+    RunningStats stats;
+    for (double x : xs)
+        stats.push(x);
+
+    const double sd = std::sqrt(stats.sampleVariance());
+    // Near-constant windows cannot be normal in any useful sense;
+    // the paper treats these low-variance windows as non-Gaussian.
+    if (sd < 1e-9 * (1.0 + std::fabs(stats.mean()))) {
+        result.degenerate = true;
+        return result;
+    }
+
+    // Equal-probability bins under the fitted normal. Expected counts of
+    // n/k per bin; choose k so expected counts stay >= 5.
+    const std::size_t n = xs.size();
+    std::size_t k = std::max<std::size_t>(6, n / 8);
+    k = std::min<std::size_t>(k, n / 5);
+    if (k < 4) {
+        result.degenerate = true;
+        return result;
+    }
+
+    Gaussian fitted(stats.mean(), sd);
+    std::vector<double> edges(k - 1);
+    for (std::size_t i = 1; i < k; ++i)
+        edges[i - 1] =
+            fitted.quantile(static_cast<double>(i) / static_cast<double>(k));
+
+    std::vector<std::size_t> observed(k, 0);
+    for (double x : xs) {
+        const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+        ++observed[static_cast<std::size_t>(it - edges.begin())];
+    }
+
+    const double expected =
+        static_cast<double>(n) / static_cast<double>(k);
+    double stat = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const double d = static_cast<double>(observed[i]) - expected;
+        stat += d * d / expected;
+    }
+
+    // Two parameters (mean, variance) were fitted from the sample.
+    const std::size_t dof = k - 3;
+    result.statistic = stat;
+    result.dof = dof;
+    result.criticalValue = chiSquareCriticalValue(dof, alpha);
+    result.accepted = stat < result.criticalValue;
+    return result;
+}
+
+} // namespace didt

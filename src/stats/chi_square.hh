@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Chi-square distribution and goodness-of-fit test for normality.
+ *
+ * Paper Section 4.1: execution windows are classified as Gaussian using
+ * the chi-square goodness-of-fit test at 95% significance against a
+ * normal distribution with the sample mean and variance.
+ */
+
+#ifndef DIDT_STATS_CHI_SQUARE_HH
+#define DIDT_STATS_CHI_SQUARE_HH
+
+#include <cstddef>
+#include <span>
+
+namespace didt
+{
+
+/** Regularized lower incomplete gamma function P(a, x). */
+double regularizedGammaP(double a, double x);
+
+/** Chi-square CDF with @p dof degrees of freedom. */
+double chiSquareCdf(double x, std::size_t dof);
+
+/**
+ * Critical value of the chi-square distribution: the x such that
+ * CDF(x; dof) = 1 - alpha. Found by bisection on the CDF.
+ */
+double chiSquareCriticalValue(std::size_t dof, double alpha);
+
+/** Result of a goodness-of-fit normality test. */
+struct NormalityResult
+{
+    bool accepted;        ///< true if the Gaussian hypothesis is not rejected
+    double statistic;     ///< chi-square statistic
+    double criticalValue; ///< rejection threshold at the chosen alpha
+    std::size_t dof;      ///< degrees of freedom used
+    bool degenerate;      ///< sample variance too small to test (rejected)
+};
+
+/**
+ * Chi-square goodness-of-fit test for normality.
+ *
+ * Bins the sample into equal-probability bins under the fitted
+ * N(mean, variance) hypothesis; degrees of freedom are bins - 3
+ * (two parameters estimated from the data). Windows with negligible
+ * variance are reported as degenerate and not accepted, matching the
+ * paper's treatment of near-constant windows as non-Gaussian.
+ *
+ * @param xs samples (window of per-cycle current values)
+ * @param alpha significance level (paper uses 0.05)
+ */
+NormalityResult chiSquareNormalityTest(std::span<const double> xs,
+                                       double alpha = 0.05);
+
+} // namespace didt
+
+#endif // DIDT_STATS_CHI_SQUARE_HH

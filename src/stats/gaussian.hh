@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gaussian (normal) distribution functions.
+ *
+ * The offline estimator (paper Section 4.1 step 5) models per-window
+ * voltage as N(mean, variance) and queries tail probabilities like
+ * P(V < 0.97 V).
+ */
+
+#ifndef DIDT_STATS_GAUSSIAN_HH
+#define DIDT_STATS_GAUSSIAN_HH
+
+namespace didt
+{
+
+/** A normal distribution parameterized by mean and standard deviation. */
+class Gaussian
+{
+  public:
+    /** @param mean distribution mean
+     *  @param stddev standard deviation (>= 0; 0 gives a point mass) */
+    Gaussian(double mean, double stddev);
+
+    /** Probability density at @p x. */
+    double pdf(double x) const;
+
+    /** Cumulative distribution P(X <= x). */
+    double cdf(double x) const;
+
+    /** Tail probability P(X > x). */
+    double tail(double x) const { return 1.0 - cdf(x); }
+
+    /** Quantile function (inverse CDF) for p in (0, 1). */
+    double quantile(double p) const;
+
+    /** Distribution mean. */
+    double mean() const { return mean_; }
+
+    /** Distribution standard deviation. */
+    double stddev() const { return stddev_; }
+
+  private:
+    double mean_;
+    double stddev_;
+};
+
+/** Standard normal CDF Phi(z). */
+double stdNormalCdf(double z);
+
+/** Standard normal quantile Phi^-1(p), p in (0, 1). */
+double stdNormalQuantile(double p);
+
+} // namespace didt
+
+#endif // DIDT_STATS_GAUSSIAN_HH

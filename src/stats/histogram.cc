@@ -1,0 +1,88 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi)
+{
+    if (bins == 0)
+        didt_panic("Histogram needs at least one bin");
+    if (!(hi > lo))
+        didt_panic("Histogram range is empty: [", lo, ", ", hi, ")");
+    counts_.assign(bins, 0);
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::push(double x)
+{
+    auto idx = static_cast<long long>(std::floor((x - lo_) / width_));
+    idx = std::clamp<long long>(idx, 0,
+                                static_cast<long long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::uint64_t
+Histogram::count(std::size_t i) const
+{
+    if (i >= counts_.size())
+        didt_panic("Histogram bin ", i, " out of range (", counts_.size(),
+                   " bins)");
+    return counts_[i];
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    if (i >= counts_.size())
+        didt_panic("Histogram bin ", i, " out of range");
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::fractionBelow(double threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double upper = lo_ + static_cast<double>(i + 1) * width_;
+        if (upper <= threshold) {
+            below += counts_[i];
+        } else {
+            // Partial bin: assume uniform density inside the bin.
+            const double lower = lo_ + static_cast<double>(i) * width_;
+            if (threshold > lower) {
+                const double frac = (threshold - lower) / width_;
+                below += static_cast<std::uint64_t>(
+                    frac * static_cast<double>(counts_[i]));
+            }
+            break;
+        }
+    }
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+}
+
+} // namespace didt

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-range binned histogram used for voltage/current profiles
+ * (paper Figures 10 and 11).
+ */
+
+#ifndef DIDT_STATS_HISTOGRAM_HH
+#define DIDT_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace didt
+{
+
+/**
+ * Histogram with uniformly-sized bins over [lo, hi). Samples outside the
+ * range are clamped into the first/last bin so totals are preserved
+ * (the tails matter for voltage-emergency counting).
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin
+     * @param hi upper edge of the last bin (must exceed @p lo)
+     * @param bins number of bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void push(double x);
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total number of samples pushed. */
+    std::uint64_t total() const { return total_; }
+
+    /** Raw count in bin @p i. */
+    std::uint64_t count(std::size_t i) const;
+
+    /** Fraction of samples in bin @p i (0 when empty). */
+    double fraction(std::size_t i) const;
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Width of each bin. */
+    double binWidth() const { return width_; }
+
+    /** Lower edge of the histogram range. */
+    double lo() const { return lo_; }
+
+    /** Upper edge of the histogram range. */
+    double hi() const { return hi_; }
+
+    /** Fraction of samples strictly below @p threshold. */
+    double fractionBelow(double threshold) const;
+
+    /** Reset all counts. */
+    void clear();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace didt
+
+#endif // DIDT_STATS_HISTOGRAM_HH

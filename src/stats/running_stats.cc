@@ -1,0 +1,152 @@
+#include "stats/running_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+void
+RunningStats::push(double x)
+{
+    ++n_;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::clear()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 1)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(std::span<const double> xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.push(x);
+    return s.mean();
+}
+
+double
+variance(std::span<const double> xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.push(x);
+    return s.variance();
+}
+
+double
+covariance(std::span<const double> xs, std::span<const double> ys)
+{
+    if (xs.size() != ys.size())
+        didt_panic("covariance: size mismatch ", xs.size(), " vs ",
+                   ys.size());
+    if (xs.empty())
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        acc += (xs[i] - mx) * (ys[i] - my);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+pearson(std::span<const double> xs, std::span<const double> ys)
+{
+    const double cov = covariance(xs, ys);
+    const double vx = variance(xs);
+    const double vy = variance(ys);
+    const double denom = std::sqrt(vx * vy);
+    if (denom < 1e-300)
+        return 0.0;
+    return cov / denom;
+}
+
+double
+lag1Autocorrelation(std::span<const double> xs)
+{
+    return lagAutocorrelation(xs, 1);
+}
+
+double
+lagAutocorrelation(std::span<const double> xs, std::size_t lag)
+{
+    if (lag == 0 || xs.size() < lag + 2)
+        return 0.0;
+    return pearson(xs.subspan(0, xs.size() - lag), xs.subspan(lag));
+}
+
+double
+rmsError(std::span<const double> a, std::span<const double> b)
+{
+    if (a.size() != b.size())
+        didt_panic("rmsError: size mismatch ", a.size(), " vs ", b.size());
+    if (a.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+} // namespace didt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Streaming and batch descriptive statistics.
+ */
+
+#ifndef DIDT_STATS_RUNNING_STATS_HH
+#define DIDT_STATS_RUNNING_STATS_HH
+
+#include <cstddef>
+#include <span>
+
+namespace didt
+{
+
+/**
+ * Numerically stable streaming mean/variance accumulator
+ * (Welford's algorithm), plus min/max tracking.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void clear();
+
+    /** Number of samples pushed. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (divide by n); 0 when n < 1. */
+    double variance() const;
+
+    /** Sample variance (divide by n-1); 0 when n < 2. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Batch mean of a span; 0 when empty. */
+double mean(std::span<const double> xs);
+
+/** Batch population variance of a span; 0 when size < 1. */
+double variance(std::span<const double> xs);
+
+/** Population covariance of two equal-length spans. */
+double covariance(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Pearson correlation coefficient of two equal-length spans.
+ * Returns 0 when either span has (near-)zero variance.
+ */
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/**
+ * Lag-1 autocorrelation of a series: correlation between x[i] and
+ * x[i+1]. Used to detect pulse patterns in wavelet detail coefficients.
+ */
+double lag1Autocorrelation(std::span<const double> xs);
+
+/** Autocorrelation of a series at an arbitrary @p lag (0 when the
+ *  series is shorter than lag + 2 samples). */
+double lagAutocorrelation(std::span<const double> xs, std::size_t lag);
+
+/** Root-mean-square difference of two equal-length spans. */
+double rmsError(std::span<const double> a, std::span<const double> b);
+
+} // namespace didt
+
+#endif // DIDT_STATS_RUNNING_STATS_HH

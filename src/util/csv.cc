@@ -1,0 +1,132 @@
+#include "util/csv.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        didt_panic("Table requires at least one column");
+}
+
+void
+Table::newRow()
+{
+    cells_.emplace_back();
+}
+
+void
+Table::add(const std::string &value)
+{
+    if (cells_.empty())
+        didt_panic("Table::add() before newRow()");
+    if (cells_.back().size() >= headers_.size())
+        didt_panic("Table row has more cells than headers (",
+                   headers_.size(), ")");
+    cells_.back().push_back(value);
+}
+
+void
+Table::add(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    add(os.str());
+}
+
+void
+Table::add(long long value)
+{
+    add(std::to_string(value));
+}
+
+void
+Table::printText(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : cells_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cell;
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : cells_)
+        print_row(row);
+}
+
+namespace
+{
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << csvEscape(headers_[c]);
+    os << '\n';
+    for (const auto &row : cells_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << csvEscape(row[c]);
+        os << '\n';
+    }
+}
+
+void
+Table::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        didt_fatal("cannot open ", path, " for writing");
+    printCsv(out);
+}
+
+std::string
+asciiBar(double value, double max_value, int width)
+{
+    if (max_value <= 0.0 || value <= 0.0)
+        return std::string();
+    int n = static_cast<int>(value / max_value * width + 0.5);
+    n = std::clamp(n, 0, width);
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+} // namespace didt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tabular output helpers used by the benchmark harnesses.
+ *
+ * Every figure/table bench prints both a human-readable aligned table and
+ * (optionally) machine-readable CSV, so results can be re-plotted.
+ */
+
+#ifndef DIDT_UTIL_CSV_HH
+#define DIDT_UTIL_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace didt
+{
+
+/**
+ * A simple in-memory table with named columns. Cells are strings;
+ * numeric convenience setters format with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** Construct a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return cells_.size(); }
+
+    /** Number of columns. */
+    std::size_t cols() const { return headers_.size(); }
+
+    /** Begin a new (empty) row. Subsequent add() calls fill it. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void add(const std::string &value);
+
+    /** Append a formatted double cell (fixed, @p precision digits). */
+    void add(double value, int precision = 4);
+
+    /** Append an integer cell. */
+    void add(long long value);
+
+    /** Write as aligned human-readable text. */
+    void printText(std::ostream &os) const;
+
+    /** Write as CSV (headers first). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to the named file; fatal on I/O error. */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+/**
+ * Render a simple horizontal ASCII bar scaled to @p width characters.
+ * Used by benches to sketch histogram/series shapes in terminal output.
+ */
+std::string asciiBar(double value, double max_value, int width = 40);
+
+} // namespace didt
+
+#endif // DIDT_UTIL_CSV_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting utilities.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (simulator bugs), fatal() for user-caused errors (bad configuration),
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef DIDT_UTIL_LOGGING_HH
+#define DIDT_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace didt
+{
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel
+{
+    Quiet,   ///< suppress inform() and warn()
+    Normal,  ///< print warn(), suppress inform()
+    Verbose, ///< print everything
+};
+
+/** Set the global log verbosity. Thread-unsafe; call at startup. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a heterogeneous argument pack into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace didt
+
+/**
+ * Abort with a message: something happened that should never happen
+ * regardless of what the user does (an internal bug). Calls std::abort().
+ */
+#define didt_panic(...) \
+    ::didt::detail::panicImpl(__FILE__, __LINE__, \
+                              ::didt::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit with a message: the run cannot continue due to a user error
+ * (bad configuration, invalid arguments). Calls std::exit(1).
+ */
+#define didt_fatal(...) \
+    ::didt::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::didt::detail::concat(__VA_ARGS__))
+
+/** Print a warning about questionable but survivable conditions. */
+#define didt_warn(...) \
+    ::didt::detail::warnImpl(::didt::detail::concat(__VA_ARGS__))
+
+/** Print an informational status message (Verbose level only). */
+#define didt_inform(...) \
+    ::didt::detail::informImpl(::didt::detail::concat(__VA_ARGS__))
+
+#endif // DIDT_UTIL_LOGGING_HH

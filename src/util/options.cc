@@ -1,0 +1,123 @@
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+void
+Options::declare(const std::string &name, const std::string &default_value,
+                 const std::string &help)
+{
+    decls_[name] = Decl{default_value, help};
+}
+
+void
+Options::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf("%s", usage(argv[0]).c_str());
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0)
+            didt_fatal("unexpected positional argument: ", arg);
+        arg = arg.substr(2);
+
+        std::string name;
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            auto it = decls_.find(name);
+            if (it == decls_.end())
+                didt_fatal("unknown option --", name);
+            const bool is_bool_flag =
+                it->second.defaultValue == "true" ||
+                it->second.defaultValue == "false";
+            if (is_bool_flag &&
+                (i + 1 >= argc ||
+                 std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+                value = "true";
+            } else {
+                if (i + 1 >= argc)
+                    didt_fatal("option --", name, " requires a value");
+                value = argv[++i];
+            }
+        }
+        if (decls_.find(name) == decls_.end())
+            didt_fatal("unknown option --", name);
+        values_[name] = value;
+    }
+}
+
+std::string
+Options::get(const std::string &name) const
+{
+    auto vit = values_.find(name);
+    if (vit != values_.end())
+        return vit->second;
+    auto dit = decls_.find(name);
+    if (dit == decls_.end())
+        didt_panic("option --", name, " was never declared");
+    return dit->second.defaultValue;
+}
+
+long long
+Options::getInt(const std::string &name) const
+{
+    const std::string v = get(name);
+    try {
+        std::size_t pos = 0;
+        long long result = std::stoll(v, &pos);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return result;
+    } catch (const std::exception &) {
+        didt_fatal("option --", name, " expects an integer, got '", v, "'");
+    }
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    const std::string v = get(name);
+    try {
+        std::size_t pos = 0;
+        double result = std::stod(v, &pos);
+        if (pos != v.size())
+            throw std::invalid_argument(v);
+        return result;
+    } catch (const std::exception &) {
+        didt_fatal("option --", name, " expects a number, got '", v, "'");
+    }
+}
+
+bool
+Options::getBool(const std::string &name) const
+{
+    const std::string v = get(name);
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string
+Options::usage(const std::string &program) const
+{
+    std::ostringstream os;
+    os << "usage: " << program << " [options]\n";
+    for (const auto &[name, decl] : decls_) {
+        os << "  --" << name << " (default: " << decl.defaultValue << ")\n"
+           << "      " << decl.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace didt

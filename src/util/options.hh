@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal command-line option parser for bench/example binaries.
+ *
+ * Supports "--name value", "--name=value", and boolean "--flag" forms.
+ * Unknown options are fatal so typos in sweep scripts fail loudly.
+ */
+
+#ifndef DIDT_UTIL_OPTIONS_HH
+#define DIDT_UTIL_OPTIONS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace didt
+{
+
+/** Parsed command-line options with typed accessors and defaults. */
+class Options
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     *
+     * @param name option name without leading dashes
+     * @param default_value default (also documents the type by usage)
+     * @param help one-line description for usage()
+     */
+    void declare(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /** Parse argv; fatal on unknown or malformed options, prints usage
+     *  and exits 0 on --help. */
+    void parse(int argc, char **argv);
+
+    /** String value of a declared option. */
+    std::string get(const std::string &name) const;
+
+    /** Integer value of a declared option; fatal on parse failure. */
+    long long getInt(const std::string &name) const;
+
+    /** Double value of a declared option; fatal on parse failure. */
+    double getDouble(const std::string &name) const;
+
+    /** Boolean value: true for "1", "true", "yes", "on". */
+    bool getBool(const std::string &name) const;
+
+    /** Render the usage text. */
+    std::string usage(const std::string &program) const;
+
+  private:
+    struct Decl
+    {
+        std::string defaultValue;
+        std::string help;
+    };
+
+    std::map<std::string, Decl> decls_;
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace didt
+
+#endif // DIDT_UTIL_OPTIONS_HH

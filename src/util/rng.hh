@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A self-contained xoshiro256++ generator plus the handful of
+ * distributions the simulator and workload generator need. We avoid
+ * <random> engines for cross-platform determinism: the standard only
+ * pins down engine output, not distribution output, and reproducible
+ * traces matter for the experiments.
+ */
+
+#ifndef DIDT_UTIL_RNG_HH
+#define DIDT_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace didt
+{
+
+/**
+ * Deterministic xoshiro256++ pseudo-random generator with distribution
+ * helpers. All draws are reproducible for a given seed on any platform.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Standard normal draw (Box-Muller with cached spare). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential draw with the given rate lambda. @pre lambda > 0. */
+    double exponential(double lambda);
+
+    /**
+     * Geometric draw: number of failures before first success with
+     * success probability p in (0, 1].
+     */
+    std::uint64_t geometric(double p);
+
+    /** Re-seed the generator, discarding all state. */
+    void seed(std::uint64_t seed_value);
+
+  private:
+    std::uint64_t s_[4];
+    double spareNormal_;
+    bool hasSpare_;
+};
+
+} // namespace didt
+
+#endif // DIDT_UTIL_RNG_HH

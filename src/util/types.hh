@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental value types shared across the library.
+ */
+
+#ifndef DIDT_UTIL_TYPES_HH
+#define DIDT_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace didt
+{
+
+/** Simulated processor clock cycle index. */
+using Cycle = std::uint64_t;
+
+/** Electrical current in amperes. */
+using Amp = double;
+
+/** Electrical potential in volts. */
+using Volt = double;
+
+/** Power in watts. */
+using Watt = double;
+
+/** Frequency in hertz. */
+using Hertz = double;
+
+/** A per-cycle current waveform (one sample per processor cycle). */
+using CurrentTrace = std::vector<Amp>;
+
+/** A per-cycle voltage waveform. */
+using VoltageTrace = std::vector<Volt>;
+
+} // namespace didt
+
+#endif // DIDT_UTIL_TYPES_HH

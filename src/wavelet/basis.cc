@@ -1,0 +1,94 @@
+#include "wavelet/basis.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+WaveletBasis::WaveletBasis(std::string name, std::vector<double> lowpass)
+    : name_(std::move(name)), h_(std::move(lowpass))
+{
+    if (h_.size() < 2 || h_.size() % 2 != 0)
+        didt_panic("wavelet filter length must be even and >= 2, got ",
+                   h_.size());
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double c : h_) {
+        sum += c;
+        sum_sq += c * c;
+    }
+    if (std::fabs(sum - std::sqrt(2.0)) > 1e-9)
+        didt_panic("basis '", name_, "': sum(h) = ", sum,
+                   ", expected sqrt(2)");
+    if (std::fabs(sum_sq - 1.0) > 1e-9)
+        didt_panic("basis '", name_, "': sum(h^2) = ", sum_sq,
+                   ", expected 1");
+
+    // Alternating flip: g[n] = (-1)^n h[L-1-n].
+    const std::size_t len = h_.size();
+    g_.resize(len);
+    for (std::size_t n = 0; n < len; ++n) {
+        const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+        g_[n] = sign * h_[len - 1 - n];
+    }
+}
+
+WaveletBasis
+WaveletBasis::haar()
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    return WaveletBasis("haar", {r, r});
+}
+
+WaveletBasis
+WaveletBasis::daubechies4()
+{
+    // Standard D4 coefficients (normalized so sum = sqrt 2).
+    const double s3 = std::sqrt(3.0);
+    const double norm = 4.0 * std::sqrt(2.0);
+    return WaveletBasis("db4", {(1.0 + s3) / norm, (3.0 + s3) / norm,
+                                (3.0 - s3) / norm, (1.0 - s3) / norm});
+}
+
+WaveletBasis
+WaveletBasis::daubechies6()
+{
+    // D6 low-pass coefficients (already normalized to sum = sqrt 2).
+    return WaveletBasis(
+        "db6",
+        {0.33267055295095688, 0.80689150931333875, 0.45987750211933132,
+         -0.13501102001039084, -0.08544127388224149, 0.03522629188210562});
+}
+
+WaveletBasis
+WaveletBasis::byName(const std::string &name)
+{
+    if (name == "haar")
+        return haar();
+    if (name == "db4")
+        return daubechies4();
+    if (name == "db6")
+        return daubechies6();
+    didt_fatal("unknown wavelet basis '", name, "' (try haar, db4, db6)");
+}
+
+double
+haarScalingFunction(double t)
+{
+    return (t >= 0.0 && t < 1.0) ? 1.0 : 0.0;
+}
+
+double
+haarWaveletFunction(double t)
+{
+    if (t >= 0.0 && t < 0.5)
+        return 1.0;
+    if (t >= 0.5 && t < 1.0)
+        return -1.0;
+    return 0.0;
+}
+
+} // namespace didt

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Orthonormal wavelet bases (filter banks).
+ *
+ * The paper uses the Haar basis because it matches the sharp
+ * discontinuities of processor current waveforms (Section 2.1);
+ * Daubechies bases are provided for ablation studies.
+ */
+
+#ifndef DIDT_WAVELET_BASIS_HH
+#define DIDT_WAVELET_BASIS_HH
+
+#include <string>
+#include <vector>
+
+namespace didt
+{
+
+/**
+ * An orthonormal wavelet basis described by its conjugate quadrature
+ * filter pair. The high-pass (wavelet) filter is derived from the
+ * low-pass (scaling) filter by the alternating-flip relation
+ * g[n] = (-1)^n h[L-1-n].
+ */
+class WaveletBasis
+{
+  public:
+    /**
+     * Construct from a low-pass filter. The filter must satisfy the
+     * orthonormality conditions (sum h = sqrt(2), sum h^2 = 1) to within
+     * a small tolerance; violations panic.
+     */
+    WaveletBasis(std::string name, std::vector<double> lowpass);
+
+    /** Basis name ("haar", "db4", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Low-pass (scaling) analysis filter h. */
+    const std::vector<double> &lowpass() const { return h_; }
+
+    /** High-pass (wavelet) analysis filter g. */
+    const std::vector<double> &highpass() const { return g_; }
+
+    /** Filter length. */
+    std::size_t length() const { return h_.size(); }
+
+    /** The Haar basis: h = {1/sqrt 2, 1/sqrt 2}. */
+    static WaveletBasis haar();
+
+    /** Daubechies-4 (two vanishing moments). */
+    static WaveletBasis daubechies4();
+
+    /** Daubechies-6 (three vanishing moments). */
+    static WaveletBasis daubechies6();
+
+    /** Look up a basis by name; fatal on unknown names. */
+    static WaveletBasis byName(const std::string &name);
+
+  private:
+    std::string name_;
+    std::vector<double> h_;
+    std::vector<double> g_;
+};
+
+/**
+ * Evaluate the Haar scaling function phi(t): 1 on [0,1), else 0
+ * (paper Figure 1, left).
+ */
+double haarScalingFunction(double t);
+
+/**
+ * Evaluate the Haar wavelet function psi(t): 1 on [0,0.5),
+ * -1 on [0.5,1), else 0 (paper Figure 1, right).
+ */
+double haarWaveletFunction(double t);
+
+} // namespace didt
+
+#endif // DIDT_WAVELET_BASIS_HH

@@ -1,0 +1,99 @@
+#include "wavelet/denoise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "wavelet/dwt.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        didt_panic("median of empty vector");
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<long>(mid),
+                     xs.end());
+    double m = xs[mid];
+    if (xs.size() % 2 == 0) {
+        std::nth_element(xs.begin(),
+                         xs.begin() + static_cast<long>(mid) - 1,
+                         xs.end());
+        m = 0.5 * (m + xs[mid - 1]);
+    }
+    return m;
+}
+
+double
+shrink(double c, double threshold, Shrinkage rule)
+{
+    const double mag = std::fabs(c);
+    switch (rule) {
+      case Shrinkage::Hard:
+        return mag <= threshold ? 0.0 : c;
+      case Shrinkage::Soft:
+        if (mag <= threshold)
+            return 0.0;
+        return c > 0.0 ? c - threshold : c + threshold;
+    }
+    didt_panic("unknown shrinkage rule");
+}
+
+} // namespace
+
+double
+estimateNoiseSigma(std::span<const double> signal,
+                   const WaveletBasis &basis)
+{
+    if (signal.size() < 4)
+        didt_panic("estimateNoiseSigma needs at least 4 samples");
+    const Dwt dwt(basis);
+    // One level suffices: only the finest details are used. Trim to an
+    // even length.
+    const std::size_t n = signal.size() & ~std::size_t(1);
+    std::vector<double> approx;
+    std::vector<double> detail;
+    dwt.analyzeStep(signal.subspan(0, n), approx, detail);
+    std::vector<double> mags(detail.size());
+    for (std::size_t k = 0; k < detail.size(); ++k)
+        mags[k] = std::fabs(detail[k]);
+    // MAD-based robust sigma: median(|d|) / 0.6745.
+    return median(std::move(mags)) / 0.6745;
+}
+
+std::vector<double>
+denoise(std::span<const double> signal, const WaveletBasis &basis,
+        const DenoiseConfig &config)
+{
+    if (signal.empty())
+        didt_panic("denoise of empty signal");
+    const Dwt dwt(basis);
+    std::size_t levels = config.levels;
+    if (levels == 0)
+        levels = std::max<std::size_t>(1, dwt.maxLevels(signal.size()));
+    if (signal.size() % (std::size_t(1) << levels) != 0)
+        didt_fatal("signal length ", signal.size(),
+                   " not divisible by 2^", levels);
+
+    const double sigma = config.sigma > 0.0
+                             ? config.sigma
+                             : estimateNoiseSigma(signal, basis);
+    const double threshold =
+        sigma * std::sqrt(2.0 * std::log(static_cast<double>(
+                                    std::max<std::size_t>(2,
+                                                          signal.size()))));
+
+    WaveletDecomposition dec = dwt.forward(signal, levels);
+    for (auto &level : dec.details)
+        for (double &c : level)
+            c = shrink(c, threshold, config.rule);
+    return dwt.inverse(dec);
+}
+
+} // namespace didt

@@ -1,0 +1,144 @@
+#include "wavelet/dwt.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+std::size_t
+WaveletDecomposition::totalCoefficients() const
+{
+    std::size_t n = approximation.size();
+    for (const auto &level : details)
+        n += level.size();
+    return n;
+}
+
+double
+WaveletDecomposition::energy() const
+{
+    double e = 0.0;
+    for (const auto &level : details)
+        for (double c : level)
+            e += c * c;
+    for (double c : approximation)
+        e += c * c;
+    return e;
+}
+
+Dwt::Dwt(WaveletBasis basis)
+    : basis_(std::move(basis))
+{
+}
+
+void
+Dwt::analyzeStep(std::span<const double> input, std::vector<double> &approx,
+                 std::vector<double> &detail) const
+{
+    const std::size_t n = input.size();
+    if (n % 2 != 0 || n == 0)
+        didt_panic("analyzeStep needs even non-zero length, got ", n);
+
+    const auto &h = basis_.lowpass();
+    const auto &g = basis_.highpass();
+    const std::size_t flen = h.size();
+    const std::size_t half = n / 2;
+
+    approx.assign(half, 0.0);
+    detail.assign(half, 0.0);
+    for (std::size_t k = 0; k < half; ++k) {
+        double a = 0.0;
+        double d = 0.0;
+        for (std::size_t m = 0; m < flen; ++m) {
+            const std::size_t idx = (2 * k + m) % n; // periodic extension
+            a += h[m] * input[idx];
+            d += g[m] * input[idx];
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+}
+
+std::vector<double>
+Dwt::synthesizeStep(std::span<const double> approx,
+                    std::span<const double> detail) const
+{
+    const std::size_t half = approx.size();
+    if (detail.size() != half)
+        didt_panic("synthesizeStep: approx/detail size mismatch ", half,
+                   " vs ", detail.size());
+    if (half == 0)
+        didt_panic("synthesizeStep on empty halves");
+
+    const auto &h = basis_.lowpass();
+    const auto &g = basis_.highpass();
+    const std::size_t flen = h.size();
+    const std::size_t n = 2 * half;
+
+    std::vector<double> out(n, 0.0);
+    for (std::size_t k = 0; k < half; ++k) {
+        for (std::size_t m = 0; m < flen; ++m) {
+            const std::size_t idx = (2 * k + m) % n;
+            out[idx] += h[m] * approx[k] + g[m] * detail[k];
+        }
+    }
+    return out;
+}
+
+std::size_t
+Dwt::maxLevels(std::size_t n) const
+{
+    std::size_t levels = 0;
+    while (n % 2 == 0 && n / 2 >= 1 && n >= basis_.length()) {
+        n /= 2;
+        ++levels;
+    }
+    return levels;
+}
+
+WaveletDecomposition
+Dwt::forward(std::span<const double> signal, std::size_t levels) const
+{
+    if (levels == 0)
+        didt_panic("forward() requires at least one level");
+    const std::size_t n = signal.size();
+    if (n == 0)
+        didt_panic("forward() on empty signal");
+    if (n % (std::size_t(1) << levels) != 0)
+        didt_panic("signal length ", n, " not divisible by 2^", levels);
+
+    WaveletDecomposition dec;
+    dec.signalLength = n;
+    dec.details.reserve(levels);
+
+    std::vector<double> current(signal.begin(), signal.end());
+    for (std::size_t level = 0; level < levels; ++level) {
+        std::vector<double> approx;
+        std::vector<double> detail;
+        analyzeStep(current, approx, detail);
+        dec.details.push_back(std::move(detail));
+        current = std::move(approx);
+    }
+    dec.approximation = std::move(current);
+    return dec;
+}
+
+std::vector<double>
+Dwt::inverse(const WaveletDecomposition &dec) const
+{
+    if (dec.details.empty())
+        didt_panic("inverse() on empty decomposition");
+
+    std::vector<double> current = dec.approximation;
+    for (std::size_t level = dec.details.size(); level-- > 0;) {
+        current = synthesizeStep(current, dec.details[level]);
+    }
+    if (current.size() != dec.signalLength)
+        didt_panic("inverse() produced length ", current.size(),
+                   ", expected ", dec.signalLength);
+    return current;
+}
+
+} // namespace didt

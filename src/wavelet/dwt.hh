@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fast discrete wavelet transform (Mallat's pyramid algorithm).
+ *
+ * Implements the O(N) fast wavelet transform the paper relies on
+ * (Section 2.1), with periodic boundary extension. The decomposition
+ * holds detail coefficients per level plus the final approximation,
+ * mirroring the coefficient matrix of paper Figure 2.
+ */
+
+#ifndef DIDT_WAVELET_DWT_HH
+#define DIDT_WAVELET_DWT_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "wavelet/basis.hh"
+
+namespace didt
+{
+
+/**
+ * A multi-level wavelet decomposition.
+ *
+ * Level numbering: details[0] is the *finest* scale (the paper's d[0,k]
+ * row); details[L-1] is the coarsest detail level (the paper's most
+ * negative j). approximation holds the coarse a[k] coefficients.
+ */
+struct WaveletDecomposition
+{
+    /** Detail coefficients, one vector per level, finest first. */
+    std::vector<std::vector<double>> details;
+
+    /** Approximation coefficients at the coarsest level. */
+    std::vector<double> approximation;
+
+    /** Length of the original signal. */
+    std::size_t signalLength = 0;
+
+    /** Number of detail levels. */
+    std::size_t levels() const { return details.size(); }
+
+    /** Total number of coefficients (details + approximation). */
+    std::size_t totalCoefficients() const;
+
+    /**
+     * Sum of squared coefficients; by Parseval's relation this equals
+     * the squared L2 norm of the original signal.
+     */
+    double energy() const;
+};
+
+/**
+ * Discrete wavelet transform engine for a fixed basis.
+ *
+ * Uses periodic signal extension, so perfect reconstruction holds for
+ * any signal whose length is divisible by 2^levels.
+ */
+class Dwt
+{
+  public:
+    /** @param basis the wavelet basis (filters) to use. */
+    explicit Dwt(WaveletBasis basis);
+
+    /** The basis in use. */
+    const WaveletBasis &basis() const { return basis_; }
+
+    /**
+     * Forward transform.
+     *
+     * @param signal input samples; length must be divisible by 2^levels
+     * @param levels number of decomposition levels (>= 1)
+     * @return the multi-level decomposition
+     */
+    WaveletDecomposition forward(std::span<const double> signal,
+                                 std::size_t levels) const;
+
+    /** Inverse transform: exact reconstruction of the original signal. */
+    std::vector<double> inverse(const WaveletDecomposition &dec) const;
+
+    /**
+     * Single analysis step: split @p input into approximation and detail
+     * halves. @p input length must be even.
+     */
+    void analyzeStep(std::span<const double> input,
+                     std::vector<double> &approx,
+                     std::vector<double> &detail) const;
+
+    /**
+     * Single synthesis step: merge approximation and detail halves back
+     * into a signal of twice the length.
+     */
+    std::vector<double> synthesizeStep(std::span<const double> approx,
+                                       std::span<const double> detail) const;
+
+    /**
+     * Largest number of levels applicable to a signal of length @p n
+     * (limited by divisibility by two and by filter length).
+     */
+    std::size_t maxLevels(std::size_t n) const;
+
+  private:
+    WaveletBasis basis_;
+};
+
+} // namespace didt
+
+#endif // DIDT_WAVELET_DWT_HH

@@ -1,0 +1,99 @@
+#include "wavelet/fourier.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    if (n == 0 || !std::has_single_bit(n))
+        didt_panic("fft length must be a power of two, got ", n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // Iterative Cooley-Tukey butterflies.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto &x : data)
+            x *= scale;
+    }
+}
+
+std::vector<std::complex<double>>
+dft(std::span<const double> signal)
+{
+    std::vector<std::complex<double>> data(signal.begin(), signal.end());
+    fft(data);
+    return data;
+}
+
+std::vector<double>
+powerSpectrum(std::span<const double> signal)
+{
+    const auto spectrum = dft(signal);
+    const std::size_t n = signal.size();
+    std::vector<double> power(n / 2 + 1, 0.0);
+    const double norm = 1.0 / static_cast<double>(n) /
+                        static_cast<double>(n);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        double p = std::norm(spectrum[k]) * norm;
+        // Fold the conjugate-symmetric negative frequency in, except
+        // for DC and (even-length) Nyquist which are their own mirror.
+        if (k != 0 && !(n % 2 == 0 && k == n / 2))
+            p *= 2.0;
+        power[k] = p;
+    }
+    return power;
+}
+
+double
+bandEnergy(std::span<const double> signal, double lo_hz, double hi_hz,
+           double sample_hz)
+{
+    if (sample_hz <= 0.0)
+        didt_panic("bandEnergy needs a positive sample rate");
+    const auto power = powerSpectrum(signal);
+    const double bin_hz =
+        sample_hz / static_cast<double>(signal.size());
+    double total = 0.0;
+    for (std::size_t k = 0; k < power.size(); ++k) {
+        const double f = static_cast<double>(k) * bin_hz;
+        if (f >= lo_hz && f < hi_hz)
+            total += power[k];
+    }
+    return total;
+}
+
+} // namespace didt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Discrete Fourier transform (radix-2 FFT).
+ *
+ * The paper's Section 2 motivates wavelets *against* Fourier analysis:
+ * the DFT's coefficients describe global frequency behaviour (its
+ * Equation 1), so bursty, non-stationary signals smear across the
+ * spectrum. This module provides the Fourier side of that comparison
+ * — used by cross-validation tests (subband energies vs band-limited
+ * spectral energy) and by the motivation bench that contrasts the two
+ * transforms on transient current bursts.
+ */
+
+#ifndef DIDT_WAVELET_FOURIER_HH
+#define DIDT_WAVELET_FOURIER_HH
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace didt
+{
+
+/**
+ * In-place iterative radix-2 FFT.
+ *
+ * @param data complex samples; size must be a power of two
+ * @param inverse compute the inverse transform (includes the 1/N
+ *        normalization, so fft(fft(x), inverse) == x)
+ */
+void fft(std::vector<std::complex<double>> &data, bool inverse = false);
+
+/** Forward DFT of a real signal (length must be a power of two). */
+std::vector<std::complex<double>> dft(std::span<const double> signal);
+
+/**
+ * One-sided power spectrum of a real signal: |X[k]|^2 / N for
+ * k = 0..N/2, with the energy of negative frequencies folded in so
+ * that the spectrum sums to the signal's mean-square value
+ * (Parseval).
+ */
+std::vector<double> powerSpectrum(std::span<const double> signal);
+
+/**
+ * Total spectral energy of @p signal between @p lo_hz and @p hi_hz
+ * when sampled at @p sample_hz (sum of one-sided power-spectrum bins
+ * whose center frequency falls in [lo, hi)).
+ */
+double bandEnergy(std::span<const double> signal, double lo_hz,
+                  double hi_hz, double sample_hz);
+
+} // namespace didt
+
+#endif // DIDT_WAVELET_FOURIER_HH

@@ -1,0 +1,109 @@
+#include "wavelet/modwt.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+Modwt::Modwt(WaveletBasis basis)
+    : basis_(std::move(basis))
+{
+    const double scale = 1.0 / std::sqrt(2.0);
+    h_.reserve(basis_.length());
+    g_.reserve(basis_.length());
+    for (double c : basis_.lowpass())
+        h_.push_back(c * scale);
+    for (double c : basis_.highpass())
+        g_.push_back(c * scale);
+}
+
+ModwtDecomposition
+Modwt::forward(std::span<const double> signal, std::size_t levels) const
+{
+    const std::size_t n = signal.size();
+    if (n == 0)
+        didt_panic("Modwt::forward on empty signal");
+    if (levels == 0)
+        didt_panic("Modwt::forward requires at least one level");
+    // Upsampled filter span must fit the (periodic) signal to make
+    // statistical sense.
+    if ((std::size_t(1) << (levels - 1)) * (h_.size() - 1) >= n)
+        didt_fatal("MODWT depth ", levels, " too deep for signal length ",
+                   n);
+
+    ModwtDecomposition dec;
+    dec.details.reserve(levels);
+
+    std::vector<double> current(signal.begin(), signal.end());
+    std::vector<double> next(n);
+    std::vector<double> detail(n);
+    for (std::size_t j = 1; j <= levels; ++j) {
+        const std::size_t stride = std::size_t(1) << (j - 1);
+        for (std::size_t t = 0; t < n; ++t) {
+            double a = 0.0;
+            double d = 0.0;
+            std::size_t idx = t;
+            for (std::size_t l = 0; l < h_.size(); ++l) {
+                a += h_[l] * current[idx];
+                d += g_[l] * current[idx];
+                // idx = (t - stride * (l + 1)) mod n, walked backward.
+                idx = (idx + n - stride % n) % n;
+            }
+            next[t] = a;
+            detail[t] = d;
+        }
+        dec.details.push_back(detail);
+        current.swap(next);
+    }
+    dec.smooth = std::move(current);
+    return dec;
+}
+
+std::vector<double>
+Modwt::inverse(const ModwtDecomposition &dec) const
+{
+    if (dec.details.empty())
+        didt_panic("Modwt::inverse on empty decomposition");
+    const std::size_t n = dec.smooth.size();
+
+    std::vector<double> current = dec.smooth;
+    std::vector<double> prev(n);
+    for (std::size_t j = dec.details.size(); j >= 1; --j) {
+        const std::size_t stride = std::size_t(1) << (j - 1);
+        const std::vector<double> &detail = dec.details[j - 1];
+        if (detail.size() != n)
+            didt_panic("MODWT level size mismatch");
+        for (std::size_t t = 0; t < n; ++t) {
+            double x = 0.0;
+            std::size_t idx = t;
+            for (std::size_t l = 0; l < h_.size(); ++l) {
+                x += h_[l] * current[idx] + g_[l] * detail[idx];
+                // idx = (t + stride * (l + 1)) mod n, walked forward.
+                idx = (idx + stride) % n;
+            }
+            prev[t] = x;
+        }
+        current.swap(prev);
+    }
+    return current;
+}
+
+std::vector<double>
+Modwt::waveletVariance(std::span<const double> signal,
+                       std::size_t levels) const
+{
+    const ModwtDecomposition dec = forward(signal, levels);
+    std::vector<double> variance(levels, 0.0);
+    const double n = static_cast<double>(signal.size());
+    for (std::size_t j = 0; j < levels; ++j) {
+        double energy = 0.0;
+        for (double w : dec.details[j])
+            energy += w * w;
+        variance[j] = energy / n;
+    }
+    return variance;
+}
+
+} // namespace didt

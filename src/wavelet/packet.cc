@@ -1,0 +1,166 @@
+#include "wavelet/packet.hh"
+
+#include <cmath>
+
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+
+std::vector<std::size_t>
+packetFrequencyOrder(std::size_t depth)
+{
+    const std::size_t leaves = std::size_t(1) << depth;
+    std::vector<std::size_t> order(leaves);
+    for (std::size_t band = 0; band < leaves; ++band) {
+        // The natural (Paley) position whose band is `band` is the
+        // binary-to-Gray encoding of the band index: every traversal
+        // of a high-pass edge flips the frequency orientation of the
+        // subtree below it, and the flips telescope into g = b^(b>>1)
+        // (verified empirically against FFT band energies).
+        order[band] = band ^ (band >> 1);
+    }
+    return order;
+}
+
+WaveletPacketTree::WaveletPacketTree(const WaveletBasis &basis,
+                                     std::span<const double> signal,
+                                     std::size_t depth)
+    : depth_(depth), signalLength_(signal.size()), dwt_(basis)
+{
+    if (depth_ == 0)
+        didt_panic("packet tree needs depth >= 1");
+    if (signalLength_ == 0 ||
+        signalLength_ % (std::size_t(1) << depth_) != 0)
+        didt_panic("signal length ", signalLength_,
+                   " not divisible by 2^", depth_);
+
+    nodes_.resize(depth_ + 1);
+    nodes_[0].emplace_back(signal.begin(), signal.end());
+    for (std::size_t level = 1; level <= depth_; ++level) {
+        nodes_[level].resize(std::size_t(1) << level);
+        for (std::size_t parent = 0;
+             parent < nodes_[level - 1].size(); ++parent) {
+            std::vector<double> approx;
+            std::vector<double> detail;
+            dwt_.analyzeStep(nodes_[level - 1][parent], approx, detail);
+            nodes_[level][2 * parent] = std::move(approx);
+            nodes_[level][2 * parent + 1] = std::move(detail);
+        }
+    }
+}
+
+const std::vector<double> &
+WaveletPacketTree::node(std::size_t level, std::size_t position) const
+{
+    if (level > depth_ || position >= (std::size_t(1) << level))
+        didt_panic("packet node (", level, ",", position,
+                   ") out of range");
+    return nodes_[level][position];
+}
+
+std::vector<const std::vector<double> *>
+WaveletPacketTree::frequencyOrderedLeaves() const
+{
+    const auto order = packetFrequencyOrder(depth_);
+    std::vector<const std::vector<double> *> leaves;
+    leaves.reserve(order.size());
+    for (std::size_t p : order)
+        leaves.push_back(&nodes_[depth_][p]);
+    return leaves;
+}
+
+std::vector<double>
+WaveletPacketTree::bandVariances() const
+{
+    const auto leaves = frequencyOrderedLeaves();
+    std::vector<double> variances;
+    variances.reserve(leaves.size());
+    const double n = static_cast<double>(signalLength_);
+    for (std::size_t b = 0; b < leaves.size(); ++b) {
+        double energy = 0.0;
+        for (double c : *leaves[b])
+            energy += c * c;
+        if (b == 0) {
+            // The lowest band carries the mean; report its variance
+            // about the mean like the DWT approximation row.
+            double sum = 0.0;
+            for (double c : *leaves[b])
+                sum += c;
+            energy -= sum * sum / static_cast<double>(leaves[b]->size());
+        }
+        variances.push_back(energy / n);
+    }
+    return variances;
+}
+
+double
+WaveletPacketTree::nodeEnergy(std::size_t level, std::size_t position) const
+{
+    double energy = 0.0;
+    for (double c : node(level, position))
+        energy += c * c;
+    return energy;
+}
+
+double
+WaveletPacketTree::nodeEntropy(const std::vector<double> &coeffs) const
+{
+    // Coifman-Wickerhauser additive (unnormalized) Shannon entropy.
+    double entropy = 0.0;
+    for (double c : coeffs) {
+        const double e = c * c;
+        if (e > 0.0)
+            entropy -= e * std::log(e);
+    }
+    return entropy;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+WaveletPacketTree::bestBasis() const
+{
+    // Bottom-up dynamic program: a node is kept whole when its own
+    // entropy beats the best cost of its children.
+    std::vector<std::vector<double>> cost(depth_ + 1);
+    std::vector<std::vector<bool>> keep(depth_ + 1);
+    for (std::size_t level = 0; level <= depth_; ++level) {
+        cost[level].resize(nodes_[level].size());
+        keep[level].assign(nodes_[level].size(), false);
+    }
+    for (std::size_t p = 0; p < nodes_[depth_].size(); ++p) {
+        cost[depth_][p] = nodeEntropy(nodes_[depth_][p]);
+        keep[depth_][p] = true;
+    }
+    for (std::size_t level = depth_; level-- > 0;) {
+        for (std::size_t p = 0; p < nodes_[level].size(); ++p) {
+            const double own = nodeEntropy(nodes_[level][p]);
+            const double split =
+                cost[level + 1][2 * p] + cost[level + 1][2 * p + 1];
+            if (own <= split) {
+                cost[level][p] = own;
+                keep[level][p] = true;
+            } else {
+                cost[level][p] = split;
+                keep[level][p] = false;
+            }
+        }
+    }
+
+    // Walk down from the root collecting the chosen cover.
+    std::vector<std::pair<std::size_t, std::size_t>> basis;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 0}};
+    while (!stack.empty()) {
+        const auto [level, p] = stack.back();
+        stack.pop_back();
+        if (keep[level][p]) {
+            basis.emplace_back(level, p);
+        } else {
+            stack.emplace_back(level + 1, 2 * p);
+            stack.emplace_back(level + 1, 2 * p + 1);
+        }
+    }
+    return basis;
+}
+
+} // namespace didt

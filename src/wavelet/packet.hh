@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Wavelet packet transform.
+ *
+ * The dyadic DWT halves frequency resolution at every level, so the
+ * resonant band (94-188 MHz at 3 GHz) lands in one wide subband. The
+ * packet transform also splits the *detail* branches, producing 2^L
+ * uniform-width bands at depth L — finer localization of the supply
+ * resonance at the cost of more coefficients. Provided as an analysis
+ * refinement over the paper's plain DWT (see
+ * `bench/ablation_packets`), with best-basis selection by Shannon
+ * entropy (Coifman-Wickerhauser).
+ */
+
+#ifndef DIDT_WAVELET_PACKET_HH
+#define DIDT_WAVELET_PACKET_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "wavelet/basis.hh"
+#include "wavelet/dwt.hh"
+
+namespace didt
+{
+
+/**
+ * A full wavelet packet decomposition to a fixed depth.
+ *
+ * Nodes are indexed (level, position): level 0 holds the signal,
+ * level l holds 2^l nodes of length N / 2^l. Children of (l, p) are
+ * (l+1, 2p) [low-pass] and (l+1, 2p+1) [high-pass].
+ */
+class WaveletPacketTree
+{
+  public:
+    /**
+     * Decompose @p signal to @p depth levels.
+     *
+     * @param basis filter pair
+     * @param signal input; length divisible by 2^depth
+     * @param depth tree depth (>= 1)
+     */
+    WaveletPacketTree(const WaveletBasis &basis,
+                      std::span<const double> signal, std::size_t depth);
+
+    /** Tree depth. */
+    std::size_t depth() const { return depth_; }
+
+    /** Original signal length. */
+    std::size_t signalLength() const { return signalLength_; }
+
+    /** Coefficients of node (level, position). */
+    const std::vector<double> &node(std::size_t level,
+                                    std::size_t position) const;
+
+    /**
+     * Coefficients of the leaf nodes at full depth, ordered by
+     * *increasing frequency* (Gray-code/Paley reordering of positions,
+     * correcting the frequency flip high-pass branches introduce).
+     */
+    std::vector<const std::vector<double> *> frequencyOrderedLeaves() const;
+
+    /**
+     * Per-leaf band variance at full depth in frequency order; the
+     * packet analogue of the DWT's per-scale subband variance. Band b
+     * of 2^depth covers [b, b+1) * clock / 2^(depth+1).
+     */
+    std::vector<double> bandVariances() const;
+
+    /**
+     * Best-basis node selection by additive Shannon entropy
+     * (Coifman-Wickerhauser): returns the (level, position) pairs of
+     * the chosen cover of the time-frequency plane.
+     */
+    std::vector<std::pair<std::size_t, std::size_t>> bestBasis() const;
+
+    /** Total energy of a node's coefficients. */
+    double nodeEnergy(std::size_t level, std::size_t position) const;
+
+  private:
+    std::size_t depth_;
+    std::size_t signalLength_;
+    /** nodes_[level][position] = coefficient vector. */
+    std::vector<std::vector<std::vector<double>>> nodes_;
+    Dwt dwt_;
+
+    double nodeEntropy(const std::vector<double> &coeffs) const;
+};
+
+/**
+ * Frequency ordering of packet leaf positions: natural (Paley) order
+ * -> frequency order via Gray-code permutation.
+ */
+std::vector<std::size_t> packetFrequencyOrder(std::size_t depth);
+
+} // namespace didt
+
+#endif // DIDT_WAVELET_PACKET_HH

@@ -1,0 +1,99 @@
+#include "wavelet/subband.hh"
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/**
+ * Run the inverse transform on a copy of @p dec in which every
+ * coefficient row except the selected one is zeroed.
+ */
+std::vector<double>
+projectSelected(const Dwt &dwt, const WaveletDecomposition &dec,
+                long long detail_level, bool keep_approx)
+{
+    WaveletDecomposition masked;
+    masked.signalLength = dec.signalLength;
+    masked.details.reserve(dec.details.size());
+    for (std::size_t j = 0; j < dec.details.size(); ++j) {
+        if (detail_level >= 0 &&
+            j == static_cast<std::size_t>(detail_level)) {
+            masked.details.push_back(dec.details[j]);
+        } else {
+            masked.details.emplace_back(dec.details[j].size(), 0.0);
+        }
+    }
+    if (keep_approx)
+        masked.approximation = dec.approximation;
+    else
+        masked.approximation.assign(dec.approximation.size(), 0.0);
+    return dwt.inverse(masked);
+}
+
+} // namespace
+
+std::vector<double>
+detailSubband(const Dwt &dwt, const WaveletDecomposition &dec,
+              std::size_t level)
+{
+    if (level >= dec.details.size())
+        didt_panic("detailSubband: level ", level, " out of range (",
+                   dec.details.size(), " levels)");
+    return projectSelected(dwt, dec, static_cast<long long>(level), false);
+}
+
+std::vector<double>
+approximationSubband(const Dwt &dwt, const WaveletDecomposition &dec)
+{
+    return projectSelected(dwt, dec, -1, true);
+}
+
+std::vector<std::vector<double>>
+allSubbands(const Dwt &dwt, const WaveletDecomposition &dec)
+{
+    std::vector<std::vector<double>> bands;
+    bands.reserve(dec.details.size() + 1);
+    for (std::size_t j = 0; j < dec.details.size(); ++j)
+        bands.push_back(detailSubband(dwt, dec, j));
+    bands.push_back(approximationSubband(dwt, dec));
+    return bands;
+}
+
+std::vector<double>
+filteredReconstruction(const Dwt &dwt, const WaveletDecomposition &dec,
+                       const std::vector<std::size_t> &keep_levels,
+                       bool keep_approximation)
+{
+    WaveletDecomposition masked;
+    masked.signalLength = dec.signalLength;
+    masked.details.reserve(dec.details.size());
+    for (std::size_t j = 0; j < dec.details.size(); ++j)
+        masked.details.emplace_back(dec.details[j].size(), 0.0);
+    for (std::size_t level : keep_levels) {
+        if (level >= dec.details.size())
+            didt_panic("filteredReconstruction: level ", level,
+                       " out of range");
+        masked.details[level] = dec.details[level];
+    }
+    if (keep_approximation)
+        masked.approximation = dec.approximation;
+    else
+        masked.approximation.assign(dec.approximation.size(), 0.0);
+    return dwt.inverse(masked);
+}
+
+SubbandFrequency
+detailBandFrequency(std::size_t level, double clock_hz)
+{
+    if (clock_hz <= 0.0)
+        didt_panic("detailBandFrequency: clock must be positive");
+    const double denom_high = static_cast<double>(std::size_t(1) << (level + 1));
+    const double denom_low = denom_high * 2.0;
+    return SubbandFrequency{clock_hz / denom_low, clock_hz / denom_high};
+}
+
+} // namespace didt

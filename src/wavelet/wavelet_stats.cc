@@ -1,0 +1,80 @@
+#include "wavelet/wavelet_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+
+ScaleStats
+computeScaleStats(const WaveletDecomposition &dec)
+{
+    ScaleStats stats;
+    const double n = static_cast<double>(dec.signalLength);
+    if (n == 0.0)
+        didt_panic("computeScaleStats on empty decomposition");
+
+    stats.subbandVariance.reserve(dec.details.size());
+    stats.adjacentCorrelation.reserve(dec.details.size());
+
+    for (const auto &level : dec.details) {
+        double energy = 0.0;
+        for (double c : level)
+            energy += c * c;
+        // Parseval: subband signal variance (about zero mean, since
+        // detail subbands integrate to zero for orthonormal bases).
+        stats.subbandVariance.push_back(energy / n);
+        stats.adjacentCorrelation.push_back(lag1Autocorrelation(level));
+    }
+
+    // Approximation subband variance: spread of the reconstructed
+    // coarse signal about its mean. For an orthonormal basis this is
+    // (sum a^2 - (sum a)^2 / m) / n with m approximation coefficients.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double c : dec.approximation) {
+        sum += c;
+        sum_sq += c * c;
+    }
+    const double m = static_cast<double>(dec.approximation.size());
+    if (m > 0.0)
+        stats.approximationVariance = (sum_sq - sum * sum / m) / n;
+    return stats;
+}
+
+std::vector<CoefficientRef>
+rankCoefficients(const WaveletDecomposition &dec)
+{
+    std::vector<CoefficientRef> refs;
+    refs.reserve(dec.totalCoefficients());
+    for (std::size_t j = 0; j < dec.details.size(); ++j)
+        for (std::size_t k = 0; k < dec.details[j].size(); ++k)
+            refs.push_back(CoefficientRef{j, k, dec.details[j][k]});
+    for (std::size_t k = 0; k < dec.approximation.size(); ++k)
+        refs.push_back(CoefficientRef{CoefficientRef::kApproximation, k,
+                                      dec.approximation[k]});
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const CoefficientRef &a, const CoefficientRef &b) {
+                         return std::fabs(a.value) > std::fabs(b.value);
+                     });
+    return refs;
+}
+
+double
+energyCaptured(const WaveletDecomposition &dec, std::size_t k)
+{
+    const double total = dec.energy();
+    if (total <= 0.0)
+        return 1.0;
+    const auto ranked = rankCoefficients(dec);
+    double captured = 0.0;
+    const std::size_t limit = std::min(k, ranked.size());
+    for (std::size_t i = 0; i < limit; ++i)
+        captured += ranked[i].value * ranked[i].value;
+    return captured / total;
+}
+
+} // namespace didt

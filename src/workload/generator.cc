@@ -1,0 +1,255 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/** Stable 64-bit hash (splitmix-style finalizer). */
+std::uint64_t
+hash64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile,
+                                     std::uint64_t max_instructions,
+                                     std::uint64_t seed)
+    : profile_(profile),
+      maxInstructions_(max_instructions),
+      rng_(hash64(profile.seed * 0x9e3779b97f4a7c15ULL + seed + 1)),
+      pc_(kCodeBase)
+{
+    if (profile_.phases.empty())
+        didt_fatal("profile '", profile_.name, "' has no phases");
+    if (profile_.codeBytes < 4096)
+        didt_fatal("profile '", profile_.name, "' code footprint too small");
+    phaseRemaining_ = profile_.phases[0].lengthInsts;
+}
+
+const WorkloadPhase &
+SyntheticWorkload::currentPhase() const
+{
+    return profile_.phases[phaseIndex_];
+}
+
+void
+SyntheticWorkload::advancePhase()
+{
+    if (phaseRemaining_ > 0) {
+        --phaseRemaining_;
+        return;
+    }
+    phaseIndex_ = (phaseIndex_ + 1) % profile_.phases.size();
+    phaseRemaining_ = profile_.phases[phaseIndex_].lengthInsts;
+}
+
+bool
+SyntheticWorkload::isBranchSite(std::uint64_t pc,
+                                const WorkloadPhase &phase) const
+{
+    // Branch sites are a pure function of the PC so static branches
+    // are stable and the predictor/BTB can train on them.
+    const std::uint64_t h = hash64(pc ^ 0xb5a5b5a5deadbeefULL);
+    return (h % 10000) <
+           static_cast<std::uint64_t>(phase.branchFrac * 10000.0);
+}
+
+OpClass
+SyntheticWorkload::drawOpClass(const WorkloadPhase &phase)
+{
+    // Branches are handled by site selection; draw among the rest with
+    // renormalized probabilities.
+    const double rest = 1.0 - phase.branchFrac;
+    const double u = rng_.uniform() * (rest > 0.0 ? rest : 1.0);
+    double acc = phase.loadFrac;
+    if (u < acc)
+        return OpClass::Load;
+    acc += phase.storeFrac;
+    if (u < acc)
+        return OpClass::Store;
+
+    // Arithmetic op: split int/fp, then alu/mult/div.
+    const bool fp = rng_.bernoulli(phase.fpFrac);
+    const double v = rng_.uniform();
+    if (v < phase.divFrac)
+        return fp ? OpClass::FpDiv : OpClass::IntDiv;
+    if (v < phase.divFrac + phase.multFrac)
+        return fp ? OpClass::FpMult : OpClass::IntMult;
+    return fp ? OpClass::FpAlu : OpClass::IntAlu;
+}
+
+std::uint64_t
+SyntheticWorkload::drawAddress(const WorkloadPhase &phase)
+{
+    const double u = rng_.uniform();
+    if (u < phase.hotProb) {
+        const std::uint64_t offset =
+            rng_.uniformInt(profile_.hotBytes / 8) * 8;
+        return kHotBase + offset;
+    }
+    if (u < phase.hotProb + phase.warmProb) {
+        // Warm: stride through an L2-resident set so it stays resident
+        // (L1 misses, L2 hits after the first pass), with occasional
+        // random jumps within the set.
+        if (rng_.bernoulli(0.05))
+            warmPtr_ = rng_.uniformInt(profile_.warmBytes / 64) * 64;
+        const std::uint64_t addr = kWarmBase + warmPtr_;
+        warmPtr_ = (warmPtr_ + 64) % profile_.warmBytes;
+        return addr;
+    }
+    // Cold: stride through a footprint far larger than L2 so each
+    // line is a compulsory miss; occasional random jumps keep the
+    // stream from looking like a pure prefetchable sequence.
+    if (rng_.bernoulli(0.02))
+        coldPtr_ = rng_.uniformInt(kColdBytes / 64) * 64;
+    const std::uint64_t addr = kColdBase + coldPtr_;
+    coldPtr_ = (coldPtr_ + 64) % kColdBytes;
+    return addr;
+}
+
+void
+SyntheticWorkload::fillDeps(const WorkloadPhase &phase, Instruction &inst)
+{
+    if (phase.depFixed != 0) {
+        inst.dep1 = phase.depFixed;
+    } else {
+        inst.dep1 = static_cast<std::uint32_t>(
+            1 +
+            std::min<std::uint64_t>(rng_.geometric(phase.depGeomP), 120));
+        if (rng_.bernoulli(phase.dep2Prob)) {
+            inst.dep2 = static_cast<std::uint32_t>(
+                1 + std::min<std::uint64_t>(rng_.geometric(phase.depGeomP),
+                                            120));
+        }
+    }
+
+    // Pointer chasing: this load's address comes from the previous
+    // load's result, serializing the memory accesses.
+    if (inst.op == OpClass::Load && haveLastLoad_ &&
+        rng_.bernoulli(phase.chaseProb)) {
+        inst.dep1 = std::max<std::uint32_t>(1, sinceLastLoad_);
+    }
+
+    // Load-gated work: this instruction consumes the last load's
+    // result, so bursts of it release only when the load returns.
+    if (inst.op != OpClass::Load && haveLastLoad_ &&
+        rng_.bernoulli(phase.gateOnLoadProb)) {
+        inst.dep1 = std::max<std::uint32_t>(1, sinceLastLoad_);
+        inst.dep2 = 0;
+    }
+}
+
+void
+SyntheticWorkload::makeBranch(const WorkloadPhase &phase, Instruction &inst)
+{
+    // Branch behaviour is a deterministic function of the PC so the
+    // predictor sees stable per-static-branch statistics.
+    const std::uint64_t h = hash64(inst.pc);
+    const bool predictable =
+        (h % 1000) < static_cast<std::uint64_t>(
+                         phase.predictableBranchFrac * 1000.0);
+    const double taken_bias =
+        predictable ? ((h >> 10) % 2 ? 0.96 : 0.04) : 0.58;
+    inst.taken = rng_.bernoulli(taken_bias);
+
+    // Stable per-PC backward target: loops of 64-2111 instructions,
+    // wrapped into the code footprint. Backward jumps give the walk
+    // the loop structure real code has.
+    const std::uint64_t span = profile_.codeBytes;
+    const std::uint64_t dist_bytes = (64 + hash64(h + 1) % 2048) * 4;
+    std::uint64_t off = inst.pc - kCodeBase;
+    off = (off + span - dist_bytes % span) % span;
+    inst.target = kCodeBase + off;
+
+    // Occasional call/return pairs exercise the RAS. The generator
+    // keeps its own return stack so returns carry real targets.
+    if ((h % 97) == 0 && callStack_.size() < 24) {
+        inst.isCall = true;
+        if (inst.taken)
+            callStack_.push_back(inst.pc + 4);
+    } else if ((h % 89) == 0 && !callStack_.empty()) {
+        inst.isReturn = true;
+        inst.taken = true;
+        inst.target = callStack_.back();
+        callStack_.pop_back();
+    }
+}
+
+std::vector<std::uint64_t>
+SyntheticWorkload::dataFootprint() const
+{
+    std::vector<std::uint64_t> lines;
+    lines.reserve(profile_.hotBytes / 64 + profile_.warmBytes / 64);
+    // Warm first so a second pass over hot leaves hot lines youngest.
+    for (std::uint64_t off = 0; off < profile_.warmBytes; off += 64)
+        lines.push_back(kWarmBase + off);
+    for (std::uint64_t off = 0; off < profile_.hotBytes; off += 64)
+        lines.push_back(kHotBase + off);
+    return lines;
+}
+
+std::vector<std::uint64_t>
+SyntheticWorkload::codeFootprint() const
+{
+    std::vector<std::uint64_t> lines;
+    lines.reserve(profile_.codeBytes / 64);
+    for (std::uint64_t off = 0; off < profile_.codeBytes; off += 64)
+        lines.push_back(kCodeBase + off);
+    return lines;
+}
+
+bool
+SyntheticWorkload::next(Instruction &out)
+{
+    if (maxInstructions_ != 0 && produced_ >= maxInstructions_)
+        return false;
+
+    const WorkloadPhase &phase = currentPhase();
+
+    out = Instruction{};
+    out.pc = pc_;
+    out.op = isBranchSite(pc_, phase) ? OpClass::Branch
+                                      : drawOpClass(phase);
+
+    if (isMemOp(out.op))
+        out.address = drawAddress(phase);
+
+    fillDeps(phase, out);
+
+    if (out.op == OpClass::Branch) {
+        makeBranch(phase, out);
+        pc_ = out.taken ? out.target : pc_ + 4;
+    } else {
+        pc_ += 4;
+    }
+    // Keep the PC inside the synthetic code footprint.
+    if (pc_ >= kCodeBase + profile_.codeBytes)
+        pc_ = kCodeBase + (pc_ - kCodeBase) % profile_.codeBytes;
+
+    if (out.op == OpClass::Load) {
+        sinceLastLoad_ = 1;
+        haveLastLoad_ = true;
+    } else if (haveLastLoad_ && sinceLastLoad_ < 200) {
+        ++sinceLastLoad_;
+    }
+
+    ++produced_;
+    advancePhase();
+    return true;
+}
+
+} // namespace didt

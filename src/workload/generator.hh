@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic instruction-stream generator.
+ *
+ * Turns a BenchmarkProfile into a deterministic dynamic instruction
+ * stream implementing InstructionSource. Program counters walk a
+ * synthetic code footprint with per-PC-stable branch behaviour (so the
+ * real predictor and BTB learn exactly as they would on a real trace);
+ * data addresses are drawn from hot/warm/cold working-set regions (so
+ * the real cache hierarchy produces the profile's miss behaviour);
+ * register dependencies are drawn from a geometric distance
+ * distribution with optional load-to-load chasing.
+ */
+
+#ifndef DIDT_WORKLOAD_GENERATOR_HH
+#define DIDT_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/instruction.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace didt
+{
+
+/** Deterministic synthetic workload for one benchmark profile. */
+class SyntheticWorkload : public InstructionSource
+{
+  public:
+    /**
+     * @param profile the benchmark description
+     * @param max_instructions stream length (0 = unbounded)
+     * @param seed extra seed mixed with the profile's own
+     */
+    SyntheticWorkload(const BenchmarkProfile &profile,
+                      std::uint64_t max_instructions,
+                      std::uint64_t seed = 0);
+
+    bool next(Instruction &out) override;
+
+    /** Instructions produced so far. */
+    std::uint64_t produced() const { return produced_; }
+
+    /**
+     * Cacheable footprint of this workload at line granularity: all
+     * hot- and warm-region data addresses. Touching these before the
+     * timed run models a SimPoint-style warm cache start.
+     */
+    std::vector<std::uint64_t> dataFootprint() const;
+
+    /** Code footprint at line granularity (for the L1I / L2). */
+    std::vector<std::uint64_t> codeFootprint() const;
+
+    /** The profile driving this stream. */
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    const WorkloadPhase &currentPhase() const;
+    void advancePhase();
+    bool isBranchSite(std::uint64_t pc, const WorkloadPhase &phase) const;
+    OpClass drawOpClass(const WorkloadPhase &phase);
+    std::uint64_t drawAddress(const WorkloadPhase &phase);
+    void fillDeps(const WorkloadPhase &phase, Instruction &inst);
+    void makeBranch(const WorkloadPhase &phase, Instruction &inst);
+
+    BenchmarkProfile profile_;
+    std::uint64_t maxInstructions_;
+    Rng rng_;
+
+    std::uint64_t produced_ = 0;
+    std::size_t phaseIndex_ = 0;
+    std::uint64_t phaseRemaining_ = 0;
+
+    std::uint64_t pc_;
+    std::uint64_t coldPtr_ = 0;
+    std::uint64_t warmPtr_ = 0;
+    std::uint32_t sinceLastLoad_ = 0;
+    bool haveLastLoad_ = false;
+    std::vector<std::uint64_t> callStack_;
+
+    static constexpr std::uint64_t kCodeBase = 0x00400000ULL;
+    static constexpr std::uint64_t kHotBase = 0x10000000ULL;
+    static constexpr std::uint64_t kWarmBase = 0x20000000ULL;
+    static constexpr std::uint64_t kColdBase = 0x30000000ULL;
+    static constexpr std::uint64_t kColdBytes = 256ULL * 1024 * 1024;
+};
+
+} // namespace didt
+
+#endif // DIDT_WORKLOAD_GENERATOR_HH

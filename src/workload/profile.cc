@@ -1,0 +1,304 @@
+#include "workload/profile.hh"
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/** Smooth, L1-resident compute phase (high IPC, Gaussian current). */
+WorkloadPhase
+computePhase(bool fp, std::size_t length = 50000)
+{
+    WorkloadPhase p;
+    p.loadFrac = fp ? 0.28 : 0.24;
+    p.storeFrac = fp ? 0.10 : 0.10;
+    p.branchFrac = fp ? 0.06 : 0.16;
+    p.fpFrac = fp ? 0.85 : 0.0;
+    p.multFrac = fp ? 0.25 : 0.06;
+    p.divFrac = fp ? 0.01 : 0.003;
+    p.hotProb = 0.945;
+    p.warmProb = 0.053;
+    p.chaseProb = 0.0;
+    p.predictableBranchFrac = fp ? 0.96 : 0.90;
+    p.depGeomP = 0.16;
+    p.dep2Prob = 0.30;
+    p.lengthInsts = length;
+    return p;
+}
+
+/**
+ * L2-resident pointer-chasing phase: dependent loads that miss L1 and
+ * hit L2 produce current oscillation near the ~19-cycle L2 round trip,
+ * squarely in the supply network's resonant band. The dI/dt stressor.
+ */
+WorkloadPhase
+l2OscillationPhase(bool fp, std::size_t length = 4000)
+{
+    WorkloadPhase p = computePhase(fp, length);
+    p.loadFrac = 0.03;      // one pivot load per ~33 instructions
+    p.storeFrac = 0.10;
+    p.branchFrac = 0.04;
+    p.fpFrac = fp ? 0.45 : 0.0;
+    p.multFrac = 0.10;
+    p.divFrac = 0.0;
+    p.hotProb = 0.05;
+    p.warmProb = 0.93;
+    p.chaseProb = 1.0;      // loads chain through L2 (~21-cycle period)
+    p.gateOnLoadProb = 1.0; // work releases in bursts behind each load
+    return p;
+}
+
+/**
+ * Main-memory-bound phase: serialized 250-cycle misses leave the core
+ * idle for long stretches punctuated by bursts — the spiky,
+ * non-Gaussian profile of mcf/art/swim/lucas.
+ */
+WorkloadPhase
+memBoundPhase(bool fp, double chase, std::size_t length = 30000)
+{
+    WorkloadPhase p = computePhase(fp, length);
+    p.loadFrac = 0.35;
+    p.storeFrac = 0.08;
+    p.hotProb = 0.55;
+    p.warmProb = 0.29;
+    p.chaseProb = chase;
+    p.depGeomP = 0.40;
+    return p;
+}
+
+/** Moderate phase between compute- and memory-bound. */
+WorkloadPhase
+moderatePhase(bool fp, double hot, double warm, std::size_t length = 40000)
+{
+    WorkloadPhase p = computePhase(fp, length);
+    p.hotProb = hot;
+    p.warmProb = warm + (1.0 - hot - warm) - 0.004; // tiny cold residue
+    p.chaseProb = 0.10;
+    return p;
+}
+
+BenchmarkProfile
+make(const std::string &name, bool fp, std::size_t code_kb,
+     std::vector<WorkloadPhase> phases, std::uint64_t seed)
+{
+    BenchmarkProfile b;
+    b.name = name;
+    b.floatingPoint = fp;
+    b.codeBytes = code_kb * 1024;
+    b.phases = std::move(phases);
+    b.seed = seed;
+    return b;
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> all;
+    std::uint64_t s = 1000;
+
+    // ---- SPEC CINT2000 -------------------------------------------------
+    // gzip: compression loops, L1-resident, smooth and Gaussian.
+    all.push_back(make("gzip", false, 48,
+                       {computePhase(false, 60000),
+                        moderatePhase(false, 0.86, 0.13, 20000)},
+                       ++s));
+    // vpr: place & route; moderate memory, low current variance.
+    all.push_back(make("vpr", false, 64,
+                       {[] {
+                           WorkloadPhase p = moderatePhase(false, 0.93,
+                                                           0.06, 80000);
+                           p.branchFrac = 0.11;
+                           p.predictableBranchFrac = 0.97;
+                           p.chaseProb = 0.0;
+                           p.depGeomP = 0.22;
+                           return p;
+                       }()},
+                       ++s));
+    // gcc: big code footprint, bursty alternation of compute and
+    // L2-resident pointer chasing -> strong mid-frequency dI/dt.
+    all.push_back(make("gcc", false, 128,
+                       {computePhase(false, 1200),
+                        l2OscillationPhase(false, 900)},
+                       ++s));
+    // mcf: the classic pointer-chasing, memory-bound benchmark.
+    all.push_back(make("mcf", false, 32,
+                       {[] {
+                           WorkloadPhase p = memBoundPhase(false, 0.8,
+                                                           60000);
+                           p.depFixed = 6;
+                           p.chaseProb = 0.8;
+                           return p;
+                       }()},
+                       ++s));
+    // crafty: chess search, high ILP, L1-resident.
+    all.push_back(make("crafty", false, 96,
+                       {computePhase(false, 90000)}, ++s));
+    // parser: moderate memory with less predictable branches.
+    all.push_back(make("parser", false, 64,
+                       {[] {
+                           WorkloadPhase p = moderatePhase(false, 0.80, 0.18,
+                                                           60000);
+                           p.predictableBranchFrac = 0.78;
+                           return p;
+                       }()},
+                       ++s));
+    // eon: C++ ray tracer, compute-bound and smooth.
+    all.push_back(make("eon", false, 80,
+                       {computePhase(false, 90000)}, ++s));
+    // perlbmk: interpreter with branchy, larger code.
+    all.push_back(make("perlbmk", false, 96,
+                       {[] {
+                           WorkloadPhase p = computePhase(false, 50000);
+                           p.branchFrac = 0.20;
+                           p.predictableBranchFrac = 0.85;
+                           return p;
+                       }()},
+                       ++s));
+    // gap: group theory; steady moderate behaviour, low variance.
+    all.push_back(make("gap", false, 64,
+                       {[] {
+                           WorkloadPhase p = moderatePhase(false, 0.92,
+                                                           0.07, 80000);
+                           p.branchFrac = 0.11;
+                           p.predictableBranchFrac = 0.97;
+                           p.chaseProb = 0.0;
+                           p.depGeomP = 0.22;
+                           return p;
+                       }()},
+                       ++s));
+    // vortex: OO database, big code, mostly L2-resident data.
+    all.push_back(make("vortex", false, 128,
+                       {moderatePhase(false, 0.84, 0.15, 70000)}, ++s));
+    // bzip2: compression with larger working set than gzip.
+    all.push_back(make("bzip2", false, 48,
+                       {moderatePhase(false, 0.78, 0.21, 50000),
+                        computePhase(false, 30000)},
+                       ++s));
+    // twolf: placement; L2-resident working set, branchy.
+    all.push_back(make("twolf", false, 64,
+                       {[] {
+                           WorkloadPhase p = moderatePhase(false, 0.74, 0.25,
+                                                           70000);
+                           p.predictableBranchFrac = 0.80;
+                           return p;
+                       }()},
+                       ++s));
+
+    // ---- SPEC CFP2000 --------------------------------------------------
+    // wupwise: quantum chromodynamics; smooth FP compute.
+    all.push_back(make("wupwise", true, 48,
+                       {computePhase(true, 90000)}, ++s));
+    // swim: shallow-water stencils streaming through memory.
+    all.push_back(make("swim", true, 32,
+                       {[] {
+                           WorkloadPhase p = memBoundPhase(true, 0.05,
+                                                           50000);
+                           p.depGeomP = 0.20; // independent misses, MLP
+                           return p;
+                       }()},
+                       ++s));
+    // mgrid: multigrid stencils; alternating compute and L2-bound
+    // sweeps at short period -> one of the paper's dI/dt stressors.
+    all.push_back(make("mgrid", true, 32,
+                       {computePhase(true, 1000),
+                        l2OscillationPhase(true, 1100)},
+                       ++s));
+    // applu: PDE solver; like mgrid with longer, milder phases.
+    all.push_back(make("applu", true, 48,
+                       {computePhase(true, 12000),
+                        l2OscillationPhase(true, 5000)},
+                       ++s));
+    // mesa: software rasterizer; L1-resident and smooth.
+    all.push_back(make("mesa", true, 96,
+                       {computePhase(true, 90000)}, ++s));
+    // galgel: fluid dynamics; strong short-period phase alternation.
+    all.push_back(make("galgel", true, 48,
+                       {computePhase(true, 900),
+                        l2OscillationPhase(true, 1000)},
+                       ++s));
+    // art: neural-net image recognition; streaming, memory-bound.
+    all.push_back(make("art", true, 32,
+                       {memBoundPhase(true, 0.45, 60000)}, ++s));
+    // equake: sparse solver; serialized misses, low overall variance.
+    all.push_back(make("equake", true, 48,
+                       {[] {
+                           WorkloadPhase p = memBoundPhase(true, 0.85,
+                                                           70000);
+                           p.depFixed = 6;
+                           p.chaseProb = 0.85;
+                           return p;
+                       }()},
+                       ++s));
+    // facerec: image processing; moderate L2 traffic.
+    all.push_back(make("facerec", true, 64,
+                       {moderatePhase(true, 0.80, 0.18, 60000)}, ++s));
+    // ammp: molecular dynamics; moderate memory-bound.
+    all.push_back(make("ammp", true, 64,
+                       {memBoundPhase(true, 0.5, 50000)}, ++s));
+    // lucas: FFT-based primality; strided streaming misses.
+    all.push_back(make("lucas", true, 32,
+                       {[] {
+                           WorkloadPhase p = memBoundPhase(true, 0.15,
+                                                           60000);
+                           p.depGeomP = 0.25;
+                           return p;
+                       }()},
+                       ++s));
+    // fma3d: crash simulation; moderate compute with L2 episodes.
+    all.push_back(make("fma3d", true, 128,
+                       {computePhase(true, 20000),
+                        moderatePhase(true, 0.75, 0.23, 10000)},
+                       ++s));
+    // sixtrack: accelerator tracking; tight FP loops, very smooth.
+    all.push_back(make("sixtrack", true, 48,
+                       {computePhase(true, 100000)}, ++s));
+    // apsi: meteorology; short-period compute/L2 alternation.
+    all.push_back(make("apsi", true, 64,
+                       {computePhase(true, 1300),
+                        l2OscillationPhase(true, 1200)},
+                       ++s));
+    return all;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2000Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+std::vector<BenchmarkProfile>
+spec2000Int()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : spec2000Profiles())
+        if (!p.floatingPoint)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+spec2000Fp()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : spec2000Profiles())
+        if (p.floatingPoint)
+            out.push_back(p);
+    return out;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : spec2000Profiles())
+        if (p.name == name)
+            return p;
+    didt_fatal("unknown benchmark '", name, "'");
+}
+
+} // namespace didt

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000 benchmark profiles.
+ *
+ * The paper evaluates on all 26 SPEC 2000 benchmarks at SimPoint
+ * simulation points. Binaries and traces are not redistributable, so
+ * each benchmark is replaced by a parameterized synthetic instruction
+ * stream whose event rates (instruction mix, branch predictability,
+ * cache working sets, dependency structure, phase behaviour) are
+ * calibrated to the benchmark's published characteristics. The dI/dt
+ * analyses only consume the resulting per-cycle current waveform and
+ * event stream, so matching those rates reproduces the paper's
+ * benchmark-level contrasts (see DESIGN.md, substitution table).
+ */
+
+#ifndef DIDT_WORKLOAD_PROFILE_HH
+#define DIDT_WORKLOAD_PROFILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace didt
+{
+
+/** Behavioural parameters of one execution phase. */
+struct WorkloadPhase
+{
+    /** Fraction of instructions that are loads. */
+    double loadFrac = 0.25;
+
+    /** Fraction of instructions that are stores. */
+    double storeFrac = 0.10;
+
+    /** Fraction of instructions that are conditional branches. */
+    double branchFrac = 0.15;
+
+    /** Of the remaining ALU ops, fraction that are floating point. */
+    double fpFrac = 0.0;
+
+    /** Of arithmetic ops, fraction that are multiplies. */
+    double multFrac = 0.05;
+
+    /** Of arithmetic ops, fraction that are divides. */
+    double divFrac = 0.005;
+
+    /** Probability a data access falls in the L1-resident hot set. */
+    double hotProb = 0.90;
+
+    /** Probability it falls in the L2-resident warm set. */
+    double warmProb = 0.08;
+    // cold (streaming, memory-missing) probability = 1 - hot - warm
+
+    /** Probability a load's address depends on the previous load
+     *  (pointer chasing; serializes misses as in mcf). */
+    double chaseProb = 0.0;
+
+    /**
+     * Probability a non-load instruction depends on the most recent
+     * load. Combined with chasing through L2-resident data this gates
+     * bursts of work behind each ~20-cycle L2 hit — the machine-wide
+     * oscillation in the supply's resonant band that makes a
+     * benchmark a dI/dt stressor.
+     */
+    double gateOnLoadProb = 0.0;
+
+    /**
+     * When non-zero, use this fixed input-dependency distance instead
+     * of the geometric draw: a perfectly regular dependency lattice
+     * that issues smoothly (low current variance, as in vpr/gap).
+     */
+    std::uint32_t depFixed = 0;
+
+    /** Fraction of static branches that are strongly biased. */
+    double predictableBranchFrac = 0.9;
+
+    /** Geometric parameter for dependency distances; larger means
+     *  nearer producers and less ILP. */
+    double depGeomP = 0.35;
+
+    /** Probability an instruction has a second input dependency. */
+    double dep2Prob = 0.4;
+
+    /** Phase length in instructions before switching to the next. */
+    std::size_t lengthInsts = 50000;
+};
+
+/** A complete synthetic benchmark description. */
+struct BenchmarkProfile
+{
+    /** SPEC benchmark name (e.g. "gzip"). */
+    std::string name;
+
+    /** True for SPEC FP benchmarks. */
+    bool floatingPoint = false;
+
+    /** Static code footprint in bytes (drives L1I behaviour). */
+    std::size_t codeBytes = 32 * 1024;
+
+    /** Hot data working set in bytes (L1D resident). */
+    std::size_t hotBytes = 32 * 1024;
+
+    /** Warm data working set in bytes (L2 resident). */
+    std::size_t warmBytes = 512 * 1024;
+
+    /** Phases cycled through in order. */
+    std::vector<WorkloadPhase> phases;
+
+    /** Deterministic per-benchmark seed component. */
+    std::uint64_t seed = 1;
+};
+
+/** All 26 SPEC CPU2000 profiles (12 integer then 14 floating point). */
+const std::vector<BenchmarkProfile> &spec2000Profiles();
+
+/** The SPEC integer subset. */
+std::vector<BenchmarkProfile> spec2000Int();
+
+/** The SPEC floating-point subset. */
+std::vector<BenchmarkProfile> spec2000Fp();
+
+/** Look up a profile by name; fatal on unknown names. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+} // namespace didt
+
+#endif // DIDT_WORKLOAD_PROFILE_HH

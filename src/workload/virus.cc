@@ -1,0 +1,93 @@
+#include "workload/virus.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+DiDtVirus::DiDtVirus(std::uint32_t burst_ops, std::uint32_t stall_divs,
+                     std::uint64_t max_instructions)
+    : burstOps_(burst_ops),
+      stallDivs_(stall_divs),
+      maxInstructions_(max_instructions)
+{
+    if (burstOps_ == 0 || stallDivs_ == 0)
+        didt_fatal("virus burst/stall lengths must be positive");
+}
+
+DiDtVirus
+DiDtVirus::tunedFor(double clock_hz, double resonant_hz,
+                    std::uint32_t issue_width, std::uint32_t div_latency,
+                    std::uint64_t max_instructions)
+{
+    if (clock_hz <= 0.0 || resonant_hz <= 0.0)
+        didt_fatal("virus tuning requires positive frequencies");
+    const double period_cycles = clock_hz / resonant_hz;
+    // Spend half the period stalled (divide chain), half bursting.
+    const auto stall_divs = static_cast<std::uint32_t>(std::max(
+        1.0, period_cycles / 2.0 / static_cast<double>(div_latency)));
+    const auto burst_ops = static_cast<std::uint32_t>(std::max(
+        1.0, period_cycles / 2.0 * static_cast<double>(issue_width)));
+    return DiDtVirus(burst_ops, stall_divs, max_instructions);
+}
+
+bool
+DiDtVirus::next(Instruction &out)
+{
+    if (maxInstructions_ != 0 && produced_ >= maxInstructions_)
+        return false;
+
+    out = Instruction{};
+    out.pc = pc_;
+    pc_ += 4;
+    // Keep the loop body inside a tiny, always-L1-resident region.
+    if (pc_ >= 0x00500000ULL + 4096)
+        pc_ = 0x00500000ULL;
+
+    if (inStall_) {
+        // Serialized divides: each depends on the previous instruction.
+        out.op = OpClass::IntDiv;
+        out.dep1 = 1;
+        if (++phasePos_ >= stallDivs_) {
+            phasePos_ = 0;
+            inStall_ = false;
+        }
+    } else {
+        // Independent wide work cycling over every unit class to
+        // maximize switching activity.
+        switch (phasePos_ % 8) {
+          case 0: case 3:
+            out.op = OpClass::FpMult;
+            break;
+          case 1: case 4: case 6:
+            out.op = OpClass::FpAlu;
+            break;
+          case 2:
+            out.op = OpClass::Load;
+            out.address = 0x10000000ULL + (phasePos_ % 512) * 64;
+            break;
+          case 5:
+            out.op = OpClass::Store;
+            out.address = 0x10000000ULL + (phasePos_ % 512) * 64;
+            break;
+          default:
+            out.op = OpClass::IntAlu;
+            break;
+        }
+        // Every burst op depends on the final divide of the preceding
+        // stall, so the whole burst releases at once when the divide
+        // completes — the steepest dI/dt edge the pipeline can make.
+        out.dep1 = phasePos_ + 1;
+        if (++phasePos_ >= burstOps_) {
+            phasePos_ = 0;
+            inStall_ = true;
+        }
+    }
+
+    ++produced_;
+    return true;
+}
+
+} // namespace didt

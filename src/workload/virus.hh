@@ -1,0 +1,66 @@
+/**
+ * @file
+ * dI/dt stressmark ("virus") workload.
+ *
+ * Commercial designers benchmark supply adequacy with custom crafted
+ * microbenchmarks (paper Section 3.1, citing Bannon): loops that swing
+ * the machine between maximum activity and a deep stall at the supply
+ * network's resonant period, building the largest achievable voltage
+ * oscillation. This source emits exactly that pattern: a burst of
+ * independent wide-issue work followed by a serializing divide chain,
+ * with the burst/stall lengths chosen to lock onto the resonant
+ * frequency. The resulting *processor-filtered* current trace defines
+ * the worst-case execution sequence used to calibrate 100% target
+ * impedance.
+ */
+
+#ifndef DIDT_WORKLOAD_VIRUS_HH
+#define DIDT_WORKLOAD_VIRUS_HH
+
+#include <cstdint>
+
+#include "sim/instruction.hh"
+
+namespace didt
+{
+
+/** Resonance-locked burst/stall instruction stream. */
+class DiDtVirus : public InstructionSource
+{
+  public:
+    /**
+     * @param burst_ops independent (far-dependency) mixed ALU/FP/load
+     *        ops per burst; at 4-wide issue a burst of B ops runs for
+     *        about B/4 cycles
+     * @param stall_divs serialized dependent integer divides per
+     *        stall; each occupies the divider ~20 cycles
+     * @param max_instructions stream length (0 = unbounded)
+     */
+    DiDtVirus(std::uint32_t burst_ops, std::uint32_t stall_divs,
+              std::uint64_t max_instructions = 0);
+
+    /**
+     * Convenience: choose burst/stall lengths that lock onto
+     * @p resonant_hz for a machine at @p clock_hz with the given
+     * issue width and divide latency.
+     */
+    static DiDtVirus tunedFor(double clock_hz, double resonant_hz,
+                              std::uint32_t issue_width,
+                              std::uint32_t div_latency,
+                              std::uint64_t max_instructions = 0);
+
+    bool next(Instruction &out) override;
+
+  private:
+    std::uint32_t burstOps_;
+    std::uint32_t stallDivs_;
+    std::uint64_t maxInstructions_;
+    std::uint64_t produced_ = 0;
+    std::uint32_t phasePos_ = 0;
+    bool inStall_ = false;
+    std::uint64_t pc_ = 0x00500000ULL;
+};
+
+} // namespace didt
+
+#endif // DIDT_WORKLOAD_VIRUS_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Invariant tests on the closed-loop co-simulation and the denoising
+ * utility: properties that must hold for every control scheme
+ * (commit conservation, determinism, cap behaviour, accounting), and
+ * SNR improvement from wavelet shrinkage.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosim.hh"
+#include "core/experiment.hh"
+#include "stats/running_stats.hh"
+#include "util/rng.hh"
+#include "wavelet/denoise.hh"
+#include "workload/profile.hh"
+
+namespace didt
+{
+namespace
+{
+
+class CosimInvariants
+    : public ::testing::TestWithParam<ControlScheme>
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setup_ = new ExperimentSetup(makeStandardSetup());
+        network_ = new SupplyNetwork(setup_->makeNetwork(1.5));
+        model_ = new VoltageVarianceModel(
+            makeCalibratedModel(*setup_, *network_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete model_;
+        delete network_;
+        delete setup_;
+        model_ = nullptr;
+        network_ = nullptr;
+        setup_ = nullptr;
+    }
+
+    CosimConfig
+    config() const
+    {
+        CosimConfig cfg;
+        cfg.instructions = 20000;
+        cfg.scheme = GetParam();
+        cfg.control.tolerance = 0.020;
+        cfg.hazardModel = model_;
+        return cfg;
+    }
+
+    CosimResult
+    run(const CosimConfig &cfg) const
+    {
+        return runClosedLoop(profileByName("gzip"), setup_->proc,
+                             setup_->power, *network_, cfg);
+    }
+
+    static ExperimentSetup *setup_;
+    static SupplyNetwork *network_;
+    static VoltageVarianceModel *model_;
+};
+
+ExperimentSetup *CosimInvariants::setup_ = nullptr;
+SupplyNetwork *CosimInvariants::network_ = nullptr;
+VoltageVarianceModel *CosimInvariants::model_ = nullptr;
+
+TEST_P(CosimInvariants, CommitsEveryInstructionRegardlessOfControl)
+{
+    const CosimResult r = run(config());
+    EXPECT_EQ(r.committed, 20000u);
+}
+
+TEST_P(CosimInvariants, DeterministicAcrossRuns)
+{
+    const CosimResult a = run(config());
+    const CosimResult b = run(config());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.lowFaults, b.lowFaults);
+    EXPECT_EQ(a.controlCycles, b.controlCycles);
+    EXPECT_DOUBLE_EQ(a.minVoltage, b.minVoltage);
+}
+
+TEST_P(CosimInvariants, MaxCyclesCapRespected)
+{
+    CosimConfig cfg = config();
+    cfg.maxCycles = 1000;
+    const CosimResult r = run(cfg);
+    EXPECT_EQ(r.cycles, 1000u);
+    EXPECT_LT(r.committed, 20000u);
+}
+
+TEST_P(CosimInvariants, AccountingIsConsistent)
+{
+    const CosimResult r = run(config());
+    EXPECT_EQ(r.controlCycles >= r.stallCycles, true);
+    EXPECT_LE(r.falsePositives, r.cycles);
+    EXPECT_LE(r.minVoltage, r.maxVoltage);
+    EXPECT_GT(r.meanCurrent, 0.0);
+    EXPECT_GT(r.energyJ, 0.0);
+}
+
+TEST_P(CosimInvariants, ControlNeverIncreasesFaultsVsBaseline)
+{
+    CosimConfig cfg = config();
+    cfg.scheme = ControlScheme::None;
+    const CosimResult base = run(cfg);
+    const CosimResult ctl = run(config());
+    if (GetParam() != ControlScheme::None &&
+        GetParam() != ControlScheme::AnalogSensor) {
+        EXPECT_LE(ctl.lowFaults, base.lowFaults);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, CosimInvariants,
+    ::testing::Values(ControlScheme::None, ControlScheme::Wavelet,
+                      ControlScheme::FullConvolution,
+                      ControlScheme::AnalogSensor,
+                      ControlScheme::PipelineDamping,
+                      ControlScheme::AdaptiveWavelet));
+
+// ---------------------------------------------------------------------------
+// Denoising
+// ---------------------------------------------------------------------------
+
+TEST(Denoise, ImprovesSnrOnNoisyWaveform)
+{
+    // Clean piecewise-constant current profile + white noise.
+    const std::size_t n = 2048;
+    std::vector<double> clean(n);
+    for (std::size_t t = 0; t < n; ++t)
+        clean[t] = (t / 128) % 2 ? 60.0 : 30.0;
+    Rng rng(9);
+    std::vector<double> noisy(n);
+    for (std::size_t t = 0; t < n; ++t)
+        noisy[t] = clean[t] + rng.normal(0.0, 3.0);
+
+    const auto denoised = denoise(noisy);
+    EXPECT_LT(rmsError(denoised, clean), 0.5 * rmsError(noisy, clean));
+}
+
+TEST(Denoise, SigmaEstimateIsAccurate)
+{
+    Rng rng(10);
+    std::vector<double> x(4096);
+    for (auto &v : x)
+        v = 40.0 + rng.normal(0.0, 2.5);
+    EXPECT_NEAR(estimateNoiseSigma(x), 2.5, 0.3);
+}
+
+TEST(Denoise, PreservesCleanSignalEdges)
+{
+    // A noiseless step should survive (nearly) untouched: its detail
+    // coefficients are far above any estimated threshold.
+    std::vector<double> x(512, 10.0);
+    for (std::size_t t = 256; t < 512; ++t)
+        x[t] = 50.0;
+    // Tiny dither so the sigma estimate is nonzero but negligible.
+    Rng rng(11);
+    for (auto &v : x)
+        v += rng.normal(0.0, 0.01);
+    const auto out = denoise(x);
+    EXPECT_LT(rmsError(out, x), 0.05);
+    EXPECT_NEAR(out[255], 10.0, 0.5);
+    EXPECT_NEAR(out[256], 50.0, 0.5);
+}
+
+TEST(Denoise, HardAndSoftDiffer)
+{
+    Rng rng(12);
+    std::vector<double> x(512);
+    for (auto &v : x)
+        v = 40.0 + rng.normal(0.0, 2.0);
+    DenoiseConfig soft;
+    soft.rule = Shrinkage::Soft;
+    DenoiseConfig hard;
+    hard.rule = Shrinkage::Hard;
+    const auto a = denoise(x, WaveletBasis::haar(), soft);
+    const auto b = denoise(x, WaveletBasis::haar(), hard);
+    EXPECT_NE(a, b);
+}
+
+TEST(Denoise, ExplicitSigmaOverridesEstimate)
+{
+    Rng rng(13);
+    std::vector<double> x(256);
+    for (auto &v : x)
+        v = rng.normal(0.0, 1.0);
+    DenoiseConfig aggressive;
+    aggressive.sigma = 100.0; // threshold kills everything
+    const auto out = denoise(x, WaveletBasis::haar(), aggressive);
+    // Only the (per-window) mean structure survives.
+    RunningStats s;
+    for (double v : out)
+        s.push(v);
+    EXPECT_LT(s.variance(), variance(x) * 0.05);
+}
+
+} // namespace
+} // namespace didt

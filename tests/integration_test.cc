@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Integration tests: the full experiment pipeline from workload
+ * through processor, supply network, offline estimation, and
+ * closed-loop control. These mirror the paper's end-to-end claims at
+ * reduced scale.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cosim.hh"
+#include "core/emergency_estimator.hh"
+#include "core/experiment.hh"
+#include "core/window_analysis.hh"
+#include "stats/running_stats.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace didt
+{
+namespace
+{
+
+/** Shared expensive fixtures: one calibrated setup per test binary. */
+class Experiment : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setup_ = new ExperimentSetup(makeStandardSetup());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete setup_;
+        setup_ = nullptr;
+    }
+
+    static const ExperimentSetup &setup() { return *setup_; }
+
+  private:
+    static ExperimentSetup *setup_;
+};
+
+ExperimentSetup *Experiment::setup_ = nullptr;
+
+TEST_F(Experiment, CalibrationKeepsVirusInBandAtHundredPercent)
+{
+    const SupplyNetwork net = setup().makeNetwork(1.0);
+    const CurrentTrace virus = virusCurrentTrace(setup());
+    const VoltageTrace v = net.computeVoltage(virus);
+    Volt lo = 2.0;
+    Volt hi = 0.0;
+    for (Volt x : v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_GE(lo, 0.95 - 5e-4);
+    EXPECT_LE(hi, 1.05 + 5e-4);
+}
+
+TEST_F(Experiment, VirusViolatesBandAtHundredFiftyPercent)
+{
+    const SupplyNetwork net = setup().makeNetwork(1.5);
+    const CurrentTrace virus = virusCurrentTrace(setup());
+    const VoltageTrace v = net.computeVoltage(virus);
+    Volt lo = 2.0;
+    for (Volt x : v)
+        lo = std::min(lo, x);
+    EXPECT_LT(lo, 0.95);
+}
+
+TEST_F(Experiment, IdleAndPeakCurrentsBracketWorkloads)
+{
+    // Switching noise may wander slightly below idle (floored at 90%
+    // of idle) and a few sigma above peak.
+    const double sigma = setup().power.currentNoiseSigma;
+    const CurrentTrace trace =
+        benchmarkCurrentTrace(setup(), profileByName("gzip"), 30000);
+    for (Amp amp : trace) {
+        EXPECT_GE(amp, 0.9 * setup().idleCurrent - 1e-9);
+        EXPECT_LE(amp, setup().peakCurrent + 6.0 * sigma);
+    }
+}
+
+TEST_F(Experiment, BenchmarkTraceIsDeterministic)
+{
+    const CurrentTrace a =
+        benchmarkCurrentTrace(setup(), profileByName("vpr"), 20000);
+    const CurrentTrace b =
+        benchmarkCurrentTrace(setup(), profileByName("vpr"), 20000);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(Experiment, MemoryBoundBenchmarkHasLowerMeanCurrent)
+{
+    RunningStats compute;
+    for (Amp a : benchmarkCurrentTrace(setup(), profileByName("sixtrack"),
+                                       30000))
+        compute.push(a);
+    RunningStats memory;
+    for (Amp a :
+         benchmarkCurrentTrace(setup(), profileByName("mcf"), 30000))
+        memory.push(a);
+    EXPECT_GT(compute.mean(), memory.mean());
+}
+
+TEST_F(Experiment, StressorHasMoreResonantEnergyThanComputeBound)
+{
+    // The defining contrast of the paper's Figure 9: oscillation
+    // benchmarks couple to the resonance far more than smooth ones.
+    const SupplyNetwork net = setup().makeNetwork(1.5);
+    auto voltage_sigma = [&](const char *name) {
+        const CurrentTrace t =
+            benchmarkCurrentTrace(setup(), profileByName(name), 60000);
+        RunningStats s;
+        for (Volt v : net.computeVoltage(t))
+            s.push(v);
+        return s.stddev();
+    };
+    EXPECT_GT(voltage_sigma("mgrid"), 1.3 * voltage_sigma("gzip"));
+    EXPECT_GT(voltage_sigma("gzip"), 1.5 * voltage_sigma("mcf"));
+}
+
+TEST_F(Experiment, OfflineEstimatorTracksMeasuredEmergencies)
+{
+    const SupplyNetwork net = setup().makeNetwork(1.5);
+    const VoltageVarianceModel model = makeCalibratedModel(setup(), net);
+
+    double sq_err = 0.0;
+    int n = 0;
+    for (const char *name : {"gzip", "mgrid", "mcf", "vpr"}) {
+        const CurrentTrace t =
+            benchmarkCurrentTrace(setup(), profileByName(name), 60000);
+        const auto profile = profileTrace(t, net, model, 0.97, 1.03);
+        const double err = profile.estimatedBelow - profile.measuredBelow;
+        sq_err += err * err;
+        ++n;
+        // Each individual estimate within 6 percentage points.
+        EXPECT_LT(std::fabs(err), 0.06) << name;
+    }
+    EXPECT_LT(std::sqrt(sq_err / n), 0.04);
+}
+
+TEST_F(Experiment, EstimatorRanksStressorAboveQuiet)
+{
+    const SupplyNetwork net = setup().makeNetwork(1.5);
+    const VoltageVarianceModel model = makeCalibratedModel(setup(), net);
+    auto estimated = [&](const char *name) {
+        const CurrentTrace t =
+            benchmarkCurrentTrace(setup(), profileByName(name), 60000);
+        return profileTrace(t, net, model, 0.97, 1.03).estimatedBelow;
+    };
+    const double stressor = estimated("galgel");
+    const double quiet = estimated("equake");
+    EXPECT_GT(stressor, 10.0 * std::max(quiet, 1e-6));
+}
+
+TEST_F(Experiment, WaveletControlEliminatesFaults)
+{
+    const SupplyNetwork net = setup().makeNetwork(1.5);
+    CosimConfig cfg;
+    cfg.instructions = 50000;
+    cfg.scheme = ControlScheme::None;
+    const CosimResult base = runClosedLoop(
+        profileByName("gzip"), setup().proc, setup().power, net, cfg);
+    ASSERT_GT(base.lowFaults, 0u) << "baseline must fault at 150%";
+
+    cfg.scheme = ControlScheme::Wavelet;
+    cfg.control.tolerance = 0.020;
+    cfg.waveletTerms = 13;
+    const CosimResult ctl = runClosedLoop(
+        profileByName("gzip"), setup().proc, setup().power, net, cfg);
+    EXPECT_EQ(ctl.lowFaults, 0u);
+    EXPECT_EQ(ctl.highFaults, 0u);
+    EXPECT_LT(slowdown(ctl, base), 0.02);
+}
+
+TEST_F(Experiment, DampingControlsButCostsMorePerformance)
+{
+    const SupplyNetwork net = setup().makeNetwork(1.5);
+    CosimConfig cfg;
+    cfg.instructions = 40000;
+    cfg.scheme = ControlScheme::None;
+    const CosimResult base = runClosedLoop(
+        profileByName("mgrid"), setup().proc, setup().power, net, cfg);
+
+    cfg.scheme = ControlScheme::Wavelet;
+    cfg.control.tolerance = 0.030;
+    const CosimResult wavelet = runClosedLoop(
+        profileByName("mgrid"), setup().proc, setup().power, net, cfg);
+
+    cfg.scheme = ControlScheme::PipelineDamping;
+    cfg.dampingWindow = 16;
+    cfg.dampingDelta = 10.0;
+    const CosimResult damping = runClosedLoop(
+        profileByName("mgrid"), setup().proc, setup().power, net, cfg);
+
+    // Damping engages far more often (its false-positive problem) and
+    // slows the machine more than wavelet control.
+    EXPECT_GT(damping.controlCycles, 2 * wavelet.controlCycles);
+    EXPECT_GT(slowdown(damping, base), slowdown(wavelet, base));
+}
+
+TEST_F(Experiment, ControlSchemeNamesRoundTrip)
+{
+    EXPECT_STREQ(controlSchemeName(ControlScheme::None), "none");
+    EXPECT_STREQ(controlSchemeName(ControlScheme::Wavelet), "wavelet");
+    EXPECT_STREQ(controlSchemeName(ControlScheme::PipelineDamping),
+                 "pipeline-damping");
+}
+
+TEST_F(Experiment, GaussianWindowRatesDifferByBenchmarkClass)
+{
+    // Paper Figure 12's mechanism: benchmarks dominated by long
+    // memory stalls or resonant oscillation are less Gaussian than
+    // smooth compute-bound ones.
+    Rng rng(77);
+    auto acceptance = [&](const char *name) {
+        const CurrentTrace t =
+            benchmarkCurrentTrace(setup(), profileByName(name), 60000);
+        return classifyWindows(t, 64, 200, rng).acceptanceRate();
+    };
+    EXPECT_GT(acceptance("gzip"), acceptance("mgrid"));
+    EXPECT_GT(acceptance("gzip"), acceptance("swim"));
+}
+
+TEST_F(Experiment, CalibrationTracesAreUsable)
+{
+    const auto traces = calibrationTraces(setup());
+    EXPECT_GE(traces.size(), 8u);
+    std::size_t windows = 0;
+    for (const auto &t : traces)
+        windows += t.size() / 256;
+    EXPECT_GT(windows, 100u);
+}
+
+} // namespace
+} // namespace didt

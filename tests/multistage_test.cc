@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the multi-stage supply network extension and the generic
+ * (impulse-response) monitor constructors.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.hh"
+#include "power/multistage.hh"
+#include "power/stimulus.hh"
+#include "stats/running_stats.hh"
+#include "util/rng.hh"
+
+namespace didt
+{
+namespace
+{
+
+SupplyNetworkConfig
+chipStage()
+{
+    SupplyNetworkConfig cfg;
+    cfg.resonantHz = 125.0e6;
+    cfg.qualityFactor = 5.0;
+    cfg.dcResistance = 2.0e-4;
+    cfg.responseLength = 2048;
+    return cfg;
+}
+
+SupplyNetworkConfig
+boardStage()
+{
+    SupplyNetworkConfig cfg;
+    cfg.resonantHz = 8.0e6;
+    cfg.qualityFactor = 3.0;
+    cfg.dcResistance = 1.0e-4;
+    cfg.responseLength = 8192; // slower stage rings longer
+    return cfg;
+}
+
+MultiStageSupplyNetwork
+twoStage()
+{
+    return MultiStageSupplyNetwork({chipStage(), boardStage()});
+}
+
+TEST(MultiStage, ResistanceIsSumOfStages)
+{
+    const auto net = twoStage();
+    EXPECT_NEAR(net.resistance(), 3.0e-4, 1e-12);
+    EXPECT_NEAR(net.steadyStateVoltage(50.0), 1.0 - 50.0 * 3.0e-4, 1e-12);
+}
+
+TEST(MultiStage, ImpulseResponseIsSumOfStages)
+{
+    const auto net = twoStage();
+    const SupplyNetwork chip(chipStage());
+    const SupplyNetwork board(boardStage());
+    ASSERT_EQ(net.impulseResponse().size(), 8192u);
+    for (std::size_t n = 0; n < 2048; n += 97)
+        EXPECT_NEAR(net.impulseResponse()[n],
+                    chip.impulseResponse()[n] + board.impulseResponse()[n],
+                    1e-15);
+}
+
+TEST(MultiStage, ImpedanceShowsBothResonances)
+{
+    const auto net = twoStage();
+    const double at_chip = net.impedanceAt(125.0e6);
+    const double at_board = net.impedanceAt(8.0e6);
+    const double between = net.impedanceAt(40.0e6);
+    EXPECT_GT(at_chip, 2.0 * between);
+    EXPECT_GT(at_board, 1.5 * between);
+}
+
+TEST(MultiStage, VoltageSuperposesStageDroops)
+{
+    const auto net = twoStage();
+    const SupplyNetwork chip(chipStage());
+    const SupplyNetwork board(boardStage());
+    Rng rng(5);
+    const CurrentTrace trace = gaussianCurrent(40.0, 10.0, 3000, rng);
+    const VoltageTrace combined = net.computeVoltage(trace);
+    const VoltageTrace vc = chip.computeVoltage(trace);
+    const VoltageTrace vb = board.computeVoltage(trace);
+    for (std::size_t n = 0; n < trace.size(); n += 37) {
+        const double droop = (1.0 - vc[n]) + (1.0 - vb[n]);
+        EXPECT_NEAR(combined[n], 1.0 - droop, 1e-12);
+    }
+}
+
+TEST(MultiStage, BothResonancesAmplifySines)
+{
+    const auto net = twoStage();
+    auto swing = [&](Hertz f) {
+        const CurrentTrace wave = sineCurrent(40.0, 10.0, f, 3.0e9, 32768);
+        const VoltageTrace v = net.computeVoltage(wave);
+        RunningStats s;
+        for (std::size_t n = 16384; n < v.size(); ++n)
+            s.push(v[n]);
+        return s.max() - s.min();
+    };
+    EXPECT_GT(swing(125.0e6), 2.0 * swing(40.0e6));
+    EXPECT_GT(swing(8.0e6), 1.5 * swing(40.0e6));
+}
+
+TEST(MultiStage, CalibrationFitsBand)
+{
+    const CurrentTrace worst =
+        resonantSquareWave(3.0e9, 125.0e6, 20.0, 100.0);
+    const auto stages = calibrateMultiStage({chipStage(), boardStage()},
+                                            worst);
+    const MultiStageSupplyNetwork net(stages);
+    const VoltageTrace v = net.computeVoltage(worst);
+    Volt lo = 2.0;
+    Volt hi = 0.0;
+    for (Volt x : v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_GE(lo, 0.95 - 1e-6);
+    EXPECT_LE(hi, 1.05 + 1e-6);
+    EXPECT_TRUE(lo < 0.9502 || hi > 1.0498); // tight
+}
+
+TEST(MultiStage, WaveletMonitorTracksCombinedNetwork)
+{
+    // The generic-constructor monitor must track the two-resonance
+    // voltage given the combined response. The slow board stage needs
+    // a longer history window.
+    const auto net = twoStage();
+    Rng rng(6);
+    const CurrentTrace trace = gaussianCurrent(40.0, 10.0, 8000, rng);
+    const VoltageTrace truth = net.computeVoltage(trace);
+    WaveletMonitor monitor(net.impulseResponse(), net.nominalVoltage(),
+                           2048, 2048, 10);
+    double max_err = 0.0;
+    for (std::size_t n = 0; n < trace.size(); ++n) {
+        const Volt est = monitor.update(trace[n], truth[n]);
+        if (n >= 4096)
+            max_err = std::max(max_err, std::fabs(est - truth[n]));
+    }
+    EXPECT_LT(max_err, 2e-3);
+}
+
+TEST(MultiStage, FewTermsStillCaptureBothPeaks)
+{
+    const auto net = twoStage();
+    const CurrentTrace chirp = [&] {
+        CurrentTrace t = sineCurrent(40.0, 15.0, 125.0e6, 3.0e9, 8192);
+        const CurrentTrace slow =
+            sineCurrent(0.0, 15.0, 8.0e6, 3.0e9, 8192);
+        for (std::size_t n = 0; n < t.size(); ++n)
+            t[n] += slow[n];
+        return t;
+    }();
+    const VoltageTrace truth = net.computeVoltage(chirp);
+    WaveletMonitor monitor(net.impulseResponse(), net.nominalVoltage(),
+                           48, 2048, 10);
+    double max_err = 0.0;
+    for (std::size_t n = 0; n < chirp.size(); ++n) {
+        const Volt est = monitor.update(chirp[n], truth[n]);
+        if (n >= 4096)
+            max_err = std::max(max_err, std::fabs(est - truth[n]));
+    }
+    // 48 terms on a 2048-tap two-peak kernel: still millivolt-class.
+    EXPECT_LT(max_err, 0.02);
+}
+
+TEST(MultiStage, FullConvolutionGenericCtor)
+{
+    const auto net = twoStage();
+    Rng rng(7);
+    const CurrentTrace trace = gaussianCurrent(40.0, 10.0, 4000, rng);
+    const VoltageTrace truth = net.computeVoltage(trace);
+    FullConvolutionMonitor monitor(net.impulseResponse(),
+                                   net.nominalVoltage(), 0.99999999);
+    double max_err = 0.0;
+    for (std::size_t n = 0; n < trace.size(); ++n) {
+        const Volt est = monitor.update(trace[n], truth[n]);
+        if (n >= monitor.termCount())
+            max_err = std::max(max_err, std::fabs(est - truth[n]));
+    }
+    EXPECT_LT(max_err, 5e-4);
+}
+
+TEST(MultiStageDeath, MismatchedNominalIsFatal)
+{
+    SupplyNetworkConfig a = chipStage();
+    SupplyNetworkConfig b = boardStage();
+    b.nominalVoltage = 1.2;
+    EXPECT_EXIT(MultiStageSupplyNetwork net({a, b}),
+                ::testing::ExitedWithCode(1), "nominal voltage");
+}
+
+TEST(MultiStageDeath, EmptyIsFatal)
+{
+    EXPECT_EXIT(MultiStageSupplyNetwork net({}),
+                ::testing::ExitedWithCode(1), "at least one stage");
+}
+
+} // namespace
+} // namespace didt

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests for the power library: the second-order supply network,
+ * convolution utilities, and stimulus generators.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "power/convolution.hh"
+#include "power/stimulus.hh"
+#include "power/supply_network.hh"
+#include "stats/running_stats.hh"
+#include "util/rng.hh"
+
+namespace didt
+{
+namespace
+{
+
+SupplyNetworkConfig
+testConfig()
+{
+    SupplyNetworkConfig cfg;
+    cfg.clockHz = 3.0e9;
+    cfg.resonantHz = 125.0e6;
+    cfg.qualityFactor = 5.0;
+    cfg.nominalVoltage = 1.0;
+    cfg.dcResistance = 3.0e-4;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Supply network
+// ---------------------------------------------------------------------------
+
+TEST(SupplyNetwork, DcImpedanceEqualsResistance)
+{
+    const SupplyNetwork net(testConfig());
+    EXPECT_NEAR(net.impedanceAt(1.0), net.resistance(),
+                1e-6 * net.resistance());
+}
+
+TEST(SupplyNetwork, ResonantFrequencyMatchesConfig)
+{
+    const SupplyNetwork net(testConfig());
+    EXPECT_NEAR(net.resonantFrequency(), 125.0e6, 1.0);
+}
+
+TEST(SupplyNetwork, ImpedancePeaksNearResonance)
+{
+    const SupplyNetwork net(testConfig());
+    const double at_res = net.impedanceAt(125.0e6);
+    EXPECT_GT(at_res, net.impedanceAt(20.0e6));
+    EXPECT_GT(at_res, net.impedanceAt(600.0e6));
+    // Peak-to-DC ratio approximately Q^2 for the parallel RLC model.
+    EXPECT_NEAR(at_res / net.resistance(), 25.0, 3.0);
+}
+
+TEST(SupplyNetwork, ImpulseResponseSumsToResistance)
+{
+    const SupplyNetwork net(testConfig());
+    double sum = 0.0;
+    for (double z : net.impulseResponse())
+        sum += z;
+    EXPECT_NEAR(sum, net.resistance(), 1e-4 * net.resistance());
+}
+
+TEST(SupplyNetwork, ImpulseResponseDecays)
+{
+    const SupplyNetwork net(testConfig());
+    const auto &z = net.impulseResponse();
+    double head = 0.0;
+    double tail = 0.0;
+    for (std::size_t n = 0; n < z.size(); ++n)
+        (n < z.size() / 4 ? head : tail) += std::fabs(z[n]);
+    EXPECT_GT(head, 100.0 * tail);
+}
+
+TEST(SupplyNetwork, SteadyStateIsIrDrop)
+{
+    const SupplyNetwork net(testConfig());
+    EXPECT_DOUBLE_EQ(net.steadyStateVoltage(0.0), 1.0);
+    EXPECT_NEAR(net.steadyStateVoltage(50.0), 1.0 - 50.0 * net.resistance(),
+                1e-12);
+}
+
+TEST(SupplyNetwork, ConstantCurrentSettlesToIrDrop)
+{
+    const SupplyNetwork net(testConfig());
+    const VoltageTrace v = net.computeVoltage(constantCurrent(40.0, 4096));
+    EXPECT_NEAR(v.back(), net.steadyStateVoltage(40.0), 1e-9);
+    // Warm start: even the first samples are at steady state.
+    EXPECT_NEAR(v.front(), net.steadyStateVoltage(40.0), 1e-9);
+}
+
+TEST(SupplyNetwork, StepResponseRingsAndSettles)
+{
+    const SupplyNetwork net(testConfig());
+    const CurrentTrace step = stepCurrent(20.0, 60.0, 4096, 512);
+    const VoltageTrace v = net.computeVoltage(step);
+    const Volt before = net.steadyStateVoltage(20.0);
+    const Volt after = net.steadyStateVoltage(60.0);
+    EXPECT_NEAR(v[500], before, 1e-9);
+    EXPECT_NEAR(v.back(), after, 1e-6);
+    // The underdamped step must overshoot past the final value.
+    Volt min_v = 1.0;
+    for (std::size_t n = 512; n < 1024; ++n)
+        min_v = std::min(min_v, v[n]);
+    EXPECT_LT(min_v, after - 0.3 * (before - after));
+}
+
+TEST(SupplyNetwork, ResonantStimulusAmplifiedVsOffResonance)
+{
+    const SupplyNetwork net(testConfig());
+    auto swing = [&](Hertz f) {
+        const CurrentTrace wave = sineCurrent(40.0, 10.0, f, 3.0e9, 8192);
+        const VoltageTrace v = net.computeVoltage(wave);
+        RunningStats s;
+        for (std::size_t n = 4096; n < v.size(); ++n)
+            s.push(v[n]);
+        return s.max() - s.min();
+    };
+    EXPECT_GT(swing(125.0e6), 4.0 * swing(10.0e6));
+    EXPECT_GT(swing(125.0e6), 4.0 * swing(1.0e9));
+}
+
+TEST(SupplyNetwork, ImpedanceScaleIsLinear)
+{
+    SupplyNetworkConfig cfg = testConfig();
+    const SupplyNetwork base(cfg);
+    cfg.impedanceScale = 1.5;
+    const SupplyNetwork scaled(cfg);
+    for (Hertz f : {1.0e6, 125.0e6, 500.0e6})
+        EXPECT_NEAR(scaled.impedanceAt(f), 1.5 * base.impedanceAt(f),
+                    1e-9 * scaled.impedanceAt(f));
+}
+
+TEST(SupplyNetwork, FaultLevelsAreFivePercent)
+{
+    const SupplyNetwork net(testConfig());
+    EXPECT_DOUBLE_EQ(net.lowFaultLevel(), 0.95);
+    EXPECT_DOUBLE_EQ(net.highFaultLevel(), 1.05);
+}
+
+TEST(SupplyStream, MatchesBatchComputation)
+{
+    const SupplyNetwork net(testConfig());
+    Rng rng(5);
+    const CurrentTrace trace = gaussianCurrent(40.0, 8.0, 2000, rng);
+    const VoltageTrace batch = net.computeVoltage(trace);
+    SupplyStream stream(net);
+    for (std::size_t n = 0; n < trace.size(); ++n) {
+        const Volt v = stream.push(trace[n]);
+        EXPECT_NEAR(v, batch[n], 1e-12) << "cycle " << n;
+    }
+}
+
+TEST(SupplyStream, VoltageBeforePushIsNominal)
+{
+    const SupplyNetwork net(testConfig());
+    const SupplyStream stream(net);
+    EXPECT_DOUBLE_EQ(stream.voltage(), 1.0);
+}
+
+TEST(SupplyNetworkDeath, RejectsOverdamped)
+{
+    SupplyNetworkConfig cfg = testConfig();
+    cfg.qualityFactor = 0.4;
+    EXPECT_EXIT(SupplyNetwork net(cfg), ::testing::ExitedWithCode(1),
+                "underdamped");
+}
+
+TEST(SupplyNetworkDeath, RejectsResonanceAboveNyquist)
+{
+    SupplyNetworkConfig cfg = testConfig();
+    cfg.resonantHz = 2.0e9;
+    EXPECT_EXIT(SupplyNetwork net(cfg), ::testing::ExitedWithCode(1),
+                "Nyquist");
+}
+
+TEST(Calibration, WorstCaseJustFitsAtHundredPercent)
+{
+    SupplyNetworkConfig cfg = testConfig();
+    const CurrentTrace worst =
+        resonantSquareWave(cfg.clockHz, cfg.resonantHz, 20.0, 100.0);
+    cfg = calibrateTargetImpedance(cfg, worst);
+
+    const SupplyNetwork net100(cfg);
+    const VoltageTrace v = net100.computeVoltage(worst);
+    Volt lo = 2.0;
+    Volt hi = 0.0;
+    for (Volt x : v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    EXPECT_GE(lo, 0.95 - 1e-9);
+    EXPECT_LE(hi, 1.05 + 1e-9);
+    // And it should be tight: the worst excursion touches a band edge.
+    EXPECT_TRUE(lo < 0.9501 || hi > 1.0499);
+}
+
+TEST(Calibration, WorstCaseViolatesAtHigherImpedance)
+{
+    SupplyNetworkConfig cfg = testConfig();
+    const CurrentTrace worst =
+        resonantSquareWave(cfg.clockHz, cfg.resonantHz, 20.0, 100.0);
+    cfg = calibrateTargetImpedance(cfg, worst);
+    cfg.impedanceScale = 1.5;
+    const SupplyNetwork net150(cfg);
+    const VoltageTrace v = net150.computeVoltage(worst);
+    Volt lo = 2.0;
+    for (Volt x : v)
+        lo = std::min(lo, x);
+    EXPECT_LT(lo, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Convolution
+// ---------------------------------------------------------------------------
+
+TEST(Convolve, KnownSmallCase)
+{
+    const std::vector<double> x{1.0, 2.0, 3.0};
+    const std::vector<double> k{1.0, -1.0};
+    const auto out = convolve(x, k);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_DOUBLE_EQ(out[1], 1.0);
+    EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(Convolve, IdentityKernel)
+{
+    const std::vector<double> x{4.0, 5.0, 6.0};
+    const std::vector<double> k{1.0};
+    EXPECT_EQ(convolve(x, k), x);
+}
+
+TEST(StreamingConvolver, MatchesBatchAfterWarmup)
+{
+    Rng rng(6);
+    std::vector<double> kernel(32);
+    for (auto &c : kernel)
+        c = rng.normal();
+    std::vector<double> x(256);
+    for (auto &v : x)
+        v = rng.normal(10.0, 2.0);
+
+    StreamingConvolver conv(kernel);
+    const auto batch = convolve(x, kernel);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        conv.push(x[n]);
+        if (n >= kernel.size())
+            EXPECT_NEAR(conv.value(), batch[n], 1e-9) << "cycle " << n;
+    }
+}
+
+TEST(StreamingConvolver, WarmStartAssumesConstantHistory)
+{
+    const std::vector<double> kernel{0.25, 0.25, 0.25, 0.25};
+    StreamingConvolver conv(kernel);
+    conv.push(8.0);
+    // History behaves as if 8.0 flowed forever: moving average is 8.
+    EXPECT_NEAR(conv.value(), 8.0, 1e-12);
+}
+
+TEST(StreamingConvolver, ResetClearsState)
+{
+    const std::vector<double> kernel{1.0, 1.0};
+    StreamingConvolver conv(kernel);
+    conv.push(5.0);
+    conv.reset();
+    EXPECT_DOUBLE_EQ(conv.value(), 0.0);
+    conv.push(1.0);
+    EXPECT_NEAR(conv.value(), 2.0, 1e-12); // warm start with 1.0
+}
+
+TEST(TruncateKernel, KeepsRequestedEnergy)
+{
+    std::vector<double> kernel(100);
+    for (std::size_t i = 0; i < kernel.size(); ++i)
+        kernel[i] = std::exp(-0.1 * static_cast<double>(i));
+    const auto cut = truncateKernel(kernel, 0.99);
+    EXPECT_LT(cut.size(), kernel.size());
+    double total = 0.0;
+    double kept = 0.0;
+    for (double v : kernel)
+        total += v * v;
+    for (double v : cut)
+        kept += v * v;
+    EXPECT_GE(kept / total, 0.99);
+}
+
+TEST(TruncateKernel, FullEnergyKeepsEverything)
+{
+    const std::vector<double> kernel{1.0, 1.0, 1.0};
+    EXPECT_EQ(truncateKernel(kernel, 1.0).size(), 3u);
+}
+
+TEST(TruncateKernel, ZeroKernelCollapsesToOneTap)
+{
+    const std::vector<double> kernel(10, 0.0);
+    EXPECT_EQ(truncateKernel(kernel, 0.9).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stimuli
+// ---------------------------------------------------------------------------
+
+TEST(Stimulus, ResonantSquareWaveShape)
+{
+    const CurrentTrace wave =
+        resonantSquareWave(3.0e9, 125.0e6, 10.0, 90.0, 4);
+    // Period = 24 cycles at these frequencies; 4 periods.
+    EXPECT_EQ(wave.size(), 96u);
+    EXPECT_DOUBLE_EQ(wave[0], 90.0);
+    EXPECT_DOUBLE_EQ(wave[12], 10.0);
+    EXPECT_DOUBLE_EQ(wave[24], 90.0);
+}
+
+TEST(Stimulus, StepCurrentSwitchesAtRequestedCycle)
+{
+    const CurrentTrace s = stepCurrent(1.0, 2.0, 10, 4);
+    EXPECT_DOUBLE_EQ(s[3], 1.0);
+    EXPECT_DOUBLE_EQ(s[4], 2.0);
+    EXPECT_DOUBLE_EQ(s[9], 2.0);
+}
+
+TEST(Stimulus, GaussianCurrentIsNonNegative)
+{
+    Rng rng(44);
+    const CurrentTrace g = gaussianCurrent(5.0, 10.0, 5000, rng);
+    for (double x : g)
+        EXPECT_GE(x, 0.0);
+}
+
+TEST(Stimulus, SineCurrentAmplitude)
+{
+    const CurrentTrace s = sineCurrent(50.0, 10.0, 100.0e6, 3.0e9, 3000);
+    RunningStats stats;
+    for (double x : s)
+        stats.push(x);
+    EXPECT_NEAR(stats.mean(), 50.0, 0.2);
+    EXPECT_NEAR(stats.max(), 60.0, 0.1);
+    EXPECT_NEAR(stats.min(), 40.0, 0.1);
+}
+
+} // namespace
+} // namespace didt

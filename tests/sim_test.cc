@@ -1,0 +1,784 @@
+/**
+ * @file
+ * Unit tests for the processor model: caches, branch prediction,
+ * functional units, the power model, and pipeline behaviour.
+ */
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/fu_pool.hh"
+#include "sim/power_model.hh"
+#include "sim/processor.hh"
+#include "util/rng.hh"
+
+namespace didt
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache({1024, 2, 64, 1});
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1038)); // same line
+    EXPECT_FALSE(cache.access(0x1040)); // next line
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 8 sets of 64B lines: addresses with equal (addr/64)%8 map
+    // to the same set.
+    Cache cache({1024, 2, 64, 1});
+    const std::uint64_t a = 0x0000;
+    const std::uint64_t b = a + 8 * 64;
+    const std::uint64_t c = a + 16 * 64;
+    cache.access(a);
+    cache.access(b);
+    cache.access(a);     // a is now MRU
+    cache.access(c);     // evicts b (LRU)
+    EXPECT_TRUE(cache.probe(a));
+    EXPECT_FALSE(cache.probe(b));
+    EXPECT_TRUE(cache.probe(c));
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache cache({1024, 2, 64, 1});
+    EXPECT_FALSE(cache.probe(0x4000));
+    EXPECT_FALSE(cache.access(0x4000)); // still a miss
+}
+
+TEST(Cache, FullyResidentWorkingSetStopsMissing)
+{
+    Cache cache({64 * 1024, 2, 64, 3});
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t addr = 0; addr < 32 * 1024; addr += 64)
+            cache.access(addr);
+    // Second pass is all hits: misses equal the working-set lines.
+    EXPECT_EQ(cache.stats().misses, 32u * 1024 / 64);
+}
+
+TEST(Cache, ResetInvalidates)
+{
+    Cache cache({1024, 2, 64, 1});
+    cache.access(0x100);
+    cache.reset();
+    EXPECT_FALSE(cache.probe(0x100));
+    EXPECT_EQ(cache.stats().accesses, 0u);
+}
+
+TEST(Cache, ClearStatsKeepsContents)
+{
+    Cache cache({1024, 2, 64, 1});
+    cache.access(0x100);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_TRUE(cache.probe(0x100));
+}
+
+TEST(Cache, MissRate)
+{
+    Cache cache({1024, 2, 64, 1});
+    cache.access(0x0);
+    cache.access(0x0);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.5);
+}
+
+TEST(CacheDeath, RejectsBadGeometry)
+{
+    EXPECT_EXIT(Cache cache({1000, 2, 48, 1}), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Hierarchy, LatenciesAccumulateByLevel)
+{
+    Cache l2({2 * 1024 * 1024, 4, 64, 16});
+    MemoryHierarchy h({64 * 1024, 2, 64, 3}, l2, 250);
+
+    const auto miss = h.access(0x123400);
+    EXPECT_EQ(miss.level, MemLevel::Memory);
+    EXPECT_EQ(miss.latency, 3u + 16u + 250u);
+
+    const auto hit = h.access(0x123400);
+    EXPECT_EQ(hit.level, MemLevel::L1);
+    EXPECT_EQ(hit.latency, 3u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    Cache l2({2 * 1024 * 1024, 4, 64, 16});
+    MemoryHierarchy h({1024, 1, 64, 3}, l2, 250); // tiny direct-mapped L1
+    h.access(0x0);
+    h.access(0x0 + 16 * 64); // same L1 set, evicts
+    const auto res = h.access(0x0);
+    EXPECT_EQ(res.level, MemLevel::L2);
+    EXPECT_EQ(res.latency, 3u + 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Branch prediction
+// ---------------------------------------------------------------------------
+
+Instruction
+makeBranch(std::uint64_t pc, bool taken, std::uint64_t target)
+{
+    Instruction inst;
+    inst.op = OpClass::Branch;
+    inst.pc = pc;
+    inst.taken = taken;
+    inst.target = target;
+    return inst;
+}
+
+TEST(BPred, LearnsStronglyBiasedBranch)
+{
+    BranchPredictor bp((ProcessorConfig()));
+    const auto inst = makeBranch(0x4000, true, 0x5000);
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(inst);
+    // After warm-up, an always-taken branch with a stable target is
+    // predicted essentially perfectly.
+    const std::uint64_t before = bp.stats().directionMispredicts +
+                                 bp.stats().targetMispredicts;
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(inst);
+    const std::uint64_t after = bp.stats().directionMispredicts +
+                                bp.stats().targetMispredicts;
+    EXPECT_EQ(after - before, 0u);
+}
+
+TEST(BPred, LearnsNotTakenBranch)
+{
+    BranchPredictor bp((ProcessorConfig()));
+    const auto inst = makeBranch(0x4100, false, 0);
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndTrain(inst);
+    const auto pred = bp.predictAndTrain(inst);
+    EXPECT_FALSE(pred.taken);
+    EXPECT_FALSE(pred.mispredict);
+}
+
+TEST(BPred, GshareLearnsAlternatingPattern)
+{
+    // T,N,T,N... defeats a bimodal counter but is perfectly predicted
+    // by global history; the chooser should migrate to gshare.
+    BranchPredictor bp((ProcessorConfig()));
+    std::uint64_t mispredicts = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto inst = makeBranch(0x4200, i % 2 == 0, 0x6000);
+        const auto pred = bp.predictAndTrain(inst);
+        if (i >= 1000 && pred.mispredict)
+            ++mispredicts;
+    }
+    EXPECT_LT(mispredicts, 20u);
+}
+
+TEST(BPred, BtbProvidesTarget)
+{
+    BranchPredictor bp((ProcessorConfig()));
+    const auto inst = makeBranch(0x4300, true, 0xABCD00);
+    bp.predictAndTrain(inst); // trains direction + BTB
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndTrain(inst);
+    const auto pred = bp.predictAndTrain(inst);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.target, 0xABCD00u);
+}
+
+TEST(BPred, RasPredictsReturnAddresses)
+{
+    BranchPredictor bp((ProcessorConfig()));
+    Instruction call = makeBranch(0x5000, true, 0x9000);
+    call.isCall = true;
+    bp.predictAndTrain(call);
+
+    Instruction ret = makeBranch(0x9100, true, 0);
+    ret.isReturn = true;
+    // Train direction first so the return predicts taken.
+    for (int i = 0; i < 4; ++i) {
+        bp.predictAndTrain(call);
+        bp.predictAndTrain(ret);
+    }
+    bp.predictAndTrain(call);
+    const auto pred = bp.predictAndTrain(ret);
+    EXPECT_TRUE(pred.btbHit);
+    EXPECT_EQ(pred.target, 0x5004u); // pc of call + 4
+}
+
+TEST(BPred, RasUnderflowCounted)
+{
+    BranchPredictor bp((ProcessorConfig()));
+    Instruction ret = makeBranch(0x9100, true, 0);
+    ret.isReturn = true;
+    bp.predictAndTrain(ret);
+    EXPECT_EQ(bp.stats().rasUnderflows, 1u);
+}
+
+TEST(BPred, ResetClearsTraining)
+{
+    BranchPredictor bp((ProcessorConfig()));
+    const auto inst = makeBranch(0x4000, true, 0x5000);
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndTrain(inst);
+    bp.reset();
+    EXPECT_EQ(bp.stats().lookups, 0u);
+    const auto pred = bp.predictAndTrain(inst);
+    // Fresh counters initialize weakly not-taken.
+    EXPECT_FALSE(pred.taken);
+}
+
+TEST(BPred, MispredictRateComputation)
+{
+    BPredStats stats;
+    stats.lookups = 100;
+    stats.directionMispredicts = 7;
+    stats.targetMispredicts = 3;
+    EXPECT_DOUBLE_EQ(stats.mispredictRate(), 0.10);
+}
+
+// ---------------------------------------------------------------------------
+// Functional units
+// ---------------------------------------------------------------------------
+
+TEST(FuPool, CountsMatchTable1)
+{
+    const FuPool pool((ProcessorConfig()));
+    EXPECT_EQ(pool.unitCount(FuClass::IntAlu), 4u);
+    EXPECT_EQ(pool.unitCount(FuClass::IntMultDiv), 1u);
+    EXPECT_EQ(pool.unitCount(FuClass::FpAlu), 2u);
+    EXPECT_EQ(pool.unitCount(FuClass::FpMultDiv), 1u);
+    EXPECT_EQ(pool.unitCount(FuClass::MemPort), 2u);
+}
+
+TEST(FuPool, IssueLimitedByUnitCount)
+{
+    FuPool pool((ProcessorConfig()));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 10, 1));
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntAlu, 10, 1));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntAlu, 11, 1));
+}
+
+TEST(FuPool, UnpipelinedDividerBlocks)
+{
+    FuPool pool((ProcessorConfig()));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntMultDiv, 0, 20));
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntMultDiv, 5, 1));
+    EXPECT_FALSE(pool.tryIssue(FuClass::IntMultDiv, 19, 1));
+    EXPECT_TRUE(pool.tryIssue(FuClass::IntMultDiv, 20, 1));
+}
+
+TEST(FuPool, BusyCountTracksReservations)
+{
+    FuPool pool((ProcessorConfig()));
+    pool.tryIssue(FuClass::FpAlu, 0, 1);
+    EXPECT_EQ(pool.busyCount(FuClass::FpAlu, 0), 1u);
+    EXPECT_EQ(pool.busyCount(FuClass::FpAlu, 1), 0u);
+}
+
+TEST(FuPool, OpClassMapping)
+{
+    EXPECT_EQ(fuClassFor(OpClass::IntAlu), FuClass::IntAlu);
+    EXPECT_EQ(fuClassFor(OpClass::Branch), FuClass::IntAlu);
+    EXPECT_EQ(fuClassFor(OpClass::IntDiv), FuClass::IntMultDiv);
+    EXPECT_EQ(fuClassFor(OpClass::FpMult), FuClass::FpMultDiv);
+    EXPECT_EQ(fuClassFor(OpClass::Load), FuClass::MemPort);
+}
+
+TEST(FuPool, ExecuteLatencies)
+{
+    const ProcessorConfig cfg;
+    EXPECT_EQ(executeLatency(cfg, OpClass::IntAlu), 1u);
+    EXPECT_EQ(executeLatency(cfg, OpClass::IntDiv), 20u);
+    EXPECT_EQ(executeLatency(cfg, OpClass::FpMult), 4u);
+    EXPECT_TRUE(isUnpipelined(OpClass::IntDiv));
+    EXPECT_TRUE(isUnpipelined(OpClass::FpDiv));
+    EXPECT_FALSE(isUnpipelined(OpClass::FpMult));
+}
+
+// ---------------------------------------------------------------------------
+// Power model
+// ---------------------------------------------------------------------------
+
+TEST(PowerModel, IdleBelowPeak)
+{
+    const PowerModel model({}, ProcessorConfig{});
+    EXPECT_GT(model.idlePower(), 0.0);
+    EXPECT_LT(model.idlePower(), model.peakPower());
+    EXPECT_LT(model.idlePower(), 0.4 * model.peakPower());
+}
+
+TEST(PowerModel, FullActivityApproachesPeak)
+{
+    const ProcessorConfig proc;
+    const PowerModel model({}, proc);
+    ActivitySample full;
+    full.fetched = proc.fetchWidth;
+    full.bpredLookups = 1;
+    full.decoded = proc.decodeWidth;
+    full.dispatched = proc.decodeWidth;
+    full.issuedIntAlu = proc.intAluCount;
+    full.issuedIntMult = proc.intMultCount;
+    full.issuedFpAlu = proc.fpAluCount;
+    full.issuedFpMult = proc.fpMultCount;
+    full.regReads = 2 * proc.decodeWidth + proc.commitWidth;
+    full.regWrites = proc.commitWidth;
+    full.lsqOps = proc.memPortCount;
+    full.dcacheAccesses = proc.memPortCount;
+    full.l2Accesses = 1;
+    full.committed = proc.commitWidth;
+    full.windowOccupancy = proc.ruuSize;
+    EXPECT_NEAR(model.cyclePower(full), model.peakPower(),
+                0.02 * model.peakPower());
+}
+
+TEST(PowerModel, MoreActivityMorePower)
+{
+    const PowerModel model({}, ProcessorConfig{});
+    ActivitySample low;
+    low.issuedIntAlu = 1;
+    ActivitySample high = low;
+    high.issuedIntAlu = 4;
+    high.issuedFpAlu = 2;
+    EXPECT_GT(model.cyclePower(high), model.cyclePower(low));
+}
+
+TEST(PowerModel, CurrentIsPowerOverVdd)
+{
+    const ProcessorConfig proc; // Vdd = 1.0
+    const PowerModel model({}, proc);
+    ActivitySample a;
+    a.issuedIntAlu = 2;
+    EXPECT_DOUBLE_EQ(model.cycleCurrent(a), model.cyclePower(a));
+}
+
+TEST(PowerModel, GatingStylesOrdering)
+{
+    const ProcessorConfig proc;
+    ActivitySample half;
+    half.issuedIntAlu = 2; // half the ALUs
+    PowerModelConfig cc0;
+    cc0.gating = ClockGating::None;
+    PowerModelConfig cc1;
+    cc1.gating = ClockGating::AllOrNothing;
+    PowerModelConfig cc2;
+    cc2.gating = ClockGating::Linear;
+    PowerModelConfig cc3;
+    cc3.gating = ClockGating::LinearIdle;
+
+    const double p0 = PowerModel(cc0, proc).cyclePower(half);
+    const double p1 = PowerModel(cc1, proc).cyclePower(half);
+    const double p2 = PowerModel(cc2, proc).cyclePower(half);
+    const double p3 = PowerModel(cc3, proc).cyclePower(half);
+    EXPECT_GE(p0, p1);
+    EXPECT_GE(p1, p2);
+    EXPECT_GE(p3, p2); // idle floor adds power over pure linear
+}
+
+TEST(PowerModel, UnitBreakdownSumsToTotal)
+{
+    const PowerModel model({}, ProcessorConfig{});
+    ActivitySample a;
+    a.fetched = 2;
+    a.issuedIntAlu = 1;
+    a.dcacheAccesses = 1;
+    const auto units = model.unitPower(a);
+    double sum = model.config().leakage;
+    for (double w : units)
+        sum += w;
+    EXPECT_NEAR(sum, model.cyclePower(a), 1e-9);
+}
+
+TEST(PowerModel, UnitNames)
+{
+    EXPECT_STREQ(powerUnitName(PowerUnit::Fetch), "fetch");
+    EXPECT_STREQ(powerUnitName(PowerUnit::Clock), "clock");
+}
+
+// ---------------------------------------------------------------------------
+// Processor pipeline
+// ---------------------------------------------------------------------------
+
+/** A scripted instruction source for pipeline tests. */
+class ScriptedSource : public InstructionSource
+{
+  public:
+    explicit ScriptedSource(std::vector<Instruction> insts)
+        : insts_(std::move(insts))
+    {
+    }
+
+    bool
+    next(Instruction &out) override
+    {
+        if (pos_ >= insts_.size())
+            return false;
+        out = insts_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<Instruction> insts_;
+    std::size_t pos_ = 0;
+};
+
+Instruction
+simpleOp(OpClass op, std::uint64_t pc, std::uint32_t dep1 = 0)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.pc = pc;
+    inst.dep1 = dep1;
+    return inst;
+}
+
+std::vector<Instruction>
+independentAlus(std::size_t n)
+{
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < n; ++i)
+        insts.push_back(simpleOp(OpClass::IntAlu, 0x400000 + 4 * i));
+    return insts;
+}
+
+/** Pre-touch the code lines of a scripted stream so timed pipeline
+ *  tests are not dominated by cold I-cache fills. */
+void
+warmCode(Processor &proc, const std::vector<Instruction> &insts)
+{
+    std::vector<std::uint64_t> lines;
+    for (const auto &inst : insts)
+        if (lines.empty() || inst.pc / 64 * 64 != lines.back())
+            lines.push_back(inst.pc / 64 * 64);
+    proc.warmupFootprint({}, lines);
+}
+
+TEST(Processor, CommitsEveryInstruction)
+{
+    ScriptedSource src(independentAlus(1000));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    EXPECT_EQ(proc.stats().committed, 1000u);
+}
+
+TEST(Processor, DrainsAndStops)
+{
+    ScriptedSource src(independentAlus(10));
+    Processor proc({}, {}, src);
+    Cycle cycles = 0;
+    while (proc.step() && cycles < 10000)
+        ++cycles;
+    EXPECT_LT(cycles, 1000u);
+}
+
+TEST(Processor, IndependentWorkReachesHighIpc)
+{
+    const auto insts = independentAlus(4000);
+    ScriptedSource src(insts);
+    Processor proc({}, {}, src);
+    warmCode(proc, insts);
+    while (proc.step()) {
+    }
+    // Fetch width 4 bounds IPC; expect to get close once warmed up
+    // (the cold I-cache miss at start costs a few hundred cycles).
+    EXPECT_GT(proc.stats().ipc(), 2.0);
+    EXPECT_LE(proc.stats().ipc(), 4.0);
+}
+
+TEST(Processor, SerialChainRunsAtLatencyPerInstruction)
+{
+    // Every instruction depends on its predecessor: IPC ~ 1 per ALU
+    // latency cycle.
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 2000; ++i)
+        insts.push_back(simpleOp(OpClass::IntAlu, 0x400000 + 4 * i, 1));
+    ScriptedSource src(insts);
+    Processor proc({}, {}, src);
+    warmCode(proc, insts);
+    while (proc.step()) {
+    }
+    EXPECT_LT(proc.stats().ipc(), 1.2);
+    EXPECT_GT(proc.stats().ipc(), 0.7);
+}
+
+TEST(Processor, SerialDivideChainIsSlow)
+{
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 200; ++i)
+        insts.push_back(simpleOp(OpClass::IntDiv, 0x400000 + 4 * i, 1));
+    ScriptedSource src(std::move(insts));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    // ~20 cycles per divide.
+    EXPECT_GT(proc.stats().cycles, 200u * 15u);
+}
+
+TEST(Processor, LoadMissLatencyVisible)
+{
+    // A chain of dependent loads to distinct cold lines: each pays the
+    // full memory round trip.
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 50; ++i) {
+        Instruction ld = simpleOp(OpClass::Load, 0x400000 + 4 * i, 1);
+        ld.address = 0x30000000 + 64 * i;
+        insts.push_back(ld);
+    }
+    ScriptedSource src(std::move(insts));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    EXPECT_GT(proc.stats().cycles, 50u * 250u);
+    EXPECT_EQ(proc.stats().l1dMisses, 50u);
+}
+
+TEST(Processor, HotLoadsHitAfterWarmup)
+{
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 400; ++i) {
+        Instruction ld = simpleOp(OpClass::Load, 0x400000 + 4 * i);
+        ld.address = 0x10000000 + 64 * (i % 8);
+        insts.push_back(ld);
+    }
+    ScriptedSource src(std::move(insts));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    EXPECT_EQ(proc.stats().l1dMisses, 8u);
+}
+
+TEST(Processor, StallIssueSuppressesProgressAndCurrent)
+{
+    const auto insts = independentAlus(5000);
+    ScriptedSource src(insts);
+    Processor proc({}, {}, src);
+    warmCode(proc, insts);
+    for (int i = 0; i < 500; ++i)
+        proc.step();
+    const std::uint64_t before = proc.stats().committed;
+    double stalled_current = 0.0;
+    proc.setStallIssue(true);
+    for (int i = 0; i < 100; ++i) {
+        proc.step();
+        stalled_current += proc.lastCurrent();
+    }
+    // No new completions can commit once in-flight work drains.
+    EXPECT_LE(proc.stats().committed - before, 16u);
+
+    proc.setStallIssue(false);
+    double running_current = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        proc.step();
+        running_current += proc.lastCurrent();
+    }
+    EXPECT_GT(running_current, stalled_current * 1.2);
+}
+
+TEST(Processor, InjectNoopsRaisesCurrent)
+{
+    ScriptedSource src(independentAlus(20));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    // Pipeline drained; current is at idle.
+    proc.setInjectNoops(false);
+    proc.step();
+    const double idle = proc.lastCurrent();
+    proc.setInjectNoops(true);
+    proc.step();
+    EXPECT_GT(proc.lastCurrent(), idle + 5.0);
+    EXPECT_GT(proc.stats().noopsInjected, 0u);
+}
+
+TEST(Processor, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        ScriptedSource src(independentAlus(1000));
+        Processor proc({}, {}, src);
+        CurrentTrace trace;
+        proc.collectTrace(trace, 100000);
+        return trace;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Processor, CollectTraceRespectsCap)
+{
+    ScriptedSource src(independentAlus(100000));
+    Processor proc({}, {}, src);
+    CurrentTrace trace;
+    const Cycle executed = proc.collectTrace(trace, 500);
+    EXPECT_EQ(executed, 500u);
+    EXPECT_EQ(trace.size(), 500u);
+}
+
+TEST(Processor, MispredictionBlocksFetch)
+{
+    // Alternating unpredictable-looking branch stream: mispredicts
+    // must appear and cost cycles vs the branch-free stream.
+    Rng rng(55);
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 2000; ++i) {
+        if (i % 5 == 4) {
+            Instruction br = simpleOp(OpClass::Branch, 0x400000 + 4 * i);
+            br.taken = rng.bernoulli(0.5);
+            br.target = 0x400000 + 4 * ((i + 3) % 500);
+            insts.push_back(br);
+        } else {
+            insts.push_back(simpleOp(OpClass::IntAlu, 0x400000 + 4 * i));
+        }
+    }
+    ScriptedSource src(std::move(insts));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    EXPECT_GT(proc.stats().mispredicts, 50u);
+
+    ScriptedSource src2(independentAlus(2000));
+    Processor proc2({}, {}, src2);
+    while (proc2.step()) {
+    }
+    EXPECT_GT(proc2.stats().ipc(), proc.stats().ipc());
+}
+
+TEST(Processor, WarmupClearsStatsButKeepsState)
+{
+    std::vector<Instruction> warm;
+    for (std::size_t i = 0; i < 100; ++i) {
+        Instruction ld = simpleOp(OpClass::Load, 0x400000 + 4 * i);
+        ld.address = 0x10000000 + 64 * (i % 16);
+        warm.push_back(ld);
+    }
+    ScriptedSource warm_src(warm);
+    ScriptedSource main_src(warm); // same footprint
+
+    Processor proc({}, {}, main_src);
+    proc.warmup(warm_src, 100);
+    EXPECT_EQ(proc.stats().l1dMisses, 0u);
+    while (proc.step()) {
+    }
+    // All lines were warmed: no misses in the timed run.
+    EXPECT_EQ(proc.stats().l1dMisses, 0u);
+}
+
+TEST(Processor, WarmupFootprintPrimesCaches)
+{
+    std::vector<std::uint64_t> lines;
+    for (std::uint64_t off = 0; off < 64 * 16; off += 64)
+        lines.push_back(0x10000000 + off);
+
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 64; ++i) {
+        Instruction ld = simpleOp(OpClass::Load, 0x400000 + 4 * i);
+        ld.address = 0x10000000 + 64 * (i % 16);
+        insts.push_back(ld);
+    }
+    ScriptedSource src(std::move(insts));
+    Processor proc({}, {}, src);
+    proc.warmupFootprint(lines, {});
+    while (proc.step()) {
+    }
+    EXPECT_EQ(proc.stats().l1dMisses, 0u);
+}
+
+TEST(Processor, ConfigPrintsTableOne)
+{
+    std::ostringstream os;
+    ProcessorConfig{}.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("80-RUU, 40-LSQ"), std::string::npos);
+    EXPECT_NE(out.find("12 cycles"), std::string::npos);
+    EXPECT_NE(out.find("64KB, 2-way"), std::string::npos);
+    EXPECT_NE(out.find("250 cycle"), std::string::npos);
+}
+
+TEST(Processor, MshrLimitCapsMemoryParallelism)
+{
+    // Independent cold misses: with many MSHRs they overlap, with one
+    // they serialize.
+    auto run_cycles = [](std::size_t mshrs) {
+        std::vector<Instruction> insts;
+        for (std::size_t i = 0; i < 64; ++i) {
+            Instruction ld = simpleOp(OpClass::Load, 0x400000 + 4 * i);
+            ld.address = 0x30000000 + 64 * i;
+            insts.push_back(ld);
+        }
+        ScriptedSource src(std::move(insts));
+        ProcessorConfig cfg;
+        cfg.mshrCount = mshrs;
+        Processor proc(cfg, {}, src);
+        while (proc.step()) {
+        }
+        return proc.stats().cycles;
+    };
+    const Cycle serial = run_cycles(1);
+    const Cycle parallel = run_cycles(8);
+    EXPECT_GT(serial, 3 * parallel);
+}
+
+TEST(Processor, MshrLimitDoesNotDropLoads)
+{
+    std::vector<Instruction> insts;
+    for (std::size_t i = 0; i < 128; ++i) {
+        Instruction ld = simpleOp(OpClass::Load, 0x400000 + 4 * i);
+        ld.address = 0x30000000 + 64 * i;
+        insts.push_back(ld);
+    }
+    ScriptedSource src(std::move(insts));
+    ProcessorConfig cfg;
+    cfg.mshrCount = 2;
+    Processor proc(cfg, {}, src);
+    while (proc.step()) {
+    }
+    EXPECT_EQ(proc.stats().committed, 128u);
+    EXPECT_EQ(proc.stats().l1dMisses, 128u);
+}
+
+TEST(Processor, DumpStatsListsKeyCounters)
+{
+    ScriptedSource src(independentAlus(500));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    std::ostringstream os;
+    proc.dumpStats(os);
+    const std::string out = os.str();
+    for (const char *key :
+         {"sim.cycles", "sim.ipc", "bpred.mispredictRate",
+          "cache.l1d.missRate", "cache.l2.mpki", "power.meanWatts"})
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+}
+
+TEST(Processor, EnergyAccumulates)
+{
+    ScriptedSource src(independentAlus(1000));
+    Processor proc({}, {}, src);
+    while (proc.step()) {
+    }
+    EXPECT_GT(proc.stats().totalEnergyJ, 0.0);
+    // Sanity: mean power = energy / time should be within machine range.
+    const double seconds =
+        static_cast<double>(proc.stats().cycles) / proc.config().clockHz;
+    const double mean_power = proc.stats().totalEnergyJ / seconds;
+    EXPECT_GT(mean_power, proc.powerModel().idlePower() * 0.9);
+    EXPECT_LT(mean_power, proc.powerModel().peakPower());
+}
+
+} // namespace
+} // namespace didt

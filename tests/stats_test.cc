@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Unit tests for the statistics library: running stats, histograms,
+ * Gaussian distribution functions, and the chi-square normality test.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/chi_square.hh"
+#include "stats/gaussian.hh"
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+#include "util/rng.hh"
+
+namespace didt
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.push(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_NEAR(s.sampleVariance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream)
+{
+    Rng rng(3);
+    RunningStats combined;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        combined.push(x);
+        (i % 2 ? a : b).push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.push(1.0);
+    RunningStats b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStats, ClearResets)
+{
+    RunningStats s;
+    s.push(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(BatchStats, MeanAndVariance)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+}
+
+TEST(BatchStats, CovarianceOfLinearlyRelated)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+    EXPECT_DOUBLE_EQ(covariance(xs, ys), 2.0 * variance(xs));
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(BatchStats, PearsonAnticorrelation)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::vector<double> ys{3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(BatchStats, PearsonZeroVarianceIsZero)
+{
+    const std::vector<double> xs{1.0, 1.0, 1.0};
+    const std::vector<double> ys{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(BatchStats, Lag1OfAlternatingIsNegative)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 64; ++i)
+        xs.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_NEAR(lag1Autocorrelation(xs), -1.0, 0.05);
+}
+
+TEST(BatchStats, Lag1OfSlowRampIsPositive)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 64; ++i)
+        xs.push_back(std::sin(2.0 * M_PI * i / 64.0));
+    EXPECT_GT(lag1Autocorrelation(xs), 0.9);
+}
+
+TEST(BatchStats, LagAutocorrelationOfPeriod2)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 64; ++i)
+        xs.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_NEAR(lagAutocorrelation(xs, 2), 1.0, 0.05);
+}
+
+TEST(BatchStats, LagAutocorrelationDegenerate)
+{
+    const std::vector<double> xs{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(lagAutocorrelation(xs, 5), 0.0);
+    EXPECT_DOUBLE_EQ(lagAutocorrelation(xs, 0), 0.0);
+}
+
+TEST(BatchStats, RmsErrorKnown)
+{
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{2.0, 2.0, 5.0};
+    EXPECT_NEAR(rmsError(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(rmsError(a, a), 0.0);
+}
+
+TEST(Histogram, BasicBinning)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.push(0.5);
+    h.push(1.5);
+    h.push(1.6);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 2.0 / 3.0);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.push(-5.0);
+    h.push(17.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.125);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 0.875);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 0.25);
+}
+
+TEST(Histogram, FractionBelowExactBinBoundary)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.push(i + 0.5);
+    EXPECT_NEAR(h.fractionBelow(5.0), 0.5, 1e-12);
+}
+
+TEST(Histogram, FractionBelowInterpolatesWithinBin)
+{
+    Histogram h(0.0, 1.0, 1);
+    for (int i = 0; i < 100; ++i)
+        h.push(0.5);
+    // Uniform-density assumption within the single bin.
+    EXPECT_NEAR(h.fractionBelow(0.25), 0.25, 0.01);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.push(0.1);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(Gaussian, StandardCdfKnownValues)
+{
+    EXPECT_NEAR(stdNormalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(stdNormalCdf(1.0), 0.8413447460685429, 1e-9);
+    EXPECT_NEAR(stdNormalCdf(-1.96), 0.024997895, 1e-6);
+    EXPECT_NEAR(stdNormalCdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(Gaussian, QuantileInvertsCdf)
+{
+    for (double p : {0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999}) {
+        const double z = stdNormalQuantile(p);
+        EXPECT_NEAR(stdNormalCdf(z), p, 1e-9) << "p = " << p;
+    }
+}
+
+TEST(Gaussian, PdfIntegratesToOne)
+{
+    const Gaussian g(2.0, 0.5);
+    double integral = 0.0;
+    const double dx = 0.001;
+    for (double x = -2.0; x < 6.0; x += dx)
+        integral += g.pdf(x) * dx;
+    EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(Gaussian, ShiftedAndScaled)
+{
+    const Gaussian g(10.0, 2.0);
+    EXPECT_NEAR(g.cdf(10.0), 0.5, 1e-12);
+    EXPECT_NEAR(g.cdf(12.0), stdNormalCdf(1.0), 1e-12);
+    EXPECT_NEAR(g.tail(12.0), 1.0 - stdNormalCdf(1.0), 1e-12);
+    EXPECT_NEAR(g.quantile(0.5), 10.0, 1e-9);
+}
+
+TEST(Gaussian, PointMass)
+{
+    const Gaussian g(1.0, 0.0);
+    EXPECT_DOUBLE_EQ(g.cdf(0.999), 0.0);
+    EXPECT_DOUBLE_EQ(g.cdf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(g.quantile(0.3), 1.0);
+}
+
+TEST(ChiSquare, CdfKnownValues)
+{
+    // Classic table values.
+    EXPECT_NEAR(chiSquareCdf(3.841, 1), 0.95, 1e-3);
+    EXPECT_NEAR(chiSquareCdf(5.991, 2), 0.95, 1e-3);
+    EXPECT_NEAR(chiSquareCdf(11.070, 5), 0.95, 1e-3);
+    EXPECT_NEAR(chiSquareCdf(18.307, 10), 0.95, 1e-3);
+}
+
+TEST(ChiSquare, CdfMonotone)
+{
+    double prev = 0.0;
+    for (double x = 0.0; x < 30.0; x += 0.5) {
+        const double c = chiSquareCdf(x, 4);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(ChiSquare, CriticalValueInvertsCdf)
+{
+    for (std::size_t dof : {1u, 3u, 7u, 20u}) {
+        const double crit = chiSquareCriticalValue(dof, 0.05);
+        EXPECT_NEAR(chiSquareCdf(crit, dof), 0.95, 1e-6);
+    }
+}
+
+TEST(ChiSquare, RegularizedGammaBoundaries)
+{
+    EXPECT_DOUBLE_EQ(regularizedGammaP(1.0, 0.0), 0.0);
+    // P(1, x) = 1 - exp(-x).
+    EXPECT_NEAR(regularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+}
+
+TEST(Normality, AcceptsGaussianSamples)
+{
+    Rng rng(21);
+    int accepted = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> xs(128);
+        for (auto &x : xs)
+            x = rng.normal(40.0, 5.0);
+        if (chiSquareNormalityTest(xs).accepted)
+            ++accepted;
+    }
+    // At 95% significance roughly 95% of truly Gaussian windows pass.
+    EXPECT_GT(accepted, trials * 80 / 100);
+}
+
+TEST(Normality, RejectsBimodalSamples)
+{
+    Rng rng(22);
+    int accepted = 0;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> xs(128);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            xs[i] = (i % 2 ? 10.0 : -10.0) + rng.normal(0.0, 0.5);
+        if (chiSquareNormalityTest(xs).accepted)
+            ++accepted;
+    }
+    EXPECT_LT(accepted, 5);
+}
+
+TEST(Normality, RejectsUniformSamples)
+{
+    Rng rng(23);
+    int accepted = 0;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> xs(128);
+        for (auto &x : xs)
+            x = rng.uniform(-1.0, 1.0);
+        if (chiSquareNormalityTest(xs).accepted)
+            ++accepted;
+    }
+    // Uniform is hard to tell from Gaussian at n = 128, but the
+    // acceptance rate should clearly drop below the Gaussian case.
+    EXPECT_LT(accepted, 80);
+}
+
+TEST(Normality, ConstantWindowIsDegenerate)
+{
+    const std::vector<double> xs(64, 3.0);
+    const NormalityResult r = chiSquareNormalityTest(xs);
+    EXPECT_TRUE(r.degenerate);
+    EXPECT_FALSE(r.accepted);
+}
+
+TEST(Normality, TooFewSamplesIsDegenerate)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const NormalityResult r = chiSquareNormalityTest(xs);
+    EXPECT_TRUE(r.degenerate);
+}
+
+/** Acceptance should hold across the paper's window sizes. */
+class NormalityWindowSize : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(NormalityWindowSize, GaussianWindowsMostlyAccepted)
+{
+    Rng rng(GetParam());
+    int accepted = 0;
+    const int trials = 100;
+    for (int t = 0; t < trials; ++t) {
+        std::vector<double> xs(GetParam());
+        for (auto &x : xs)
+            x = rng.normal(0.0, 1.0);
+        if (chiSquareNormalityTest(xs).accepted)
+            ++accepted;
+    }
+    EXPECT_GT(accepted, 75);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWindowSizes, NormalityWindowSize,
+                         ::testing::Values(32, 64, 128, 256));
+
+} // namespace
+} // namespace didt

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Unit tests for the util library: RNG, tables, and option parsing.
+ */
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+#include "util/options.hh"
+#include "util/rng.hh"
+
+namespace didt
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(99);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.seed(99);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.5, 2.25);
+        EXPECT_GE(u, -3.5);
+        EXPECT_LT(u, 2.25);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntWithinRange)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntApproximatelyUniform)
+{
+    Rng rng(12);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(10)];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(14);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(15);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(16);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(18);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(0.25));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricCertainSuccessIsZero)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Table, TextFormattingAligns)
+{
+    Table t({"name", "value"});
+    t.newRow();
+    t.add("alpha");
+    t.add(1.5, 2);
+    t.newRow();
+    t.add("b");
+    t.add(22.0, 2);
+    std::ostringstream os;
+    t.printText(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.50"), std::string::npos);
+    EXPECT_NE(out.find("22.00"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.newRow();
+    t.add("x");
+    t.add(static_cast<long long>(3));
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,3\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    Table t({"a"});
+    t.newRow();
+    t.add("has,comma \"quoted\"");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a\n\"has,comma \"\"quoted\"\"\"\n");
+}
+
+TEST(Table, RowAndColumnCounts)
+{
+    Table t({"a", "b", "c"});
+    EXPECT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.newRow();
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(AsciiBar, ScalesWithValue)
+{
+    EXPECT_EQ(asciiBar(10.0, 10.0, 20).size(), 20u);
+    EXPECT_EQ(asciiBar(5.0, 10.0, 20).size(), 10u);
+    EXPECT_TRUE(asciiBar(0.0, 10.0, 20).empty());
+    EXPECT_TRUE(asciiBar(5.0, 0.0, 20).empty());
+}
+
+TEST(AsciiBar, ClampsAboveMax)
+{
+    EXPECT_EQ(asciiBar(30.0, 10.0, 20).size(), 20u);
+}
+
+TEST(Options, DefaultsApply)
+{
+    Options opts;
+    opts.declare("count", "42", "a count");
+    EXPECT_EQ(opts.getInt("count"), 42);
+}
+
+TEST(Options, ParseSpaceSeparated)
+{
+    Options opts;
+    opts.declare("count", "1", "a count");
+    const char *argv[] = {"prog", "--count", "7"};
+    opts.parse(3, const_cast<char **>(argv));
+    EXPECT_EQ(opts.getInt("count"), 7);
+}
+
+TEST(Options, ParseEqualsForm)
+{
+    Options opts;
+    opts.declare("ratio", "0.5", "a ratio");
+    const char *argv[] = {"prog", "--ratio=0.25"};
+    opts.parse(2, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(opts.getDouble("ratio"), 0.25);
+}
+
+TEST(Options, BoolFlagWithoutValue)
+{
+    Options opts;
+    opts.declare("verbose", "false", "flag");
+    const char *argv[] = {"prog", "--verbose"};
+    opts.parse(2, const_cast<char **>(argv));
+    EXPECT_TRUE(opts.getBool("verbose"));
+}
+
+TEST(Options, BoolRecognizesForms)
+{
+    Options opts;
+    opts.declare("x", "yes", "flag");
+    EXPECT_TRUE(opts.getBool("x"));
+    Options opts2;
+    opts2.declare("x", "0", "flag");
+    EXPECT_FALSE(opts2.getBool("x"));
+}
+
+TEST(OptionsDeath, UnknownOptionIsFatal)
+{
+    Options opts;
+    opts.declare("known", "1", "known");
+    const char *argv[] = {"prog", "--unknown", "3"};
+    EXPECT_EXIT(opts.parse(3, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(OptionsDeath, NonNumericIntIsFatal)
+{
+    Options opts;
+    opts.declare("count", "zzz", "bad");
+    EXPECT_EXIT((void)opts.getInt("count"), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+} // namespace
+} // namespace didt

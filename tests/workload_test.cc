@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the synthetic SPEC workload generator and the dI/dt
+ * virus stressmark.
+ */
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/processor.hh"
+#include "stats/running_stats.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+#include "workload/virus.hh"
+
+namespace didt
+{
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+TEST(Profiles, TwentySixBenchmarks)
+{
+    EXPECT_EQ(spec2000Profiles().size(), 26u);
+    EXPECT_EQ(spec2000Int().size(), 12u);
+    EXPECT_EQ(spec2000Fp().size(), 14u);
+}
+
+TEST(Profiles, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : spec2000Profiles())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 26u);
+}
+
+TEST(Profiles, PaperBenchmarksPresent)
+{
+    // The benchmarks the paper singles out in Figures 9-11.
+    for (const char *name : {"gzip", "mesa", "crafty", "eon", "swim",
+                             "lucas", "mcf", "art", "mgrid", "gcc",
+                             "galgel", "apsi", "vpr", "equake", "gap"})
+        EXPECT_EQ(profileByName(name).name, name);
+}
+
+TEST(Profiles, ProbabilitiesAreValid)
+{
+    for (const auto &p : spec2000Profiles()) {
+        ASSERT_FALSE(p.phases.empty()) << p.name;
+        for (const auto &ph : p.phases) {
+            EXPECT_GE(ph.loadFrac, 0.0) << p.name;
+            EXPECT_GE(ph.storeFrac, 0.0) << p.name;
+            EXPECT_GE(ph.branchFrac, 0.0) << p.name;
+            EXPECT_LE(ph.loadFrac + ph.storeFrac + ph.branchFrac, 1.0)
+                << p.name;
+            EXPECT_LE(ph.hotProb + ph.warmProb, 1.0 + 1e-9) << p.name;
+            EXPECT_GE(ph.chaseProb, 0.0) << p.name;
+            EXPECT_LE(ph.chaseProb, 1.0) << p.name;
+            EXPECT_GT(ph.lengthInsts, 0u) << p.name;
+        }
+    }
+}
+
+TEST(Profiles, MemoryBoundBenchmarksAreMarked)
+{
+    // The four Figure-11 benchmarks must have substantial cold traffic.
+    for (const char *name : {"swim", "lucas", "mcf", "art"}) {
+        const auto &p = profileByName(name);
+        double max_cold = 0.0;
+        for (const auto &ph : p.phases)
+            max_cold = std::max(max_cold, 1.0 - ph.hotProb - ph.warmProb);
+        EXPECT_GT(max_cold, 0.1) << name;
+    }
+}
+
+TEST(Profiles, StressorsHaveGatedOscillationPhases)
+{
+    for (const char *name : {"gcc", "mgrid", "galgel", "apsi"}) {
+        const auto &p = profileByName(name);
+        bool has_osc = false;
+        for (const auto &ph : p.phases)
+            if (ph.gateOnLoadProb > 0.5 && ph.chaseProb > 0.5)
+                has_osc = true;
+        EXPECT_TRUE(has_osc) << name;
+    }
+}
+
+TEST(ProfilesDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(profileByName("doom3"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+TEST(Generator, DeterministicForSameSeed)
+{
+    const auto &prof = profileByName("gzip");
+    SyntheticWorkload a(prof, 1000, 5);
+    SyntheticWorkload b(prof, 1000, 5);
+    Instruction ia;
+    Instruction ib;
+    while (a.next(ia)) {
+        ASSERT_TRUE(b.next(ib));
+        EXPECT_EQ(ia.pc, ib.pc);
+        EXPECT_EQ(ia.op, ib.op);
+        EXPECT_EQ(ia.address, ib.address);
+        EXPECT_EQ(ia.dep1, ib.dep1);
+        EXPECT_EQ(ia.taken, ib.taken);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    const auto &prof = profileByName("gzip");
+    SyntheticWorkload a(prof, 500, 1);
+    SyntheticWorkload b(prof, 500, 2);
+    Instruction ia;
+    Instruction ib;
+    int differences = 0;
+    while (a.next(ia) && b.next(ib))
+        if (ia.op != ib.op || ia.address != ib.address)
+            ++differences;
+    EXPECT_GT(differences, 50);
+}
+
+TEST(Generator, RespectsInstructionLimit)
+{
+    SyntheticWorkload w(profileByName("gzip"), 123, 0);
+    Instruction inst;
+    std::size_t n = 0;
+    while (w.next(inst))
+        ++n;
+    EXPECT_EQ(n, 123u);
+    EXPECT_EQ(w.produced(), 123u);
+}
+
+TEST(Generator, MixApproximatesPhaseFractions)
+{
+    BenchmarkProfile prof = profileByName("crafty"); // single phase
+    SyntheticWorkload w(prof, 50000, 0);
+    const WorkloadPhase &ph = prof.phases[0];
+    std::map<OpClass, std::size_t> counts;
+    Instruction inst;
+    while (w.next(inst))
+        ++counts[inst.op];
+    const double n = 50000.0;
+    EXPECT_NEAR(counts[OpClass::Load] / n, ph.loadFrac, 0.02);
+    EXPECT_NEAR(counts[OpClass::Store] / n, ph.storeFrac, 0.02);
+    EXPECT_NEAR(counts[OpClass::Branch] / n, ph.branchFrac, 0.03);
+}
+
+TEST(Generator, PcStaysInCodeFootprint)
+{
+    const auto &prof = profileByName("gzip");
+    SyntheticWorkload w(prof, 20000, 3);
+    Instruction inst;
+    while (w.next(inst)) {
+        EXPECT_GE(inst.pc, 0x00400000u);
+        EXPECT_LT(inst.pc, 0x00400000u + prof.codeBytes);
+    }
+}
+
+TEST(Generator, BranchSitesAreStable)
+{
+    // The same PC must always decode to the same class of instruction
+    // (branch vs non-branch) within a phase.
+    BenchmarkProfile prof = profileByName("crafty");
+    SyntheticWorkload w(prof, 60000, 0);
+    std::map<std::uint64_t, bool> is_branch;
+    Instruction inst;
+    while (w.next(inst)) {
+        const bool branch = inst.op == OpClass::Branch;
+        auto [it, inserted] = is_branch.emplace(inst.pc, branch);
+        if (!inserted)
+            EXPECT_EQ(it->second, branch) << "pc " << std::hex << inst.pc;
+    }
+}
+
+TEST(Generator, BranchTargetsStablePerPc)
+{
+    BenchmarkProfile prof = profileByName("crafty");
+    SyntheticWorkload w(prof, 60000, 0);
+    std::map<std::uint64_t, std::uint64_t> target_of;
+    Instruction inst;
+    while (w.next(inst)) {
+        if (inst.op != OpClass::Branch || inst.isReturn)
+            continue;
+        auto [it, inserted] = target_of.emplace(inst.pc, inst.target);
+        if (!inserted)
+            EXPECT_EQ(it->second, inst.target);
+    }
+}
+
+TEST(Generator, AddressesFallInDeclaredRegions)
+{
+    const auto &prof = profileByName("gzip");
+    SyntheticWorkload w(prof, 30000, 1);
+    Instruction inst;
+    while (w.next(inst)) {
+        if (!isMemOp(inst.op))
+            continue;
+        const bool hot = inst.address >= 0x10000000ULL &&
+                         inst.address < 0x10000000ULL + prof.hotBytes;
+        const bool warm = inst.address >= 0x20000000ULL &&
+                          inst.address < 0x20000000ULL + prof.warmBytes;
+        const bool cold = inst.address >= 0x30000000ULL &&
+                          inst.address < 0x30000000ULL + (256ULL << 20);
+        EXPECT_TRUE(hot || warm || cold) << std::hex << inst.address;
+    }
+}
+
+TEST(Generator, FootprintsCoverRegions)
+{
+    const auto &prof = profileByName("gzip");
+    SyntheticWorkload w(prof, 10, 0);
+    const auto data = w.dataFootprint();
+    EXPECT_EQ(data.size(), prof.hotBytes / 64 + prof.warmBytes / 64);
+    const auto code = w.codeFootprint();
+    EXPECT_EQ(code.size(), prof.codeBytes / 64);
+}
+
+TEST(Generator, DependencyDistancesPositive)
+{
+    SyntheticWorkload w(profileByName("mcf"), 20000, 0);
+    Instruction inst;
+    while (w.next(inst)) {
+        if (inst.dep1 != 0)
+            EXPECT_GE(inst.dep1, 1u);
+        EXPECT_LE(inst.dep1, 200u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virus
+// ---------------------------------------------------------------------------
+
+TEST(Virus, AlternatesBurstAndStall)
+{
+    DiDtVirus virus(8, 2, 40);
+    Instruction inst;
+    std::vector<OpClass> ops;
+    while (virus.next(inst))
+        ops.push_back(inst.op);
+    ASSERT_EQ(ops.size(), 40u);
+    // First 8 are burst (no divides), next 2 are divides.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_NE(ops[i], OpClass::IntDiv) << i;
+    EXPECT_EQ(ops[8], OpClass::IntDiv);
+    EXPECT_EQ(ops[9], OpClass::IntDiv);
+    EXPECT_NE(ops[10], OpClass::IntDiv);
+}
+
+TEST(Virus, BurstDependsOnPrecedingDivide)
+{
+    DiDtVirus virus(4, 1, 20);
+    Instruction inst;
+    std::vector<Instruction> all;
+    while (virus.next(inst))
+        all.push_back(inst);
+    // Second burst starts at index 5; op at index 5+i points back to
+    // the divide at index 4 (distance i+1).
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(all[5 + i].dep1, static_cast<std::uint32_t>(i + 1));
+}
+
+TEST(Virus, TunedForMatchesResonantPeriod)
+{
+    // 3 GHz / 125 MHz = 24-cycle period: ~12 cycles burst at 4-wide
+    // (48 ops) and one 20-cycle divide.
+    DiDtVirus virus = DiDtVirus::tunedFor(3.0e9, 125.0e6, 4, 20, 100);
+    Instruction inst;
+    std::size_t burst_ops = 0;
+    while (virus.next(inst) && inst.op != OpClass::IntDiv)
+        ++burst_ops;
+    EXPECT_EQ(burst_ops, 48u);
+}
+
+TEST(Virus, ProcessorRunsItWithoutDeadlock)
+{
+    DiDtVirus virus = DiDtVirus::tunedFor(3.0e9, 125.0e6, 4, 20, 20000);
+    Processor proc({}, {}, virus);
+    Cycle cycles = 0;
+    while (proc.step() && cycles < 2000000)
+        ++cycles;
+    EXPECT_EQ(proc.stats().committed, 20000u);
+}
+
+TEST(Virus, ProducesLargeCurrentOscillation)
+{
+    DiDtVirus virus = DiDtVirus::tunedFor(3.0e9, 125.0e6, 4, 20, 0);
+    Processor proc({}, {}, virus);
+    CurrentTrace trace;
+    proc.collectTrace(trace, 60000);
+    // Skip the cold-start prefix.
+    RunningStats stats;
+    for (std::size_t n = 40000; n < trace.size(); ++n)
+        stats.push(trace[n]);
+    EXPECT_GT(stats.max() - stats.min(), 30.0);
+    EXPECT_GT(stats.stddev(), 8.0);
+}
+
+TEST(VirusDeath, RejectsZeroLengths)
+{
+    EXPECT_EXIT(DiDtVirus(0, 1), ::testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace didt
