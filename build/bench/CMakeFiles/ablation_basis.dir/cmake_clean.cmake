@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_basis.dir/ablation_basis.cc.o"
+  "CMakeFiles/ablation_basis.dir/ablation_basis.cc.o.d"
+  "ablation_basis"
+  "ablation_basis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_basis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modwt.dir/ablation_modwt.cc.o"
+  "CMakeFiles/ablation_modwt.dir/ablation_modwt.cc.o.d"
+  "ablation_modwt"
+  "ablation_modwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_monitor.dir/ablation_monitor.cc.o"
+  "CMakeFiles/ablation_monitor.dir/ablation_monitor.cc.o.d"
+  "ablation_monitor"
+  "ablation_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

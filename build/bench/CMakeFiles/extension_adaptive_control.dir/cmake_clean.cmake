@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_adaptive_control.dir/extension_adaptive_control.cc.o"
+  "CMakeFiles/extension_adaptive_control.dir/extension_adaptive_control.cc.o.d"
+  "extension_adaptive_control"
+  "extension_adaptive_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_adaptive_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multistage.dir/extension_multistage.cc.o"
+  "CMakeFiles/extension_multistage.dir/extension_multistage.cc.o.d"
+  "extension_multistage"
+  "extension_multistage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multistage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_scalogram.dir/fig04_scalogram.cc.o"
+  "CMakeFiles/fig04_scalogram.dir/fig04_scalogram.cc.o.d"
+  "fig04_scalogram"
+  "fig04_scalogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_scalogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

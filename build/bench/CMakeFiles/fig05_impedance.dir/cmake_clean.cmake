@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_impedance.dir/fig05_impedance.cc.o"
+  "CMakeFiles/fig05_impedance.dir/fig05_impedance.cc.o.d"
+  "fig05_impedance"
+  "fig05_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gaussian_current.dir/fig06_gaussian_current.cc.o"
+  "CMakeFiles/fig06_gaussian_current.dir/fig06_gaussian_current.cc.o.d"
+  "fig06_gaussian_current"
+  "fig06_gaussian_current.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gaussian_current.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_nongaussian_variance.dir/fig07_nongaussian_variance.cc.o"
+  "CMakeFiles/fig07_nongaussian_variance.dir/fig07_nongaussian_variance.cc.o.d"
+  "fig07_nongaussian_variance"
+  "fig07_nongaussian_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_nongaussian_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

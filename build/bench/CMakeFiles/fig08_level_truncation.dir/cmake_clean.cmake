@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_level_truncation.dir/fig08_level_truncation.cc.o"
+  "CMakeFiles/fig08_level_truncation.dir/fig08_level_truncation.cc.o.d"
+  "fig08_level_truncation"
+  "fig08_level_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_level_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_emergency_estimate.dir/fig09_emergency_estimate.cc.o"
+  "CMakeFiles/fig09_emergency_estimate.dir/fig09_emergency_estimate.cc.o.d"
+  "fig09_emergency_estimate"
+  "fig09_emergency_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_emergency_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

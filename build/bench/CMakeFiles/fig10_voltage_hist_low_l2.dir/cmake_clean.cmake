@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_voltage_hist_low_l2.dir/fig10_voltage_hist_low_l2.cc.o"
+  "CMakeFiles/fig10_voltage_hist_low_l2.dir/fig10_voltage_hist_low_l2.cc.o.d"
+  "fig10_voltage_hist_low_l2"
+  "fig10_voltage_hist_low_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_voltage_hist_low_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_voltage_hist_high_l2.dir/fig11_voltage_hist_high_l2.cc.o"
+  "CMakeFiles/fig11_voltage_hist_high_l2.dir/fig11_voltage_hist_high_l2.cc.o.d"
+  "fig11_voltage_hist_high_l2"
+  "fig11_voltage_hist_high_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_voltage_hist_high_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gaussian_by_benchmark.dir/fig12_gaussian_by_benchmark.cc.o"
+  "CMakeFiles/fig12_gaussian_by_benchmark.dir/fig12_gaussian_by_benchmark.cc.o.d"
+  "fig12_gaussian_by_benchmark"
+  "fig12_gaussian_by_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gaussian_by_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

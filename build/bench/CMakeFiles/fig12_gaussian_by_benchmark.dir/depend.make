@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_gaussian_by_benchmark.
+# This may be replaced when dependencies are built.

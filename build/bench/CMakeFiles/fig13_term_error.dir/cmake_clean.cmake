@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_term_error.dir/fig13_term_error.cc.o"
+  "CMakeFiles/fig13_term_error.dir/fig13_term_error.cc.o.d"
+  "fig13_term_error"
+  "fig13_term_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_term_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_control_slowdown.dir/fig15_control_slowdown.cc.o"
+  "CMakeFiles/fig15_control_slowdown.dir/fig15_control_slowdown.cc.o.d"
+  "fig15_control_slowdown"
+  "fig15_control_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_control_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

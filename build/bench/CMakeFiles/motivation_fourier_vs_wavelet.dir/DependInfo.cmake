@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/motivation_fourier_vs_wavelet.cc" "bench/CMakeFiles/motivation_fourier_vs_wavelet.dir/motivation_fourier_vs_wavelet.cc.o" "gcc" "bench/CMakeFiles/motivation_fourier_vs_wavelet.dir/motivation_fourier_vs_wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/didt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/didt_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/didt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/didt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/didt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/didt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/didt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_fourier_vs_wavelet.dir/motivation_fourier_vs_wavelet.cc.o"
+  "CMakeFiles/motivation_fourier_vs_wavelet.dir/motivation_fourier_vs_wavelet.cc.o.d"
+  "motivation_fourier_vs_wavelet"
+  "motivation_fourier_vs_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_fourier_vs_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

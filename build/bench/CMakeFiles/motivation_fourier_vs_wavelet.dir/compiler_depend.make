@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for motivation_fourier_vs_wavelet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for motivation_fourier_vs_wavelet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_workload.dir/characterize_workload.cpp.o"
+  "CMakeFiles/characterize_workload.dir/characterize_workload.cpp.o.d"
+  "characterize_workload"
+  "characterize_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_supply.dir/design_supply.cpp.o"
+  "CMakeFiles/design_supply.dir/design_supply.cpp.o.d"
+  "design_supply"
+  "design_supply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_control.dir/online_control.cpp.o"
+  "CMakeFiles/online_control.dir/online_control.cpp.o.d"
+  "online_control"
+  "online_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/didt_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/cosim.cc" "src/core/CMakeFiles/didt_core.dir/cosim.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/cosim.cc.o.d"
+  "/root/repo/src/core/emergency_estimator.cc" "src/core/CMakeFiles/didt_core.dir/emergency_estimator.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/emergency_estimator.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/didt_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/didt_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/online_characterizer.cc" "src/core/CMakeFiles/didt_core.dir/online_characterizer.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/online_characterizer.cc.o.d"
+  "/root/repo/src/core/variance_model.cc" "src/core/CMakeFiles/didt_core.dir/variance_model.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/variance_model.cc.o.d"
+  "/root/repo/src/core/window_analysis.cc" "src/core/CMakeFiles/didt_core.dir/window_analysis.cc.o" "gcc" "src/core/CMakeFiles/didt_core.dir/window_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/didt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/didt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/didt_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/didt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/didt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/didt_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

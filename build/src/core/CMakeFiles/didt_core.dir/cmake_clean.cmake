@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_core.dir/controller.cc.o"
+  "CMakeFiles/didt_core.dir/controller.cc.o.d"
+  "CMakeFiles/didt_core.dir/cosim.cc.o"
+  "CMakeFiles/didt_core.dir/cosim.cc.o.d"
+  "CMakeFiles/didt_core.dir/emergency_estimator.cc.o"
+  "CMakeFiles/didt_core.dir/emergency_estimator.cc.o.d"
+  "CMakeFiles/didt_core.dir/experiment.cc.o"
+  "CMakeFiles/didt_core.dir/experiment.cc.o.d"
+  "CMakeFiles/didt_core.dir/monitor.cc.o"
+  "CMakeFiles/didt_core.dir/monitor.cc.o.d"
+  "CMakeFiles/didt_core.dir/online_characterizer.cc.o"
+  "CMakeFiles/didt_core.dir/online_characterizer.cc.o.d"
+  "CMakeFiles/didt_core.dir/variance_model.cc.o"
+  "CMakeFiles/didt_core.dir/variance_model.cc.o.d"
+  "CMakeFiles/didt_core.dir/window_analysis.cc.o"
+  "CMakeFiles/didt_core.dir/window_analysis.cc.o.d"
+  "libdidt_core.a"
+  "libdidt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/convolution.cc" "src/power/CMakeFiles/didt_power.dir/convolution.cc.o" "gcc" "src/power/CMakeFiles/didt_power.dir/convolution.cc.o.d"
+  "/root/repo/src/power/multistage.cc" "src/power/CMakeFiles/didt_power.dir/multistage.cc.o" "gcc" "src/power/CMakeFiles/didt_power.dir/multistage.cc.o.d"
+  "/root/repo/src/power/stimulus.cc" "src/power/CMakeFiles/didt_power.dir/stimulus.cc.o" "gcc" "src/power/CMakeFiles/didt_power.dir/stimulus.cc.o.d"
+  "/root/repo/src/power/supply_network.cc" "src/power/CMakeFiles/didt_power.dir/supply_network.cc.o" "gcc" "src/power/CMakeFiles/didt_power.dir/supply_network.cc.o.d"
+  "/root/repo/src/power/trace_io.cc" "src/power/CMakeFiles/didt_power.dir/trace_io.cc.o" "gcc" "src/power/CMakeFiles/didt_power.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/didt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/didt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

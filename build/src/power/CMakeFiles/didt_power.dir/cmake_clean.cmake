@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_power.dir/convolution.cc.o"
+  "CMakeFiles/didt_power.dir/convolution.cc.o.d"
+  "CMakeFiles/didt_power.dir/multistage.cc.o"
+  "CMakeFiles/didt_power.dir/multistage.cc.o.d"
+  "CMakeFiles/didt_power.dir/stimulus.cc.o"
+  "CMakeFiles/didt_power.dir/stimulus.cc.o.d"
+  "CMakeFiles/didt_power.dir/supply_network.cc.o"
+  "CMakeFiles/didt_power.dir/supply_network.cc.o.d"
+  "CMakeFiles/didt_power.dir/trace_io.cc.o"
+  "CMakeFiles/didt_power.dir/trace_io.cc.o.d"
+  "libdidt_power.a"
+  "libdidt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

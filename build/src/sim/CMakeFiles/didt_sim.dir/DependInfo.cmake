@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bpred.cc" "src/sim/CMakeFiles/didt_sim.dir/bpred.cc.o" "gcc" "src/sim/CMakeFiles/didt_sim.dir/bpred.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/didt_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/didt_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/didt_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/didt_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/fu_pool.cc" "src/sim/CMakeFiles/didt_sim.dir/fu_pool.cc.o" "gcc" "src/sim/CMakeFiles/didt_sim.dir/fu_pool.cc.o.d"
+  "/root/repo/src/sim/power_model.cc" "src/sim/CMakeFiles/didt_sim.dir/power_model.cc.o" "gcc" "src/sim/CMakeFiles/didt_sim.dir/power_model.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/didt_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/didt_sim.dir/processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/didt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/didt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

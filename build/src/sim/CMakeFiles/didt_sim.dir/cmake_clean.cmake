@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_sim.dir/bpred.cc.o"
+  "CMakeFiles/didt_sim.dir/bpred.cc.o.d"
+  "CMakeFiles/didt_sim.dir/cache.cc.o"
+  "CMakeFiles/didt_sim.dir/cache.cc.o.d"
+  "CMakeFiles/didt_sim.dir/config.cc.o"
+  "CMakeFiles/didt_sim.dir/config.cc.o.d"
+  "CMakeFiles/didt_sim.dir/fu_pool.cc.o"
+  "CMakeFiles/didt_sim.dir/fu_pool.cc.o.d"
+  "CMakeFiles/didt_sim.dir/power_model.cc.o"
+  "CMakeFiles/didt_sim.dir/power_model.cc.o.d"
+  "CMakeFiles/didt_sim.dir/processor.cc.o"
+  "CMakeFiles/didt_sim.dir/processor.cc.o.d"
+  "libdidt_sim.a"
+  "libdidt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

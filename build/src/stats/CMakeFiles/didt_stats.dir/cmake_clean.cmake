@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_stats.dir/chi_square.cc.o"
+  "CMakeFiles/didt_stats.dir/chi_square.cc.o.d"
+  "CMakeFiles/didt_stats.dir/gaussian.cc.o"
+  "CMakeFiles/didt_stats.dir/gaussian.cc.o.d"
+  "CMakeFiles/didt_stats.dir/histogram.cc.o"
+  "CMakeFiles/didt_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/didt_stats.dir/running_stats.cc.o"
+  "CMakeFiles/didt_stats.dir/running_stats.cc.o.d"
+  "libdidt_stats.a"
+  "libdidt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdidt_stats.a"
+)

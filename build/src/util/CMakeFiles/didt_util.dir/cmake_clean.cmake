@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_util.dir/csv.cc.o"
+  "CMakeFiles/didt_util.dir/csv.cc.o.d"
+  "CMakeFiles/didt_util.dir/logging.cc.o"
+  "CMakeFiles/didt_util.dir/logging.cc.o.d"
+  "CMakeFiles/didt_util.dir/options.cc.o"
+  "CMakeFiles/didt_util.dir/options.cc.o.d"
+  "CMakeFiles/didt_util.dir/rng.cc.o"
+  "CMakeFiles/didt_util.dir/rng.cc.o.d"
+  "libdidt_util.a"
+  "libdidt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

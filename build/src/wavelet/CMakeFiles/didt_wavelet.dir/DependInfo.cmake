@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/basis.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/basis.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/basis.cc.o.d"
+  "/root/repo/src/wavelet/denoise.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/denoise.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/denoise.cc.o.d"
+  "/root/repo/src/wavelet/dwt.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/dwt.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/dwt.cc.o.d"
+  "/root/repo/src/wavelet/fourier.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/fourier.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/fourier.cc.o.d"
+  "/root/repo/src/wavelet/modwt.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/modwt.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/modwt.cc.o.d"
+  "/root/repo/src/wavelet/packet.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/packet.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/packet.cc.o.d"
+  "/root/repo/src/wavelet/scalogram.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/scalogram.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/scalogram.cc.o.d"
+  "/root/repo/src/wavelet/subband.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/subband.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/subband.cc.o.d"
+  "/root/repo/src/wavelet/wavelet_stats.cc" "src/wavelet/CMakeFiles/didt_wavelet.dir/wavelet_stats.cc.o" "gcc" "src/wavelet/CMakeFiles/didt_wavelet.dir/wavelet_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/didt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/didt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

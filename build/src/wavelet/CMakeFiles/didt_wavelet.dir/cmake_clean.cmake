@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_wavelet.dir/basis.cc.o"
+  "CMakeFiles/didt_wavelet.dir/basis.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/denoise.cc.o"
+  "CMakeFiles/didt_wavelet.dir/denoise.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/dwt.cc.o"
+  "CMakeFiles/didt_wavelet.dir/dwt.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/fourier.cc.o"
+  "CMakeFiles/didt_wavelet.dir/fourier.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/modwt.cc.o"
+  "CMakeFiles/didt_wavelet.dir/modwt.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/packet.cc.o"
+  "CMakeFiles/didt_wavelet.dir/packet.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/scalogram.cc.o"
+  "CMakeFiles/didt_wavelet.dir/scalogram.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/subband.cc.o"
+  "CMakeFiles/didt_wavelet.dir/subband.cc.o.d"
+  "CMakeFiles/didt_wavelet.dir/wavelet_stats.cc.o"
+  "CMakeFiles/didt_wavelet.dir/wavelet_stats.cc.o.d"
+  "libdidt_wavelet.a"
+  "libdidt_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

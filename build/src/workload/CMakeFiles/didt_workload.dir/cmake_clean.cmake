@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/didt_workload.dir/generator.cc.o"
+  "CMakeFiles/didt_workload.dir/generator.cc.o.d"
+  "CMakeFiles/didt_workload.dir/profile.cc.o"
+  "CMakeFiles/didt_workload.dir/profile.cc.o.d"
+  "CMakeFiles/didt_workload.dir/virus.cc.o"
+  "CMakeFiles/didt_workload.dir/virus.cc.o.d"
+  "libdidt_workload.a"
+  "libdidt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/didt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_invariants_test.dir/cosim_invariants_test.cc.o"
+  "CMakeFiles/cosim_invariants_test.dir/cosim_invariants_test.cc.o.d"
+  "cosim_invariants_test"
+  "cosim_invariants_test.pdb"
+  "cosim_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourier_modwt_test.dir/fourier_modwt_test.cc.o"
+  "CMakeFiles/fourier_modwt_test.dir/fourier_modwt_test.cc.o.d"
+  "fourier_modwt_test"
+  "fourier_modwt_test.pdb"
+  "fourier_modwt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourier_modwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

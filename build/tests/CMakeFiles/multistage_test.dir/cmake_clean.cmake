@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_test.dir/multistage_test.cc.o"
+  "CMakeFiles/multistage_test.dir/multistage_test.cc.o.d"
+  "multistage_test"
+  "multistage_test.pdb"
+  "multistage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
