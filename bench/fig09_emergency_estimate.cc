@@ -7,9 +7,13 @@
  * The shape claims: mgrid/gcc/galgel/apsi are flagged as problematic
  * (>= 3%), vpr/mcf/equake/gap as benign (< 0.5%), and the estimator
  * tracks the measured ranking.
+ *
+ * Runs through the campaign runner: the 26 benchmark cells fan out
+ * over --jobs worker threads and each trace is simulated once via the
+ * shared TraceRepository.
  */
 
-#include <cmath>
+#include <cstdio>
 
 #include "bench_common.hh"
 
@@ -24,42 +28,38 @@ main(int argc, char **argv)
     opts.declare("threshold", "0.97", "low control point in volts");
     opts.declare("no-correlation", "false",
                  "ablation: drop the correlation adjustment");
+    opts.declare("jobs", "0",
+                 "worker threads (0 = one per hardware thread)");
     opts.parse(argc, argv);
 
     const ExperimentSetup setup = makeStandardSetup();
     bench::banner(setup);
 
-    const SupplyNetwork net =
-        setup.makeNetwork(opts.getDouble("impedance"));
-    const VoltageVarianceModel model = makeCalibratedModel(setup, net);
-    const bool use_corr = !opts.getBool("no-correlation");
-    const Volt threshold = opts.getDouble("threshold");
+    CampaignSpec spec;
+    spec.impedanceScales = {opts.getDouble("impedance")};
+    spec.lowThreshold = opts.getDouble("threshold");
+    spec.useCorrelation = !opts.getBool("no-correlation");
+    spec.instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+    spec.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    TraceRepository repo(setup);
+    const CampaignResult result = runCharacterizationCampaign(
+        setup, spec, repo,
+        static_cast<std::size_t>(opts.getInt("jobs")));
 
     Table table({"benchmark", "estimated_pct", "measured_pct", "plot"});
-    double sq_err = 0.0;
-    int n = 0;
-    const auto instructions =
-        static_cast<std::uint64_t>(opts.getInt("instructions"));
-    for (const auto &prof : spec2000Profiles()) {
-        const CurrentTrace trace = benchmarkCurrentTrace(
-            setup, prof, instructions,
-            static_cast<std::uint64_t>(opts.getInt("seed")));
-        const EmergencyProfile profile = profileTrace(
-            trace, net, model, threshold, 1.03, {}, use_corr);
-        const double est = 100.0 * profile.estimatedBelow;
-        const double meas = 100.0 * profile.measuredBelow;
-        sq_err += (est - meas) * (est - meas);
-        ++n;
+    for (const CampaignCell &cell : result.cells) {
         table.newRow();
-        table.add(prof.name);
-        table.add(est, 2);
-        table.add(meas, 2);
-        table.add(asciiBar(meas, 8.0, 32));
+        table.add(cell.benchmark);
+        table.add(cell.estimatedBelowPct, 2);
+        table.add(cell.measuredBelowPct, 2);
+        table.add(asciiBar(cell.measuredBelowPct, 8.0, 32));
     }
     bench::emit(table, opts,
                 "Figure 9: % cycles below " + opts.get("threshold") +
                     " V, estimated vs measured");
     std::printf("RMS estimation error: %.2f%% (paper: 0.94%%)\n",
-                std::sqrt(sq_err / n));
+                result.rmsEstimationErrorPct());
     return 0;
 }

@@ -131,6 +131,47 @@ BM_NormalityTest(benchmark::State &state)
 }
 BENCHMARK(BM_NormalityTest);
 
+/**
+ * End-to-end characterization campaign, serial vs parallel: the same
+ * 8-benchmark x 3-scale sweep at jobs=1 and jobs=hardware. Each
+ * iteration uses a fresh in-memory TraceRepository, so the measured
+ * time covers trace simulation, model calibration, and analysis; on a
+ * multi-core machine the jobs:0 row should approach
+ * jobs:1 / core-count.
+ */
+void
+BM_CharacterizationCampaign(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    CampaignSpec spec;
+    {
+        const auto &all = spec2000Profiles();
+        spec.profiles.assign(all.begin(), all.begin() + 8);
+    }
+    spec.impedanceScales = {1.0, 1.2, 1.5};
+    spec.windowLength = 128;
+    spec.levels = 6;
+    spec.instructions = 30000;
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        TraceRepository repo(setup);
+        const CampaignResult result =
+            runCharacterizationCampaign(setup, spec, repo, jobs);
+        benchmark::DoNotOptimize(result.cells.data());
+    }
+    state.counters["jobs"] = static_cast<double>(
+        ThreadPool::resolveJobs(jobs));
+    state.counters["cells"] = static_cast<double>(
+        spec.profiles.size() * spec.impedanceScales.size());
+}
+BENCHMARK(BM_CharacterizationCampaign)
+    ->Arg(1)  // serial reference
+    ->Arg(0)  // one worker per hardware thread
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 } // namespace
 
 BENCHMARK_MAIN();

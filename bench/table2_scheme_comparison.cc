@@ -5,7 +5,15 @@
  * full convolution, pipeline damping, and the wavelet monitor — on
  * false positives, performance impact, residual faults, and
  * implementation complexity (per-cycle terms).
+ *
+ * Runs through the campaign runner's generic cell fan-out: the
+ * (scheme x benchmark) closed-loop co-simulations execute on --jobs
+ * worker threads, with the uncontrolled baselines shared across
+ * schemes instead of re-simulated per scheme as the serial bench did.
  */
+
+#include <cstdio>
+#include <vector>
 
 #include "bench_common.hh"
 
@@ -20,6 +28,8 @@ main(int argc, char **argv)
     opts.declare("tolerance-mv", "25", "control tolerance in mV");
     opts.declare("benchmarks", "gzip,mgrid,galgel,mcf,crafty",
                  "comma-separated benchmark subset");
+    opts.declare("jobs", "0",
+                 "worker threads (0 = one per hardware thread)");
     opts.parse(argc, argv);
 
     const ExperimentSetup setup = makeStandardSetup();
@@ -29,7 +39,10 @@ main(int argc, char **argv)
         setup.makeNetwork(opts.getDouble("impedance"));
     const auto instructions =
         static_cast<std::uint64_t>(opts.getInt("instructions"));
+    const auto seed = static_cast<std::uint64_t>(opts.getInt("seed"));
     const Volt tolerance = opts.getDouble("tolerance-mv") / 1000.0;
+    const std::size_t jobs = ThreadPool::resolveJobs(
+        static_cast<std::size_t>(opts.getInt("jobs")));
 
     std::vector<std::string> names;
     {
@@ -56,34 +69,53 @@ main(int argc, char **argv)
         {ControlScheme::Wavelet, 13},
     };
 
+    // Uncontrolled baselines, one per benchmark, shared by every
+    // scheme's slowdown computation.
+    const std::vector<CosimResult> baselines =
+        runCampaignCells<CosimResult>(
+            names.size(), jobs, [&](std::size_t i) {
+                CosimConfig cfg;
+                cfg.instructions = instructions;
+                cfg.seed = seed;
+                cfg.scheme = ControlScheme::None;
+                return runClosedLoop(profileByName(names[i]), setup.proc,
+                                     setup.power, net, cfg);
+            });
+
+    // One cell per (scheme, benchmark) closed-loop run.
+    const std::vector<CosimResult> runs =
+        runCampaignCells<CosimResult>(
+            schemes.size() * names.size(), jobs, [&](std::size_t i) {
+                const Scheme &scheme = schemes[i / names.size()];
+                const std::string &name = names[i % names.size()];
+                CosimConfig cfg;
+                cfg.instructions = instructions;
+                cfg.seed = seed;
+                cfg.scheme = scheme.scheme;
+                cfg.control.tolerance = tolerance;
+                cfg.waveletTerms = scheme.terms ? scheme.terms : 13;
+                return runClosedLoop(profileByName(name), setup.proc,
+                                     setup.power, net, cfg);
+            });
+
     Table table({"scheme", "terms_per_cycle", "mean_slowdown_pct",
                  "residual_faults", "control_cycles", "false_pos_rate"});
-    for (const Scheme &scheme : schemes) {
+    for (std::size_t si = 0; si < schemes.size(); ++si) {
+        const Scheme &scheme = schemes[si];
         RunningStats slow;
         std::uint64_t faults = 0;
         std::uint64_t control = 0;
         RunningStats fp_rate;
         std::size_t term_count = scheme.terms;
-        for (const std::string &name : names) {
-            const BenchmarkProfile &prof = profileByName(name);
-            CosimConfig cfg;
-            cfg.instructions = instructions;
-            cfg.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
-            cfg.scheme = ControlScheme::None;
-            const CosimResult base = runClosedLoop(prof, setup.proc,
-                                                   setup.power, net, cfg);
-            cfg.scheme = scheme.scheme;
-            cfg.control.tolerance = tolerance;
-            cfg.waveletTerms = scheme.terms ? scheme.terms : 13;
-            const CosimResult r = runClosedLoop(prof, setup.proc,
-                                                setup.power, net, cfg);
-            slow.push(100.0 * slowdown(r, base));
+        for (std::size_t bi = 0; bi < names.size(); ++bi) {
+            const CosimResult &r = runs[si * names.size() + bi];
+            slow.push(100.0 * slowdown(r, baselines[bi]));
             faults += r.lowFaults + r.highFaults;
             control += r.controlCycles;
             fp_rate.push(r.falsePositiveRate());
-            if (scheme.scheme == ControlScheme::FullConvolution)
-                term_count = FullConvolutionMonitor(net).termCount();
         }
+        if (scheme.scheme == ControlScheme::FullConvolution)
+            term_count = FullConvolutionMonitor(net).termCount();
         table.newRow();
         table.add(std::string(controlSchemeName(scheme.scheme)));
         table.add(static_cast<long long>(term_count));

@@ -11,6 +11,8 @@
  *  - core/     : offline wavelet variance characterization and online
  *                wavelet-convolution dI/dt control (the paper's
  *                contribution)
+ *  - runner/   : parallel experiment campaigns with a content-
+ *                addressed trace cache and structured JSON/CSV results
  */
 
 #ifndef DIDT_DIDT_HH
@@ -25,6 +27,10 @@
 #include "core/variance_model.hh"
 #include "core/window_analysis.hh"
 #include "power/convolution.hh"
+#include "runner/campaign.hh"
+#include "runner/result_json.hh"
+#include "runner/thread_pool.hh"
+#include "runner/trace_repository.hh"
 #include "power/multistage.hh"
 #include "power/stimulus.hh"
 #include "power/supply_network.hh"

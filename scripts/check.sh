@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+#
+# CI gate: strict warnings everywhere, plus the runner subsystem's
+# concurrency tests under ThreadSanitizer.
+#
+#   scripts/check.sh            # full strict build + all tests + TSan runner tests
+#   scripts/check.sh --tsan-only  # just the TSan runner-test pass
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+TSAN_ONLY=0
+[[ "${1:-}" == "--tsan-only" ]] && TSAN_ONLY=1
+
+if [[ $TSAN_ONLY -eq 0 ]]; then
+    echo "=== strict build (-Wall -Wextra -Werror) + full test suite ==="
+    cmake -B build-ci -S . -DDIDT_WERROR=ON
+    cmake --build build-ci -j "$JOBS"
+    ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+fi
+
+echo "=== ThreadSanitizer pass over the runner tests (ctest -L runner) ==="
+cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test
+ctest --test-dir build-tsan -L runner --output-on-failure -j "$JOBS"
+
+echo "=== all checks passed ==="

@@ -54,23 +54,25 @@ virusCurrentTrace(const ExperimentSetup &setup, std::size_t cycles)
     return trace;
 }
 
-std::vector<CurrentTrace>
-calibrationTraces(const ExperimentSetup &setup)
+std::vector<std::function<CurrentTrace()>>
+calibrationTraceBuilders(const ExperimentSetup &setup)
 {
-    std::vector<CurrentTrace> traces;
+    std::vector<std::function<CurrentTrace()>> builders;
 
     // Virus variants: on-resonance plus detuned periods, sweeping the
     // excitation frequency through and around the resonant band.
     for (double detune : {0.5, 0.75, 1.0, 1.5, 2.5}) {
-        DiDtVirus virus = DiDtVirus::tunedFor(
-            setup.proc.clockHz, setup.supplyBase.resonantHz * detune,
-            static_cast<std::uint32_t>(setup.proc.fetchWidth),
-            static_cast<std::uint32_t>(setup.proc.intDivLatency));
-        Processor processor(setup.proc, setup.power, virus);
-        CurrentTrace trace;
-        processor.collectTrace(trace, 60000);
-        trace.erase(trace.begin(), trace.begin() + 40000);
-        traces.push_back(std::move(trace));
+        builders.push_back([&setup, detune] {
+            DiDtVirus virus = DiDtVirus::tunedFor(
+                setup.proc.clockHz, setup.supplyBase.resonantHz * detune,
+                static_cast<std::uint32_t>(setup.proc.fetchWidth),
+                static_cast<std::uint32_t>(setup.proc.intDivLatency));
+            Processor processor(setup.proc, setup.power, virus);
+            CurrentTrace trace;
+            processor.collectTrace(trace, 60000);
+            trace.erase(trace.begin(), trace.begin() + 40000);
+            return trace;
+        });
     }
 
     // Generic synthetic workloads spanning the behaviour space; these
@@ -83,7 +85,9 @@ calibrationTraces(const ExperimentSetup &setup)
         phase.lengthInsts = 100000;
         prof.phases = {phase};
         prof.seed = seed;
-        traces.push_back(benchmarkCurrentTrace(setup, prof, 40000, 17));
+        builders.push_back([&setup, prof = std::move(prof)] {
+            return benchmarkCurrentTrace(setup, prof, 40000, 17);
+        });
     };
 
     WorkloadPhase compute;
@@ -119,6 +123,15 @@ calibrationTraces(const ExperimentSetup &setup)
     mixed.chaseProb = 0.15;
     add_profile("cal-mixed", mixed, 505);
 
+    return builders;
+}
+
+std::vector<CurrentTrace>
+calibrationTraces(const ExperimentSetup &setup)
+{
+    std::vector<CurrentTrace> traces;
+    for (const auto &builder : calibrationTraceBuilders(setup))
+        traces.push_back(builder());
     return traces;
 }
 

@@ -14,6 +14,7 @@
 #define DIDT_CORE_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "core/variance_model.hh"
 #include "power/supply_network.hh"
@@ -74,6 +75,16 @@ CurrentTrace virusCurrentTrace(const ExperimentSetup &setup,
  */
 std::vector<CurrentTrace>
 calibrationTraces(const ExperimentSetup &setup);
+
+/**
+ * The calibration suite as deferred per-trace builders, so campaign
+ * drivers can generate the training set in parallel. Builders are
+ * independent and safe to run concurrently; each captures @p setup by
+ * reference, which must outlive them. Running every builder in order
+ * yields exactly calibrationTraces(setup).
+ */
+std::vector<std::function<CurrentTrace()>>
+calibrationTraceBuilders(const ExperimentSetup &setup);
 
 /**
  * Build a VoltageVarianceModel for @p network calibrated on the

@@ -44,8 +44,15 @@ writeTraceText(const std::string &path, const CurrentTrace &trace,
         didt_fatal("error writing trace to ", path);
 }
 
-CurrentTrace
-readTraceText(std::istream &is)
+namespace
+{
+
+/**
+ * Parse a text trace stream. On a malformed sample returns nullopt and
+ * describes the failure in @p error (when non-null).
+ */
+std::optional<CurrentTrace>
+parseTraceText(std::istream &is, std::string *error)
 {
     CurrentTrace trace;
     std::string line;
@@ -59,11 +66,26 @@ readTraceText(std::istream &is)
         double value;
         while (fields >> value)
             trace.push_back(value);
-        if (!fields.eof())
-            didt_fatal("malformed trace sample at line ", lineno, ": '",
-                       line, "'");
+        if (!fields.eof()) {
+            if (error)
+                *error = detail::concat("malformed trace sample at line ",
+                                        lineno, ": '", line, "'");
+            return std::nullopt;
+        }
     }
     return trace;
+}
+
+} // namespace
+
+CurrentTrace
+readTraceText(std::istream &is)
+{
+    std::string error;
+    std::optional<CurrentTrace> trace = parseTraceText(is, &error);
+    if (!trace)
+        didt_fatal(error);
+    return *std::move(trace);
 }
 
 CurrentTrace
@@ -109,6 +131,37 @@ readTraceBinary(const std::string &path)
             static_cast<std::streamsize>(count * sizeof(double)));
     if (!in)
         didt_fatal(path, ": truncated sample data");
+    return trace;
+}
+
+std::optional<CurrentTrace>
+tryReadTraceText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    return parseTraceText(in, nullptr);
+}
+
+std::optional<CurrentTrace>
+tryReadTraceBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    char magic[sizeof(kMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in)
+        return std::nullopt;
+    CurrentTrace trace(count);
+    in.read(reinterpret_cast<char *>(trace.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+    if (!in)
+        return std::nullopt;
     return trace;
 }
 

@@ -13,6 +13,7 @@
 #define DIDT_POWER_TRACE_IO_HH
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "util/types.hh"
@@ -39,6 +40,20 @@ void writeTraceBinary(const std::string &path, const CurrentTrace &trace);
 
 /** Read a binary trace; fatal on bad magic or truncation. */
 CurrentTrace readTraceBinary(const std::string &path);
+
+/**
+ * Non-fatal variant of readTraceText: returns std::nullopt when the
+ * file is missing, unreadable, or contains a malformed sample. Used by
+ * cache layers where a read miss is an expected outcome, not an error.
+ */
+std::optional<CurrentTrace> tryReadTraceText(const std::string &path);
+
+/**
+ * Non-fatal variant of readTraceBinary: returns std::nullopt on a
+ * missing file, bad magic, or truncation (e.g. a cache entry cut short
+ * by a crashed writer) instead of exiting.
+ */
+std::optional<CurrentTrace> tryReadTraceBinary(const std::string &path);
 
 /** Stream variants for testing and piping. */
 void writeTraceText(std::ostream &os, const CurrentTrace &trace,

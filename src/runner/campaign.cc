@@ -1,0 +1,148 @@
+#include "runner/campaign.hh"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "core/emergency_estimator.hh"
+#include "core/variance_model.hh"
+#include "wavelet/basis.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+CampaignSpec::effectiveProfiles() const
+{
+    return profiles.empty() ? spec2000Profiles() : profiles;
+}
+
+double
+CampaignResult::rmsEstimationErrorPct() const
+{
+    if (cells.empty())
+        return 0.0;
+    double sq = 0.0;
+    for (const CampaignCell &cell : cells) {
+        const double err =
+            cell.estimatedBelowPct - cell.measuredBelowPct;
+        sq += err * err;
+    }
+    return std::sqrt(sq / static_cast<double>(cells.size()));
+}
+
+CampaignResult
+runCharacterizationCampaign(const ExperimentSetup &setup,
+                            const CampaignSpec &spec,
+                            TraceRepository &repo, std::size_t jobs,
+                            const std::function<void(const CampaignCell &)>
+                                &on_cell)
+{
+    const Clock::time_point campaign_start = Clock::now();
+
+    CampaignResult result;
+    result.spec = spec;
+    // Materialize the all-SPEC default so the result echoes the exact
+    // benchmark list it ran.
+    result.spec.profiles = spec.effectiveProfiles();
+    const std::vector<BenchmarkProfile> &profiles = result.spec.profiles;
+    const std::vector<double> &scales = spec.impedanceScales;
+
+    ThreadPool pool(jobs);
+    result.jobs = pool.size();
+
+    // Phase 1: build the calibration training set, each trace on its
+    // own worker.
+    const std::vector<std::function<CurrentTrace()>> builders =
+        calibrationTraceBuilders(setup);
+    std::vector<CurrentTrace> training(builders.size());
+    pool.parallelFor(builders.size(), [&](std::size_t i) {
+        training[i] = builders[i]();
+    });
+
+    // Phase 2: one supply network + calibrated variance model per
+    // impedance scale, calibrated in parallel on the shared training
+    // set. Networks are stored first so the models' references stay
+    // valid for the whole campaign.
+    const WaveletBasis basis = WaveletBasis::byName(spec.basis);
+    std::vector<SupplyNetwork> networks;
+    networks.reserve(scales.size());
+    for (double scale : scales)
+        networks.push_back(setup.makeNetwork(scale));
+    std::vector<std::unique_ptr<VoltageVarianceModel>> models(
+        scales.size());
+    pool.parallelFor(scales.size(), [&](std::size_t si) {
+        auto model = std::make_unique<VoltageVarianceModel>(
+            networks[si], spec.windowLength, spec.levels, basis);
+        model->calibrateOnTraces(training);
+        models[si] = std::move(model);
+    });
+    result.calibrationMillis = millisSince(campaign_start);
+
+    // Phase 3: the sweep itself. Cells are stored benchmark-major for
+    // reporting but submitted scale-major, so the first batch of tasks
+    // covers distinct benchmarks and primes the trace cache before the
+    // sharing cells queue up behind it.
+    result.cells.resize(profiles.size() * scales.size());
+    std::mutex progress_mutex;
+    std::vector<std::future<void>> pending;
+    pending.reserve(result.cells.size());
+    for (std::size_t si = 0; si < scales.size(); ++si) {
+        for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+            pending.push_back(pool.submit([&, si, pi] {
+                const Clock::time_point cell_start = Clock::now();
+                const std::shared_ptr<const CurrentTrace> trace =
+                    repo.get(profiles[pi], spec.instructions, spec.seed,
+                             spec.trimWarmup);
+                const EmergencyProfile ep = profileTrace(
+                    *trace, networks[si], *models[si],
+                    spec.lowThreshold, spec.highThreshold, {},
+                    spec.useCorrelation);
+
+                CampaignCell &cell =
+                    result.cells[pi * scales.size() + si];
+                cell.benchmark = profiles[pi].name;
+                cell.impedanceScale = scales[si];
+                cell.traceCycles = trace->size();
+                cell.windows = ep.windows;
+                cell.estimatedBelowPct = 100.0 * ep.estimatedBelow;
+                cell.measuredBelowPct = 100.0 * ep.measuredBelow;
+                cell.estimatedAbovePct = 100.0 * ep.estimatedAbove;
+                cell.measuredAbovePct = 100.0 * ep.measuredAbove;
+                cell.estimatedVariance = ep.estimatedVariance;
+                cell.measuredVariance = ep.measuredVariance;
+                cell.wallMillis = millisSince(cell_start);
+                if (on_cell) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    on_cell(cell);
+                }
+            }));
+        }
+    }
+    for (std::future<void> &f : pending)
+        f.wait();
+    for (std::future<void> &f : pending)
+        f.get();
+
+    result.cacheStats = repo.stats();
+    result.wallMillis = millisSince(campaign_start);
+    return result;
+}
+
+} // namespace didt

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Declarative experiment campaigns (paper Sections 4-5 sweeps).
+ *
+ * A campaign describes a full characterization sweep — a benchmark
+ * set crossed with impedance scales under one analysis configuration —
+ * and executes it cell-by-cell on a ThreadPool, pulling every current
+ * trace through a shared TraceRepository so each benchmark is
+ * simulated exactly once for the whole sweep. Per-impedance-scale
+ * variance models are calibrated in parallel on a training set built
+ * once. Results are deterministic: cell values depend only on the
+ * spec, never on --jobs or scheduling order.
+ */
+
+#ifndef DIDT_RUNNER_CAMPAIGN_HH
+#define DIDT_RUNNER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "runner/thread_pool.hh"
+#include "runner/trace_repository.hh"
+#include "util/types.hh"
+#include "workload/profile.hh"
+
+namespace didt
+{
+
+/** Declarative description of one characterization sweep. */
+struct CampaignSpec
+{
+    /** Benchmarks to sweep (empty = all 26 SPEC 2000 profiles). */
+    std::vector<BenchmarkProfile> profiles;
+
+    /** Target-impedance scales (paper Section 4: 100%..150%). */
+    std::vector<double> impedanceScales{1.0, 1.1, 1.2, 1.3, 1.5};
+
+    /** Analysis window in cycles (paper: 256). */
+    std::size_t windowLength = 256;
+
+    /** Wavelet decomposition depth (paper: 8). */
+    std::size_t levels = 8;
+
+    /** Wavelet basis name for WaveletBasis::byName (paper: haar). */
+    std::string basis = "haar";
+
+    /** Low control point in volts (paper: 0.97). */
+    Volt lowThreshold = 0.97;
+
+    /** High control point in volts. */
+    Volt highThreshold = 1.03;
+
+    /** Include the correlation adjustment (Section 4.1). */
+    bool useCorrelation = true;
+
+    /** Dynamic instructions per benchmark. */
+    std::uint64_t instructions = 120000;
+
+    /** Extra workload seed. */
+    std::uint64_t seed = 0;
+
+    /** Warmup cycles trimmed from each trace. */
+    std::size_t trimWarmup = 4096;
+
+    /** The profiles list with the all-SPEC default applied. */
+    const std::vector<BenchmarkProfile> &effectiveProfiles() const;
+};
+
+/** One (benchmark, impedance scale) cell of a campaign. */
+struct CampaignCell
+{
+    std::string benchmark;       ///< profile name
+    double impedanceScale = 1.0; ///< network scale for this cell
+    std::size_t traceCycles = 0; ///< trace length analyzed
+    std::size_t windows = 0;     ///< analysis windows profiled
+
+    double estimatedBelowPct = 0.0; ///< model % cycles below low point
+    double measuredBelowPct = 0.0;  ///< measured % below low point
+    double estimatedAbovePct = 0.0; ///< model % above high point
+    double measuredAbovePct = 0.0;  ///< measured % above high point
+    double estimatedVariance = 0.0; ///< mean estimated voltage variance
+    double measuredVariance = 0.0;  ///< measured voltage variance
+
+    /** Wall-clock of this cell's analysis (excluded from the
+     *  deterministic JSON body). */
+    double wallMillis = 0.0;
+};
+
+/** Everything a finished campaign produced. */
+struct CampaignResult
+{
+    CampaignSpec spec;               ///< the sweep that ran
+    std::vector<CampaignCell> cells; ///< benchmark-major, scale-minor
+    TraceCacheStats cacheStats;      ///< repository counters afterwards
+    std::size_t jobs = 1;            ///< worker threads used
+    double wallMillis = 0.0;         ///< end-to-end wall clock
+    double calibrationMillis = 0.0;  ///< training + model calibration
+
+    /** RMS of (estimated - measured) emergency percentage. */
+    double rmsEstimationErrorPct() const;
+};
+
+/**
+ * Run a characterization campaign.
+ *
+ * @param setup experiment environment (shared, read-only)
+ * @param spec the sweep description
+ * @param repo trace store shared by all cells (and, with a cache
+ *        directory, across campaign invocations)
+ * @param jobs worker threads (0 = hardware concurrency)
+ * @param on_cell optional progress callback, invoked from worker
+ *        threads as cells finish (serialized by the campaign)
+ */
+CampaignResult
+runCharacterizationCampaign(const ExperimentSetup &setup,
+                            const CampaignSpec &spec,
+                            TraceRepository &repo, std::size_t jobs = 0,
+                            const std::function<void(const CampaignCell &)>
+                                &on_cell = {});
+
+/**
+ * Generic campaign fan-out for sweeps whose cells are not emergency
+ * characterizations (e.g. closed-loop scheme comparisons): evaluate
+ * @p cell(i) for i in [0, count) on @p jobs workers and return results
+ * in index order. Exceptions from any cell propagate to the caller.
+ */
+template <typename R>
+std::vector<R>
+runCampaignCells(std::size_t count, std::size_t jobs,
+                 const std::function<R(std::size_t)> &cell)
+{
+    std::vector<R> results(count);
+    ThreadPool pool(jobs);
+    pool.parallelFor(count, [&](std::size_t i) { results[i] = cell(i); });
+    return results;
+}
+
+} // namespace didt
+
+#endif // DIDT_RUNNER_CAMPAIGN_HH

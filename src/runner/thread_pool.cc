@@ -1,0 +1,71 @@
+#include "runner/thread_pool.hh"
+
+namespace didt
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t count = resolveJobs(threads);
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // A packaged_task captures any exception in its future; a bare
+        // callable that throws would terminate, matching std::thread.
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    std::vector<std::future<void>> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        pending.push_back(submit([&fn, i] { fn(i); }));
+    // Wait for everything before rethrowing so no iteration is still
+    // touching caller state when the exception unwinds.
+    for (std::future<void> &f : pending)
+        f.wait();
+    for (std::future<void> &f : pending)
+        f.get();
+}
+
+std::size_t
+ThreadPool::resolveJobs(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace didt

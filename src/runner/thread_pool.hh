@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-size worker pool for experiment campaigns.
+ *
+ * A single shared FIFO queue feeds N worker threads; submitted
+ * callables return std::futures, so exceptions thrown inside a task
+ * propagate to whoever waits on its result instead of killing a
+ * worker. Tasks are started in submission order (completion order is
+ * up to the scheduler), which campaign drivers exploit to prime
+ * distinct cache keys before the sharing cells pile up behind them.
+ */
+
+#ifndef DIDT_RUNNER_THREAD_POOL_HH
+#define DIDT_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace didt
+{
+
+/** A fixed-size thread pool with a shared FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers. 0 means one worker per hardware
+     * thread (at least one).
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a callable; returns a future for its result. An
+     * exception thrown by the callable is captured and rethrown from
+     * future::get().
+     */
+    template <typename F>
+    std::future<std::invoke_result_t<F>> submit(F &&fn)
+    {
+        using R = std::invoke_result_t<F>;
+        // shared_ptr because std::function requires a copyable
+        // callable and packaged_task is move-only.
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        available_.notify_one();
+        return result;
+    }
+
+    /**
+     * Run @p fn(i) for i in [0, count) across the pool and block until
+     * every iteration finishes. The first exception (lowest index) is
+     * rethrown after all iterations complete.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Resolve a --jobs style request: 0 means hardware concurrency. */
+    static std::size_t resolveJobs(std::size_t requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace didt
+
+#endif // DIDT_RUNNER_THREAD_POOL_HH

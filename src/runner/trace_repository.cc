@@ -1,0 +1,201 @@
+#include "runner/trace_repository.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "power/trace_io.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/** Incremental FNV-1a over raw bytes. */
+class Fnv1a
+{
+  public:
+    void bytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+
+    void f64(double v)
+    {
+        // Hash the bit pattern: the simulator is bit-deterministic, so
+        // bit-equal parameters are the correct equivalence.
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace
+
+std::uint64_t
+fingerprintTraceRequest(const TraceRequest &request)
+{
+    Fnv1a h;
+    const BenchmarkProfile &p = request.profile;
+    h.str(p.name);
+    h.u64(p.floatingPoint ? 1 : 0);
+    h.u64(p.codeBytes);
+    h.u64(p.hotBytes);
+    h.u64(p.warmBytes);
+    h.u64(p.seed);
+    h.u64(p.phases.size());
+    for (const WorkloadPhase &ph : p.phases) {
+        h.f64(ph.loadFrac);
+        h.f64(ph.storeFrac);
+        h.f64(ph.branchFrac);
+        h.f64(ph.fpFrac);
+        h.f64(ph.multFrac);
+        h.f64(ph.divFrac);
+        h.f64(ph.hotProb);
+        h.f64(ph.warmProb);
+        h.f64(ph.chaseProb);
+        h.f64(ph.gateOnLoadProb);
+        h.u64(ph.depFixed);
+        h.f64(ph.predictableBranchFrac);
+        h.f64(ph.depGeomP);
+        h.f64(ph.dep2Prob);
+        h.u64(ph.lengthInsts);
+    }
+    h.u64(request.instructions);
+    h.u64(request.seed);
+    h.u64(request.trimWarmup);
+    return h.value();
+}
+
+TraceRepository::TraceRepository(const ExperimentSetup &setup,
+                                 std::string cache_dir)
+    : setup_(setup), cacheDir_(std::move(cache_dir))
+{
+}
+
+std::string
+TraceRepository::cachePath(const TraceRequest &request) const
+{
+    if (cacheDir_.empty())
+        return "";
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.trc",
+                  static_cast<unsigned long long>(
+                      fingerprintTraceRequest(request)));
+    return cacheDir_ + "/" + name;
+}
+
+std::shared_ptr<const CurrentTrace>
+TraceRepository::get(const TraceRequest &request)
+{
+    const std::uint64_t key = fingerprintTraceRequest(request);
+
+    std::shared_future<TracePtr> shared;
+    std::promise<TracePtr> claim;
+    bool producer = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.lookups;
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            // Completed or in flight: either way this caller shares
+            // the one production, so it counts as a memory hit.
+            ++stats_.memoryHits;
+            shared = it->second;
+        } else {
+            producer = true;
+            shared = claim.get_future().share();
+            entries_.emplace(key, shared);
+        }
+    }
+
+    if (producer) {
+        try {
+            claim.set_value(produce(request));
+        } catch (...) {
+            claim.set_exception(std::current_exception());
+        }
+    }
+    return shared.get();
+}
+
+std::shared_ptr<const CurrentTrace>
+TraceRepository::get(const BenchmarkProfile &profile,
+                     std::uint64_t instructions, std::uint64_t seed,
+                     std::size_t trim_warmup)
+{
+    TraceRequest request;
+    request.profile = profile;
+    request.instructions = instructions;
+    request.seed = seed;
+    request.trimWarmup = trim_warmup;
+    return get(request);
+}
+
+TraceRepository::TracePtr
+TraceRepository::produce(const TraceRequest &request)
+{
+    const std::string path = cachePath(request);
+    if (!path.empty()) {
+        if (std::optional<CurrentTrace> cached = tryReadTraceBinary(path)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.diskLoads;
+            return std::make_shared<const CurrentTrace>(
+                *std::move(cached));
+        }
+    }
+
+    CurrentTrace trace = benchmarkCurrentTrace(
+        setup_, request.profile, request.instructions, request.seed,
+        request.trimWarmup);
+
+    if (!path.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cacheDir_, ec);
+        if (ec)
+            didt_warn("cannot create trace cache dir ", cacheDir_, ": ",
+                      ec.message());
+        else
+            writeTraceBinary(path, trace);
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.simulations;
+    return std::make_shared<const CurrentTrace>(std::move(trace));
+}
+
+TraceCacheStats
+TraceRepository::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+TraceRepository::residentTraces() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace didt

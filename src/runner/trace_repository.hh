@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Content-addressed cache of benchmark current traces.
+ *
+ * Generating a benchmark's per-cycle current trace (cycle-level
+ * simulation of the Table-1 machine) dominates the cost of every
+ * evaluation sweep, and a sweep revisits the same trace once per
+ * impedance scale / analysis setting. The repository memoizes
+ * benchmarkCurrentTrace() results keyed by the full content of the
+ * request — every BenchmarkProfile field plus (instructions, seed,
+ * trim) — so a campaign simulates each distinct workload exactly once
+ * no matter how many cells share it or how many threads ask at once.
+ *
+ * Concurrency: the first requester of a key claims it and simulates;
+ * concurrent requesters of the same key block on a shared future and
+ * receive the same immutable trace. This makes the hit/miss counters
+ * deterministic: simulations always equals the number of distinct
+ * keys, independent of thread interleaving.
+ *
+ * Persistence: with a cache directory set, traces are also stored as
+ * binary didt trace files named by their 64-bit content fingerprint,
+ * so repeated campaign invocations skip simulation entirely. A
+ * corrupt or truncated file is treated as a miss and overwritten.
+ */
+
+#ifndef DIDT_RUNNER_TRACE_REPOSITORY_HH
+#define DIDT_RUNNER_TRACE_REPOSITORY_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/experiment.hh"
+#include "util/types.hh"
+#include "workload/profile.hh"
+
+namespace didt
+{
+
+/** Parameters fully determining one benchmark current trace. */
+struct TraceRequest
+{
+    BenchmarkProfile profile{};
+    std::uint64_t instructions = 120000;
+    std::uint64_t seed = 0;
+    std::size_t trimWarmup = 4096;
+};
+
+/**
+ * 64-bit FNV-1a fingerprint over every field of the request (profile
+ * parameters included, so two profiles that differ only in a phase
+ * probability hash apart). Doubles are hashed by bit pattern; the
+ * simulator is deterministic, so bit-equal requests produce bit-equal
+ * traces.
+ */
+std::uint64_t fingerprintTraceRequest(const TraceRequest &request);
+
+/** Monotonic counters describing repository effectiveness. */
+struct TraceCacheStats
+{
+    std::uint64_t lookups = 0;     ///< total get() calls
+    std::uint64_t memoryHits = 0;  ///< served from the in-memory map
+    std::uint64_t diskLoads = 0;   ///< served from the cache directory
+    std::uint64_t simulations = 0; ///< actually simulated
+};
+
+/** Thread-safe memoizing store of benchmark current traces. */
+class TraceRepository
+{
+  public:
+    /**
+     * @param setup experiment environment traces are simulated in
+     *        (kept by reference; must outlive the repository)
+     * @param cache_dir directory for binary trace persistence; empty
+     *        disables the disk tier. Created on first write if absent.
+     */
+    explicit TraceRepository(const ExperimentSetup &setup,
+                             std::string cache_dir = "");
+
+    TraceRepository(const TraceRepository &) = delete;
+    TraceRepository &operator=(const TraceRepository &) = delete;
+
+    /**
+     * Fetch the trace for @p request, simulating it at most once per
+     * repository (and, with a cache directory, at most once per
+     * directory lifetime). Safe to call from any number of threads;
+     * an exception during generation propagates to every waiter of
+     * that key.
+     */
+    std::shared_ptr<const CurrentTrace> get(const TraceRequest &request);
+
+    /** Convenience wrapper building the request inline. */
+    std::shared_ptr<const CurrentTrace>
+    get(const BenchmarkProfile &profile, std::uint64_t instructions,
+        std::uint64_t seed = 0, std::size_t trim_warmup = 4096);
+
+    /** Snapshot of the counters (consistent under concurrency). */
+    TraceCacheStats stats() const;
+
+    /** Number of traces currently resident in memory. */
+    std::size_t residentTraces() const;
+
+    /** Disk path a request would persist to ("" without a cache dir). */
+    std::string cachePath(const TraceRequest &request) const;
+
+  private:
+    using TracePtr = std::shared_ptr<const CurrentTrace>;
+
+    /** Generate (or load) the trace for one claimed key. */
+    TracePtr produce(const TraceRequest &request);
+
+    const ExperimentSetup &setup_;
+    const std::string cacheDir_;
+
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_future<TracePtr>> entries_;
+    TraceCacheStats stats_;
+};
+
+} // namespace didt
+
+#endif // DIDT_RUNNER_TRACE_REPOSITORY_HH

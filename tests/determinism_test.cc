@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Determinism guarantees underpinning the trace cache and the
+ * campaign runner: the simulator is seed-pure (same request, bit-
+ * identical trace) and campaign results are independent of the job
+ * count, down to the serialized JSON bytes. These invariants justify
+ * content-addressing traces by their request fingerprint and
+ * comparing campaign outputs across machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "runner/campaign.hh"
+#include "runner/result_json.hh"
+#include "runner/trace_repository.hh"
+
+namespace didt
+{
+namespace
+{
+
+const ExperimentSetup &
+sharedSetup()
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    return setup;
+}
+
+BenchmarkProfile
+testProfile(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile prof;
+    prof.name = name;
+    prof.seed = seed;
+    WorkloadPhase phase;
+    phase.lengthInsts = 5000;
+    prof.phases = {phase};
+    return prof;
+}
+
+TEST(Determinism, SameRequestYieldsBitIdenticalTrace)
+{
+    const BenchmarkProfile prof = testProfile("det", 31);
+    const CurrentTrace a =
+        benchmarkCurrentTrace(sharedSetup(), prof, 8000, 5);
+    const CurrentTrace b =
+        benchmarkCurrentTrace(sharedSetup(), prof, 8000, 5);
+    ASSERT_EQ(a.size(), b.size());
+    // Bit-identical, not approximately equal: the cache key assumes
+    // simulation is a pure function of the request.
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, DifferentSeedsYieldDifferentTraces)
+{
+    const BenchmarkProfile prof = testProfile("det", 31);
+    const CurrentTrace a =
+        benchmarkCurrentTrace(sharedSetup(), prof, 8000, 5);
+    const CurrentTrace b =
+        benchmarkCurrentTrace(sharedSetup(), prof, 8000, 6);
+    EXPECT_NE(a, b) << "the seed must actually reach the workload";
+}
+
+TEST(Determinism, FreshSetupReproducesTraces)
+{
+    // Two independently calibrated environments (as two processes
+    // would build) generate the same trace for the same request.
+    const ExperimentSetup other = makeStandardSetup();
+    const BenchmarkProfile prof = testProfile("det", 32);
+    EXPECT_EQ(benchmarkCurrentTrace(sharedSetup(), prof, 8000, 5),
+              benchmarkCurrentTrace(other, prof, 8000, 5));
+}
+
+TEST(Determinism, CampaignJsonIdenticalAcrossJobCounts)
+{
+    CampaignSpec spec;
+    spec.profiles = {testProfile("det-a", 41), testProfile("det-b", 42),
+                     testProfile("det-c", 43)};
+    spec.impedanceScales = {1.0, 1.3};
+    spec.windowLength = 64;
+    spec.levels = 4;
+    spec.instructions = 6000;
+
+    TraceRepository serial_repo(sharedSetup());
+    const CampaignResult serial = runCharacterizationCampaign(
+        sharedSetup(), spec, serial_repo, 1);
+
+    TraceRepository parallel_repo(sharedSetup());
+    const CampaignResult parallel = runCharacterizationCampaign(
+        sharedSetup(), spec, parallel_repo, 4);
+
+    EXPECT_EQ(serial.jobs, 1u);
+    EXPECT_EQ(parallel.jobs, 4u);
+    EXPECT_EQ(campaignToJson(serial).dump(),
+              campaignToJson(parallel).dump())
+        << "results must not depend on scheduling";
+
+    // The deduplication guarantee holds regardless of parallelism.
+    EXPECT_EQ(serial_repo.stats().simulations, 3u);
+    EXPECT_EQ(parallel_repo.stats().simulations, 3u);
+}
+
+} // namespace
+} // namespace didt

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parallel Section-4 characterization sweep.
+ *
+ * Runs the paper's full evaluation grid — all 26 SPEC 2000 profiles
+ * crossed with the target-impedance scales — through the campaign
+ * runner: every benchmark trace is simulated exactly once (shared via
+ * the content-addressed TraceRepository), cells fan out over --jobs
+ * worker threads, and results land in deterministic JSON/CSV files
+ * whose bytes do not depend on the job count.
+ *
+ * Typical use:
+ *   didt_campaign --jobs 8 --json campaign.json --csv campaign.csv
+ *   didt_campaign --benchmarks gzip,mcf --impedances 1.0,1.5
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "didt/didt.hh"
+
+using namespace didt;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        out.push_back(list.substr(pos, comma - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.declare("jobs", "0",
+                 "worker threads (0 = one per hardware thread)");
+    opts.declare("benchmarks", "",
+                 "comma-separated benchmark subset (empty = all 26)");
+    opts.declare("impedances", "1.0,1.1,1.2,1.3,1.5",
+                 "comma-separated target-impedance scales");
+    opts.declare("instructions", "120000",
+                 "dynamic instructions per benchmark");
+    opts.declare("seed", "0", "extra workload seed");
+    opts.declare("window", "256", "analysis window in cycles");
+    opts.declare("levels", "8", "wavelet decomposition depth");
+    opts.declare("basis", "haar", "wavelet basis (haar, db4, db6)");
+    opts.declare("low", "0.97", "low control point in volts");
+    opts.declare("high", "1.03", "high control point in volts");
+    opts.declare("no-correlation", "false",
+                 "drop the correlation adjustment");
+    opts.declare("cache-dir", "",
+                 "persist traces here across invocations");
+    opts.declare("json", "", "write campaign JSON to this file");
+    opts.declare("csv", "", "write per-cell CSV to this file");
+    opts.declare("timing-json", "false",
+                 "include the (non-deterministic) timing section in "
+                 "the JSON output");
+    opts.declare("quiet", "false", "suppress per-cell progress lines");
+    opts.parse(argc, argv);
+
+    CampaignSpec spec;
+    for (const std::string &name : splitList(opts.get("benchmarks")))
+        spec.profiles.push_back(profileByName(name));
+    spec.impedanceScales.clear();
+    for (const std::string &scale : splitList(opts.get("impedances"))) {
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(scale, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+        if (consumed != scale.size() || value <= 0.0)
+            didt_fatal("--impedances: bad scale '" + scale + "'");
+        spec.impedanceScales.push_back(value);
+    }
+    if (spec.impedanceScales.empty())
+        didt_fatal("--impedances must name at least one scale");
+    spec.windowLength = static_cast<std::size_t>(opts.getInt("window"));
+    spec.levels = static_cast<std::size_t>(opts.getInt("levels"));
+    spec.basis = opts.get("basis");
+    spec.lowThreshold = opts.getDouble("low");
+    spec.highThreshold = opts.getDouble("high");
+    spec.useCorrelation = !opts.getBool("no-correlation");
+    spec.instructions =
+        static_cast<std::uint64_t>(opts.getInt("instructions"));
+    spec.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+
+    const std::size_t jobs = ThreadPool::resolveJobs(
+        static_cast<std::size_t>(opts.getInt("jobs")));
+    const bool quiet = opts.getBool("quiet");
+
+    const auto setup_start = std::chrono::steady_clock::now();
+    const ExperimentSetup setup = makeStandardSetup();
+    const double setup_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - setup_start)
+            .count();
+
+    const std::size_t total_cells =
+        spec.effectiveProfiles().size() * spec.impedanceScales.size();
+    std::printf("campaign: %zu benchmarks x %zu impedance scales = %zu "
+                "cells, %zu jobs\n",
+                spec.effectiveProfiles().size(),
+                spec.impedanceScales.size(), total_cells, jobs);
+
+    TraceRepository repo(setup, opts.get("cache-dir"));
+    std::size_t done = 0;
+    const auto on_cell = [&](const CampaignCell &cell) {
+        ++done;
+        if (!quiet)
+            std::printf("[%3zu/%zu] %-8s @%.2fx  est %6.2f%%  "
+                        "meas %6.2f%%  (%.0f ms)\n",
+                        done, total_cells, cell.benchmark.c_str(),
+                        cell.impedanceScale, cell.estimatedBelowPct,
+                        cell.measuredBelowPct, cell.wallMillis);
+    };
+
+    const CampaignResult result =
+        runCharacterizationCampaign(setup, spec, repo, jobs, on_cell);
+
+    double cell_ms_sum = 0.0;
+    for (const CampaignCell &cell : result.cells)
+        cell_ms_sum += cell.wallMillis;
+
+    std::printf("\n%zu cells in %.2f s wall (setup %.2f s, calibration "
+                "%.2f s; sum of cell times %.2f s, parallel efficiency "
+                "proxy %.2fx)\n",
+                result.cells.size(), result.wallMillis / 1000.0,
+                setup_ms / 1000.0, result.calibrationMillis / 1000.0,
+                cell_ms_sum / 1000.0,
+                result.wallMillis > 0.0
+                    ? cell_ms_sum / result.wallMillis
+                    : 0.0);
+    std::printf("trace cache: %llu lookups, %llu memory hits, %llu disk "
+                "loads, %llu simulations\n",
+                static_cast<unsigned long long>(
+                    result.cacheStats.lookups),
+                static_cast<unsigned long long>(
+                    result.cacheStats.memoryHits),
+                static_cast<unsigned long long>(
+                    result.cacheStats.diskLoads),
+                static_cast<unsigned long long>(
+                    result.cacheStats.simulations));
+    std::printf("RMS estimation error: %.2f%%\n",
+                result.rmsEstimationErrorPct());
+
+    const bool timing_json = opts.getBool("timing-json");
+    if (!opts.get("json").empty()) {
+        writeCampaignJson(opts.get("json"), result, timing_json);
+        std::printf("(json written to %s)\n", opts.get("json").c_str());
+    }
+    if (!opts.get("csv").empty()) {
+        writeCampaignCsv(opts.get("csv"), result);
+        std::printf("(csv written to %s)\n", opts.get("csv").c_str());
+    }
+    return 0;
+}
