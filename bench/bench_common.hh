@@ -27,6 +27,36 @@ declareCommonOptions(Options &opts)
                  "dynamic instructions per benchmark");
     opts.declare("csv", "", "also write results as CSV to this file");
     opts.declare("seed", "0", "extra workload seed");
+    opts.declare("metrics-out", "",
+                 "write a metrics sidecar JSON to this file");
+    opts.declare("trace-out", "",
+                 "write Chrome trace_event JSON (Perfetto) to this file");
+}
+
+/** Arm span collection when requested; call right after parse(). */
+inline void
+beginObs(const Options &opts)
+{
+    if (!opts.get("trace-out").empty())
+        obs::TraceEventSink::global().setEnabled(true);
+}
+
+/** Write the requested obs sidecars; call once at the end of main. */
+inline void
+writeObsOutputs(const Options &opts)
+{
+    const std::string metrics_out = opts.get("metrics-out");
+    if (!metrics_out.empty()) {
+        obs::writeMetricsJson(metrics_out,
+                              obs::MetricsRegistry::global().snapshot());
+        std::cout << "(metrics written to " << metrics_out << ")\n";
+    }
+    const std::string trace_out = opts.get("trace-out");
+    if (!trace_out.empty()) {
+        obs::TraceEventSink::global().writeChromeTrace(trace_out);
+        std::cout << "(trace written to " << trace_out
+                  << "; open in ui.perfetto.dev)\n";
+    }
 }
 
 /** Emit the table on stdout and optionally as CSV. */

@@ -31,6 +31,7 @@ main(int argc, char **argv)
     opts.declare("jobs", "0",
                  "worker threads (0 = one per hardware thread)");
     opts.parse(argc, argv);
+    bench::beginObs(opts);
 
     const ExperimentSetup setup = makeStandardSetup();
     bench::banner(setup);
@@ -61,5 +62,6 @@ main(int argc, char **argv)
                     " V, estimated vs measured");
     std::printf("RMS estimation error: %.2f%% (paper: 0.94%%)\n",
                 result.rmsEstimationErrorPct());
+    bench::writeObsOutputs(opts);
     return 0;
 }

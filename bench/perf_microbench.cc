@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "didt/didt.hh"
 #include "workload/virus.hh"
 
@@ -170,6 +172,69 @@ BENCHMARK(BM_CharacterizationCampaign)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/**
+ * Metrics-instrumentation overhead: the same small campaign with
+ * collection disabled vs enabled. Each configuration runs several
+ * times and the minimum is kept — run-to-run wall-clock noise on a
+ * shared machine swamps the few-permille true overhead, and min is
+ * the standard noise-robust estimator. overhead_pct must stay in the
+ * low single digits for always-on metrics to be an acceptable
+ * default.
+ */
+void
+BM_CampaignMetricsOverhead(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    CampaignSpec spec;
+    {
+        const auto &all = spec2000Profiles();
+        spec.profiles.assign(all.begin(), all.begin() + 4);
+    }
+    spec.impedanceScales = {1.0, 1.2};
+    spec.windowLength = 128;
+    spec.levels = 6;
+    spec.instructions = 30000;
+
+    constexpr int kReps = 3;
+    const bool was_enabled = obs::metricsEnabled();
+    double off_ms = 0.0;
+    double on_ms = 0.0;
+    for (auto _ : state) {
+        // Interleave the configurations so slow machine-load drift hits
+        // both equally instead of biasing whichever runs later.
+        double best_off = 0.0;
+        double best_on = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            for (const bool enabled : {false, true}) {
+                obs::setMetricsEnabled(enabled);
+                TraceRepository repo(setup);
+                const auto start = std::chrono::steady_clock::now();
+                const CampaignResult result =
+                    runCharacterizationCampaign(setup, spec, repo, 1);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                double &best = enabled ? best_on : best_off;
+                if (rep == 0 || ms < best)
+                    best = ms;
+                benchmark::DoNotOptimize(result.cells.data());
+            }
+        }
+        off_ms += best_off;
+        on_ms += best_on;
+    }
+    obs::setMetricsEnabled(was_enabled);
+    state.counters["metrics_off_ms"] = off_ms;
+    state.counters["metrics_on_ms"] = on_ms;
+    state.counters["overhead_pct"] =
+        off_ms > 0.0 ? 100.0 * (on_ms - off_ms) / off_ms : 0.0;
+}
+BENCHMARK(BM_CampaignMetricsOverhead)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 } // namespace

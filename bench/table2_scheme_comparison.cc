@@ -31,6 +31,7 @@ main(int argc, char **argv)
     opts.declare("jobs", "0",
                  "worker threads (0 = one per hardware thread)");
     opts.parse(argc, argv);
+    bench::beginObs(opts);
 
     const ExperimentSetup setup = makeStandardSetup();
     bench::banner(setup);
@@ -130,5 +131,6 @@ main(int argc, char **argv)
     std::printf("(analog sensor uses a %d-cycle sensing delay; damping "
                 "window 16 cycles)\n",
                 4);
+    bench::writeObsOutputs(opts);
     return 0;
 }

@@ -13,6 +13,8 @@
  *                contribution)
  *  - runner/   : parallel experiment campaigns with a content-
  *                addressed trace cache and structured JSON/CSV results
+ *  - obs/      : metrics registry, scoped timers, and Chrome trace
+ *                spans across all of the above
  */
 
 #ifndef DIDT_DIDT_HH
@@ -26,6 +28,9 @@
 #include "core/online_characterizer.hh"
 #include "core/variance_model.hh"
 #include "core/window_analysis.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
+#include "obs/trace_event.hh"
 #include "power/convolution.hh"
 #include "runner/campaign.hh"
 #include "runner/result_json.hh"

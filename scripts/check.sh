@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 #
-# CI gate: strict warnings everywhere, plus the runner subsystem's
-# concurrency tests under ThreadSanitizer.
+# CI gate: strict warnings everywhere, plus the runner and obs
+# subsystems' concurrency tests under ThreadSanitizer, plus a metrics
+# sidecar smoke run validated against the checked-in schema.
 #
-#   scripts/check.sh            # full strict build + all tests + TSan runner tests
-#   scripts/check.sh --tsan-only  # just the TSan runner-test pass
+#   scripts/check.sh            # full strict build + all tests + TSan + smoke
+#   scripts/check.sh --tsan-only  # just the TSan runner/obs-test pass
 #
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,12 +19,26 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
     cmake -B build-ci -S . -DDIDT_WERROR=ON
     cmake --build build-ci -j "$JOBS"
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+    echo "=== metrics sidecar smoke run + schema validation ==="
+    SMOKE_DIR=$(mktemp -d)
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+    build-ci/tools/didt_campaign --jobs 2 --benchmarks gzip,mcf \
+        --impedances 1.0,1.2 --instructions 30000 --window 128 \
+        --levels 6 --quiet \
+        --json "$SMOKE_DIR/campaign.json" \
+        --metrics-out "$SMOKE_DIR/metrics.json" \
+        --trace-out "$SMOKE_DIR/trace.json"
+    build-ci/tools/didt_metrics_check \
+        --schema schemas/didt-metrics-v1.json \
+        --input "$SMOKE_DIR/metrics.json"
 fi
 
-echo "=== ThreadSanitizer pass over the runner tests (ctest -L runner) ==="
+echo "=== ThreadSanitizer pass over runner + obs tests (ctest -L 'runner|obs') ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test
-ctest --test-dir build-tsan -L runner --output-on-failure -j "$JOBS"
+cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
+      obs_test
+ctest --test-dir build-tsan -L 'runner|obs' --output-on-failure -j "$JOBS"
 
 echo "=== all checks passed ==="

@@ -1,5 +1,6 @@
 #include "core/controller.hh"
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace didt
@@ -11,6 +12,22 @@ ThresholdController::ThresholdController(const ControlConfig &config)
     if (config_.lowControl() >= config_.highControl())
         didt_fatal("control window is empty: low ", config_.lowControl(),
                    " >= high ", config_.highControl());
+}
+
+ThresholdController::~ThresholdController()
+{
+    // One flush per controller lifetime keeps decide() metrics-free.
+    if (!obs::metricsEnabled())
+        return;
+    auto &registry = obs::MetricsRegistry::global();
+    static obs::Counter control =
+        registry.counter("controller.control_cycles");
+    static obs::Counter stall =
+        registry.counter("controller.stall_cycles");
+    static obs::Counter noop = registry.counter("controller.noop_cycles");
+    control.add(controlCycles_);
+    stall.add(stallCycles_);
+    noop.add(noopCycles_);
 }
 
 ControlActions
@@ -39,6 +56,15 @@ PipelineDampingController::PipelineDampingController(std::size_t window,
         didt_fatal("damping window must be positive");
     if (delta <= 0.0)
         didt_fatal("damping delta must be positive, got ", delta);
+}
+
+PipelineDampingController::~PipelineDampingController()
+{
+    if (!obs::metricsEnabled())
+        return;
+    static obs::Counter control = obs::MetricsRegistry::global().counter(
+        "controller.damping_cycles");
+    control.add(controlCycles_);
 }
 
 ControlActions

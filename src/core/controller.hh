@@ -60,6 +60,9 @@ class ThresholdController
     /** @param config control points. */
     explicit ThresholdController(const ControlConfig &config);
 
+    /** Flushes event counts into the controller.* metrics counters. */
+    ~ThresholdController();
+
     /** Decide actions from this cycle's voltage estimate. */
     ControlActions decide(Volt estimated_voltage);
 
@@ -97,6 +100,9 @@ class PipelineDampingController
      * @param delta allowed current change (amperes) across the window
      */
     PipelineDampingController(std::size_t window, Amp delta);
+
+    /** Flushes event counts into the controller.* metrics counters. */
+    ~PipelineDampingController();
 
     /** Decide actions from this cycle's current draw. */
     ControlActions decide(Amp current);

@@ -5,6 +5,8 @@
 
 #include "core/monitor.hh"
 #include "core/online_characterizer.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
 #include "sim/processor.hh"
 #include "util/logging.hh"
 #include "workload/generator.hh"
@@ -31,6 +33,9 @@ runClosedLoop(const BenchmarkProfile &profile, const ProcessorConfig &proc,
               const PowerModelConfig &power, const SupplyNetwork &network,
               const CosimConfig &cfg)
 {
+    obs::ScopedTimer span(std::string("cosim ") +
+                              controlSchemeName(cfg.scheme),
+                          obs::Histogram{}, nullptr, "core");
     SyntheticWorkload workload(profile, cfg.instructions, cfg.seed);
     Processor processor(proc, power, workload);
     SyntheticWorkload warm_source(profile, 0, cfg.seed + 0xDEADBEEF);
@@ -147,6 +152,19 @@ runClosedLoop(const BenchmarkProfile &profile, const ProcessorConfig &proc,
     } else if (damping) {
         result.controlCycles = damping->controlCycles();
         result.stallCycles = damping->controlCycles();
+    }
+
+    if (obs::metricsEnabled()) {
+        auto &registry = obs::MetricsRegistry::global();
+        static obs::Counter low_faults =
+            registry.counter("controller.low_faults");
+        static obs::Counter high_faults =
+            registry.counter("controller.high_faults");
+        static obs::Counter false_positives =
+            registry.counter("controller.false_positives");
+        low_faults.add(result.lowFaults);
+        high_faults.add(result.highFaults);
+        false_positives.add(result.falsePositives);
     }
     return result;
 }

@@ -1,5 +1,6 @@
 #include "core/emergency_estimator.hh"
 
+#include "obs/scoped_timer.hh"
 #include "stats/running_stats.hh"
 #include "util/logging.hh"
 
@@ -15,6 +16,8 @@ profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
     const std::size_t window = model.windowLength();
     if (trace.size() < window)
         didt_panic("profileTrace: trace shorter than one window");
+    obs::ScopedTimer span("model.profile_trace", obs::Histogram{},
+                          nullptr, "core");
 
     EmergencyProfile profile;
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/scoped_timer.hh"
 #include "stats/running_stats.hh"
 #include "util/logging.hh"
 #include "wavelet/subband.hh"
@@ -194,6 +195,8 @@ VoltageVarianceModel::calibrate(Rng &rng, std::size_t samples_per_point)
 void
 VoltageVarianceModel::calibrateOnTraces(std::span<const CurrentTrace> traces)
 {
+    obs::ScopedTimer span("model.calibrate_on_traces", obs::Histogram{},
+                          nullptr, "core");
     Regression reg;
     beginRegression(reg);
     std::vector<double> window(window_);

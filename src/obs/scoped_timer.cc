@@ -1,0 +1,39 @@
+#include "obs/scoped_timer.hh"
+
+namespace didt::obs
+{
+
+ScopedTimer::ScopedTimer(std::string label, Histogram histogram,
+                         TraceEventSink *sink, const char *category)
+    : label_(std::move(label)), category_(category),
+      histogram_(std::move(histogram)),
+      sink_(sink ? sink : &TraceEventSink::global()),
+      active_((histogram_ && metricsEnabled()) || sink_->enabled())
+{
+    if (active_)
+        start_ = Clock::now();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (!active_)
+        return;
+    const Clock::time_point end = Clock::now();
+    if (histogram_)
+        histogram_.observe(
+            std::chrono::duration<double, std::milli>(end - start_)
+                .count());
+    sink_->record(std::move(label_), category_, start_, end);
+}
+
+double
+ScopedTimer::elapsedMillis() const
+{
+    if (!active_)
+        return 0.0;
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start_)
+        .count();
+}
+
+} // namespace didt::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * RAII wall-time spans: one object per phase or work item.
+ *
+ * On destruction a ScopedTimer records its elapsed milliseconds into
+ * an optional Histogram metric and, when trace collection is enabled,
+ * emits a complete Chrome trace_event span into a TraceEventSink.
+ * Timers nest naturally — an inner span's time range lies inside the
+ * outer span's, which Perfetto renders as stacked slices.
+ *
+ * When metrics are disabled and the sink is off, construction skips
+ * the clock reads entirely, so dormant instrumentation costs a couple
+ * of branches.
+ */
+
+#ifndef DIDT_OBS_SCOPED_TIMER_HH
+#define DIDT_OBS_SCOPED_TIMER_HH
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace_event.hh"
+
+namespace didt::obs
+{
+
+/** Times a scope; records on destruction. */
+class ScopedTimer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @param label slice name in the trace (may carry per-item detail,
+     *        e.g. "cell gzip@1.50"; the histogram carries the
+     *        aggregate)
+     * @param histogram latency histogram the elapsed milliseconds are
+     *        observed into; default-constructed skips metric recording
+     * @param sink trace sink for the span (defaults to the global one)
+     * @param category trace_event category
+     */
+    explicit ScopedTimer(std::string label, Histogram histogram = {},
+                         TraceEventSink *sink = nullptr,
+                         const char *category = "didt");
+
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Milliseconds since construction (0 while dormant). */
+    double elapsedMillis() const;
+
+  private:
+    std::string label_;
+    const char *category_;
+    Histogram histogram_;
+    TraceEventSink *sink_;
+    bool active_;
+    Clock::time_point start_;
+};
+
+} // namespace didt::obs
+
+#endif // DIDT_OBS_SCOPED_TIMER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Chrome trace_event collection for Perfetto / chrome://tracing.
+ *
+ * Spans recorded by ScopedTimer land here as complete ("ph":"X")
+ * events with the recording thread's dense id as the tid, so a
+ * campaign's thread-pool utilization can be inspected visually
+ * (one lane per worker, one slice per cell/phase).
+ *
+ * Collection is off by default; enable it (e.g. from --trace-out)
+ * before the instrumented run. Each span costs one short mutex-guarded
+ * append at scope exit — spans wrap phases and cells, never per-cycle
+ * work, so the sink does not serialize the hot paths.
+ */
+
+#ifndef DIDT_OBS_TRACE_EVENT_HH
+#define DIDT_OBS_TRACE_EVENT_HH
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace didt::obs
+{
+
+/** One complete span, microseconds relative to the sink's epoch. */
+struct TraceEvent
+{
+    std::string name;      ///< slice label
+    std::string category;  ///< trace_event "cat" field
+    std::size_t tid = 0;   ///< dense thread id (threadIndex())
+    double startUs = 0.0;  ///< span start
+    double durationUs = 0.0; ///< span length
+};
+
+/** Collects spans and writes Chrome trace_event JSON. */
+class TraceEventSink
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    TraceEventSink();
+
+    /** Turn collection on or off (off by default). */
+    void setEnabled(bool enabled);
+
+    /** Whether record() currently stores events. */
+    bool enabled() const;
+
+    /** Store one complete span; no-op while disabled. */
+    void record(std::string name, std::string category,
+                Clock::time_point start, Clock::time_point end);
+
+    /** Number of stored events. */
+    std::size_t eventCount() const;
+
+    /** Copy of the stored events (test/report use). */
+    std::vector<TraceEvent> events() const;
+
+    /** Drop all stored events. */
+    void clear();
+
+    /**
+     * Write the stored events as Chrome trace_event JSON
+     * ({"traceEvents": [...]}; loadable in Perfetto). Events are
+     * sorted by start time so output is stable for a given set of
+     * spans. Fatal on I/O errors.
+     */
+    void writeChromeTrace(const std::string &path) const;
+
+    /** The process-wide sink ScopedTimer records into. */
+    static TraceEventSink &global();
+
+  private:
+    std::atomic<bool> enabled_{false};
+    Clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace didt::obs
+
+#endif // DIDT_OBS_TRACE_EVENT_HH

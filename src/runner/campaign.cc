@@ -4,9 +4,12 @@
 #include <cmath>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "core/emergency_estimator.hh"
 #include "core/variance_model.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
 #include "wavelet/basis.hh"
 
 namespace didt
@@ -23,6 +26,26 @@ millisSince(Clock::time_point start)
     return std::chrono::duration<double, std::milli>(Clock::now() -
                                                      start)
         .count();
+}
+
+/** Campaign-level metrics (sidecar only; never read for result JSON). */
+struct CampaignMetrics
+{
+    obs::Counter cells;
+    obs::Histogram cellMs;
+    obs::Histogram calibrateMs;
+};
+
+CampaignMetrics &
+campaignMetrics()
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static CampaignMetrics metrics{
+        registry.counter("campaign.cells"),
+        registry.histogram("campaign.cell_ms"),
+        registry.histogram("campaign.calibrate_ms"),
+    };
+    return metrics;
 }
 
 } // namespace
@@ -72,9 +95,13 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
     const std::vector<std::function<CurrentTrace()>> builders =
         calibrationTraceBuilders(setup);
     std::vector<CurrentTrace> training(builders.size());
-    pool.parallelFor(builders.size(), [&](std::size_t i) {
-        training[i] = builders[i]();
-    });
+    {
+        obs::ScopedTimer phase("campaign.training", {}, nullptr,
+                               "campaign");
+        pool.parallelFor(builders.size(), [&](std::size_t i) {
+            training[i] = builders[i]();
+        });
+    }
 
     // Phase 2: one supply network + calibrated variance model per
     // impedance scale, calibrated in parallel on the shared training
@@ -87,12 +114,19 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
         networks.push_back(setup.makeNetwork(scale));
     std::vector<std::unique_ptr<VoltageVarianceModel>> models(
         scales.size());
-    pool.parallelFor(scales.size(), [&](std::size_t si) {
-        auto model = std::make_unique<VoltageVarianceModel>(
-            networks[si], spec.windowLength, spec.levels, basis);
-        model->calibrateOnTraces(training);
-        models[si] = std::move(model);
-    });
+    {
+        obs::ScopedTimer phase("campaign.calibrate", {}, nullptr,
+                               "campaign");
+        pool.parallelFor(scales.size(), [&](std::size_t si) {
+            obs::ScopedTimer timer("calibrate scale",
+                                   campaignMetrics().calibrateMs,
+                                   nullptr, "campaign");
+            auto model = std::make_unique<VoltageVarianceModel>(
+                networks[si], spec.windowLength, spec.levels, basis);
+            model->calibrateOnTraces(training);
+            models[si] = std::move(model);
+        });
+    }
     result.calibrationMillis = millisSince(campaign_start);
 
     // Phase 3: the sweep itself. Cells are stored benchmark-major for
@@ -100,12 +134,19 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
     // covers distinct benchmarks and primes the trace cache before the
     // sharing cells queue up behind it.
     result.cells.resize(profiles.size() * scales.size());
+    std::optional<obs::ScopedTimer> sweep_phase;
+    sweep_phase.emplace("campaign.sweep", obs::Histogram{}, nullptr,
+                        "campaign");
     std::mutex progress_mutex;
     std::vector<std::future<void>> pending;
     pending.reserve(result.cells.size());
     for (std::size_t si = 0; si < scales.size(); ++si) {
         for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
             pending.push_back(pool.submit([&, si, pi] {
+                obs::ScopedTimer span("cell " + profiles[pi].name,
+                                      campaignMetrics().cellMs, nullptr,
+                                      "campaign");
+                campaignMetrics().cells.add(1);
                 const Clock::time_point cell_start = Clock::now();
                 const std::shared_ptr<const CurrentTrace> trace =
                     repo.get(profiles[pi], spec.instructions, spec.seed,
@@ -139,6 +180,7 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
         f.wait();
     for (std::future<void> &f : pending)
         f.get();
+    sweep_phase.reset();
 
     result.cacheStats = repo.stats();
     result.wallMillis = millisSince(campaign_start);

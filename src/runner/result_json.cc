@@ -1,13 +1,6 @@
 #include "runner/result_json.hh"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
-#include <sstream>
-#include <stdexcept>
 
 #include "runner/campaign.hh"
 #include "util/csv.hh"
@@ -15,473 +8,6 @@
 
 namespace didt
 {
-
-JsonValue
-JsonValue::array()
-{
-    JsonValue v;
-    v.kind_ = Kind::Array;
-    return v;
-}
-
-JsonValue
-JsonValue::object()
-{
-    JsonValue v;
-    v.kind_ = Kind::Object;
-    return v;
-}
-
-bool
-JsonValue::asBool() const
-{
-    if (kind_ != Kind::Bool)
-        didt_panic("JsonValue: not a bool");
-    return bool_;
-}
-
-double
-JsonValue::asNumber() const
-{
-    if (kind_ != Kind::Number)
-        didt_panic("JsonValue: not a number");
-    return number_;
-}
-
-const std::string &
-JsonValue::asString() const
-{
-    if (kind_ != Kind::String)
-        didt_panic("JsonValue: not a string");
-    return string_;
-}
-
-const std::vector<JsonValue> &
-JsonValue::items() const
-{
-    if (kind_ != Kind::Array)
-        didt_panic("JsonValue: not an array");
-    return array_;
-}
-
-void
-JsonValue::push(JsonValue value)
-{
-    if (kind_ != Kind::Array)
-        didt_panic("JsonValue: push on non-array");
-    array_.push_back(std::move(value));
-}
-
-const std::vector<std::pair<std::string, JsonValue>> &
-JsonValue::members() const
-{
-    if (kind_ != Kind::Object)
-        didt_panic("JsonValue: not an object");
-    return object_;
-}
-
-void
-JsonValue::set(const std::string &key, JsonValue value)
-{
-    if (kind_ != Kind::Object)
-        didt_panic("JsonValue: set on non-object");
-    for (auto &member : object_) {
-        if (member.first == key) {
-            member.second = std::move(value);
-            return;
-        }
-    }
-    object_.emplace_back(key, std::move(value));
-}
-
-const JsonValue *
-JsonValue::find(const std::string &key) const
-{
-    if (kind_ != Kind::Object)
-        return nullptr;
-    for (const auto &member : object_)
-        if (member.first == key)
-            return &member.second;
-    return nullptr;
-}
-
-bool
-JsonValue::operator==(const JsonValue &other) const
-{
-    if (kind_ != other.kind_)
-        return false;
-    switch (kind_) {
-      case Kind::Null:
-        return true;
-      case Kind::Bool:
-        return bool_ == other.bool_;
-      case Kind::Number:
-        return number_ == other.number_;
-      case Kind::String:
-        return string_ == other.string_;
-      case Kind::Array:
-        return array_ == other.array_;
-      case Kind::Object:
-        return object_ == other.object_;
-    }
-    return false;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\b':
-            out += "\\b";
-            break;
-          case '\f':
-            out += "\\f";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(
-                                  static_cast<unsigned char>(c)));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonNumber(double value)
-{
-    if (!std::isfinite(value))
-        didt_panic("JSON cannot represent non-finite number");
-    char buf[40];
-    // Integers print without an exponent or fraction; everything else
-    // with enough digits to round-trip exactly through strtod.
-    if (value == std::floor(value) && std::fabs(value) < 1e15)
-        std::snprintf(buf, sizeof(buf), "%.0f", value);
-    else
-        std::snprintf(buf, sizeof(buf), "%.17g", value);
-    return buf;
-}
-
-void
-JsonValue::write(std::ostream &os, int indent) const
-{
-    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-    const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2,
-                                ' ');
-    switch (kind_) {
-      case Kind::Null:
-        os << "null";
-        break;
-      case Kind::Bool:
-        os << (bool_ ? "true" : "false");
-        break;
-      case Kind::Number:
-        os << jsonNumber(number_);
-        break;
-      case Kind::String:
-        os << '"' << jsonEscape(string_) << '"';
-        break;
-      case Kind::Array:
-        if (array_.empty()) {
-            os << "[]";
-            break;
-        }
-        os << "[\n";
-        for (std::size_t i = 0; i < array_.size(); ++i) {
-            os << inner_pad;
-            array_[i].write(os, indent + 1);
-            os << (i + 1 < array_.size() ? ",\n" : "\n");
-        }
-        os << pad << ']';
-        break;
-      case Kind::Object:
-        if (object_.empty()) {
-            os << "{}";
-            break;
-        }
-        os << "{\n";
-        for (std::size_t i = 0; i < object_.size(); ++i) {
-            os << inner_pad << '"' << jsonEscape(object_[i].first)
-               << "\": ";
-            object_[i].second.write(os, indent + 1);
-            os << (i + 1 < object_.size() ? ",\n" : "\n");
-        }
-        os << pad << '}';
-        break;
-    }
-}
-
-std::string
-JsonValue::dump() const
-{
-    std::ostringstream os;
-    write(os);
-    return os.str();
-}
-
-namespace
-{
-
-/** Strict recursive-descent JSON parser. */
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    JsonValue parseDocument()
-    {
-        JsonValue value = parseValue();
-        skipSpace();
-        if (pos_ != text_.size())
-            fail("trailing characters after document");
-        return value;
-    }
-
-  private:
-    [[noreturn]] void fail(const std::string &what) const
-    {
-        throw std::runtime_error("JSON parse error at byte " +
-                                 std::to_string(pos_) + ": " + what);
-    }
-
-    void skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    char peek()
-    {
-        if (pos_ >= text_.size())
-            fail("unexpected end of input");
-        return text_[pos_];
-    }
-
-    void expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool consumeLiteral(const char *word)
-    {
-        const std::size_t len = std::strlen(word);
-        if (text_.compare(pos_, len, word) == 0) {
-            pos_ += len;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue parseValue()
-    {
-        skipSpace();
-        switch (peek()) {
-          case '{':
-            return parseObject();
-          case '[':
-            return parseArray();
-          case '"':
-            return JsonValue(parseString());
-          case 't':
-            if (!consumeLiteral("true"))
-                fail("bad literal");
-            return JsonValue(true);
-          case 'f':
-            if (!consumeLiteral("false"))
-                fail("bad literal");
-            return JsonValue(false);
-          case 'n':
-            if (!consumeLiteral("null"))
-                fail("bad literal");
-            return JsonValue();
-          default:
-            return JsonValue(parseNumber());
-        }
-    }
-
-    JsonValue parseObject()
-    {
-        expect('{');
-        JsonValue obj = JsonValue::object();
-        skipSpace();
-        if (peek() == '}') {
-            ++pos_;
-            return obj;
-        }
-        for (;;) {
-            skipSpace();
-            std::string key = parseString();
-            skipSpace();
-            expect(':');
-            obj.set(key, parseValue());
-            skipSpace();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return obj;
-        }
-    }
-
-    JsonValue parseArray()
-    {
-        expect('[');
-        JsonValue arr = JsonValue::array();
-        skipSpace();
-        if (peek() == ']') {
-            ++pos_;
-            return arr;
-        }
-        for (;;) {
-            arr.push(parseValue());
-            skipSpace();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return arr;
-        }
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        for (;;) {
-            if (pos_ >= text_.size())
-                fail("unterminated string");
-            char c = text_[pos_++];
-            if (c == '"')
-                return out;
-            if (static_cast<unsigned char>(c) < 0x20)
-                fail("raw control character in string");
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size())
-                fail("unterminated escape");
-            char esc = text_[pos_++];
-            switch (esc) {
-              case '"':
-                out += '"';
-                break;
-              case '\\':
-                out += '\\';
-                break;
-              case '/':
-                out += '/';
-                break;
-              case 'b':
-                out += '\b';
-                break;
-              case 'f':
-                out += '\f';
-                break;
-              case 'n':
-                out += '\n';
-                break;
-              case 'r':
-                out += '\r';
-                break;
-              case 't':
-                out += '\t';
-                break;
-              case 'u': {
-                if (pos_ + 4 > text_.size())
-                    fail("truncated \\u escape");
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = text_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        fail("bad hex digit in \\u escape");
-                }
-                // UTF-8 encode (BMP only; the writer never emits
-                // surrogate escapes).
-                if (code < 0x80) {
-                    out += static_cast<char>(code);
-                } else if (code < 0x800) {
-                    out += static_cast<char>(0xC0 | (code >> 6));
-                    out += static_cast<char>(0x80 | (code & 0x3F));
-                } else {
-                    out += static_cast<char>(0xE0 | (code >> 12));
-                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-                    out += static_cast<char>(0x80 | (code & 0x3F));
-                }
-                break;
-              }
-              default:
-                fail("bad escape character");
-            }
-        }
-    }
-
-    double parseNumber()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-            ++pos_;
-        const std::string token = text_.substr(start, pos_ - start);
-        char *end = nullptr;
-        const double value = std::strtod(token.c_str(), &end);
-        if (token.empty() || end != token.c_str() + token.size())
-            fail("malformed number '" + token + "'");
-        return value;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
-
-} // namespace
-
-JsonValue
-parseJson(const std::string &text)
-{
-    return JsonParser(text).parseDocument();
-}
 
 JsonValue
 campaignToJson(const CampaignResult &result, bool include_timing)
@@ -518,6 +44,10 @@ campaignToJson(const CampaignResult &result, bool include_timing)
               static_cast<long long>(result.cacheStats.memoryHits));
     cache.set("disk_loads",
               static_cast<long long>(result.cacheStats.diskLoads));
+    cache.set("disk_stores",
+              static_cast<long long>(result.cacheStats.diskStores));
+    cache.set("disk_corrupt",
+              static_cast<long long>(result.cacheStats.diskCorrupt));
     cache.set("simulations",
               static_cast<long long>(result.cacheStats.simulations));
     doc.set("cache", std::move(cache));

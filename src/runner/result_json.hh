@@ -1,113 +1,25 @@
 /**
  * @file
- * Structured campaign results: a small JSON document model with a
- * deterministic writer and a strict parser, plus the campaign JSON /
- * CSV serializers.
+ * Structured campaign results: the campaign JSON / CSV serializers on
+ * top of the shared JSON document model (util/json.hh).
  *
  * The writer is byte-deterministic for a given document (object keys
  * keep insertion order, numbers format identically on every run), so
  * two campaign runs that compute the same values produce identical
- * files regardless of --jobs. The parser exists so results can be
- * round-tripped and validated in tests and downstream tooling without
- * an external dependency.
+ * files regardless of --jobs.
  */
 
 #ifndef DIDT_RUNNER_RESULT_JSON_HH
 #define DIDT_RUNNER_RESULT_JSON_HH
 
-#include <cstddef>
-#include <iosfwd>
 #include <string>
-#include <utility>
-#include <vector>
+
+#include "util/json.hh"
 
 namespace didt
 {
 
 struct CampaignResult;
-
-/** A JSON document node. Objects preserve insertion order. */
-class JsonValue
-{
-  public:
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object,
-    };
-
-    JsonValue() : kind_(Kind::Null) {}
-    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
-    JsonValue(double n) : kind_(Kind::Number), number_(n) {}
-    JsonValue(long long n)
-        : kind_(Kind::Number), number_(static_cast<double>(n))
-    {
-    }
-    JsonValue(const char *s) : kind_(Kind::String), string_(s) {}
-    JsonValue(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
-
-    /** An empty array node. */
-    static JsonValue array();
-
-    /** An empty object node. */
-    static JsonValue object();
-
-    Kind kind() const { return kind_; }
-    bool isNull() const { return kind_ == Kind::Null; }
-
-    /** Value accessors; panic on kind mismatch. */
-    bool asBool() const;
-    double asNumber() const;
-    const std::string &asString() const;
-
-    /** Array access; panic unless an array. */
-    const std::vector<JsonValue> &items() const;
-    void push(JsonValue value);
-
-    /** Object access; panic unless an object. */
-    const std::vector<std::pair<std::string, JsonValue>> &members() const;
-    void set(const std::string &key, JsonValue value);
-
-    /** Object member lookup; nullptr when absent (or not an object). */
-    const JsonValue *find(const std::string &key) const;
-
-    /** Deep structural equality (object member order significant). */
-    bool operator==(const JsonValue &other) const;
-
-    /** Serialize with 2-space indentation per level. */
-    void write(std::ostream &os, int indent = 0) const;
-
-    /** Serialize to a string. */
-    std::string dump() const;
-
-  private:
-    Kind kind_;
-    bool bool_ = false;
-    double number_ = 0.0;
-    std::string string_;
-    std::vector<JsonValue> array_;
-    std::vector<std::pair<std::string, JsonValue>> object_;
-};
-
-/** Escape a string for embedding in a JSON document (no quotes). */
-std::string jsonEscape(const std::string &s);
-
-/**
- * Format a finite double exactly as the writer does: integers without
- * a fractional part, everything else with round-trip precision.
- */
-std::string jsonNumber(double value);
-
-/**
- * Parse a JSON document. Strict: rejects trailing garbage, unterminated
- * strings, bad escapes, and malformed numbers by throwing
- * std::runtime_error with a byte offset.
- */
-JsonValue parseJson(const std::string &text);
 
 /**
  * Render a campaign result as a JSON document.

@@ -1,7 +1,36 @@
 #include "runner/thread_pool.hh"
 
+#include <chrono>
+
+#include "obs/metrics.hh"
+
 namespace didt
 {
+
+namespace
+{
+
+/** Pool metrics shared by every pool instance (handles are cheap and
+ *  the registry is process-wide). */
+struct PoolMetrics
+{
+    obs::Counter tasks;
+    obs::Gauge queueDepth;
+    obs::Histogram taskMs;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics{
+        obs::MetricsRegistry::global().counter("pool.tasks"),
+        obs::MetricsRegistry::global().gauge("pool.queue_depth"),
+        obs::MetricsRegistry::global().histogram("pool.task_ms"),
+    };
+    return metrics;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -39,8 +68,27 @@ ThreadPool::workerLoop()
         }
         // A packaged_task captures any exception in its future; a bare
         // callable that throws would terminate, matching std::thread.
-        task();
+        if (obs::metricsEnabled()) {
+            const auto start = std::chrono::steady_clock::now();
+            task();
+            poolMetrics().taskMs.observe(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+        } else {
+            task();
+        }
     }
+}
+
+void
+ThreadPool::noteSubmitted(std::size_t queue_depth)
+{
+    if (!obs::metricsEnabled())
+        return;
+    PoolMetrics &metrics = poolMetrics();
+    metrics.tasks.add(1);
+    metrics.queueDepth.record(static_cast<double>(queue_depth));
 }
 
 void

@@ -60,11 +60,14 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<R()>>(
             std::forward<F>(fn));
         std::future<R> result = task->get_future();
+        std::size_t depth = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             queue_.emplace_back([task] { (*task)(); });
+            depth = queue_.size();
         }
         available_.notify_one();
+        noteSubmitted(depth);
         return result;
     }
 
@@ -81,6 +84,9 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    /** Record pool.tasks / pool.queue_depth metrics for one submit. */
+    static void noteSubmitted(std::size_t queue_depth);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

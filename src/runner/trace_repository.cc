@@ -1,9 +1,12 @@
 #include "runner/trace_repository.hh"
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
 #include "power/trace_io.hh"
 #include "util/logging.hh"
 
@@ -12,6 +15,42 @@ namespace didt
 
 namespace
 {
+
+/**
+ * Process-wide mirror of the per-repository counters. The per-instance
+ * TraceCacheStats stays the authoritative, deterministic source for
+ * campaign result JSON; these feed the metrics sidecar only.
+ */
+struct RepoMetrics
+{
+    obs::Counter lookups;
+    obs::Counter memoryHits;
+    obs::Counter diskLoads;
+    obs::Counter diskStores;
+    obs::Counter diskCorrupt;
+    obs::Counter simulations;
+    obs::Counter traceBytes;
+    obs::Histogram waitMs;
+    obs::Histogram simulateMs;
+};
+
+RepoMetrics &
+repoMetrics()
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static RepoMetrics metrics{
+        registry.counter("repo.lookups"),
+        registry.counter("repo.memory_hits"),
+        registry.counter("repo.disk_loads"),
+        registry.counter("repo.disk_stores"),
+        registry.counter("repo.disk_corrupt"),
+        registry.counter("repo.simulations"),
+        registry.counter("repo.trace_bytes"),
+        registry.histogram("repo.wait_ms"),
+        registry.histogram("repo.simulate_ms"),
+    };
+    return metrics;
+}
 
 /** Incremental FNV-1a over raw bytes. */
 class Fnv1a
@@ -129,12 +168,29 @@ TraceRepository::get(const TraceRequest &request)
         }
     }
 
+    RepoMetrics &metrics = repoMetrics();
+    metrics.lookups.add(1);
+
     if (producer) {
         try {
             claim.set_value(produce(request));
         } catch (...) {
             claim.set_exception(std::current_exception());
         }
+        return shared.get(); // already ready; never blocks
+    }
+
+    metrics.memoryHits.add(1);
+    if (obs::metricsEnabled()) {
+        // Time how long this consumer blocks behind the elected
+        // producer (zero when the entry was already complete).
+        const auto start = std::chrono::steady_clock::now();
+        TracePtr trace = shared.get();
+        metrics.waitMs.observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        return trace;
     }
     return shared.get();
 }
@@ -155,32 +211,62 @@ TraceRepository::get(const BenchmarkProfile &profile,
 TraceRepository::TracePtr
 TraceRepository::produce(const TraceRequest &request)
 {
+    RepoMetrics &metrics = repoMetrics();
     const std::string path = cachePath(request);
+    bool rejected_corrupt = false;
     if (!path.empty()) {
-        if (std::optional<CurrentTrace> cached = tryReadTraceBinary(path)) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.diskLoads;
-            return std::make_shared<const CurrentTrace>(
-                *std::move(cached));
+        std::error_code ec;
+        const bool on_disk = std::filesystem::exists(path, ec);
+        if (on_disk) {
+            if (std::optional<CurrentTrace> cached =
+                    tryReadTraceBinary(path)) {
+                metrics.diskLoads.add(1);
+                metrics.traceBytes.add(cached->size() * sizeof(Amp));
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.diskLoads;
+                return std::make_shared<const CurrentTrace>(
+                    *std::move(cached));
+            }
+            // Present but unreadable: reject it, regenerate, and let
+            // the write below replace the bad file.
+            rejected_corrupt = true;
+            metrics.diskCorrupt.add(1);
+            didt_warn("rejecting corrupt trace cache file ", path);
         }
     }
 
-    CurrentTrace trace = benchmarkCurrentTrace(
-        setup_, request.profile, request.instructions, request.seed,
-        request.trimWarmup);
+    CurrentTrace trace;
+    {
+        obs::ScopedTimer timer("simulate " + request.profile.name,
+                               metrics.simulateMs, nullptr, "repo");
+        trace = benchmarkCurrentTrace(
+            setup_, request.profile, request.instructions, request.seed,
+            request.trimWarmup);
+    }
 
+    bool stored = false;
     if (!path.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(cacheDir_, ec);
-        if (ec)
+        if (ec) {
             didt_warn("cannot create trace cache dir ", cacheDir_, ": ",
                       ec.message());
-        else
+        } else {
             writeTraceBinary(path, trace);
+            stored = true;
+            metrics.diskStores.add(1);
+        }
     }
+
+    metrics.simulations.add(1);
+    metrics.traceBytes.add(trace.size() * sizeof(Amp));
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.simulations;
+    if (rejected_corrupt)
+        ++stats_.diskCorrupt;
+    if (stored)
+        ++stats_.diskStores;
     return std::make_shared<const CurrentTrace>(std::move(trace));
 }
 

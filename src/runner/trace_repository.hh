@@ -64,6 +64,8 @@ struct TraceCacheStats
     std::uint64_t lookups = 0;     ///< total get() calls
     std::uint64_t memoryHits = 0;  ///< served from the in-memory map
     std::uint64_t diskLoads = 0;   ///< served from the cache directory
+    std::uint64_t diskStores = 0;  ///< traces written to the cache dir
+    std::uint64_t diskCorrupt = 0; ///< corrupt cache files rejected
     std::uint64_t simulations = 0; ///< actually simulated
 };
 

@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace didt
@@ -33,6 +34,43 @@ Processor::Processor(const ProcessorConfig &config,
     if (config_.ruuSize + config_.frontEndDepth * config_.fetchWidth >=
         kSeqRingSize)
         didt_fatal("RUU too large for the dependency ring");
+}
+
+Processor::~Processor()
+{
+    // Per-cycle counting stays in stats_; the registry sees one flush
+    // per simulated machine so the hot loop pays nothing for metrics.
+    if (!obs::metricsEnabled())
+        return;
+    struct SimMetrics
+    {
+        obs::Counter cycles;
+        obs::Counter committed;
+        obs::Counter fetched;
+        obs::Counter issued;
+        obs::Counter stallCycles;
+        obs::Counter noopsInjected;
+        obs::Counter mispredicts;
+        obs::Counter l2Misses;
+    };
+    static SimMetrics metrics{
+        obs::MetricsRegistry::global().counter("sim.cycles"),
+        obs::MetricsRegistry::global().counter("sim.committed"),
+        obs::MetricsRegistry::global().counter("sim.fetched"),
+        obs::MetricsRegistry::global().counter("sim.issued"),
+        obs::MetricsRegistry::global().counter("sim.issue_stall_cycles"),
+        obs::MetricsRegistry::global().counter("sim.noops_injected"),
+        obs::MetricsRegistry::global().counter("sim.mispredicts"),
+        obs::MetricsRegistry::global().counter("sim.l2_misses"),
+    };
+    metrics.cycles.add(stats_.cycles);
+    metrics.committed.add(stats_.committed);
+    metrics.fetched.add(stats_.fetched);
+    metrics.issued.add(stats_.issued);
+    metrics.stallCycles.add(stats_.issueStallCycles);
+    metrics.noopsInjected.add(stats_.noopsInjected);
+    metrics.mispredicts.add(stats_.mispredicts);
+    metrics.l2Misses.add(stats_.l2Misses);
 }
 
 Cycle

@@ -89,6 +89,9 @@ class Processor
               const PowerModelConfig &power_config,
               InstructionSource &source);
 
+    /** Flushes aggregate statistics into the sim.* metrics counters. */
+    ~Processor();
+
     /**
      * Advance one cycle.
      * @retval true the machine did or may still do work

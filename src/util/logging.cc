@@ -1,26 +1,65 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace didt
 {
 
 namespace
 {
-LogLevel globalLevel = LogLevel::Normal;
+
+// The level is read on every warn/inform from worker threads while a
+// tool's main thread may still be parsing options; an atomic keeps
+// that race benign. The sink mutex keeps concurrent messages from
+// interleaving mid-line.
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
+
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    if (name == "normal")
+        return LogLevel::Normal;
+    if (name == "verbose")
+        return LogLevel::Verbose;
+    didt_fatal("unknown log level '", name,
+               "' (expected quiet, normal, or verbose)");
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet: return "quiet";
+      case LogLevel::Normal: return "normal";
+      case LogLevel::Verbose: return "verbose";
+    }
+    return "unknown";
 }
 
 namespace detail
@@ -29,29 +68,41 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel != LogLevel::Quiet)
+    if (logLevel() != LogLevel::Quiet) {
+        std::lock_guard<std::mutex> lock(sinkMutex());
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel == LogLevel::Verbose)
+    if (logLevel() == LogLevel::Verbose) {
+        std::lock_guard<std::mutex> lock(sinkMutex());
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
 }
 
 } // namespace detail

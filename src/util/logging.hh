@@ -24,11 +24,20 @@ enum class LogLevel
     Verbose, ///< print everything
 };
 
-/** Set the global log verbosity. Thread-unsafe; call at startup. */
+/** Set the global log verbosity. Safe to call from any thread. */
 void setLogLevel(LogLevel level);
 
 /** Current global log verbosity. */
 LogLevel logLevel();
+
+/**
+ * Parse a --log-level value ("quiet", "normal", or "verbose",
+ * case-sensitive). Exits with a fatal diagnostic on anything else.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** The canonical name of a level, inverse of parseLogLevel(). */
+const char *logLevelName(LogLevel level);
 
 namespace detail
 {

@@ -19,6 +19,11 @@ Options::declare(const std::string &name, const std::string &default_value,
 void
 Options::parse(int argc, char **argv)
 {
+    // Every binary accepts --log-level uniformly; an explicit
+    // declaration (emplace is a no-op then) can override the help text.
+    decls_.emplace("log-level",
+                   Decl{"normal",
+                        "log verbosity: quiet, normal, or verbose"});
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
@@ -57,6 +62,7 @@ Options::parse(int argc, char **argv)
             didt_fatal("unknown option --", name);
         values_[name] = value;
     }
+    setLogLevel(parseLogLevel(get("log-level")));
 }
 
 std::string

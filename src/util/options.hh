@@ -4,6 +4,9 @@
  *
  * Supports "--name value", "--name=value", and boolean "--flag" forms.
  * Unknown options are fatal so typos in sweep scripts fail loudly.
+ * Every parser implicitly declares --log-level (quiet/normal/verbose)
+ * and applies it via setLogLevel(), so all tools and benches share the
+ * same verbosity knob.
  */
 
 #ifndef DIDT_UTIL_OPTIONS_HH

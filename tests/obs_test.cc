@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Tests for the observability layer: striped metric aggregation under
+ * concurrency, histogram bucket boundaries, scoped-timer spans, the
+ * deterministic snapshot JSON, and the invariant that metrics never
+ * change campaign result bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "didt/didt.hh"
+
+using namespace didt;
+
+namespace
+{
+
+/** A small campaign spec shared by the determinism tests. */
+CampaignSpec
+tinySpec()
+{
+    CampaignSpec spec;
+    const auto &all = spec2000Profiles();
+    spec.profiles.assign(all.begin(), all.begin() + 2);
+    spec.impedanceScales = {1.0, 1.2};
+    spec.windowLength = 128;
+    spec.levels = 6;
+    spec.instructions = 20000;
+    return spec;
+}
+
+} // namespace
+
+TEST(MetricsRegistry, CounterAggregatesAcrossThreads)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter counter = registry.counter("test.hits");
+
+    constexpr int kThreads = 8;
+    constexpr int kAddsPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&counter] {
+            for (int i = 0; i < kAddsPerThread; ++i)
+                counter.add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(counter.total(),
+              static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(MetricsRegistry, HistogramAggregatesAcrossThreads)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram histogram =
+        registry.histogram("test.latency", {1.0, 10.0, 100.0});
+
+    constexpr int kThreads = 6;
+    constexpr int kObsPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&histogram, t] {
+            for (int i = 0; i < kObsPerThread; ++i)
+                histogram.observe(static_cast<double>(t) + 1.0);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    const obs::HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count,
+              static_cast<std::uint64_t>(kThreads) * kObsPerThread);
+    // Serial total: sum over t of (t+1)*kObsPerThread.
+    double expected_sum = 0.0;
+    for (int t = 0; t < kThreads; ++t)
+        expected_sum += (t + 1.0) * kObsPerThread;
+    EXPECT_DOUBLE_EQ(snap.sum, expected_sum);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kThreads));
+}
+
+TEST(MetricsRegistry, HandlesShareStateByName)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter a = registry.counter("test.shared");
+    obs::Counter b = registry.counter("test.shared");
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(a.total(), 7u);
+    EXPECT_EQ(b.total(), 7u);
+}
+
+TEST(MetricsRegistry, GaugeTracksLastAndMax)
+{
+    obs::MetricsRegistry registry;
+    obs::Gauge gauge = registry.gauge("test.depth");
+    gauge.record(5.0);
+    gauge.record(12.0);
+    gauge.record(3.0);
+    EXPECT_DOUBLE_EQ(gauge.last(), 3.0);
+    EXPECT_DOUBLE_EQ(gauge.max(), 12.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter counter = registry.counter("test.count");
+    obs::Histogram histogram = registry.histogram("test.h", {1.0});
+    counter.add(5);
+    histogram.observe(0.5);
+    registry.reset();
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_EQ(histogram.snapshot().count, 0u);
+    counter.add(2);
+    EXPECT_EQ(counter.total(), 2u);
+}
+
+TEST(MetricsRegistry, DefaultHandlesNoOp)
+{
+    obs::Counter counter;
+    obs::Gauge gauge;
+    obs::Histogram histogram;
+    counter.add(1);
+    gauge.record(1.0);
+    histogram.observe(1.0);
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_FALSE(counter);
+    EXPECT_EQ(histogram.snapshot().count, 0u);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram histogram =
+        registry.histogram("test.edges", {1.0, 2.0, 5.0});
+
+    histogram.observe(0.5); // bucket 0
+    histogram.observe(1.0); // bucket 0 (inclusive upper edge)
+    histogram.observe(1.5); // bucket 1
+    histogram.observe(2.0); // bucket 1
+    histogram.observe(5.0); // bucket 2
+    histogram.observe(7.0); // bucket 3 (overflow)
+
+    const obs::HistogramSnapshot snap = histogram.snapshot();
+    ASSERT_EQ(snap.counts.size(), 4u);
+    EXPECT_EQ(snap.counts[0], 2u);
+    EXPECT_EQ(snap.counts[1], 2u);
+    EXPECT_EQ(snap.counts[2], 1u);
+    EXPECT_EQ(snap.counts[3], 1u);
+    EXPECT_EQ(snap.count, 6u);
+    EXPECT_DOUBLE_EQ(snap.min, 0.5);
+    EXPECT_DOUBLE_EQ(snap.max, 7.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram histogram =
+        registry.histogram("test.q", {10.0, 20.0});
+    for (int i = 0; i < 100; ++i)
+        histogram.observe(5.0); // all in bucket [0, 10]
+    const obs::HistogramSnapshot snap = histogram.snapshot();
+    const double p50 = snap.quantile(0.5);
+    EXPECT_GE(p50, 0.0);
+    EXPECT_LE(p50, 10.0);
+}
+
+TEST(ScopedTimer, RecordsIntoHistogram)
+{
+    obs::MetricsRegistry registry;
+    obs::Histogram histogram = registry.histogram("test.span_ms");
+    {
+        obs::ScopedTimer timer("unit", histogram);
+    }
+    EXPECT_EQ(histogram.snapshot().count, 1u);
+}
+
+TEST(ScopedTimer, NestedSpansLandInSink)
+{
+    obs::TraceEventSink sink;
+    sink.setEnabled(true);
+    {
+        obs::ScopedTimer outer("outer", obs::Histogram{}, &sink);
+        {
+            obs::ScopedTimer inner("inner", obs::Histogram{}, &sink);
+        }
+    }
+    const std::vector<obs::TraceEvent> events = sink.events();
+    ASSERT_EQ(events.size(), 2u);
+    // Inner scope exits first, so it is recorded first.
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[1].name, "outer");
+    // The outer span must fully contain the inner one.
+    EXPECT_LE(events[1].startUs, events[0].startUs);
+    EXPECT_GE(events[1].startUs + events[1].durationUs,
+              events[0].startUs + events[0].durationUs);
+}
+
+TEST(ScopedTimer, DisabledSinkRecordsNothing)
+{
+    obs::TraceEventSink sink;
+    {
+        obs::ScopedTimer timer("ignored", obs::Histogram{}, &sink);
+    }
+    EXPECT_EQ(sink.eventCount(), 0u);
+}
+
+TEST(MetricsSnapshot, JsonGolden)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("b.count").add(3);
+    registry.gauge("c.depth").record(2.5);
+    obs::Histogram histogram = registry.histogram("a.lat_ms", {1.0, 2.0});
+    histogram.observe(0.5);
+    histogram.observe(1.5);
+
+    const std::string golden = R"({
+  "schema": "didt-metrics-v1",
+  "metrics": [
+    {
+      "name": "a.lat_ms",
+      "kind": "histogram",
+      "count": 2,
+      "sum": 2,
+      "min": 0.5,
+      "max": 1.5,
+      "mean": 1,
+      "p50": 1,
+      "p95": 1.8999999999999999,
+      "bounds": [
+        1,
+        2
+      ],
+      "buckets": [
+        1,
+        1,
+        0
+      ]
+    },
+    {
+      "name": "b.count",
+      "kind": "counter",
+      "value": 3
+    },
+    {
+      "name": "c.depth",
+      "kind": "gauge",
+      "value": 2.5,
+      "max": 2.5
+    }
+  ]
+})";
+    EXPECT_EQ(registry.snapshot().toJson().dump(), golden);
+}
+
+TEST(MetricsSnapshot, JsonRoundTripsThroughParser)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("x.events").add(41);
+    registry.histogram("y.ms").observe(3.0);
+    const JsonValue doc = registry.snapshot().toJson();
+    const JsonValue reparsed = parseJson(doc.dump());
+    EXPECT_EQ(doc, reparsed);
+}
+
+TEST(MetricsSnapshot, FindLocatesMetrics)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("k.n").add(9);
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    const obs::MetricSnapshot *m = snap.find("k.n");
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->value, 9.0);
+    EXPECT_EQ(snap.find("missing"), nullptr);
+}
+
+TEST(TraceEventSink, ChromeTraceIsValidJson)
+{
+    obs::TraceEventSink sink;
+    sink.setEnabled(true);
+    {
+        obs::ScopedTimer timer("phase", obs::Histogram{}, &sink, "test");
+    }
+    const std::string path =
+        testing::TempDir() + "obs_trace_test.json";
+    sink.writeChromeTrace(path);
+    const JsonValue doc = readJsonFile(path);
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->items().size(), 1u);
+    const JsonValue &event = events->items()[0];
+    EXPECT_EQ(event.find("name")->asString(), "phase");
+    EXPECT_EQ(event.find("cat")->asString(), "test");
+    EXPECT_EQ(event.find("ph")->asString(), "X");
+    EXPECT_GE(event.find("dur")->asNumber(), 0.0);
+}
+
+TEST(ObsDeterminism, MetricsDoNotChangeCampaignBytes)
+{
+    const ExperimentSetup setup = makeStandardSetup();
+    const CampaignSpec spec = tinySpec();
+
+    obs::setMetricsEnabled(false);
+    TraceRepository repo_off(setup);
+    const std::string off =
+        campaignToJson(
+            runCharacterizationCampaign(setup, spec, repo_off, 1), false)
+            .dump();
+
+    obs::setMetricsEnabled(true);
+    obs::TraceEventSink::global().setEnabled(true);
+    TraceRepository repo_on(setup);
+    const std::string on =
+        campaignToJson(
+            runCharacterizationCampaign(setup, spec, repo_on, 4), false)
+            .dump();
+    obs::TraceEventSink::global().setEnabled(false);
+    obs::TraceEventSink::global().clear();
+
+    EXPECT_EQ(off, on);
+    EXPECT_GT(obs::MetricsRegistry::global()
+                  .snapshot()
+                  .metrics.size(),
+              0u);
+}

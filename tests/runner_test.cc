@@ -208,6 +208,7 @@ TEST(TraceRepository, DiskPersistenceRoundTrip)
         TraceRepository repo(sharedSetup(), dir);
         simulated = *repo.get(prof, 3000);
         EXPECT_EQ(repo.stats().simulations, 1u);
+        EXPECT_EQ(repo.stats().diskStores, 1u);
         EXPECT_TRUE(
             std::filesystem::exists(repo.cachePath(TraceRequest{
                 prof, 3000, 0, 4096})));
@@ -218,6 +219,8 @@ TEST(TraceRepository, DiskPersistenceRoundTrip)
         const TraceCacheStats stats = repo.stats();
         EXPECT_EQ(stats.simulations, 0u);
         EXPECT_EQ(stats.diskLoads, 1u);
+        EXPECT_EQ(stats.diskStores, 0u);
+        EXPECT_EQ(stats.diskCorrupt, 0u);
         EXPECT_EQ(*loaded, simulated) << "persisted trace bit-identical";
     }
     std::filesystem::remove_all(dir);
@@ -243,6 +246,10 @@ TEST(TraceRepository, CorruptCacheFileIsAMiss)
     EXPECT_FALSE(trace->empty());
     EXPECT_EQ(repo.stats().simulations, 1u)
         << "corrupt file must fall back to simulation";
+    EXPECT_EQ(repo.stats().diskCorrupt, 1u)
+        << "the rejected file must be counted";
+    EXPECT_EQ(repo.stats().diskStores, 1u)
+        << "the corrupt file must be rewritten";
     std::filesystem::remove_all(dir);
 }
 

@@ -14,6 +14,7 @@
  *   didt_campaign --benchmarks gzip,mcf --impedances 1.0,1.5
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -39,6 +40,34 @@ splitList(const std::string &list)
         pos = comma + 1;
     }
     return out;
+}
+
+/** --report: one line per metric, histograms with count/mean/p95. */
+void
+printMetricsReport(const obs::MetricsSnapshot &snapshot)
+{
+    std::printf("\nmetrics (%zu):\n", snapshot.metrics.size());
+    for (const obs::MetricSnapshot &m : snapshot.metrics) {
+        switch (m.kind) {
+          case obs::MetricKind::Counter:
+            std::printf("  %-28s %12.0f\n", m.name.c_str(), m.value);
+            break;
+          case obs::MetricKind::Gauge:
+            std::printf("  %-28s last %8.1f  max %8.1f\n",
+                        m.name.c_str(), m.value, m.maxValue);
+            break;
+          case obs::MetricKind::Histogram: {
+            const obs::HistogramSnapshot &h = m.histogram;
+            std::printf("  %-28s n %8llu  mean %9.3f ms  "
+                        "p50 %9.3f  p95 %9.3f  max %9.3f\n",
+                        m.name.c_str(),
+                        static_cast<unsigned long long>(h.count),
+                        h.mean(), h.quantile(0.5), h.quantile(0.95),
+                        h.max);
+            break;
+          }
+        }
+    }
 }
 
 } // namespace
@@ -71,7 +100,21 @@ main(int argc, char **argv)
                  "include the (non-deterministic) timing section in "
                  "the JSON output");
     opts.declare("quiet", "false", "suppress per-cell progress lines");
+    opts.declare("metrics-out", "",
+                 "write a metrics sidecar JSON to this file");
+    opts.declare("trace-out", "",
+                 "write Chrome trace_event JSON (Perfetto) to this file");
+    opts.declare("no-metrics", "false",
+                 "disable metrics collection entirely");
+    opts.declare("report", "false",
+                 "print a human-readable metrics summary at the end");
     opts.parse(argc, argv);
+
+    if (opts.getBool("no-metrics"))
+        obs::setMetricsEnabled(false);
+    const std::string trace_out = opts.get("trace-out");
+    if (!trace_out.empty())
+        obs::TraceEventSink::global().setEnabled(true);
 
     CampaignSpec spec;
     for (const std::string &name : splitList(opts.get("benchmarks")))
@@ -121,14 +164,29 @@ main(int argc, char **argv)
 
     TraceRepository repo(setup, opts.get("cache-dir"));
     std::size_t done = 0;
+    const std::size_t progress_stride =
+        std::max<std::size_t>(std::size_t{1}, total_cells / 10);
+    const auto sweep_start = std::chrono::steady_clock::now();
     const auto on_cell = [&](const CampaignCell &cell) {
         ++done;
-        if (!quiet)
-            std::printf("[%3zu/%zu] %-8s @%.2fx  est %6.2f%%  "
-                        "meas %6.2f%%  (%.0f ms)\n",
-                        done, total_cells, cell.benchmark.c_str(),
-                        cell.impedanceScale, cell.estimatedBelowPct,
-                        cell.measuredBelowPct, cell.wallMillis);
+        if (quiet)
+            return;
+        std::printf("[%3zu/%zu] %-8s @%.2fx  est %6.2f%%  "
+                    "meas %6.2f%%  (%.0f ms)\n",
+                    done, total_cells, cell.benchmark.c_str(),
+                    cell.impedanceScale, cell.estimatedBelowPct,
+                    cell.measuredBelowPct, cell.wallMillis);
+        if (done % progress_stride == 0 && done != total_cells) {
+            const double elapsed_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweep_start)
+                    .count();
+            const double eta_s = elapsed_s /
+                                 static_cast<double>(done) *
+                                 static_cast<double>(total_cells - done);
+            std::printf("-- %zu/%zu cells, ETA %.0f s\n", done,
+                        total_cells, eta_s);
+        }
     };
 
     const CampaignResult result =
@@ -148,13 +206,18 @@ main(int argc, char **argv)
                     ? cell_ms_sum / result.wallMillis
                     : 0.0);
     std::printf("trace cache: %llu lookups, %llu memory hits, %llu disk "
-                "loads, %llu simulations\n",
+                "loads, %llu disk stores, %llu corrupt, "
+                "%llu simulations\n",
                 static_cast<unsigned long long>(
                     result.cacheStats.lookups),
                 static_cast<unsigned long long>(
                     result.cacheStats.memoryHits),
                 static_cast<unsigned long long>(
                     result.cacheStats.diskLoads),
+                static_cast<unsigned long long>(
+                    result.cacheStats.diskStores),
+                static_cast<unsigned long long>(
+                    result.cacheStats.diskCorrupt),
                 static_cast<unsigned long long>(
                     result.cacheStats.simulations));
     std::printf("RMS estimation error: %.2f%%\n",
@@ -169,5 +232,20 @@ main(int argc, char **argv)
         writeCampaignCsv(opts.get("csv"), result);
         std::printf("(csv written to %s)\n", opts.get("csv").c_str());
     }
+
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    if (!opts.get("metrics-out").empty()) {
+        obs::writeMetricsJson(opts.get("metrics-out"), snapshot);
+        std::printf("(metrics written to %s)\n",
+                    opts.get("metrics-out").c_str());
+    }
+    if (!trace_out.empty()) {
+        obs::TraceEventSink::global().writeChromeTrace(trace_out);
+        std::printf("(trace written to %s; open in ui.perfetto.dev)\n",
+                    trace_out.c_str());
+    }
+    if (opts.getBool("report"))
+        printMetricsReport(snapshot);
     return 0;
 }

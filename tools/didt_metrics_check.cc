@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Structural validator for didt-metrics-v1 sidecar files.
+ *
+ * Checks a --metrics-out file against the checked-in schema
+ * (schemas/didt-metrics-v1.json): schema tag, metric member sets per
+ * kind, name ordering, histogram bucket/bound consistency, and the
+ * presence of the always-emitted metric names. Exits 0 on success so
+ * check.sh can gate on it.
+ *
+ *   didt_metrics_check --schema schemas/didt-metrics-v1.json \
+ *                      --input metrics.json
+ */
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "didt/didt.hh"
+
+using namespace didt;
+
+namespace
+{
+
+int failures = 0;
+
+template <typename... Args>
+void
+fail(Args &&...args)
+{
+    ++failures;
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    std::fprintf(stderr, "didt_metrics_check: %s\n", os.str().c_str());
+}
+
+/** The member named @p name, or null-kind reference on failure. */
+const JsonValue *
+member(const JsonValue &obj, const std::string &context,
+       const std::string &name)
+{
+    const JsonValue *value = obj.find(name);
+    if (value == nullptr)
+        fail(context, ": missing member '", name, "'");
+    return value;
+}
+
+void
+checkHistogram(const JsonValue &entry, const std::string &context)
+{
+    const JsonValue *bounds = entry.find("bounds");
+    const JsonValue *buckets = entry.find("buckets");
+    const JsonValue *count = entry.find("count");
+    if (bounds == nullptr || buckets == nullptr || count == nullptr)
+        return; // missing members already reported
+    if (buckets->items().size() != bounds->items().size() + 1)
+        fail(context, ": expected ", bounds->items().size() + 1,
+             " buckets for ", bounds->items().size(), " bounds, got ",
+             buckets->items().size());
+    double prev = -1.0e300;
+    for (const JsonValue &b : bounds->items()) {
+        if (b.asNumber() <= prev)
+            fail(context, ": bounds not strictly ascending");
+        prev = b.asNumber();
+    }
+    double total = 0.0;
+    for (const JsonValue &b : buckets->items()) {
+        if (b.asNumber() < 0.0)
+            fail(context, ": negative bucket count");
+        total += b.asNumber();
+    }
+    if (total != count->asNumber())
+        fail(context, ": bucket counts sum to ", total,
+             " but count says ", count->asNumber());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    opts.declare("schema", "schemas/didt-metrics-v1.json",
+                 "schema description to validate against");
+    opts.declare("input", "", "metrics JSON file to validate");
+    opts.parse(argc, argv);
+    if (opts.get("input").empty())
+        didt_fatal("--input is required");
+
+    const JsonValue schema = readJsonFile(opts.get("schema"));
+    const JsonValue doc = readJsonFile(opts.get("input"));
+
+    const JsonValue *tag = member(doc, "document", "schema");
+    const JsonValue *expected_tag = member(schema, "schema", "schema");
+    if (tag != nullptr && expected_tag != nullptr &&
+        tag->asString() != expected_tag->asString())
+        fail("document: schema is '", tag->asString(), "', expected '",
+             expected_tag->asString(), "'");
+
+    const JsonValue *required_members =
+        member(schema, "schema", "required_members");
+    const JsonValue *metrics = member(doc, "document", "metrics");
+    if (required_members == nullptr || metrics == nullptr) {
+        std::fprintf(stderr, "didt_metrics_check: FAILED (%d errors)\n",
+                     failures);
+        return 1;
+    }
+
+    std::set<std::string> seen;
+    std::string prev_name;
+    for (const JsonValue &entry : metrics->items()) {
+        const JsonValue *name = entry.find("name");
+        const std::string context =
+            name != nullptr ? name->asString() : "<unnamed metric>";
+        if (name == nullptr) {
+            fail(context, ": missing member 'name'");
+            continue;
+        }
+        if (context <= prev_name && !prev_name.empty())
+            fail(context, ": metrics not sorted by name (follows '",
+                 prev_name, "')");
+        prev_name = context;
+        seen.insert(context);
+
+        const JsonValue *kind = member(entry, context, "kind");
+        if (kind == nullptr)
+            continue;
+        const JsonValue *members = required_members->find(kind->asString());
+        if (members == nullptr) {
+            fail(context, ": unknown kind '", kind->asString(), "'");
+            continue;
+        }
+        for (const JsonValue &required : members->items())
+            member(entry, context, required.asString());
+        if (kind->asString() == "histogram")
+            checkHistogram(entry, context);
+    }
+
+    if (const JsonValue *required = schema.find("required_metrics")) {
+        for (const JsonValue &name : required->items())
+            if (seen.find(name.asString()) == seen.end())
+                fail("document: required metric '", name.asString(),
+                     "' is absent");
+    }
+
+    if (failures != 0) {
+        std::fprintf(stderr, "didt_metrics_check: FAILED (%d errors)\n",
+                     failures);
+        return 1;
+    }
+    std::printf("didt_metrics_check: OK (%zu metrics)\n",
+                metrics->items().size());
+    return 0;
+}
