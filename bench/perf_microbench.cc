@@ -56,6 +56,36 @@ BM_DwtForward(benchmark::State &state)
 }
 BENCHMARK(BM_DwtForward)->RangeMultiplier(4)->Range(64, 65536)->Complexity();
 
+/**
+ * The same forward transform through the flat-layout in-place API with
+ * a reused decomposition and workspace: after the first iteration the
+ * loop body never touches the allocator. Compare against BM_DwtForward
+ * at the same size for the allocation cost of the legacy API; on
+ * window-sized signals (the per-window hot path of the analysis model)
+ * the workspace path is expected to be >= 2x faster.
+ */
+void
+BM_DwtForwardWorkspace(benchmark::State &state)
+{
+    const Dwt dwt(WaveletBasis::haar());
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto signal = benchSignal(n);
+    const std::size_t levels = dwt.maxLevels(n);
+    FlatDecomposition dec;
+    DwtWorkspace ws;
+    for (auto _ : state) {
+        dwt.forward(signal, levels, dec, ws);
+        benchmark::DoNotOptimize(dec.coefficients().data());
+    }
+    state.SetComplexityN(state.range(0));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DwtForwardWorkspace)
+    ->RangeMultiplier(4)
+    ->Range(64, 65536)
+    ->Complexity();
+
 void
 BM_DwtInverse(benchmark::State &state)
 {
@@ -122,6 +152,62 @@ BM_ProcessorStep(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProcessorStep);
+
+/** Shared fixture for the profileTrace rows: one calibrated model and
+ *  a 32-window trace, built once. */
+struct ProfileBenchFixture
+{
+    SupplyNetwork net{benchSupplyConfig()};
+    VoltageVarianceModel model{net, 256, 8, WaveletBasis::haar()};
+    CurrentTrace trace;
+
+    ProfileBenchFixture()
+    {
+        Rng rng(7);
+        model.calibrate(rng, 1);
+        trace = benchSignal(256 * 32);
+    }
+};
+
+ProfileBenchFixture &
+profileBenchFixture()
+{
+    static ProfileBenchFixture fixture;
+    return fixture;
+}
+
+/** Full-trace emergency profiling through the allocating entry point
+ *  (which builds a fresh workspace per call). */
+void
+BM_ProfileTrace(benchmark::State &state)
+{
+    ProfileBenchFixture &fx = profileBenchFixture();
+    for (auto _ : state) {
+        const EmergencyProfile ep =
+            profileTrace(fx.trace, fx.net, fx.model, 0.97, 1.03);
+        benchmark::DoNotOptimize(ep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(fx.trace.size()));
+}
+BENCHMARK(BM_ProfileTrace);
+
+/** The same profiling with a caller-owned workspace reused across
+ *  calls — the campaign's per-worker configuration. */
+void
+BM_ProfileTraceWorkspace(benchmark::State &state)
+{
+    ProfileBenchFixture &fx = profileBenchFixture();
+    AnalysisWorkspace ws;
+    for (auto _ : state) {
+        const EmergencyProfile ep =
+            profileTrace(fx.trace, fx.net, fx.model, 0.97, 1.03, ws);
+        benchmark::DoNotOptimize(ep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(fx.trace.size()));
+}
+BENCHMARK(BM_ProfileTraceWorkspace);
 
 /** Chi-square normality classification of one 64-cycle window. */
 void

@@ -58,6 +58,7 @@
 #include "wavelet/basis.hh"
 #include "wavelet/denoise.hh"
 #include "wavelet/dwt.hh"
+#include "wavelet/flat_decomposition.hh"
 #include "wavelet/fourier.hh"
 #include "wavelet/modwt.hh"
 #include "wavelet/packet.hh"

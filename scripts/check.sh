@@ -34,11 +34,12 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
         --input "$SMOKE_DIR/metrics.json"
 fi
 
-echo "=== ThreadSanitizer pass over runner + obs tests (ctest -L 'runner|obs') ==="
+echo "=== ThreadSanitizer pass over runner + obs + refactor tests ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
-      obs_test
-ctest --test-dir build-tsan -L 'runner|obs' --output-on-failure -j "$JOBS"
+      obs_test refactor_test
+ctest --test-dir build-tsan -L 'runner|obs|refactor' --output-on-failure \
+      -j "$JOBS"
 
 echo "=== all checks passed ==="

@@ -13,6 +13,17 @@ profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
              Volt high_threshold, std::span<const std::size_t> use_levels,
              bool use_correlation)
 {
+    AnalysisWorkspace ws;
+    return profileTrace(trace, network, model, low_threshold,
+                        high_threshold, ws, use_levels, use_correlation);
+}
+
+EmergencyProfile
+profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
+             const VoltageVarianceModel &model, Volt low_threshold,
+             Volt high_threshold, AnalysisWorkspace &ws,
+             std::span<const std::size_t> use_levels, bool use_correlation)
+{
     const std::size_t window = model.windowLength();
     if (trace.size() < window)
         didt_panic("profileTrace: trace shorter than one window");
@@ -29,11 +40,11 @@ profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
     RunningStats est_var;
     const std::span<const double> samples(trace.data(), trace.size());
     for (std::size_t off = 0; off + window <= trace.size(); off += window) {
-        const WindowEstimate est = model.estimate(
-            samples.subspan(off, window), use_levels, use_correlation);
-        est_below.push(est.probBelow(low_threshold));
-        est_above.push(est.probAbove(high_threshold));
-        est_var.push(est.variance);
+        model.estimate(samples.subspan(off, window), use_levels,
+                       use_correlation, ws.est, ws);
+        est_below.push(ws.est.probBelow(low_threshold));
+        est_above.push(ws.est.probAbove(high_threshold));
+        est_var.push(ws.est.variance);
         ++profile.windows;
     }
     profile.estimatedBelow = est_below.mean();
@@ -41,11 +52,11 @@ profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
     profile.estimatedVariance = est_var.mean();
 
     // Measured side: exact convolution through the network.
-    const VoltageTrace voltage = network.computeVoltage(trace);
+    network.computeVoltageInto(trace, ws.voltage);
     RunningStats v_stats;
     std::size_t below = 0;
     std::size_t above = 0;
-    for (Volt v : voltage) {
+    for (Volt v : ws.voltage) {
         v_stats.push(v);
         if (v < low_threshold)
             ++below;
@@ -53,9 +64,9 @@ profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
             ++above;
     }
     profile.measuredBelow =
-        static_cast<double>(below) / static_cast<double>(voltage.size());
+        static_cast<double>(below) / static_cast<double>(ws.voltage.size());
     profile.measuredAbove =
-        static_cast<double>(above) / static_cast<double>(voltage.size());
+        static_cast<double>(above) / static_cast<double>(ws.voltage.size());
     profile.measuredVariance = v_stats.variance();
     return profile;
 }

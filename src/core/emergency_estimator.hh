@@ -64,6 +64,21 @@ EmergencyProfile profileTrace(const CurrentTrace &trace,
                               std::span<const std::size_t> use_levels = {},
                               bool use_correlation = true);
 
+/**
+ * Workspace overload: all per-window and full-trace intermediates
+ * (decomposition, estimate, voltage trace) live in @p ws, so profiling
+ * many traces with one workspace per thread runs allocation-free after
+ * warm-up. Bit-identical results to the allocating overload (which is
+ * a thin adapter over this one).
+ */
+EmergencyProfile profileTrace(const CurrentTrace &trace,
+                              const SupplyNetwork &network,
+                              const VoltageVarianceModel &model,
+                              Volt low_threshold, Volt high_threshold,
+                              AnalysisWorkspace &ws,
+                              std::span<const std::size_t> use_levels = {},
+                              bool use_correlation = true);
+
 } // namespace didt
 
 #endif // DIDT_CORE_EMERGENCY_ESTIMATOR_HH

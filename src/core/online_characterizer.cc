@@ -24,7 +24,7 @@ OnlineCharacterizer::push(Amp current)
         return false;
 
     fill_ = 0;
-    last_ = model_.estimate(buffer_);
+    model_.estimate(buffer_, {}, true, last_, ws_);
     lastBelow_ = last_.probBelow(low_);
     sumBelow_ += lastBelow_;
     sumAbove_ += last_.probAbove(high_);

@@ -72,6 +72,9 @@ class OnlineCharacterizer
     const VoltageVarianceModel &model_;
     Volt low_;
     Volt high_;
+    /** Owned analysis scratch: after the first window completes, each
+     *  subsequent window is estimated without heap allocation. */
+    AnalysisWorkspace ws_;
     std::vector<double> buffer_;
     std::size_t fill_ = 0;
     std::uint64_t cycles_ = 0;

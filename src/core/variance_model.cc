@@ -18,11 +18,13 @@ namespace
 {
 
 /**
- * Solve the dense system A x = b in place by Gaussian elimination with
- * partial pivoting and a small ridge term for stability.
+ * Solve the dense system A x = b by Gaussian elimination with partial
+ * pivoting and a small ridge term for stability. Destroys @p a and
+ * @p b (callers pass regression accumulators they no longer need, so
+ * nothing is copied).
  */
 std::vector<double>
-solveDense(std::vector<std::vector<double>> a, std::vector<double> b)
+solveDense(std::vector<std::vector<double>> &a, std::vector<double> &b)
 {
     const std::size_t n = a.size();
     for (std::size_t i = 0; i < n; ++i)
@@ -94,23 +96,23 @@ VoltageVarianceModel::VoltageVarianceModel(const SupplyNetwork &network,
 
 double
 VoltageVarianceModel::measureOutputVariance(
-    const std::vector<double> &window_signal) const
+    std::span<const double> window_signal, AnalysisWorkspace &ws) const
 {
     // Tile the window so the convolution reaches its periodic steady
     // state, then measure output variance over the settled portion.
     constexpr std::size_t kTiles = 6;
     constexpr std::size_t kSettleTiles = 2;
-    CurrentTrace tiled;
-    tiled.reserve(window_signal.size() * kTiles);
+    ws.tiled.clear();
+    ws.tiled.reserve(window_signal.size() * kTiles);
     for (std::size_t t = 0; t < kTiles; ++t)
-        tiled.insert(tiled.end(), window_signal.begin(),
-                     window_signal.end());
+        ws.tiled.insert(ws.tiled.end(), window_signal.begin(),
+                        window_signal.end());
 
-    const VoltageTrace v = network_.computeVoltage(tiled);
+    network_.computeVoltageInto(ws.tiled, ws.voltage);
     RunningStats out_stats;
-    for (std::size_t n = kSettleTiles * window_signal.size(); n < v.size();
-         ++n)
-        out_stats.push(v[n]);
+    for (std::size_t n = kSettleTiles * window_signal.size();
+         n < ws.voltage.size(); ++n)
+        out_stats.push(ws.voltage[n]);
     return out_stats.variance();
 }
 
@@ -129,13 +131,15 @@ VoltageVarianceModel::calibrate(Rng &rng, std::size_t samples_per_point)
                                                       samples_per_point * 50);
     Regression reg;
     beginRegression(reg);
+    AnalysisWorkspace ws;
+    std::vector<double> signal;
 
     const double resonant_period =
         network_.config().clockHz / network_.resonantFrequency();
 
     for (std::size_t s = 0; s < samples; ++s) {
         // --- synthesize one stimulus window ------------------------------
-        std::vector<double> signal(window_, 40.0);
+        signal.assign(window_, 40.0);
 
         if (rng.bernoulli(0.25)) {
             // Clean resonance-locked square wave: the coherent case a
@@ -149,7 +153,7 @@ VoltageVarianceModel::calibrate(Rng &rng, std::size_t samples_per_point)
                     std::fmod(static_cast<double>(n) + phase, period);
                 signal[n] += pos < period / 2.0 ? amp : 0.0;
             }
-            accumulateWindow(reg, signal);
+            accumulateWindow(reg, signal, ws);
             continue;
         }
 
@@ -186,7 +190,7 @@ VoltageVarianceModel::calibrate(Rng &rng, std::size_t samples_per_point)
         for (auto &x : signal)
             x = std::max(0.0, x);
 
-        accumulateWindow(reg, signal);
+        accumulateWindow(reg, signal, ws);
     }
 
     finishRegression(reg);
@@ -199,15 +203,13 @@ VoltageVarianceModel::calibrateOnTraces(std::span<const CurrentTrace> traces)
                           nullptr, "core");
     Regression reg;
     beginRegression(reg);
-    std::vector<double> window(window_);
+    AnalysisWorkspace ws;
     std::size_t windows = 0;
     for (const CurrentTrace &trace : traces) {
+        const std::span<const double> samples(trace.data(), trace.size());
         for (std::size_t off = 0; off + window_ <= trace.size();
              off += window_) {
-            std::copy(trace.begin() + static_cast<long>(off),
-                      trace.begin() + static_cast<long>(off + window_),
-                      window.begin());
-            accumulateWindow(reg, window);
+            accumulateWindow(reg, samples.subspan(off, window_), ws);
             ++windows;
         }
     }
@@ -230,25 +232,26 @@ VoltageVarianceModel::beginRegression(Regression &reg) const
 
 void
 VoltageVarianceModel::accumulateWindow(Regression &reg,
-                                       const std::vector<double> &signal)
-    const
+                                       std::span<const double> signal,
+                                       AnalysisWorkspace &ws) const
 {
-    const WaveletDecomposition dec = dwt_.forward(signal, levels_);
-    const ScaleStats stats = computeScaleStats(dec);
-    std::vector<double> row(reg.cols, 0.0);
+    dwt_.forward(signal, levels_, ws.dec, ws.dwt);
+    computeScaleStats(ws.dec, ws.stats);
+    std::vector<double> &row = ws.row;
+    row.assign(reg.cols, 0.0);
     for (std::size_t j = 0; j < levels_; ++j) {
-        const double rho2 = lagAutocorrelation(dec.details[j], 2);
-        row[3 * j] = stats.subbandVariance[j];
+        const double rho2 = lagAutocorrelation(ws.dec.detail(j), 2);
+        row[3 * j] = ws.stats.subbandVariance[j];
         row[3 * j + 1] =
-            stats.adjacentCorrelation[j] * stats.subbandVariance[j];
-        row[3 * j + 2] = rho2 * stats.subbandVariance[j];
+            ws.stats.adjacentCorrelation[j] * ws.stats.subbandVariance[j];
+        row[3 * j + 2] = rho2 * ws.stats.subbandVariance[j];
     }
     if (reg.hasApprox) {
-        const double rho_a = lag1Autocorrelation(dec.approximation);
-        row[3 * levels_] = stats.approximationVariance;
-        row[3 * levels_ + 1] = rho_a * stats.approximationVariance;
+        const double rho_a = lag1Autocorrelation(ws.dec.approximation());
+        row[3 * levels_] = ws.stats.approximationVariance;
+        row[3 * levels_ + 1] = rho_a * ws.stats.approximationVariance;
     }
-    const double y = measureOutputVariance(signal);
+    const double y = measureOutputVariance(signal, ws);
     if (y <= 0.0)
         return;
 
@@ -267,8 +270,7 @@ VoltageVarianceModel::accumulateWindow(Regression &reg,
 void
 VoltageVarianceModel::finishRegression(Regression &reg)
 {
-    const std::vector<double> coeff =
-        solveDense(std::move(reg.xtx), std::move(reg.xty));
+    const std::vector<double> coeff = solveDense(reg.xtx, reg.xty);
     meanContribution_.assign(levels_, 0.0);
     const auto rows = static_cast<double>(std::max<std::size_t>(1, reg.rows));
     for (std::size_t j = 0; j < levels_; ++j) {
@@ -328,53 +330,64 @@ VoltageVarianceModel::estimate(std::span<const double> window,
                                std::span<const std::size_t> use_levels,
                                bool use_correlation) const
 {
+    WindowEstimate est;
+    AnalysisWorkspace ws;
+    estimate(window, use_levels, use_correlation, est, ws);
+    return est;
+}
+
+void
+VoltageVarianceModel::estimate(std::span<const double> window,
+                               std::span<const std::size_t> use_levels,
+                               bool use_correlation, WindowEstimate &out,
+                               AnalysisWorkspace &ws) const
+{
     if (!calibrated_)
         didt_panic("VoltageVarianceModel::estimate before calibration");
     if (window.size() != window_)
         didt_panic("estimate() expects ", window_, " samples, got ",
                    window.size());
 
-    const WaveletDecomposition dec = dwt_.forward(window, levels_);
-    const ScaleStats stats = computeScaleStats(dec);
+    dwt_.forward(window, levels_, ws.dec, ws.dwt);
+    computeScaleStats(ws.dec, ws.stats);
 
-    std::vector<bool> selected(levels_, use_levels.empty());
+    ws.selected.assign(levels_, use_levels.empty() ? 1 : 0);
     for (std::size_t j : use_levels) {
         if (j >= levels_)
             didt_panic("estimate(): level ", j, " out of range");
-        selected[j] = true;
+        ws.selected[j] = 1;
     }
 
-    WindowEstimate est;
-    est.contributions.assign(levels_ + 1, 0.0);
+    out.contributions.assign(levels_ + 1, 0.0);
 
     RunningStats mean_stats;
     for (double x : window)
         mean_stats.push(x);
-    est.mean = network_.steadyStateVoltage(mean_stats.mean());
+    out.mean = network_.steadyStateVoltage(mean_stats.mean());
 
     double total = 0.0;
     for (std::size_t j = 0; j < levels_; ++j) {
-        if (!selected[j])
+        if (!ws.selected[j])
             continue;
         const double rho1 =
-            use_correlation ? stats.adjacentCorrelation[j] : 0.0;
+            use_correlation ? ws.stats.adjacentCorrelation[j] : 0.0;
         const double rho2 =
-            use_correlation ? lagAutocorrelation(dec.details[j], 2) : 0.0;
+            use_correlation ? lagAutocorrelation(ws.dec.detail(j), 2) : 0.0;
         const double contribution =
-            detailFactors_[j].at(rho1, rho2) * stats.subbandVariance[j];
-        est.contributions[j] = contribution;
+            detailFactors_[j].at(rho1, rho2) * ws.stats.subbandVariance[j];
+        out.contributions[j] = contribution;
         total += contribution;
     }
-    if (dec.approximation.size() >= 2) {
+    if (ws.dec.approximation().size() >= 2) {
         const double rho =
-            use_correlation ? lag1Autocorrelation(dec.approximation) : 0.0;
+            use_correlation ? lag1Autocorrelation(ws.dec.approximation())
+                            : 0.0;
         const double contribution =
-            approxFactor_.at(rho, 0.0) * stats.approximationVariance;
-        est.contributions[levels_] = contribution;
+            approxFactor_.at(rho, 0.0) * ws.stats.approximationVariance;
+        out.contributions[levels_] = contribution;
         total += contribution;
     }
-    est.variance = total;
-    return est;
+    out.variance = total;
 }
 
 std::vector<std::size_t>

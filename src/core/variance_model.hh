@@ -27,6 +27,8 @@
 #include "stats/gaussian.hh"
 #include "util/rng.hh"
 #include "wavelet/dwt.hh"
+#include "wavelet/flat_decomposition.hh"
+#include "wavelet/wavelet_stats.hh"
 
 namespace didt
 {
@@ -45,6 +47,26 @@ struct WindowEstimate
 
     /** Gaussian-model probability that the voltage is above @p level. */
     double probAbove(Volt level) const;
+};
+
+/**
+ * Reusable scratch for the analysis pipeline (estimate, calibration,
+ * trace profiling). All buffers grow to the high-water mark of the
+ * windows they process and are then reused allocation-free, so one
+ * workspace per worker thread makes the per-window hot path free of
+ * heap traffic. Plain value type, owned by exactly one thread at a
+ * time (see DESIGN.md section 10).
+ */
+struct AnalysisWorkspace
+{
+    DwtWorkspace dwt;           ///< pyramid ping/pong scratch
+    FlatDecomposition dec;      ///< per-window decomposition
+    ScaleStats stats;           ///< per-scale statistics
+    WindowEstimate est;         ///< per-window estimate scratch
+    std::vector<char> selected; ///< detail-level selection mask
+    std::vector<double> row;    ///< regression feature row
+    CurrentTrace tiled;         ///< tiled calibration stimulus
+    VoltageTrace voltage;       ///< supply-network response scratch
 };
 
 /** The calibrated per-scale variance-gain model. */
@@ -106,6 +128,17 @@ class VoltageVarianceModel
                             bool use_correlation = true) const;
 
     /**
+     * In-place overload: write the estimate into @p out using @p ws
+     * for all intermediate storage. Allocation-free once the workspace
+     * has warmed up; bit-identical to the allocating overload (which
+     * is a thin adapter over this one).
+     */
+    void estimate(std::span<const double> window,
+                  std::span<const std::size_t> use_levels,
+                  bool use_correlation, WindowEstimate &out,
+                  AnalysisWorkspace &ws) const;
+
+    /**
      * The @p k detail levels with the largest calibrated base factors
      * — the levels nearest the resonance, whose omission the paper
      * shows costs under ~1.6% (Figure 8).
@@ -149,8 +182,8 @@ class VoltageVarianceModel
     };
 
     void beginRegression(Regression &reg) const;
-    void accumulateWindow(Regression &reg,
-                          const std::vector<double> &signal) const;
+    void accumulateWindow(Regression &reg, std::span<const double> signal,
+                          AnalysisWorkspace &ws) const;
     void finishRegression(Regression &reg);
 
     const SupplyNetwork &network_;
@@ -167,10 +200,11 @@ class VoltageVarianceModel
     /**
      * Measure the steady-state voltage variance produced by one
      * stimulus window: tile it periodically, convolve through the
-     * network, and take the settled output variance.
+     * network, and take the settled output variance. Tiling and the
+     * network response live in @p ws.
      */
-    double
-    measureOutputVariance(const std::vector<double> &window_signal) const;
+    double measureOutputVariance(std::span<const double> window_signal,
+                                 AnalysisWorkspace &ws) const;
 };
 
 } // namespace didt

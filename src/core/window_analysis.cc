@@ -32,7 +32,8 @@ classifyWindows(std::span<const double> trace, std::size_t window_size,
         const auto window = trace.subspan(offset, window_size);
         const NormalityResult result =
             chiSquareNormalityTest(window, alpha);
-        const double window_var = variance(window);
+        // The test already computed the window moments; no second pass.
+        const double window_var = result.variance;
         ++summary.windows;
         if (result.accepted) {
             ++summary.accepted;

@@ -8,10 +8,11 @@
 namespace didt
 {
 
-std::vector<double>
-convolve(std::span<const double> x, std::span<const double> kernel)
+void
+convolveInto(std::span<const double> x, std::span<const double> kernel,
+             std::vector<double> &out)
 {
-    std::vector<double> out(x.size(), 0.0);
+    out.resize(x.size());
     const std::size_t klen = kernel.size();
     for (std::size_t n = 0; n < x.size(); ++n) {
         const std::size_t mmax = std::min(n + 1, klen);
@@ -20,6 +21,13 @@ convolve(std::span<const double> x, std::span<const double> kernel)
             acc += kernel[m] * x[n - m];
         out[n] = acc;
     }
+}
+
+std::vector<double>
+convolve(std::span<const double> x, std::span<const double> kernel)
+{
+    std::vector<double> out;
+    convolveInto(x, kernel, out);
     return out;
 }
 

@@ -29,6 +29,14 @@ std::vector<double> convolve(std::span<const double> x,
                              std::span<const double> kernel);
 
 /**
+ * Batch convolution into caller-owned storage: @p out is resized to
+ * x.size(), reusing its capacity so a batch of same-length windows is
+ * convolved without reallocating. @p out must not alias @p x.
+ */
+void convolveInto(std::span<const double> x, std::span<const double> kernel,
+                  std::vector<double> &out);
+
+/**
  * Streaming truncated convolution over a sliding window of input
  * history. push() one sample per cycle; value() returns the current
  * convolution sum. History before the first push is assumed equal to

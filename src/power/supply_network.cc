@@ -121,9 +121,18 @@ SupplyNetwork::impedanceAt(Hertz f) const
 VoltageTrace
 SupplyNetwork::computeVoltage(const CurrentTrace &current) const
 {
-    VoltageTrace voltage(current.size(), config_.nominalVoltage);
+    VoltageTrace voltage;
+    computeVoltageInto(current, voltage);
+    return voltage;
+}
+
+void
+SupplyNetwork::computeVoltageInto(const CurrentTrace &current,
+                                  VoltageTrace &voltage) const
+{
+    voltage.assign(current.size(), config_.nominalVoltage);
     if (current.empty())
-        return voltage;
+        return;
 
     const Biquad &bq = recursion_;
 
@@ -141,7 +150,6 @@ SupplyNetwork::computeVoltage(const CurrentTrace &current) const
         d1 = d0;
         x1 = x0;
     }
-    return voltage;
 }
 
 Volt

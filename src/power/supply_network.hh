@@ -117,6 +117,14 @@ class SupplyNetwork
      */
     VoltageTrace computeVoltage(const CurrentTrace &current) const;
 
+    /**
+     * computeVoltage into caller-owned storage: @p voltage is resized
+     * to current.size(), reusing its capacity so repeated evaluations
+     * never reallocate. Identical numerics to computeVoltage.
+     */
+    void computeVoltageInto(const CurrentTrace &current,
+                            VoltageTrace &voltage) const;
+
     /** Steady-state voltage at a constant current draw (IR drop). */
     Volt steadyStateVoltage(Amp current) const;
 

@@ -134,6 +134,11 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
     // covers distinct benchmarks and primes the trace cache before the
     // sharing cells queue up behind it.
     result.cells.resize(profiles.size() * scales.size());
+    // One analysis workspace per pool worker (plus a slot for any
+    // non-worker thread), indexed lock-free via workerIndex(): every
+    // cell on a worker reuses that worker's buffers, so the per-window
+    // hot path runs allocation-free after the first cell.
+    std::vector<AnalysisWorkspace> workspaces(pool.size() + 1);
     std::optional<obs::ScopedTimer> sweep_phase;
     sweep_phase.emplace("campaign.sweep", obs::Histogram{}, nullptr,
                         "campaign");
@@ -151,9 +156,13 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
                 const std::shared_ptr<const CurrentTrace> trace =
                     repo.get(profiles[pi], spec.instructions, spec.seed,
                              spec.trimWarmup);
+                const std::size_t wi = ThreadPool::workerIndex();
+                AnalysisWorkspace &ws =
+                    workspaces[wi == ThreadPool::kNotAWorker ? pool.size()
+                                                             : wi];
                 const EmergencyProfile ep = profileTrace(
                     *trace, networks[si], *models[si],
-                    spec.lowThreshold, spec.highThreshold, {},
+                    spec.lowThreshold, spec.highThreshold, ws, {},
                     spec.useCorrelation);
 
                 CampaignCell &cell =

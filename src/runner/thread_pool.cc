@@ -30,6 +30,11 @@ poolMetrics()
     return metrics;
 }
 
+/** The calling thread's index in the pool that spawned it. Workers of
+ *  any pool write this once at startup; all other threads keep the
+ *  sentinel. */
+thread_local std::size_t tls_worker_index = ThreadPool::kNotAWorker;
+
 } // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -37,7 +42,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     const std::size_t count = resolveJobs(threads);
     workers_.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -51,9 +56,16 @@ ThreadPool::~ThreadPool()
         worker.join();
 }
 
-void
-ThreadPool::workerLoop()
+std::size_t
+ThreadPool::workerIndex()
 {
+    return tls_worker_index;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    tls_worker_index = index;
     for (;;) {
         std::function<void()> task;
         {

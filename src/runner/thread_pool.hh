@@ -82,8 +82,20 @@ class ThreadPool
     /** Resolve a --jobs style request: 0 means hardware concurrency. */
     static std::size_t resolveJobs(std::size_t requested);
 
+    /** Sentinel returned by workerIndex() on non-worker threads. */
+    static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+    /**
+     * Index of the calling thread within the pool that owns it, in
+     * [0, size()), or kNotAWorker on threads that are not pool workers
+     * (e.g. the thread driving the campaign). Lets callers keep one
+     * lock-free slot of mutable state per worker — the striping
+     * pattern the observability layer uses for its counters.
+     */
+    static std::size_t workerIndex();
+
   private:
-    void workerLoop();
+    void workerLoop(std::size_t index);
 
     /** Record pool.tasks / pool.queue_depth metrics for one submit. */
     static void noteSubmitted(std::size_t queue_depth);

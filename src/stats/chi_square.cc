@@ -113,15 +113,19 @@ chiSquareNormalityTest(std::span<const double> xs, double alpha)
     result.accepted = false;
     result.degenerate = false;
 
+    RunningStats stats;
+    for (double x : xs)
+        stats.push(x);
+    // The fitted moments are part of the result so callers that also
+    // need them (e.g. classifyWindows) don't make a second pass.
+    result.mean = stats.mean();
+    result.variance = stats.variance();
+
     if (xs.size() < 16) {
         // Too few samples for a meaningful bin layout.
         result.degenerate = true;
         return result;
     }
-
-    RunningStats stats;
-    for (double x : xs)
-        stats.push(x);
 
     const double sd = std::sqrt(stats.sampleVariance());
     // Near-constant windows cannot be normal in any useful sense;

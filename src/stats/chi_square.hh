@@ -36,6 +36,8 @@ struct NormalityResult
     double criticalValue; ///< rejection threshold at the chosen alpha
     std::size_t dof;      ///< degrees of freedom used
     bool degenerate;      ///< sample variance too small to test (rejected)
+    double mean;          ///< sample mean (always filled)
+    double variance;      ///< population variance (always filled)
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "wavelet/dwt.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -34,21 +35,51 @@ Dwt::Dwt(WaveletBasis basis)
 }
 
 void
-Dwt::analyzeStep(std::span<const double> input, std::vector<double> &approx,
-                 std::vector<double> &detail) const
+Dwt::analyzeStep(std::span<const double> input, std::span<double> approx,
+                 std::span<double> detail) const
 {
     const std::size_t n = input.size();
     if (n % 2 != 0 || n == 0)
         didt_panic("analyzeStep needs even non-zero length, got ", n);
+    const std::size_t half = n / 2;
+    if (approx.size() != half || detail.size() != half)
+        didt_panic("analyzeStep: output halves must hold ", half,
+                   " samples, got ", approx.size(), " and ",
+                   detail.size());
 
     const auto &h = basis_.lowpass();
     const auto &g = basis_.highpass();
     const std::size_t flen = h.size();
-    const std::size_t half = n / 2;
 
-    approx.assign(half, 0.0);
-    detail.assign(half, 0.0);
-    for (std::size_t k = 0; k < half; ++k) {
+    // Outputs with the filter fully inside the signal need no periodic
+    // wrap, so the hot loop runs modulo-free; only the tail wraps. The
+    // accumulation order per output is unchanged, so the results are
+    // bit-identical to the single general loop.
+    const std::size_t no_wrap =
+        flen <= n ? std::min(half, (n - flen) / 2 + 1) : 0;
+    if (flen == 2) {
+        // Two-tap (Haar) kernel: same sums, no per-tap loop overhead.
+        const double h0 = h[0], h1 = h[1];
+        const double g0 = g[0], g1 = g[1];
+        for (std::size_t k = 0; k < no_wrap; ++k) {
+            const double *in = input.data() + 2 * k;
+            approx[k] = 0.0 + h0 * in[0] + h1 * in[1];
+            detail[k] = 0.0 + g0 * in[0] + g1 * in[1];
+        }
+    } else {
+        for (std::size_t k = 0; k < no_wrap; ++k) {
+            const double *in = input.data() + 2 * k;
+            double a = 0.0;
+            double d = 0.0;
+            for (std::size_t m = 0; m < flen; ++m) {
+                a += h[m] * in[m];
+                d += g[m] * in[m];
+            }
+            approx[k] = a;
+            detail[k] = d;
+        }
+    }
+    for (std::size_t k = no_wrap; k < half; ++k) {
         double a = 0.0;
         double d = 0.0;
         for (std::size_t m = 0; m < flen; ++m) {
@@ -61,9 +92,23 @@ Dwt::analyzeStep(std::span<const double> input, std::vector<double> &approx,
     }
 }
 
-std::vector<double>
+void
+Dwt::analyzeStep(std::span<const double> input, std::vector<double> &approx,
+                 std::vector<double> &detail) const
+{
+    const std::size_t n = input.size();
+    if (n % 2 != 0 || n == 0)
+        didt_panic("analyzeStep needs even non-zero length, got ", n);
+    approx.resize(n / 2);
+    detail.resize(n / 2);
+    analyzeStep(input, std::span<double>(approx),
+                std::span<double>(detail));
+}
+
+void
 Dwt::synthesizeStep(std::span<const double> approx,
-                    std::span<const double> detail) const
+                    std::span<const double> detail,
+                    std::span<double> out) const
 {
     const std::size_t half = approx.size();
     if (detail.size() != half)
@@ -71,19 +116,41 @@ Dwt::synthesizeStep(std::span<const double> approx,
                    " vs ", detail.size());
     if (half == 0)
         didt_panic("synthesizeStep on empty halves");
+    const std::size_t n = 2 * half;
+    if (out.size() != n)
+        didt_panic("synthesizeStep: output must hold ", n,
+                   " samples, got ", out.size());
 
     const auto &h = basis_.lowpass();
     const auto &g = basis_.highpass();
     const std::size_t flen = h.size();
-    const std::size_t n = 2 * half;
 
-    std::vector<double> out(n, 0.0);
-    for (std::size_t k = 0; k < half; ++k) {
+    std::fill(out.begin(), out.end(), 0.0);
+    // Same modulo-free main loop as analyzeStep; the (k, m) scatter
+    // order is preserved, so accumulation into out is bit-identical.
+    const std::size_t no_wrap =
+        flen <= n ? std::min(half, (n - flen) / 2 + 1) : 0;
+    for (std::size_t k = 0; k < no_wrap; ++k) {
+        double *o = out.data() + 2 * k;
+        const double a = approx[k];
+        const double d = detail[k];
+        for (std::size_t m = 0; m < flen; ++m)
+            o[m] += h[m] * a + g[m] * d;
+    }
+    for (std::size_t k = no_wrap; k < half; ++k) {
         for (std::size_t m = 0; m < flen; ++m) {
             const std::size_t idx = (2 * k + m) % n;
             out[idx] += h[m] * approx[k] + g[m] * detail[k];
         }
     }
+}
+
+std::vector<double>
+Dwt::synthesizeStep(std::span<const double> approx,
+                    std::span<const double> detail) const
+{
+    std::vector<double> out(2 * approx.size(), 0.0);
+    synthesizeStep(approx, detail, std::span<double>(out));
     return out;
 }
 
@@ -98,8 +165,9 @@ Dwt::maxLevels(std::size_t n) const
     return levels;
 }
 
-WaveletDecomposition
-Dwt::forward(std::span<const double> signal, std::size_t levels) const
+void
+Dwt::forward(std::span<const double> signal, std::size_t levels,
+             FlatDecomposition &out, DwtWorkspace &ws) const
 {
     if (levels == 0)
         didt_panic("forward() requires at least one level");
@@ -109,20 +177,68 @@ Dwt::forward(std::span<const double> signal, std::size_t levels) const
     if (n % (std::size_t(1) << levels) != 0)
         didt_panic("signal length ", n, " not divisible by 2^", levels);
 
-    WaveletDecomposition dec;
-    dec.signalLength = n;
-    dec.details.reserve(levels);
+    out.layoutDyadic(n, levels);
 
-    std::vector<double> current(signal.begin(), signal.end());
+    // Ping/pong the approximation chain between the two scratch
+    // buffers; details land directly in their final rows, and the last
+    // approximation half is written straight into the output row.
+    ws.ping.resize(n);
+    ws.pong.resize(n / 2);
+    std::copy(signal.begin(), signal.end(), ws.ping.begin());
+
+    double *current = ws.ping.data();
+    double *other = ws.pong.data();
+    std::size_t len = n;
     for (std::size_t level = 0; level < levels; ++level) {
-        std::vector<double> approx;
-        std::vector<double> detail;
-        analyzeStep(current, approx, detail);
-        dec.details.push_back(std::move(detail));
-        current = std::move(approx);
+        const std::span<const double> input(current, len);
+        len /= 2;
+        const std::span<double> approx =
+            level + 1 == levels ? out.approximation()
+                                : std::span<double>(other, len);
+        analyzeStep(input, approx, out.detail(level));
+        std::swap(current, other);
     }
-    dec.approximation = std::move(current);
-    return dec;
+}
+
+void
+Dwt::inverse(const FlatDecomposition &dec, std::span<double> out,
+             DwtWorkspace &ws) const
+{
+    const std::size_t levels = dec.levels();
+    if (levels == 0)
+        didt_panic("inverse() on empty decomposition");
+    const std::size_t n = dec.signalLength();
+    if (out.size() != n)
+        didt_panic("inverse() output must hold ", n, " samples, got ",
+                   out.size());
+
+    ws.ping.resize(n);
+    ws.pong.resize(n / 2);
+    const std::span<const double> approx = dec.approximation();
+    std::copy(approx.begin(), approx.end(), ws.ping.begin());
+
+    double *current = ws.ping.data();
+    double *other = ws.pong.data();
+    std::size_t len = approx.size();
+    for (std::size_t level = levels; level-- > 0;) {
+        const std::span<double> merged =
+            level == 0 ? out : std::span<double>(other, 2 * len);
+        synthesizeStep(std::span<const double>(current, len),
+                       dec.detail(level), merged);
+        len *= 2;
+        std::swap(current, other);
+    }
+    if (len != n)
+        didt_panic("inverse() produced length ", len, ", expected ", n);
+}
+
+WaveletDecomposition
+Dwt::forward(std::span<const double> signal, std::size_t levels) const
+{
+    DwtWorkspace ws;
+    FlatDecomposition flat;
+    forward(signal, levels, flat, ws);
+    return flat.toNested();
 }
 
 std::vector<double>
@@ -131,14 +247,11 @@ Dwt::inverse(const WaveletDecomposition &dec) const
     if (dec.details.empty())
         didt_panic("inverse() on empty decomposition");
 
-    std::vector<double> current = dec.approximation;
-    for (std::size_t level = dec.details.size(); level-- > 0;) {
-        current = synthesizeStep(current, dec.details[level]);
-    }
-    if (current.size() != dec.signalLength)
-        didt_panic("inverse() produced length ", current.size(),
-                   ", expected ", dec.signalLength);
-    return current;
+    DwtWorkspace ws;
+    ws.masked.assignFrom(dec);
+    std::vector<double> out(dec.signalLength, 0.0);
+    inverse(ws.masked, std::span<double>(out), ws);
+    return out;
 }
 
 } // namespace didt

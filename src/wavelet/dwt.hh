@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "wavelet/basis.hh"
+#include "wavelet/flat_decomposition.hh"
 
 namespace didt
 {
@@ -67,7 +68,28 @@ class Dwt
     const WaveletBasis &basis() const { return basis_; }
 
     /**
-     * Forward transform.
+     * Forward transform into caller-owned storage. @p out is re-laid
+     * out for the signal and @p ws supplies the inter-level scratch;
+     * once both have reached capacity the call performs no heap
+     * allocation. Produces bit-identical coefficients to the legacy
+     * allocating overload.
+     *
+     * @param signal input samples; length must be divisible by 2^levels
+     * @param levels number of decomposition levels (>= 1)
+     */
+    void forward(std::span<const double> signal, std::size_t levels,
+                 FlatDecomposition &out, DwtWorkspace &ws) const;
+
+    /**
+     * Inverse transform into caller-owned storage. @p out must have
+     * exactly dec.signalLength() samples.
+     */
+    void inverse(const FlatDecomposition &dec, std::span<double> out,
+                 DwtWorkspace &ws) const;
+
+    /**
+     * Forward transform, allocating form: a thin adapter over the
+     * span-based pyramid kept for tests, benches, and cold paths.
      *
      * @param signal input samples; length must be divisible by 2^levels
      * @param levels number of decomposition levels (>= 1)
@@ -76,20 +98,40 @@ class Dwt
     WaveletDecomposition forward(std::span<const double> signal,
                                  std::size_t levels) const;
 
-    /** Inverse transform: exact reconstruction of the original signal. */
+    /** Inverse transform, allocating form (thin adapter): exact
+     *  reconstruction of the original signal. */
     std::vector<double> inverse(const WaveletDecomposition &dec) const;
 
     /**
-     * Single analysis step: split @p input into approximation and detail
-     * halves. @p input length must be even.
+     * Single analysis step into caller storage: split @p input into
+     * approximation and detail halves. @p input length must be even;
+     * @p approx and @p detail must each hold input.size() / 2 samples
+     * and must not alias @p input.
+     */
+    void analyzeStep(std::span<const double> input,
+                     std::span<double> approx,
+                     std::span<double> detail) const;
+
+    /**
+     * Single analysis step, allocating form: resizes @p approx and
+     * @p detail to half the input length.
      */
     void analyzeStep(std::span<const double> input,
                      std::vector<double> &approx,
                      std::vector<double> &detail) const;
 
     /**
-     * Single synthesis step: merge approximation and detail halves back
-     * into a signal of twice the length.
+     * Single synthesis step into caller storage: merge approximation
+     * and detail halves into @p out, which must hold twice their
+     * length and must not alias either input.
+     */
+    void synthesizeStep(std::span<const double> approx,
+                        std::span<const double> detail,
+                        std::span<double> out) const;
+
+    /**
+     * Single synthesis step, allocating form: merge approximation and
+     * detail halves back into a signal of twice the length.
      */
     std::vector<double> synthesizeStep(std::span<const double> approx,
                                        std::span<const double> detail) const;

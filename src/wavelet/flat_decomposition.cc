@@ -1,0 +1,148 @@
+#include "wavelet/flat_decomposition.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "wavelet/dwt.hh"
+
+namespace didt
+{
+
+std::span<double>
+FlatDecomposition::row(std::size_t index)
+{
+    return std::span<double>(coeffs_.data() + offsets_[index],
+                             offsets_[index + 1] - offsets_[index]);
+}
+
+std::span<const double>
+FlatDecomposition::row(std::size_t index) const
+{
+    return std::span<const double>(coeffs_.data() + offsets_[index],
+                                   offsets_[index + 1] - offsets_[index]);
+}
+
+std::span<double>
+FlatDecomposition::detail(std::size_t level)
+{
+    if (level >= levels())
+        didt_panic("FlatDecomposition::detail: level ", level,
+                   " out of range (", levels(), " levels)");
+    return row(level);
+}
+
+std::span<const double>
+FlatDecomposition::detail(std::size_t level) const
+{
+    if (level >= levels())
+        didt_panic("FlatDecomposition::detail: level ", level,
+                   " out of range (", levels(), " levels)");
+    return row(level);
+}
+
+std::span<double>
+FlatDecomposition::approximation()
+{
+    if (offsets_.empty())
+        didt_panic("FlatDecomposition::approximation before layout");
+    return row(levels());
+}
+
+std::span<const double>
+FlatDecomposition::approximation() const
+{
+    if (offsets_.empty())
+        didt_panic("FlatDecomposition::approximation before layout");
+    return row(levels());
+}
+
+double
+FlatDecomposition::energy() const
+{
+    double e = 0.0;
+    for (double c : coeffs_)
+        e += c * c;
+    return e;
+}
+
+void
+FlatDecomposition::layoutDyadic(std::size_t signal_length,
+                                std::size_t levels)
+{
+    if (levels == 0)
+        didt_panic("FlatDecomposition layout requires at least one level");
+    if (signal_length == 0 ||
+        signal_length % (std::size_t(1) << levels) != 0)
+        didt_panic("signal length ", signal_length,
+                   " not divisible by 2^", levels);
+
+    signalLength_ = signal_length;
+    offsets_.resize(levels + 2);
+    std::size_t off = 0;
+    std::size_t len = signal_length;
+    for (std::size_t j = 0; j < levels; ++j) {
+        offsets_[j] = off;
+        len /= 2;
+        off += len;
+    }
+    offsets_[levels] = off;       // approximation, same size as d(L-1)
+    offsets_[levels + 1] = off + len;
+    coeffs_.resize(offsets_[levels + 1]);
+}
+
+void
+FlatDecomposition::layoutUniform(std::size_t signal_length,
+                                 std::size_t levels)
+{
+    if (levels == 0)
+        didt_panic("FlatDecomposition layout requires at least one level");
+    if (signal_length == 0)
+        didt_panic("FlatDecomposition layout on empty signal");
+
+    signalLength_ = signal_length;
+    offsets_.resize(levels + 2);
+    for (std::size_t j = 0; j < levels + 2; ++j)
+        offsets_[j] = j * signal_length;
+    coeffs_.resize(offsets_[levels + 1]);
+}
+
+WaveletDecomposition
+FlatDecomposition::toNested() const
+{
+    WaveletDecomposition nested;
+    nested.signalLength = signalLength_;
+    nested.details.reserve(levels());
+    for (std::size_t j = 0; j < levels(); ++j) {
+        const auto d = detail(j);
+        nested.details.emplace_back(d.begin(), d.end());
+    }
+    const auto a = approximation();
+    nested.approximation.assign(a.begin(), a.end());
+    return nested;
+}
+
+void
+FlatDecomposition::assignFrom(const WaveletDecomposition &nested)
+{
+    if (nested.details.empty())
+        didt_panic("FlatDecomposition::assignFrom empty decomposition");
+
+    signalLength_ = nested.signalLength;
+    const std::size_t levels = nested.details.size();
+    offsets_.resize(levels + 2);
+    std::size_t off = 0;
+    for (std::size_t j = 0; j < levels; ++j) {
+        offsets_[j] = off;
+        off += nested.details[j].size();
+    }
+    offsets_[levels] = off;
+    offsets_[levels + 1] = off + nested.approximation.size();
+    coeffs_.resize(offsets_[levels + 1]);
+    for (std::size_t j = 0; j < levels; ++j)
+        std::copy(nested.details[j].begin(), nested.details[j].end(),
+                  coeffs_.begin() + static_cast<long>(offsets_[j]));
+    std::copy(nested.approximation.begin(), nested.approximation.end(),
+              coeffs_.begin() + static_cast<long>(offsets_[levels]));
+}
+
+} // namespace didt

@@ -1,11 +1,44 @@
 #include "wavelet/modwt.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
 
 namespace didt
 {
+
+namespace
+{
+
+/**
+ * One MODWT analysis step at the given filter stride: convolve
+ * @p current with the upsampled rescaled filters, writing scaling
+ * coefficients to @p next and wavelet coefficients to @p detail.
+ * Neither output may alias @p current.
+ */
+void
+modwtStep(std::span<const double> current, std::size_t stride,
+          std::span<const double> h, std::span<const double> g,
+          std::span<double> next, std::span<double> detail)
+{
+    const std::size_t n = current.size();
+    for (std::size_t t = 0; t < n; ++t) {
+        double a = 0.0;
+        double d = 0.0;
+        std::size_t idx = t;
+        for (std::size_t l = 0; l < h.size(); ++l) {
+            a += h[l] * current[idx];
+            d += g[l] * current[idx];
+            // idx = (t - stride * (l + 1)) mod n, walked backward.
+            idx = (idx + n - stride % n) % n;
+        }
+        next[t] = a;
+        detail[t] = d;
+    }
+}
+
+} // namespace
 
 Modwt::Modwt(WaveletBasis basis)
     : basis_(std::move(basis))
@@ -19,8 +52,9 @@ Modwt::Modwt(WaveletBasis basis)
         g_.push_back(c * scale);
 }
 
-ModwtDecomposition
-Modwt::forward(std::span<const double> signal, std::size_t levels) const
+void
+Modwt::forward(std::span<const double> signal, std::size_t levels,
+               FlatDecomposition &out, DwtWorkspace &ws) const
 {
     const std::size_t n = signal.size();
     if (n == 0)
@@ -33,31 +67,38 @@ Modwt::forward(std::span<const double> signal, std::size_t levels) const
         didt_fatal("MODWT depth ", levels, " too deep for signal length ",
                    n);
 
-    ModwtDecomposition dec;
-    dec.details.reserve(levels);
+    out.layoutUniform(n, levels);
+    ws.ping.resize(n);
+    ws.pong.resize(n);
+    std::copy(signal.begin(), signal.end(), ws.ping.begin());
 
-    std::vector<double> current(signal.begin(), signal.end());
-    std::vector<double> next(n);
-    std::vector<double> detail(n);
+    double *current = ws.ping.data();
+    double *next = ws.pong.data();
     for (std::size_t j = 1; j <= levels; ++j) {
         const std::size_t stride = std::size_t(1) << (j - 1);
-        for (std::size_t t = 0; t < n; ++t) {
-            double a = 0.0;
-            double d = 0.0;
-            std::size_t idx = t;
-            for (std::size_t l = 0; l < h_.size(); ++l) {
-                a += h_[l] * current[idx];
-                d += g_[l] * current[idx];
-                // idx = (t - stride * (l + 1)) mod n, walked backward.
-                idx = (idx + n - stride % n) % n;
-            }
-            next[t] = a;
-            detail[t] = d;
-        }
-        dec.details.push_back(detail);
-        current.swap(next);
+        modwtStep(std::span<const double>(current, n), stride, h_, g_,
+                  std::span<double>(next, n), out.detail(j - 1));
+        std::swap(current, next);
     }
-    dec.smooth = std::move(current);
+    const std::span<double> smooth = out.approximation();
+    std::copy(current, current + n, smooth.begin());
+}
+
+ModwtDecomposition
+Modwt::forward(std::span<const double> signal, std::size_t levels) const
+{
+    DwtWorkspace ws;
+    FlatDecomposition flat;
+    forward(signal, levels, flat, ws);
+
+    ModwtDecomposition dec;
+    dec.details.reserve(levels);
+    for (std::size_t j = 0; j < levels; ++j) {
+        const auto d = flat.detail(j);
+        dec.details.emplace_back(d.begin(), d.end());
+    }
+    const auto s = flat.approximation();
+    dec.smooth.assign(s.begin(), s.end());
     return dec;
 }
 
@@ -88,6 +129,44 @@ Modwt::inverse(const ModwtDecomposition &dec) const
         current.swap(prev);
     }
     return current;
+}
+
+void
+Modwt::waveletVariance(std::span<const double> signal, std::size_t levels,
+                       std::span<double> out, DwtWorkspace &ws) const
+{
+    if (out.size() != levels)
+        didt_panic("waveletVariance output must hold ", levels,
+                   " values, got ", out.size());
+    const std::size_t n = signal.size();
+    if (n == 0)
+        didt_panic("Modwt::forward on empty signal");
+    if (levels == 0)
+        didt_panic("Modwt::forward requires at least one level");
+    if ((std::size_t(1) << (levels - 1)) * (h_.size() - 1) >= n)
+        didt_fatal("MODWT depth ", levels, " too deep for signal length ",
+                   n);
+
+    // Reduce each detail row to its energy as it is produced, so only
+    // three signal-length rows of scratch are ever live.
+    ws.ping.resize(n);
+    ws.pong.resize(n);
+    ws.extra.resize(n);
+    std::copy(signal.begin(), signal.end(), ws.ping.begin());
+
+    double *current = ws.ping.data();
+    double *next = ws.pong.data();
+    const std::span<double> detail(ws.extra.data(), n);
+    for (std::size_t j = 1; j <= levels; ++j) {
+        const std::size_t stride = std::size_t(1) << (j - 1);
+        modwtStep(std::span<const double>(current, n), stride, h_, g_,
+                  std::span<double>(next, n), detail);
+        double energy = 0.0;
+        for (double w : detail)
+            energy += w * w;
+        out[j - 1] = energy / static_cast<double>(n);
+        std::swap(current, next);
+    }
 }
 
 std::vector<double>

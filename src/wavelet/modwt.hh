@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "wavelet/basis.hh"
+#include "wavelet/flat_decomposition.hh"
 
 namespace didt
 {
@@ -53,6 +54,16 @@ class Modwt
     ModwtDecomposition forward(std::span<const double> signal,
                                std::size_t levels) const;
 
+    /**
+     * Forward transform into caller-owned storage (uniform flat
+     * layout: every row, including the smooth row exposed as
+     * approximation(), has signal-length coefficients). Allocation-
+     * free once @p out and @p ws have reached capacity; bit-identical
+     * to the allocating overload.
+     */
+    void forward(std::span<const double> signal, std::size_t levels,
+                 FlatDecomposition &out, DwtWorkspace &ws) const;
+
     /** Inverse transform (exact reconstruction). */
     std::vector<double> inverse(const ModwtDecomposition &dec) const;
 
@@ -64,6 +75,16 @@ class Modwt
      */
     std::vector<double> waveletVariance(std::span<const double> signal,
                                         std::size_t levels) const;
+
+    /**
+     * In-place wavelet variance: writes nu_j^2 into @p out (which must
+     * hold exactly @p levels values) without materializing the
+     * decomposition — detail rows are reduced level by level out of
+     * workspace scratch.
+     */
+    void waveletVariance(std::span<const double> signal,
+                         std::size_t levels, std::span<double> out,
+                         DwtWorkspace &ws) const;
 
     /** The basis in use (original, unscaled filters). */
     const WaveletBasis &basis() const { return basis_; }

@@ -1,5 +1,7 @@
 #include "wavelet/subband.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace didt
@@ -7,6 +9,32 @@ namespace didt
 
 namespace
 {
+
+/**
+ * Copy @p dec into the workspace's masked scratch, zero every detail
+ * row for which @p keep_detail returns false (and the approximation
+ * row unless @p keep_approx), and run the in-place inverse.
+ */
+template <typename KeepDetail>
+void
+projectMaskedFlat(const Dwt &dwt, const FlatDecomposition &dec,
+                  const KeepDetail &keep_detail, bool keep_approx,
+                  std::span<double> out, DwtWorkspace &ws)
+{
+    FlatDecomposition &masked = ws.masked;
+    masked = dec;
+    for (std::size_t j = 0; j < masked.levels(); ++j) {
+        if (!keep_detail(j)) {
+            const std::span<double> row = masked.detail(j);
+            std::fill(row.begin(), row.end(), 0.0);
+        }
+    }
+    if (!keep_approx) {
+        const std::span<double> row = masked.approximation();
+        std::fill(row.begin(), row.end(), 0.0);
+    }
+    dwt.inverse(masked, out, ws);
+}
 
 /**
  * Run the inverse transform on a copy of @p dec in which every
@@ -84,6 +112,45 @@ filteredReconstruction(const Dwt &dwt, const WaveletDecomposition &dec,
     else
         masked.approximation.assign(dec.approximation.size(), 0.0);
     return dwt.inverse(masked);
+}
+
+void
+detailSubband(const Dwt &dwt, const FlatDecomposition &dec,
+              std::size_t level, std::span<double> out, DwtWorkspace &ws)
+{
+    if (level >= dec.levels())
+        didt_panic("detailSubband: level ", level, " out of range (",
+                   dec.levels(), " levels)");
+    projectMaskedFlat(
+        dwt, dec, [level](std::size_t j) { return j == level; }, false,
+        out, ws);
+}
+
+void
+approximationSubband(const Dwt &dwt, const FlatDecomposition &dec,
+                     std::span<double> out, DwtWorkspace &ws)
+{
+    projectMaskedFlat(
+        dwt, dec, [](std::size_t) { return false; }, true, out, ws);
+}
+
+void
+filteredReconstruction(const Dwt &dwt, const FlatDecomposition &dec,
+                       std::span<const std::size_t> keep_levels,
+                       bool keep_approximation, std::span<double> out,
+                       DwtWorkspace &ws)
+{
+    for (std::size_t level : keep_levels)
+        if (level >= dec.levels())
+            didt_panic("filteredReconstruction: level ", level,
+                       " out of range");
+    projectMaskedFlat(
+        dwt, dec,
+        [keep_levels](std::size_t j) {
+            return std::find(keep_levels.begin(), keep_levels.end(), j) !=
+                   keep_levels.end();
+        },
+        keep_approximation, out, ws);
 }
 
 SubbandFrequency

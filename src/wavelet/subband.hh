@@ -11,6 +11,7 @@
 #define DIDT_WAVELET_SUBBAND_HH
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "wavelet/dwt.hh"
@@ -52,6 +53,26 @@ std::vector<std::vector<double>> allSubbands(const Dwt &dwt,
 std::vector<double> filteredReconstruction(
     const Dwt &dwt, const WaveletDecomposition &dec,
     const std::vector<std::size_t> &keep_levels, bool keep_approximation);
+
+/**
+ * In-place overloads on the flat layout: write the projection into
+ * caller-owned @p out (which must hold dec.signalLength() samples),
+ * using @p ws for the masked copy and pyramid scratch. Allocation-free
+ * once the workspace has reached capacity.
+ */
+void detailSubband(const Dwt &dwt, const FlatDecomposition &dec,
+                   std::size_t level, std::span<double> out,
+                   DwtWorkspace &ws);
+
+/** Flat-layout approximation projection into caller storage. */
+void approximationSubband(const Dwt &dwt, const FlatDecomposition &dec,
+                          std::span<double> out, DwtWorkspace &ws);
+
+/** Flat-layout subband filtering into caller storage. */
+void filteredReconstruction(const Dwt &dwt, const FlatDecomposition &dec,
+                            std::span<const std::size_t> keep_levels,
+                            bool keep_approximation, std::span<double> out,
+                            DwtWorkspace &ws);
 
 /**
  * Nominal frequency band of a detail level in cycles^-1, mapped to hertz

@@ -9,6 +9,40 @@
 namespace didt
 {
 
+namespace
+{
+
+/** Per-scale statistics over one detail row. */
+void
+pushDetailStats(std::span<const double> level, double n, ScaleStats &out)
+{
+    double energy = 0.0;
+    for (double c : level)
+        energy += c * c;
+    // Parseval: subband signal variance (about zero mean, since
+    // detail subbands integrate to zero for orthonormal bases).
+    out.subbandVariance.push_back(energy / n);
+    out.adjacentCorrelation.push_back(lag1Autocorrelation(level));
+}
+
+/** Approximation subband variance: spread of the reconstructed
+ *  coarse signal about its mean. For an orthonormal basis this is
+ *  (sum a^2 - (sum a)^2 / m) / n with m approximation coefficients. */
+double
+approximationVarianceOf(std::span<const double> approx, double n)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (double c : approx) {
+        sum += c;
+        sum_sq += c * c;
+    }
+    const double m = static_cast<double>(approx.size());
+    return m > 0.0 ? (sum_sq - sum * sum / m) / n : 0.0;
+}
+
+} // namespace
+
 ScaleStats
 computeScaleStats(const WaveletDecomposition &dec)
 {
@@ -19,30 +53,28 @@ computeScaleStats(const WaveletDecomposition &dec)
 
     stats.subbandVariance.reserve(dec.details.size());
     stats.adjacentCorrelation.reserve(dec.details.size());
-
-    for (const auto &level : dec.details) {
-        double energy = 0.0;
-        for (double c : level)
-            energy += c * c;
-        // Parseval: subband signal variance (about zero mean, since
-        // detail subbands integrate to zero for orthonormal bases).
-        stats.subbandVariance.push_back(energy / n);
-        stats.adjacentCorrelation.push_back(lag1Autocorrelation(level));
-    }
-
-    // Approximation subband variance: spread of the reconstructed
-    // coarse signal about its mean. For an orthonormal basis this is
-    // (sum a^2 - (sum a)^2 / m) / n with m approximation coefficients.
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (double c : dec.approximation) {
-        sum += c;
-        sum_sq += c * c;
-    }
-    const double m = static_cast<double>(dec.approximation.size());
-    if (m > 0.0)
-        stats.approximationVariance = (sum_sq - sum * sum / m) / n;
+    for (const auto &level : dec.details)
+        pushDetailStats(level, n, stats);
+    stats.approximationVariance =
+        approximationVarianceOf(dec.approximation, n);
     return stats;
+}
+
+void
+computeScaleStats(const FlatDecomposition &dec, ScaleStats &out)
+{
+    const double n = static_cast<double>(dec.signalLength());
+    if (n == 0.0)
+        didt_panic("computeScaleStats on empty decomposition");
+
+    out.subbandVariance.clear();
+    out.adjacentCorrelation.clear();
+    out.subbandVariance.reserve(dec.levels());
+    out.adjacentCorrelation.reserve(dec.levels());
+    for (std::size_t j = 0; j < dec.levels(); ++j)
+        pushDetailStats(dec.detail(j), n, out);
+    out.approximationVariance =
+        approximationVarianceOf(dec.approximation(), n);
 }
 
 std::vector<CoefficientRef>

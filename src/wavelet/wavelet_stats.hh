@@ -43,6 +43,14 @@ struct ScaleStats
 /** Compute per-scale statistics for @p dec. */
 ScaleStats computeScaleStats(const WaveletDecomposition &dec);
 
+/**
+ * In-place overload for the flat layout: writes into @p out, reusing
+ * its vectors' capacity so repeated calls on same-shaped
+ * decompositions never allocate. Produces bit-identical values to the
+ * nested overload.
+ */
+void computeScaleStats(const FlatDecomposition &dec, ScaleStats &out);
+
 /** Identifies one coefficient in the matrix. */
 struct CoefficientRef
 {

@@ -283,8 +283,9 @@ TEST(WaveletMonitor, FullTermCountIsExactWithinWindow)
     WaveletMonitor mon(net, 256);
     for (std::size_t n = 0; n < trace.size(); ++n) {
         const Volt est = mon.update(trace[n], v[n]);
-        if (n > 512)
+        if (n > 512) {
             EXPECT_NEAR(est, v[n], 2e-4) << "cycle " << n;
+        }
     }
 }
 
@@ -298,8 +299,9 @@ TEST(WaveletMonitor, MatchesFullConvolutionAtFullTerms)
     for (std::size_t n = 0; n < trace.size(); ++n) {
         const Volt a = wm.update(trace[n], 0.0);
         const Volt b = fc.update(trace[n], 0.0);
-        if (n > 512)
+        if (n > 512) {
             EXPECT_NEAR(a, b, 2e-4);
+        }
     }
 }
 
@@ -391,8 +393,9 @@ TEST(FullConvolutionMonitor, TracksTrueVoltage)
     FullConvolutionMonitor mon(net);
     for (std::size_t n = 0; n < trace.size(); ++n) {
         const Volt est = mon.update(trace[n], v[n]);
-        if (n > mon.termCount())
+        if (n > mon.termCount()) {
             EXPECT_NEAR(est, v[n], 5e-4);
+        }
     }
     // Hundreds of taps: the hardware cost the paper criticizes.
     EXPECT_GT(mon.termCount(), 100u);
@@ -407,8 +410,9 @@ TEST(AnalogSensorMonitor, DelaysTrueVoltage)
         const Volt truth = 1.0 - 0.001 * n;
         const Volt est = mon.update(0.0, truth);
         history.push_back(truth);
-        if (n >= 3)
+        if (n >= 3) {
             EXPECT_DOUBLE_EQ(est, history[n - 3]);
+        }
     }
 }
 

@@ -11,7 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/emergency_estimator.hh"
 #include "core/monitor.hh"
+#include "core/variance_model.hh"
 #include "power/stimulus.hh"
 #include "power/supply_network.hh"
 #include "sim/processor.hh"
@@ -27,6 +29,17 @@ namespace didt
 {
 namespace
 {
+
+SupplyNetwork
+edgeNetwork()
+{
+    SupplyNetworkConfig cfg;
+    cfg.clockHz = 3.0e9;
+    cfg.resonantHz = 125.0e6;
+    cfg.qualityFactor = 5.0;
+    cfg.dcResistance = 3.0e-4;
+    return SupplyNetwork(cfg);
+}
 
 // ---------------------------------------------------------------------------
 // Wavelet edge cases
@@ -72,6 +85,30 @@ TEST(EdgeDwtDeath, IndivisibleLengthPanics)
     const Dwt dwt(WaveletBasis::haar());
     const std::vector<double> x(12, 1.0);
     EXPECT_DEATH((void)dwt.forward(x, 3), "not divisible");
+}
+
+TEST(EdgeDwtDeath, EmptySignalPanics)
+{
+    const Dwt dwt(WaveletBasis::haar());
+    const std::vector<double> x;
+    EXPECT_DEATH((void)dwt.forward(x, 1), "empty signal");
+}
+
+TEST(EdgeDwtDeath, ZeroLevelsPanics)
+{
+    const Dwt dwt(WaveletBasis::haar());
+    const std::vector<double> x(16, 1.0);
+    EXPECT_DEATH((void)dwt.forward(x, 0), "at least one level");
+}
+
+TEST(EdgeProfileDeath, TraceShorterThanWindowPanics)
+{
+    const SupplyNetwork net = edgeNetwork();
+    VoltageVarianceModel model(net);
+    model.calibrateAnalytic();
+    const CurrentTrace trace(model.windowLength() - 1, 40.0);
+    EXPECT_DEATH((void)profileTrace(trace, net, model, 0.97, 1.03),
+                 "shorter than one window");
 }
 
 TEST(EdgeScalogram, SingleLevel)

@@ -253,8 +253,9 @@ TEST(StreamingConvolver, MatchesBatchAfterWarmup)
     const auto batch = convolve(x, kernel);
     for (std::size_t n = 0; n < x.size(); ++n) {
         conv.push(x[n]);
-        if (n >= kernel.size())
+        if (n >= kernel.size()) {
             EXPECT_NEAR(conv.value(), batch[n], 1e-9) << "cycle " << n;
+        }
     }
 }
 

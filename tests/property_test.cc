@@ -230,8 +230,9 @@ TEST_P(AllProfiles, StreamIsDeterministicAndWellFormed)
         // PCs stay inside the code footprint.
         ASSERT_GE(ia.pc, 0x00400000u) << prof.name;
         ASSERT_LT(ia.pc, 0x00400000u + prof.codeBytes) << prof.name;
-        if (isMemOp(ia.op))
+        if (isMemOp(ia.op)) {
             ASSERT_NE(ia.address, 0u) << prof.name;
+        }
     }
 }
 
@@ -290,8 +291,9 @@ TEST_P(ConvolverProperty, StreamingEqualsBatch)
     const auto batch = convolve(x, kernel);
     for (std::size_t n = 0; n < x.size(); ++n) {
         conv.push(x[n]);
-        if (n >= kernel.size())
+        if (n >= kernel.size()) {
             ASSERT_NEAR(conv.value(), batch[n], 1e-9);
+        }
     }
 }
 

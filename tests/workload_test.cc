@@ -180,8 +180,9 @@ TEST(Generator, BranchSitesAreStable)
     while (w.next(inst)) {
         const bool branch = inst.op == OpClass::Branch;
         auto [it, inserted] = is_branch.emplace(inst.pc, branch);
-        if (!inserted)
+        if (!inserted) {
             EXPECT_EQ(it->second, branch) << "pc " << std::hex << inst.pc;
+        }
     }
 }
 
@@ -195,8 +196,9 @@ TEST(Generator, BranchTargetsStablePerPc)
         if (inst.op != OpClass::Branch || inst.isReturn)
             continue;
         auto [it, inserted] = target_of.emplace(inst.pc, inst.target);
-        if (!inserted)
+        if (!inserted) {
             EXPECT_EQ(it->second, inst.target);
+        }
     }
 }
 
@@ -233,8 +235,9 @@ TEST(Generator, DependencyDistancesPositive)
     SyntheticWorkload w(profileByName("mcf"), 20000, 0);
     Instruction inst;
     while (w.next(inst)) {
-        if (inst.dep1 != 0)
+        if (inst.dep1 != 0) {
             EXPECT_GE(inst.dep1, 1u);
+        }
         EXPECT_LE(inst.dep1, 200u);
     }
 }
