@@ -47,14 +47,13 @@ main(int argc, char **argv)
     for (const Case c : {Case{64, 6}, Case{128, 7}, Case{256, 8},
                          Case{512, 9}, Case{256, 4}, Case{256, 6}}) {
         WaveletMonitor monitor(net, terms, c.window, c.levels);
+        VoltageTrace estimates(trace.size());
+        monitor.updateBlock(trace, truth, estimates);
         double sum_err = 0.0;
         double max_err = 0.0;
         std::size_t counted = 0;
-        for (std::size_t n = 0; n < trace.size(); ++n) {
-            const Volt est = monitor.update(trace[n], truth[n]);
-            if (n < 1024)
-                continue;
-            const double err = std::fabs(est - truth[n]);
+        for (std::size_t n = 1024; n < trace.size(); ++n) {
+            const double err = std::fabs(estimates[n] - truth[n]);
             sum_err += err;
             max_err = std::max(max_err, err);
             ++counted;

@@ -43,18 +43,18 @@ main(int argc, char **argv)
     const auto max_terms =
         static_cast<std::size_t>(opts.getInt("max-terms"));
     std::vector<std::size_t> knee(impedances.size(), 0);
+    VoltageTrace estimates(stress.size());
     for (std::size_t terms = 1; terms <= max_terms; ++terms) {
         table.newRow();
         table.add(static_cast<long long>(terms));
         Volt bound150 = 0.0;
         for (std::size_t i = 0; i < networks.size(); ++i) {
             WaveletMonitor monitor(networks[i], terms);
+            monitor.updateBlock(stress, truths[i], estimates);
             Volt err = 0.0;
-            for (std::size_t n = 0; n < stress.size(); ++n) {
-                const Volt est = monitor.update(stress[n], truths[i][n]);
-                if (n >= 512)
-                    err = std::max(err, std::abs(est - truths[i][n]));
-            }
+            for (std::size_t n = 512; n < stress.size(); ++n)
+                err = std::max(err,
+                               std::abs(estimates[n] - truths[i][n]));
             if (knee[i] == 0 && err <= 0.02)
                 knee[i] = terms;
             table.add(err, 4);

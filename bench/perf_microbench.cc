@@ -11,6 +11,7 @@
 #include <chrono>
 
 #include "didt/didt.hh"
+#include "util/simd.hh"
 #include "workload/virus.hh"
 
 namespace
@@ -322,6 +323,230 @@ BENCHMARK(BM_CampaignMetricsOverhead)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// SIMD kernel rows: each benchmark takes a leading "simd" argument
+// (0 = scalar reference, 1 = best CPU-dispatched level) so
+// BENCH_simd.json can pair the rows into speedups. Results are
+// bit-identical either way (tests/simd_test.cc); only the time moves.
+// ---------------------------------------------------------------------------
+
+/** Pin the kernel level for one benchmark run per its simd arg. */
+struct SimdLevelArg
+{
+    explicit SimdLevelArg(benchmark::State &state)
+    {
+        if (state.range(0) == 0)
+            simd::forceLevel(simd::Level::Scalar);
+        else
+            simd::clearForcedLevel();
+        state.SetLabel(simd::levelName(simd::activeLevel()));
+    }
+    ~SimdLevelArg() { simd::clearForcedLevel(); }
+};
+
+void
+BM_DwtForwardSimd(benchmark::State &state)
+{
+    SimdLevelArg level(state);
+    const Dwt dwt(WaveletBasis::haar());
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const auto signal = benchSignal(n);
+    const std::size_t levels = dwt.maxLevels(n);
+    FlatDecomposition dec;
+    DwtWorkspace ws;
+    for (auto _ : state) {
+        dwt.forward(signal, levels, dec, ws);
+        benchmark::DoNotOptimize(dec.coefficients().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DwtForwardSimd)
+    ->ArgNames({"simd", "n"})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 65536})
+    ->Args({1, 65536});
+
+void
+BM_DwtInverseSimd(benchmark::State &state)
+{
+    SimdLevelArg level(state);
+    const Dwt dwt(WaveletBasis::haar());
+    const auto n = static_cast<std::size_t>(state.range(1));
+    FlatDecomposition dec;
+    DwtWorkspace ws;
+    dwt.forward(benchSignal(n), dwt.maxLevels(n), dec, ws);
+    std::vector<double> out(n);
+    for (auto _ : state) {
+        dwt.inverse(dec, out, ws);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DwtInverseSimd)
+    ->ArgNames({"simd", "n"})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 65536})
+    ->Args({1, 65536});
+
+/** MODWT wavelet variance with the 12-tap db6 filter: the general
+ *  filter-step kernel with real per-tap work. */
+void
+BM_ModwtVarianceSimd(benchmark::State &state)
+{
+    SimdLevelArg level(state);
+    const Modwt modwt(WaveletBasis::daubechies6());
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const auto signal = benchSignal(n);
+    std::vector<double> var(6);
+    DwtWorkspace ws;
+    for (auto _ : state) {
+        modwt.waveletVariance(signal, var.size(), var, ws);
+        benchmark::DoNotOptimize(var.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ModwtVarianceSimd)
+    ->ArgNames({"simd", "n"})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({0, 4096})
+    ->Args({1, 4096});
+
+/** Batch convolution with the truncated supply impulse response —
+ *  the offline analogue of the full-convolution monitor. */
+void
+BM_ConvolveIntoSimd(benchmark::State &state)
+{
+    SimdLevelArg level(state);
+    const SupplyNetwork net(benchSupplyConfig());
+    const std::vector<double> kernel =
+        truncateKernel(net.impulseResponse());
+    const auto n = static_cast<std::size_t>(state.range(1));
+    const auto x = benchSignal(n);
+    std::vector<double> out;
+    for (auto _ : state) {
+        convolveInto(x, kernel, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["taps"] = static_cast<double>(kernel.size());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ConvolveIntoSimd)
+    ->ArgNames({"simd", "n"})
+    ->Args({0, 4096})
+    ->Args({1, 4096});
+
+/** Whole-pipeline profileTrace at the paper's 256-cycle window. */
+void
+BM_ProfileTraceSimd(benchmark::State &state)
+{
+    SimdLevelArg level(state);
+    ProfileBenchFixture &fx = profileBenchFixture();
+    AnalysisWorkspace ws;
+    for (auto _ : state) {
+        const EmergencyProfile ep =
+            profileTrace(fx.trace, fx.net, fx.model, 0.97, 1.03, ws);
+        benchmark::DoNotOptimize(ep);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(fx.trace.size()));
+}
+BENCHMARK(BM_ProfileTraceSimd)
+    ->ArgNames({"simd"})
+    ->Arg(0)
+    ->Arg(1);
+
+/** Voltage histogram accumulation (fig10/11 inner loop). */
+void
+BM_HistogramPushBlockSimd(benchmark::State &state)
+{
+    SimdLevelArg level(state);
+    const auto xs = benchSignal(65536);
+    Histogram hist(0.0, 80.0, 30);
+    for (auto _ : state) {
+        hist.pushBlock(xs);
+        benchmark::DoNotOptimize(hist.total());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(xs.size()));
+}
+BENCHMARK(BM_HistogramPushBlockSimd)
+    ->ArgNames({"simd"})
+    ->Arg(0)
+    ->Arg(1);
+
+/** Reusable-buffer voltage computation: the sequential biquad
+ *  recurrence that deliberately stays scalar (not vectorizable without
+ *  reassociating the recursion). Tracked so regressions in the scalar
+ *  hot loop are visible next to the SIMD rows. */
+void
+BM_ComputeVoltageInto(benchmark::State &state)
+{
+    const SupplyNetwork net(benchSupplyConfig());
+    const CurrentTrace trace =
+        benchSignal(static_cast<std::size_t>(state.range(0)));
+    VoltageTrace voltage;
+    for (auto _ : state) {
+        net.computeVoltageInto(trace, voltage);
+        benchmark::DoNotOptimize(voltage.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ComputeVoltageInto)->Arg(65536);
+
+/** Per-cycle cost of the streaming convolver's ring walk (the
+ *  FullConvolutionMonitor inner loop behind table2). */
+void
+BM_StreamingConvolverPush(benchmark::State &state)
+{
+    const SupplyNetwork net(benchSupplyConfig());
+    StreamingConvolver conv(truncateKernel(net.impulseResponse()));
+    Rng rng(5);
+    for (auto _ : state) {
+        conv.push(rng.normal(40.0, 10.0));
+        benchmark::DoNotOptimize(conv.value());
+    }
+    state.counters["taps"] = static_cast<double>(conv.taps());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamingConvolverPush);
+
+/**
+ * Closed-loop cosim with the monomorphized chunked loop (devirt:1)
+ * vs the per-cycle virtual reference (devirt:0) — the fig15/table2
+ * driver. Results are identical (tests/simd_test.cc); the row pair
+ * prices the per-cycle virtual dispatch.
+ */
+void
+BM_CosimClosedLoop(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    static const SupplyNetwork net = setup.makeNetwork(1.5);
+    CosimConfig cfg;
+    cfg.instructions = 150000;
+    cfg.scheme = ControlScheme::Wavelet;
+    cfg.control.tolerance = 0.020;
+    cfg.devirtualize = state.range(0) != 0;
+    for (auto _ : state) {
+        const CosimResult r = runClosedLoop(
+            profileByName("gzip"), setup.proc, setup.power, net, cfg);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cfg.instructions));
+}
+BENCHMARK(BM_CosimClosedLoop)
+    ->ArgNames({"devirt"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

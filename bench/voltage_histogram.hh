@@ -45,11 +45,10 @@ runVoltageHistogram(int argc, char **argv,
         const VoltageTrace voltage = net.computeVoltage(trace);
 
         Histogram hist(0.90, 1.05, bins);
+        hist.pushBlock(voltage);
         RunningStats stats;
-        for (Volt v : voltage) {
-            hist.push(v);
+        for (Volt v : voltage)
             stats.push(v);
-        }
 
         double peak = 0.0;
         for (std::size_t b = 0; b < bins; ++b)

@@ -2,7 +2,9 @@
 #
 # CI gate: strict warnings everywhere, plus the runner and obs
 # subsystems' concurrency tests under ThreadSanitizer, plus a metrics
-# sidecar smoke run validated against the checked-in schema.
+# sidecar smoke run validated against the checked-in schema, plus the
+# SIMD determinism gate: campaign JSON must be byte-identical across
+# -DDIDT_SIMD=ON/OFF and across --jobs 1/4.
 #
 #   scripts/check.sh            # full strict build + all tests + TSan + smoke
 #   scripts/check.sh --tsan-only  # just the TSan runner/obs-test pass
@@ -32,14 +34,41 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
     build-ci/tools/didt_metrics_check \
         --schema schemas/didt-metrics-v1.json \
         --input "$SMOKE_DIR/metrics.json"
+
+    echo "=== scalar-fallback build (-DDIDT_SIMD=OFF) + simd label ==="
+    cmake -B build-scalar -S . -DDIDT_WERROR=ON -DDIDT_SIMD=OFF
+    cmake --build build-scalar -j "$JOBS" --target simd_test didt_campaign
+    ctest --test-dir build-scalar -L simd --output-on-failure -j "$JOBS"
+
+    echo "=== campaign JSON byte-identity: SIMD on/off x jobs 1/4 ==="
+    CAMPAIGN_ARGS=(--benchmarks gzip,mcf --impedances 1.0,1.2
+                   --instructions 30000 --window 128 --levels 6 --quiet)
+    build-ci/tools/didt_campaign --jobs 1 "${CAMPAIGN_ARGS[@]}" \
+        --json "$SMOKE_DIR/simd_j1.json"
+    build-ci/tools/didt_campaign --jobs 4 "${CAMPAIGN_ARGS[@]}" \
+        --json "$SMOKE_DIR/simd_j4.json"
+    build-scalar/tools/didt_campaign --jobs 1 "${CAMPAIGN_ARGS[@]}" \
+        --json "$SMOKE_DIR/scalar_j1.json"
+    build-scalar/tools/didt_campaign --jobs 4 "${CAMPAIGN_ARGS[@]}" \
+        --json "$SMOKE_DIR/scalar_j4.json"
+    SUMS=$(md5sum "$SMOKE_DIR"/simd_j1.json "$SMOKE_DIR"/simd_j4.json \
+                  "$SMOKE_DIR"/scalar_j1.json "$SMOKE_DIR"/scalar_j4.json |
+           awk '{print $1}' | sort -u | wc -l)
+    if [[ "$SUMS" -ne 1 ]]; then
+        echo "FAIL: campaign JSON differs across SIMD on/off or jobs 1/4" >&2
+        md5sum "$SMOKE_DIR"/simd_j1.json "$SMOKE_DIR"/simd_j4.json \
+               "$SMOKE_DIR"/scalar_j1.json "$SMOKE_DIR"/scalar_j4.json >&2
+        exit 1
+    fi
+    echo "campaign JSON identical across SIMD on/off and jobs 1/4"
 fi
 
-echo "=== ThreadSanitizer pass over runner + obs + refactor tests ==="
+echo "=== ThreadSanitizer pass over runner + obs + refactor + simd tests ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
-      obs_test refactor_test
-ctest --test-dir build-tsan -L 'runner|obs|refactor' --output-on-failure \
+      obs_test refactor_test simd_test
+ctest --test-dir build-tsan -L 'runner|obs|refactor|simd' --output-on-failure \
       -j "$JOBS"
 
 echo "=== all checks passed ==="

@@ -14,6 +14,93 @@
 namespace didt
 {
 
+namespace
+{
+
+/**
+ * The per-cycle loop, templated on the concrete monitor type: when
+ * MonitorT is one of the final monitor classes the compiler resolves
+ * monitor->update() statically and inlines it, removing the per-cycle
+ * virtual dispatch behind fig15/table2. Instantiated with the abstract
+ * VoltageMonitor when cfg.devirtualize is off, which reproduces the
+ * original per-cycle virtual path. The body is identical either way,
+ * so results are bit-for-bit the same.
+ *
+ * The loop runs in chunks with the maxCycles budget hoisted out of the
+ * inner loop; as before, the cycle that exhausts the instruction
+ * stream still completes in full.
+ */
+template <class MonitorT>
+void
+runLoop(Processor &processor, SupplyStream &supply, MonitorT *monitor,
+        OnlineCharacterizer *hazard, ThresholdController *threshold,
+        PipelineDampingController *damping, const CosimConfig &cfg,
+        const SupplyNetwork &network, const Volt low_fault,
+        const Volt high_fault, const Volt low_safe, const Volt high_safe,
+        CosimResult &result, double &current_sum)
+{
+    constexpr std::uint64_t kChunk = 256;
+    ControlActions actions;
+    bool running = true;
+    while (running) {
+        std::uint64_t chunk = kChunk;
+        if (cfg.maxCycles != 0) {
+            if (result.cycles >= cfg.maxCycles)
+                break;
+            chunk = std::min<std::uint64_t>(chunk,
+                                            cfg.maxCycles - result.cycles);
+        }
+        for (std::uint64_t c = 0; c < chunk && running; ++c) {
+            // Actuation decided from cycle n-1 observations applies
+            // now.
+            processor.setStallIssue(actions.stallIssue);
+            processor.setInjectNoops(actions.injectNoops);
+
+            running = processor.step();
+            const Amp current = processor.lastCurrent();
+            const Volt true_voltage = supply.push(current);
+
+            ++result.cycles;
+            current_sum += current;
+            result.minVoltage = std::min(result.minVoltage, true_voltage);
+            result.maxVoltage = std::max(result.maxVoltage, true_voltage);
+            if (true_voltage < low_fault)
+                ++result.lowFaults;
+            if (true_voltage > high_fault)
+                ++result.highFaults;
+
+            // False positive: actuation asserted while the true
+            // voltage is comfortably inside the control band.
+            if ((actions.stallIssue && true_voltage > low_safe) ||
+                (actions.injectNoops && true_voltage < high_safe))
+                ++result.falsePositives;
+
+            if (monitor) {
+                Volt estimated = monitor->update(current, true_voltage);
+                if (hazard) {
+                    hazard->push(current);
+                    // Hazardous phase: behave as if the control band
+                    // were wider by biasing the estimate
+                    // pessimistically.
+                    if (hazard->currentHazard() > cfg.hazardArmLevel) {
+                        if (estimated < network.config().nominalVoltage)
+                            estimated -= cfg.adaptiveExtraTolerance;
+                        else
+                            estimated += cfg.adaptiveExtraTolerance;
+                    }
+                }
+                actions = threshold->decide(estimated);
+            } else if (damping) {
+                actions = damping->decide(current);
+            } else {
+                actions = ControlActions{};
+            }
+        }
+    }
+}
+
+} // namespace
+
 const char *
 controlSchemeName(ControlScheme scheme)
 {
@@ -90,53 +177,30 @@ runClosedLoop(const BenchmarkProfile &profile, const ProcessorConfig &proc,
     const Volt high_safe = cfg.control.highControl();
 
     double current_sum = 0.0;
-    ControlActions actions;
-    bool running = true;
-    while (running) {
-        if (cfg.maxCycles != 0 && result.cycles >= cfg.maxCycles)
+    const auto loop = [&](auto *concrete_monitor) {
+        runLoop(processor, supply, concrete_monitor, hazard.get(),
+                threshold.get(), damping.get(), cfg, network, low_fault,
+                high_fault, low_safe, high_safe, result, current_sum);
+    };
+    if (!cfg.devirtualize) {
+        loop(monitor.get());
+    } else {
+        // Monomorphize on the scheme's concrete (final) monitor class.
+        switch (cfg.scheme) {
+          case ControlScheme::Wavelet:
+          case ControlScheme::AdaptiveWavelet:
+            loop(static_cast<WaveletMonitor *>(monitor.get()));
             break;
-
-        // Actuation decided from cycle n-1 observations applies now.
-        processor.setStallIssue(actions.stallIssue);
-        processor.setInjectNoops(actions.injectNoops);
-
-        running = processor.step();
-        const Amp current = processor.lastCurrent();
-        const Volt true_voltage = supply.push(current);
-
-        ++result.cycles;
-        current_sum += current;
-        result.minVoltage = std::min(result.minVoltage, true_voltage);
-        result.maxVoltage = std::max(result.maxVoltage, true_voltage);
-        if (true_voltage < low_fault)
-            ++result.lowFaults;
-        if (true_voltage > high_fault)
-            ++result.highFaults;
-
-        // False positive: actuation asserted while the true voltage is
-        // comfortably inside the control band.
-        if ((actions.stallIssue && true_voltage > low_safe) ||
-            (actions.injectNoops && true_voltage < high_safe))
-            ++result.falsePositives;
-
-        if (monitor) {
-            Volt estimated = monitor->update(current, true_voltage);
-            if (hazard) {
-                hazard->push(current);
-                // Hazardous phase: behave as if the control band were
-                // wider by biasing the estimate pessimistically.
-                if (hazard->currentHazard() > cfg.hazardArmLevel) {
-                    if (estimated < network.config().nominalVoltage)
-                        estimated -= cfg.adaptiveExtraTolerance;
-                    else
-                        estimated += cfg.adaptiveExtraTolerance;
-                }
-            }
-            actions = threshold->decide(estimated);
-        } else if (damping) {
-            actions = damping->decide(current);
-        } else {
-            actions = ControlActions{};
+          case ControlScheme::FullConvolution:
+            loop(static_cast<FullConvolutionMonitor *>(monitor.get()));
+            break;
+          case ControlScheme::AnalogSensor:
+            loop(static_cast<AnalogSensorMonitor *>(monitor.get()));
+            break;
+          case ControlScheme::None:
+          case ControlScheme::PipelineDamping:
+            loop(monitor.get()); // no monitor to devirtualize
+            break;
         }
     }
 

@@ -3,6 +3,7 @@
 #include "obs/scoped_timer.hh"
 #include "stats/running_stats.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -51,18 +52,19 @@ profileTrace(const CurrentTrace &trace, const SupplyNetwork &network,
     profile.estimatedAbove = est_above.mean();
     profile.estimatedVariance = est_var.mean();
 
-    // Measured side: exact convolution through the network.
+    // Measured side: exact convolution through the network. Threshold
+    // counts are order-independent integers, so they go through the
+    // SIMD kernel; the Welford variance recurrence is a sequential
+    // reduction and stays scalar to keep its rounding exact.
     network.computeVoltageInto(trace, ws.voltage);
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+    simd::kernels().thresholdCounts(ws.voltage.data(), ws.voltage.size(),
+                                    low_threshold, high_threshold, &below,
+                                    &above);
     RunningStats v_stats;
-    std::size_t below = 0;
-    std::size_t above = 0;
-    for (Volt v : ws.voltage) {
+    for (Volt v : ws.voltage)
         v_stats.push(v);
-        if (v < low_threshold)
-            ++below;
-        if (v > high_threshold)
-            ++above;
-    }
     profile.measuredBelow =
         static_cast<double>(below) / static_cast<double>(ws.voltage.size());
     profile.measuredAbove =

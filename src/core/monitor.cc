@@ -10,6 +10,32 @@
 namespace didt
 {
 
+namespace
+{
+
+void
+checkBlockSpans(std::span<const Amp> current,
+                std::span<const Volt> true_voltage, std::span<Volt> out)
+{
+    if (current.size() != true_voltage.size() ||
+        current.size() != out.size())
+        didt_panic("updateBlock spans must have equal length: ",
+                   current.size(), ", ", true_voltage.size(), ", ",
+                   out.size());
+}
+
+} // namespace
+
+void
+VoltageMonitor::updateBlock(std::span<const Amp> current,
+                            std::span<const Volt> true_voltage,
+                            std::span<Volt> out)
+{
+    checkBlockSpans(current, true_voltage, out);
+    for (std::size_t n = 0; n < current.size(); ++n)
+        out[n] = update(current[n], true_voltage[n]);
+}
+
 WaveletMonitor::WaveletMonitor(const SupplyNetwork &network,
                                std::size_t terms, std::size_t window,
                                std::size_t levels)
@@ -150,6 +176,18 @@ WaveletMonitor::update(Amp current, Volt /* true_voltage */)
     return nominal_ - droop;
 }
 
+void
+WaveletMonitor::updateBlock(std::span<const Amp> current,
+                            std::span<const Volt> true_voltage,
+                            std::span<Volt> out)
+{
+    checkBlockSpans(current, true_voltage, out);
+    // The qualified call on a final class devirtualizes and inlines:
+    // one virtual dispatch per block instead of per cycle.
+    for (std::size_t n = 0; n < current.size(); ++n)
+        out[n] = WaveletMonitor::update(current[n], true_voltage[n]);
+}
+
 Volt
 WaveletMonitor::maxError(Amp half_swing) const
 {
@@ -179,6 +217,17 @@ FullConvolutionMonitor::update(Amp current, Volt /* true_voltage */)
     return nominal_ - convolver_.value();
 }
 
+void
+FullConvolutionMonitor::updateBlock(std::span<const Amp> current,
+                                    std::span<const Volt> true_voltage,
+                                    std::span<Volt> out)
+{
+    checkBlockSpans(current, true_voltage, out);
+    for (std::size_t n = 0; n < current.size(); ++n)
+        out[n] = FullConvolutionMonitor::update(current[n],
+                                                true_voltage[n]);
+}
+
 AnalogSensorMonitor::AnalogSensorMonitor(const SupplyNetwork &network,
                                          std::size_t delay_cycles)
     : ring_(std::max<std::size_t>(1, delay_cycles + 1),
@@ -194,6 +243,16 @@ AnalogSensorMonitor::update(Amp /* current */, Volt true_voltage)
     ++pushed_;
     // The oldest entry in the ring is the delayed reading.
     return ring_[head_ % ring_.size()];
+}
+
+void
+AnalogSensorMonitor::updateBlock(std::span<const Amp> current,
+                                 std::span<const Volt> true_voltage,
+                                 std::span<Volt> out)
+{
+    checkBlockSpans(current, true_voltage, out);
+    for (std::size_t n = 0; n < current.size(); ++n)
+        out[n] = AnalogSensorMonitor::update(current[n], true_voltage[n]);
 }
 
 } // namespace didt

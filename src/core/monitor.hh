@@ -49,6 +49,18 @@ class VoltageMonitor
      */
     virtual Volt update(Amp current, Volt true_voltage) = 0;
 
+    /**
+     * Advance a block of cycles at once: out[n] = the estimate for
+     * cycle n. All three spans must have equal length. The default
+     * loops over update(); the concrete monitors override it with a
+     * devirtualized loop so open-loop trace evaluation pays one
+     * virtual call per block instead of one per cycle. Results are
+     * identical to calling update() cycle by cycle.
+     */
+    virtual void updateBlock(std::span<const Amp> current,
+                             std::span<const Volt> true_voltage,
+                             std::span<Volt> out);
+
     /** Scheme name for reports. */
     virtual const char *name() const = 0;
 
@@ -68,7 +80,7 @@ class VoltageMonitor
  * its weight, and summed. A DC tail term (scaled window mean) covers
  * the response beyond the window.
  */
-class WaveletMonitor : public VoltageMonitor
+class WaveletMonitor final : public VoltageMonitor
 {
   public:
     /**
@@ -95,6 +107,9 @@ class WaveletMonitor : public VoltageMonitor
                    std::size_t levels = 8);
 
     Volt update(Amp current, Volt true_voltage) override;
+    void updateBlock(std::span<const Amp> current,
+                     std::span<const Volt> true_voltage,
+                     std::span<Volt> out) override;
     const char *name() const override { return "wavelet"; }
     std::size_t termCount() const override { return terms_.size(); }
 
@@ -134,7 +149,7 @@ class WaveletMonitor : public VoltageMonitor
 };
 
 /** Full time-domain convolution monitor (Grochowski et al.). */
-class FullConvolutionMonitor : public VoltageMonitor
+class FullConvolutionMonitor final : public VoltageMonitor
 {
   public:
     /**
@@ -150,6 +165,9 @@ class FullConvolutionMonitor : public VoltageMonitor
                            double energy_fraction = 0.999999);
 
     Volt update(Amp current, Volt true_voltage) override;
+    void updateBlock(std::span<const Amp> current,
+                     std::span<const Volt> true_voltage,
+                     std::span<Volt> out) override;
     const char *name() const override { return "full-convolution"; }
     std::size_t termCount() const override { return convolver_.taps(); }
 
@@ -159,7 +177,7 @@ class FullConvolutionMonitor : public VoltageMonitor
 };
 
 /** Idealized analog voltage sensor with a fixed sensing delay. */
-class AnalogSensorMonitor : public VoltageMonitor
+class AnalogSensorMonitor final : public VoltageMonitor
 {
   public:
     /**
@@ -170,6 +188,9 @@ class AnalogSensorMonitor : public VoltageMonitor
                         std::size_t delay_cycles);
 
     Volt update(Amp current, Volt true_voltage) override;
+    void updateBlock(std::span<const Amp> current,
+                     std::span<const Volt> true_voltage,
+                     std::span<Volt> out) override;
     const char *name() const override { return "analog-sensor"; }
     std::size_t termCount() const override { return 0; }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -14,13 +15,26 @@ convolveInto(std::span<const double> x, std::span<const double> kernel,
 {
     out.resize(x.size());
     const std::size_t klen = kernel.size();
-    for (std::size_t n = 0; n < x.size(); ++n) {
-        const std::size_t mmax = std::min(n + 1, klen);
+    if (klen == 0) {
+        std::fill(out.begin(), out.end(), 0.0);
+        return;
+    }
+
+    // Split at the point where every kernel tap is inside the signal:
+    // the prologue keeps the per-output min(n + 1, klen) ramp, the
+    // steady state runs all klen taps through the dispatched SIMD
+    // kernel with the ramp check hoisted out of the inner loop. Tap
+    // order per output is unchanged, so results stay bit-identical.
+    const std::size_t ramp = std::min(x.size(), klen - 1);
+    for (std::size_t n = 0; n < ramp; ++n) {
         double acc = 0.0;
-        for (std::size_t m = 0; m < mmax; ++m)
+        for (std::size_t m = 0; m < n + 1; ++m)
             acc += kernel[m] * x[n - m];
         out[n] = acc;
     }
+    if (ramp < x.size())
+        simd::kernels().convolveSteady(x.data(), ramp, x.size() - ramp,
+                                       kernel.data(), klen, out.data());
 }
 
 std::vector<double>
@@ -47,15 +61,20 @@ StreamingConvolver::push(double x)
         std::fill(history_.begin(), history_.end(), x);
         primed_ = true;
     }
-    head_ = (head_ + history_.size() - 1) % history_.size();
+    const std::size_t len = history_.size();
+    head_ = head_ == 0 ? len - 1 : head_ - 1;
     history_[head_] = x;
 
+    // Walk the ring as two contiguous segments (newest-to-oldest wraps
+    // exactly once), replacing a modulo per tap with two tight loops.
+    // Tap order m = 0..len-1 is unchanged, so the accumulated value is
+    // bit-identical to the modulo walk.
+    const std::size_t first = len - head_;
     double acc = 0.0;
-    std::size_t idx = head_;
-    for (std::size_t m = 0; m < kernel_.size(); ++m) {
-        acc += kernel_[m] * history_[idx];
-        idx = (idx + 1) % history_.size();
-    }
+    for (std::size_t m = 0; m < first; ++m)
+        acc += kernel_[m] * history_[head_ + m];
+    for (std::size_t m = first; m < len; ++m)
+        acc += kernel_[m] * history_[m - first];
     value_ = acc;
 }
 

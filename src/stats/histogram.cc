@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -27,6 +28,28 @@ Histogram::push(double x)
                                 static_cast<long long>(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(idx)];
     ++total_;
+}
+
+void
+Histogram::pushBlock(std::span<const double> xs)
+{
+    // Vectorized floor((x - lo) / width) into a small stack buffer;
+    // clamping and the count increments stay scalar so the final
+    // integer conversion is shared with push(). NaNs convert to
+    // LLONG_MIN exactly as in push(), clamping into bin 0.
+    constexpr std::size_t kBlock = 128;
+    double idx[kBlock];
+    const long long last = static_cast<long long>(counts_.size()) - 1;
+    for (std::size_t off = 0; off < xs.size(); off += kBlock) {
+        const std::size_t len = std::min(kBlock, xs.size() - off);
+        simd::kernels().binIndices(xs.data() + off, len, lo_, width_, idx);
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto bin = std::clamp<long long>(
+                static_cast<long long>(idx[i]), 0, last);
+            ++counts_[static_cast<std::size_t>(bin)];
+        }
+    }
+    total_ += xs.size();
 }
 
 std::uint64_t

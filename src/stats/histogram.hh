@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace didt
@@ -31,6 +32,14 @@ class Histogram
 
     /** Add one sample. */
     void push(double x);
+
+    /**
+     * Add a block of samples. Bin indices are computed through the
+     * dispatched SIMD kernel (floor((x - lo) / width), identical
+     * arithmetic to push()); counts land in exactly the bins push()
+     * would pick, one sample at a time.
+     */
+    void pushBlock(std::span<const double> xs);
 
     /** Number of bins. */
     std::size_t bins() const { return counts_.size(); }

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Runtime dispatch for the SIMD kernel tables: probe the CPU once,
+ * honor the DIDT_SIMD environment variable (scalar/sse2/avx2/neon) as
+ * a cap, and let tests and benches pin a level with forceLevel().
+ * Which backends exist is decided at build time via the
+ * DIDT_SIMD_HAVE_* definitions set in src/util/CMakeLists.txt.
+ */
+
+#include "util/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace didt::simd
+{
+
+#if defined(DIDT_SIMD_HAVE_SSE2)
+const KernelTable &sse2KernelTable();
+#endif
+#if defined(DIDT_SIMD_HAVE_AVX2)
+const KernelTable &avx2KernelTable();
+#endif
+#if defined(DIDT_SIMD_HAVE_NEON)
+const KernelTable &neonKernelTable();
+#endif
+const KernelTable &scalarKernelTable();
+
+namespace
+{
+
+/** -1 = not forced, otherwise the int value of the forced Level. */
+std::atomic<int> g_forced{-1};
+
+Level
+detectLevel()
+{
+#if defined(DIDT_SIMD_HAVE_AVX2)
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+#endif
+#if defined(DIDT_SIMD_HAVE_SSE2)
+    if (__builtin_cpu_supports("sse2"))
+        return Level::Sse2;
+#endif
+#if defined(DIDT_SIMD_HAVE_NEON)
+    return Level::Neon;
+#endif
+    return Level::Scalar;
+}
+
+Level
+initialLevel()
+{
+    const Level detected = detectLevel();
+    const char *env = std::getenv("DIDT_SIMD");
+    if (env == nullptr || *env == '\0')
+        return detected;
+    Level requested = Level::Scalar;
+    if (std::strcmp(env, "scalar") == 0)
+        requested = Level::Scalar;
+    else if (std::strcmp(env, "sse2") == 0)
+        requested = Level::Sse2;
+    else if (std::strcmp(env, "avx2") == 0)
+        requested = Level::Avx2;
+    else if (std::strcmp(env, "neon") == 0)
+        requested = Level::Neon;
+    else {
+        didt_warn("ignoring unknown DIDT_SIMD level '", env, "'");
+        return detected;
+    }
+    if (!levelAvailable(requested)) {
+        didt_warn("DIDT_SIMD=", env,
+                  " not available on this build/CPU; using ",
+                  levelName(detected));
+        return detected;
+    }
+    return requested;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Sse2:
+        return "sse2";
+    case Level::Avx2:
+        return "avx2";
+    case Level::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+bool
+levelAvailable(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return true;
+    case Level::Sse2:
+#if defined(DIDT_SIMD_HAVE_SSE2)
+        return __builtin_cpu_supports("sse2");
+#else
+        return false;
+#endif
+    case Level::Avx2:
+#if defined(DIDT_SIMD_HAVE_AVX2)
+        return __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+    case Level::Neon:
+#if defined(DIDT_SIMD_HAVE_NEON)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+Level
+bestLevel()
+{
+    static const Level level = initialLevel();
+    return level;
+}
+
+Level
+activeLevel()
+{
+    const int forced = g_forced.load(std::memory_order_relaxed);
+    return forced < 0 ? bestLevel() : static_cast<Level>(forced);
+}
+
+void
+forceLevel(Level level)
+{
+    if (!levelAvailable(level))
+        didt_panic("cannot force SIMD level '", levelName(level),
+                   "': not available on this build/CPU");
+    g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void
+clearForcedLevel()
+{
+    g_forced.store(-1, std::memory_order_relaxed);
+}
+
+const KernelTable &
+kernelsFor(Level level)
+{
+    switch (level) {
+#if defined(DIDT_SIMD_HAVE_SSE2)
+    case Level::Sse2:
+        return sse2KernelTable();
+#endif
+#if defined(DIDT_SIMD_HAVE_AVX2)
+    case Level::Avx2:
+        return avx2KernelTable();
+#endif
+#if defined(DIDT_SIMD_HAVE_NEON)
+    case Level::Neon:
+        return neonKernelTable();
+#endif
+    default:
+        return scalarKernelTable();
+    }
+}
+
+const KernelTable &
+kernels()
+{
+    return kernelsFor(activeLevel());
+}
+
+} // namespace didt::simd

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * AVX2 backend (4-wide doubles). Compiled with -mavx2 on this TU only;
+ * the dispatcher never selects this table unless the running CPU
+ * reports AVX2. FMA intrinsics are never used and contraction is
+ * disabled so products round exactly like the scalar reference.
+ */
+
+#include "util/simd_kernels_impl.hh"
+
+#if !defined(__AVX2__)
+#error "simd_kernels_avx2.cc must be compiled with -mavx2"
+#endif
+
+namespace didt::simd
+{
+
+const KernelTable &
+avx2KernelTable()
+{
+    static const KernelTable table = makeKernelTable<VecAvx2>();
+    return table;
+}
+
+} // namespace didt::simd

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * NEON backend (2-wide doubles). Only added to the build on aarch64,
+ * where Advanced SIMD is architectural baseline.
+ */
+
+#include "util/simd_kernels_impl.hh"
+
+#if !defined(__aarch64__) || !defined(__ARM_NEON)
+#error "simd_kernels_neon.cc requires aarch64 NEON"
+#endif
+
+namespace didt::simd
+{
+
+const KernelTable &
+neonKernelTable()
+{
+    static const KernelTable table = makeKernelTable<VecNeon>();
+    return table;
+}
+
+} // namespace didt::simd

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Scalar reference backend: always compiled, defines the accumulation
+ * order every vector backend must reproduce bit-for-bit.
+ */
+
+#include "util/simd_kernels_impl.hh"
+
+namespace didt::simd
+{
+
+const KernelTable &
+scalarKernelTable()
+{
+    static const KernelTable table = makeKernelTable<VecScalar>();
+    return table;
+}
+
+} // namespace didt::simd

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SSE2 backend (2-wide doubles). Only added to the build on x86 with
+ * DIDT_SIMD=ON; SSE2 is part of the x86-64 baseline so no extra ISA
+ * flags are needed, but FP contraction must stay off (see
+ * src/util/CMakeLists.txt).
+ */
+
+#include "util/simd_kernels_impl.hh"
+
+#if !defined(__SSE2__)
+#error "simd_kernels_sse2.cc requires SSE2 (x86-64 baseline)"
+#endif
+
+namespace didt::simd
+{
+
+const KernelTable &
+sse2KernelTable()
+{
+    static const KernelTable table = makeKernelTable<VecSse2>();
+    return table;
+}
+
+} // namespace didt::simd

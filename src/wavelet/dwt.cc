@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -52,33 +53,17 @@ Dwt::analyzeStep(std::span<const double> input, std::span<double> approx,
     const std::size_t flen = h.size();
 
     // Outputs with the filter fully inside the signal need no periodic
-    // wrap, so the hot loop runs modulo-free; only the tail wraps. The
-    // accumulation order per output is unchanged, so the results are
-    // bit-identical to the single general loop.
+    // wrap, so the hot region runs modulo-free through the dispatched
+    // SIMD kernel; only the tail wraps. The kernel accumulates each
+    // output in the scalar order (vector lanes are independent
+    // outputs), so the results are bit-identical to the single general
+    // loop at every dispatch level.
     const std::size_t no_wrap =
         flen <= n ? std::min(half, (n - flen) / 2 + 1) : 0;
-    if (flen == 2) {
-        // Two-tap (Haar) kernel: same sums, no per-tap loop overhead.
-        const double h0 = h[0], h1 = h[1];
-        const double g0 = g[0], g1 = g[1];
-        for (std::size_t k = 0; k < no_wrap; ++k) {
-            const double *in = input.data() + 2 * k;
-            approx[k] = 0.0 + h0 * in[0] + h1 * in[1];
-            detail[k] = 0.0 + g0 * in[0] + g1 * in[1];
-        }
-    } else {
-        for (std::size_t k = 0; k < no_wrap; ++k) {
-            const double *in = input.data() + 2 * k;
-            double a = 0.0;
-            double d = 0.0;
-            for (std::size_t m = 0; m < flen; ++m) {
-                a += h[m] * in[m];
-                d += g[m] * in[m];
-            }
-            approx[k] = a;
-            detail[k] = d;
-        }
-    }
+    if (no_wrap > 0)
+        simd::kernels().dwtAnalyze(input.data(), no_wrap, h.data(),
+                                   g.data(), flen, approx.data(),
+                                   detail.data());
     for (std::size_t k = no_wrap; k < half; ++k) {
         double a = 0.0;
         double d = 0.0;
@@ -126,16 +111,25 @@ Dwt::synthesizeStep(std::span<const double> approx,
     const std::size_t flen = h.size();
 
     std::fill(out.begin(), out.end(), 0.0);
-    // Same modulo-free main loop as analyzeStep; the (k, m) scatter
-    // order is preserved, so accumulation into out is bit-identical.
+    // Same modulo-free split as analyzeStep. The kernel recasts the
+    // (k, m) scatter as a per-output gather whose accumulation order
+    // per output index is exactly the scalar k-ascending order, and
+    // the wrapped tail below adds its (larger-k) contributions on top,
+    // so out is bit-identical to the single general scatter loop.
     const std::size_t no_wrap =
         flen <= n ? std::min(half, (n - flen) / 2 + 1) : 0;
-    for (std::size_t k = 0; k < no_wrap; ++k) {
-        double *o = out.data() + 2 * k;
-        const double a = approx[k];
-        const double d = detail[k];
-        for (std::size_t m = 0; m < flen; ++m)
-            o[m] += h[m] * a + g[m] * d;
+    if (no_wrap > 0 && flen % 2 == 0) {
+        simd::kernels().dwtSynthesize(approx.data(), detail.data(),
+                                      no_wrap, h.data(), g.data(), flen,
+                                      out.data());
+    } else {
+        for (std::size_t k = 0; k < no_wrap; ++k) {
+            double *o = out.data() + 2 * k;
+            const double a = approx[k];
+            const double d = detail[k];
+            for (std::size_t m = 0; m < flen; ++m)
+                o[m] += h[m] * a + g[m] * d;
+        }
     }
     for (std::size_t k = no_wrap; k < half; ++k) {
         for (std::size_t m = 0; m < flen; ++m) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -23,11 +24,20 @@ modwtStep(std::span<const double> current, std::size_t stride,
           std::span<double> next, std::span<double> detail)
 {
     const std::size_t n = current.size();
-    for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t flen = h.size();
+
+    // Outputs at t >= stride * (flen - 1) read every tap without
+    // wrapping (the depth check in the callers guarantees this region
+    // is non-empty for real filters), so they run through the
+    // dispatched modulo-free SIMD kernel; only the head wraps. Tap
+    // order per output is unchanged, so results stay bit-identical.
+    const std::size_t wrap_head =
+        flen >= 1 && stride * (flen - 1) < n ? stride * (flen - 1) : n;
+    for (std::size_t t = 0; t < wrap_head; ++t) {
         double a = 0.0;
         double d = 0.0;
         std::size_t idx = t;
-        for (std::size_t l = 0; l < h.size(); ++l) {
+        for (std::size_t l = 0; l < flen; ++l) {
             a += h[l] * current[idx];
             d += g[l] * current[idx];
             // idx = (t - stride * (l + 1)) mod n, walked backward.
@@ -36,6 +46,11 @@ modwtStep(std::span<const double> current, std::size_t stride,
         next[t] = a;
         detail[t] = d;
     }
+    if (wrap_head < n)
+        simd::kernels().modwtStep(current.data(), wrap_head,
+                                  n - wrap_head, stride, h.data(),
+                                  g.data(), flen, next.data(),
+                                  detail.data());
 }
 
 } // namespace
