@@ -324,6 +324,105 @@ BENCHMARK(BM_CampaignMetricsOverhead)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/**
+ * Failpoint-hook overhead on the analysis hot path. Arg 0 runs
+ * BM_ProfileTraceWorkspace's configuration with the failpoint registry
+ * disarmed (each compiled-in site is one relaxed atomic load); arg 1
+ * runs it with an armed-but-idle site, which routes every evaluated
+ * site through the registry lock. The per-window analysis loop
+ * deliberately contains no failpoint sites, so both rows must sit on
+ * top of the plain BM_ProfileTraceWorkspace row (<1%); a regression
+ * here means a hook crept into a per-cycle loop.
+ */
+void
+BM_ProfileTraceFailpoints(benchmark::State &state)
+{
+    ProfileBenchFixture &fx = profileBenchFixture();
+    const bool armed = state.range(0) == 1;
+    verify::resetFailPoints();
+    if (armed)
+        verify::armFailPoint(
+            "bench.idle",
+            verify::TriggerPolicy::keyEquals("never-matches"));
+    AnalysisWorkspace ws;
+    for (auto _ : state) {
+        const EmergencyProfile ep =
+            profileTrace(fx.trace, fx.net, fx.model, 0.97, 1.03, ws);
+        benchmark::DoNotOptimize(ep);
+    }
+    verify::resetFailPoints();
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(fx.trace.size()));
+    state.counters["failpoints_armed"] = armed ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ProfileTraceFailpoints)->Arg(0)->Arg(1);
+
+/**
+ * Failpoint-hook overhead on the campaign row, measured like
+ * BM_CampaignMetricsOverhead (interleaved reps, min kept): the same
+ * small campaign with the registry disarmed vs an armed-but-idle site.
+ * The campaign path evaluates a handful of sites per cell (pool.task,
+ * campaign.cell, repository reads/writes) — coarse-grained enough that
+ * overhead_pct must stay under 1% even armed. With
+ * -DDIDT_FAILPOINTS=OFF both rows measure the compiled-out hooks and
+ * the delta collapses to pure noise.
+ */
+void
+BM_CampaignFailpointOverhead(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    CampaignSpec spec;
+    {
+        const auto &all = spec2000Profiles();
+        spec.profiles.assign(all.begin(), all.begin() + 4);
+    }
+    spec.impedanceScales = {1.0, 1.2};
+    spec.windowLength = 128;
+    spec.levels = 6;
+    spec.instructions = 30000;
+
+    constexpr int kReps = 3;
+    double off_ms = 0.0;
+    double armed_ms = 0.0;
+    for (auto _ : state) {
+        double best_off = 0.0;
+        double best_armed = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            for (const bool armed : {false, true}) {
+                verify::resetFailPoints();
+                if (armed)
+                    verify::armFailPoint(
+                        "bench.idle",
+                        verify::TriggerPolicy::keyEquals(
+                            "never-matches"));
+                TraceRepository repo(setup);
+                const auto start = std::chrono::steady_clock::now();
+                const CampaignResult result =
+                    runCharacterizationCampaign(setup, spec, repo, 1);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                double &best = armed ? best_armed : best_off;
+                if (rep == 0 || ms < best)
+                    best = ms;
+                benchmark::DoNotOptimize(result.cells.data());
+            }
+        }
+        off_ms += best_off;
+        armed_ms += best_armed;
+    }
+    verify::resetFailPoints();
+    state.counters["failpoints_off_ms"] = off_ms;
+    state.counters["failpoints_armed_ms"] = armed_ms;
+    state.counters["overhead_pct"] =
+        off_ms > 0.0 ? 100.0 * (armed_ms - off_ms) / off_ms : 0.0;
+}
+BENCHMARK(BM_CampaignFailpointOverhead)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // ---------------------------------------------------------------------------
 // SIMD kernel rows: each benchmark takes a leading "simd" argument
 // (0 = scalar reference, 1 = best CPU-dispatched level) so

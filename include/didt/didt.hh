@@ -15,6 +15,8 @@
  *                addressed trace cache and structured JSON/CSV results
  *  - obs/      : metrics registry, scoped timers, and Chrome trace
  *                spans across all of the above
+ *  - verify/   : deterministic fault-injection failpoints and the
+ *                online-vs-reference differential oracle
  */
 
 #ifndef DIDT_DIDT_HH
@@ -55,6 +57,8 @@
 #include "util/options.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
+#include "verify/failpoint.hh"
+#include "verify/oracle.hh"
 #include "wavelet/basis.hh"
 #include "wavelet/denoise.hh"
 #include "wavelet/dwt.hh"

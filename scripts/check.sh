@@ -61,14 +61,29 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
         exit 1
     fi
     echo "campaign JSON identical across SIMD on/off and jobs 1/4"
+
+    echo "=== fault-injection smoke: failed cells recorded, byte-identical ==="
+    # A campaign with an injected cell fault and a dead disk cache must
+    # still exit 0, mark exactly the faulted cell in the JSON, and stay
+    # byte-identical across worker counts.
+    FAIL_SPEC='campaign.cell=key:mcf@1.2;repo.disk_write=always'
+    build-ci/tools/didt_campaign --jobs 1 "${CAMPAIGN_ARGS[@]}" \
+        --failpoints "$FAIL_SPEC" --json "$SMOKE_DIR/fault_j1.json"
+    build-ci/tools/didt_campaign --jobs 4 "${CAMPAIGN_ARGS[@]}" \
+        --failpoints "$FAIL_SPEC" --json "$SMOKE_DIR/fault_j4.json"
+    cmp "$SMOKE_DIR/fault_j1.json" "$SMOKE_DIR/fault_j4.json"
+    grep -q '"failed_cells": 1' "$SMOKE_DIR/fault_j1.json"
+    grep -q 'injected fault (campaign.cell): mcf@1.2' \
+        "$SMOKE_DIR/fault_j1.json"
+    echo "faulted campaign JSON identical across jobs 1/4, 1 failed cell"
 fi
 
-echo "=== ThreadSanitizer pass over runner + obs + refactor + simd tests ==="
+echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify tests ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
-      obs_test refactor_test simd_test
-ctest --test-dir build-tsan -L 'runner|obs|refactor|simd' --output-on-failure \
-      -j "$JOBS"
+      obs_test refactor_test simd_test verify_test fuzz_replay_test
+ctest --test-dir build-tsan -L 'runner|obs|refactor|simd|verify' \
+      --output-on-failure -j "$JOBS"
 
 echo "=== all checks passed ==="

@@ -1,11 +1,14 @@
 #include "power/trace_io.hh"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <sstream>
 
 #include "util/logging.hh"
+#include "verify/failpoint.hh"
 
 namespace didt
 {
@@ -112,26 +115,82 @@ writeTraceBinary(const std::string &path, const CurrentTrace &trace)
         didt_fatal("error writing trace to ", path);
 }
 
+namespace
+{
+
+/**
+ * Parse the binary trace format. On any malformation returns nullopt
+ * and describes the failure in @p error (when non-null).
+ *
+ * The header's sample count is not trusted: data is read in bounded
+ * chunks and the buffer grows only as bytes actually arrive, so a
+ * corrupt count claiming petabytes fails cleanly as "truncated sample
+ * data" instead of forcing a huge up-front allocation (the bug that
+ * let a short header read escape the repository's corruption
+ * fallback as a thrown bad_alloc).
+ */
+std::optional<CurrentTrace>
+parseTraceBinary(std::istream &in, std::string *error)
+{
+    char magic[sizeof(kMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        if (error)
+            *error = "is not a didt binary trace";
+        return std::nullopt;
+    }
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in) {
+        if (error)
+            *error = "truncated header";
+        return std::nullopt;
+    }
+    CurrentTrace trace;
+    constexpr std::uint64_t kChunkSamples = std::uint64_t{1} << 20;
+    std::uint64_t done = 0;
+    while (done < count) {
+        const std::uint64_t step = std::min(kChunkSamples, count - done);
+        try {
+            trace.resize(static_cast<std::size_t>(done + step));
+        } catch (const std::bad_alloc &) {
+            if (error)
+                *error = "sample count exceeds memory";
+            return std::nullopt;
+        }
+        in.read(reinterpret_cast<char *>(trace.data() + done),
+                static_cast<std::streamsize>(step * sizeof(double)));
+        if (!in) {
+            if (error)
+                *error = "truncated sample data";
+            return std::nullopt;
+        }
+        done += step;
+    }
+    return trace;
+}
+
+} // namespace
+
 CurrentTrace
 readTraceBinary(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         didt_fatal("cannot open trace file ", path);
-    char magic[sizeof(kMagic)];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        didt_fatal(path, " is not a didt binary trace");
-    std::uint64_t count = 0;
-    in.read(reinterpret_cast<char *>(&count), sizeof(count));
-    if (!in)
-        didt_fatal(path, ": truncated header");
-    CurrentTrace trace(count);
-    in.read(reinterpret_cast<char *>(trace.data()),
-            static_cast<std::streamsize>(count * sizeof(double)));
-    if (!in)
-        didt_fatal(path, ": truncated sample data");
-    return trace;
+    std::string error;
+    std::optional<CurrentTrace> trace = parseTraceBinary(in, &error);
+    if (!trace)
+        didt_fatal(path, " ", error);
+    return *std::move(trace);
+}
+
+std::optional<CurrentTrace>
+tryReadTraceText(std::istream &is)
+{
+    if (DIDT_FAILPOINT("trace_io.read_text"))
+        return std::nullopt;
+    return parseTraceText(is, nullptr);
 }
 
 std::optional<CurrentTrace>
@@ -140,7 +199,15 @@ tryReadTraceText(const std::string &path)
     std::ifstream in(path);
     if (!in)
         return std::nullopt;
-    return parseTraceText(in, nullptr);
+    return tryReadTraceText(in);
+}
+
+std::optional<CurrentTrace>
+tryReadTraceBinary(std::istream &is)
+{
+    if (DIDT_FAILPOINT("trace_io.read_binary"))
+        return std::nullopt;
+    return parseTraceBinary(is, nullptr);
 }
 
 std::optional<CurrentTrace>
@@ -149,20 +216,7 @@ tryReadTraceBinary(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         return std::nullopt;
-    char magic[sizeof(kMagic)];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        return std::nullopt;
-    std::uint64_t count = 0;
-    in.read(reinterpret_cast<char *>(&count), sizeof(count));
-    if (!in)
-        return std::nullopt;
-    CurrentTrace trace(count);
-    in.read(reinterpret_cast<char *>(trace.data()),
-            static_cast<std::streamsize>(count * sizeof(double)));
-    if (!in)
-        return std::nullopt;
-    return trace;
+    return tryReadTraceBinary(in);
 }
 
 } // namespace didt

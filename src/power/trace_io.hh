@@ -62,6 +62,20 @@ void writeTraceText(std::ostream &os, const CurrentTrace &trace,
 /** Read a text trace from a stream (see readTraceText). */
 CurrentTrace readTraceText(std::istream &is);
 
+/**
+ * Non-fatal text parse from a stream; nullopt on a malformed sample.
+ * Entry point for the structured fuzz drivers (tests/fuzz/).
+ */
+std::optional<CurrentTrace> tryReadTraceText(std::istream &is);
+
+/**
+ * Non-fatal binary parse from a stream; nullopt on bad magic or any
+ * truncation, including a header sample count larger than the data
+ * actually present (the reader grows its buffer only as bytes arrive,
+ * so a corrupt count can never force a huge allocation).
+ */
+std::optional<CurrentTrace> tryReadTraceBinary(std::istream &is);
+
 } // namespace didt
 
 #endif // DIDT_POWER_TRACE_IO_HH

@@ -10,6 +10,8 @@
 #include "core/variance_model.hh"
 #include "obs/metrics.hh"
 #include "obs/scoped_timer.hh"
+#include "util/json.hh"
+#include "verify/failpoint.hh"
 #include "wavelet/basis.hh"
 
 namespace didt
@@ -32,6 +34,7 @@ millisSince(Clock::time_point start)
 struct CampaignMetrics
 {
     obs::Counter cells;
+    obs::Counter cellFailures;
     obs::Histogram cellMs;
     obs::Histogram calibrateMs;
 };
@@ -42,10 +45,23 @@ campaignMetrics()
     auto &registry = obs::MetricsRegistry::global();
     static CampaignMetrics metrics{
         registry.counter("campaign.cells"),
+        registry.counter("campaign.cell_failures"),
         registry.histogram("campaign.cell_ms"),
         registry.histogram("campaign.calibrate_ms"),
     };
     return metrics;
+}
+
+/**
+ * Stable identity of one campaign cell, used as the failpoint key for
+ * the campaign.cell site and in failure messages: "mcf@1.2". The scale
+ * prints exactly like the result JSON, so spec strings can be copied
+ * from campaign output.
+ */
+std::string
+cellKey(const std::string &benchmark, double scale)
+{
+    return benchmark + "@" + jsonNumber(scale);
 }
 
 } // namespace
@@ -59,15 +75,26 @@ CampaignSpec::effectiveProfiles() const
 double
 CampaignResult::rmsEstimationErrorPct() const
 {
-    if (cells.empty())
-        return 0.0;
     double sq = 0.0;
+    std::size_t ok = 0;
     for (const CampaignCell &cell : cells) {
+        if (cell.failed)
+            continue;
         const double err =
             cell.estimatedBelowPct - cell.measuredBelowPct;
         sq += err * err;
+        ++ok;
     }
-    return std::sqrt(sq / static_cast<double>(cells.size()));
+    return ok == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(ok));
+}
+
+std::size_t
+CampaignResult::failedCells() const
+{
+    std::size_t failed = 0;
+    for (const CampaignCell &cell : cells)
+        failed += cell.failed ? 1 : 0;
+    return failed;
 }
 
 CampaignResult
@@ -144,39 +171,63 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
                         "campaign");
     std::mutex progress_mutex;
     std::vector<std::future<void>> pending;
+    std::vector<std::size_t> pendingCell; // submission order -> cell
     pending.reserve(result.cells.size());
+    pendingCell.reserve(result.cells.size());
     for (std::size_t si = 0; si < scales.size(); ++si) {
         for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+            // Identity fields are written on this thread before the
+            // task runs, so even a task that faults before touching its
+            // cell (e.g. an injected pool.task failure) leaves a fully
+            // identified failed cell behind.
+            CampaignCell &submitted =
+                result.cells[pi * scales.size() + si];
+            submitted.benchmark = profiles[pi].name;
+            submitted.impedanceScale = scales[si];
+            pendingCell.push_back(pi * scales.size() + si);
             pending.push_back(pool.submit([&, si, pi] {
                 obs::ScopedTimer span("cell " + profiles[pi].name,
                                       campaignMetrics().cellMs, nullptr,
                                       "campaign");
                 campaignMetrics().cells.add(1);
                 const Clock::time_point cell_start = Clock::now();
-                const std::shared_ptr<const CurrentTrace> trace =
-                    repo.get(profiles[pi], spec.instructions, spec.seed,
-                             spec.trimWarmup);
-                const std::size_t wi = ThreadPool::workerIndex();
-                AnalysisWorkspace &ws =
-                    workspaces[wi == ThreadPool::kNotAWorker ? pool.size()
-                                                             : wi];
-                const EmergencyProfile ep = profileTrace(
-                    *trace, networks[si], *models[si],
-                    spec.lowThreshold, spec.highThreshold, ws, {},
-                    spec.useCorrelation);
-
                 CampaignCell &cell =
                     result.cells[pi * scales.size() + si];
-                cell.benchmark = profiles[pi].name;
-                cell.impedanceScale = scales[si];
-                cell.traceCycles = trace->size();
-                cell.windows = ep.windows;
-                cell.estimatedBelowPct = 100.0 * ep.estimatedBelow;
-                cell.measuredBelowPct = 100.0 * ep.measuredBelow;
-                cell.estimatedAbovePct = 100.0 * ep.estimatedAbove;
-                cell.measuredAbovePct = 100.0 * ep.measuredAbove;
-                cell.estimatedVariance = ep.estimatedVariance;
-                cell.measuredVariance = ep.measuredVariance;
+                try {
+                    const std::string key =
+                        cellKey(profiles[pi].name, scales[si]);
+                    if (DIDT_FAILPOINT_KEYED("campaign.cell", key))
+                        throw std::runtime_error(
+                            "injected fault (campaign.cell): " + key);
+                    const std::shared_ptr<const CurrentTrace> trace =
+                        repo.get(profiles[pi], spec.instructions,
+                                 spec.seed, spec.trimWarmup);
+                    const std::size_t wi = ThreadPool::workerIndex();
+                    AnalysisWorkspace &ws =
+                        workspaces[wi == ThreadPool::kNotAWorker
+                                       ? pool.size()
+                                       : wi];
+                    const EmergencyProfile ep = profileTrace(
+                        *trace, networks[si], *models[si],
+                        spec.lowThreshold, spec.highThreshold, ws, {},
+                        spec.useCorrelation);
+
+                    cell.traceCycles = trace->size();
+                    cell.windows = ep.windows;
+                    cell.estimatedBelowPct = 100.0 * ep.estimatedBelow;
+                    cell.measuredBelowPct = 100.0 * ep.measuredBelow;
+                    cell.estimatedAbovePct = 100.0 * ep.estimatedAbove;
+                    cell.measuredAbovePct = 100.0 * ep.measuredAbove;
+                    cell.estimatedVariance = ep.estimatedVariance;
+                    cell.measuredVariance = ep.measuredVariance;
+                } catch (const std::exception &e) {
+                    // A faulting cell is a result, not an abort: the
+                    // rest of the sweep keeps going and the failure
+                    // lands in the result JSON.
+                    cell.failed = true;
+                    cell.error = e.what();
+                    campaignMetrics().cellFailures.add(1);
+                }
                 cell.wallMillis = millisSince(cell_start);
                 if (on_cell) {
                     std::lock_guard<std::mutex> lock(progress_mutex);
@@ -187,8 +238,21 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
     }
     for (std::future<void> &f : pending)
         f.wait();
-    for (std::future<void> &f : pending)
-        f.get();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        try {
+            pending[i].get();
+        } catch (const std::exception &e) {
+            // The task itself faulted before the cell body's try block
+            // (an injected pool.task fault): record it against the
+            // right cell instead of aborting the campaign.
+            CampaignCell &cell = result.cells[pendingCell[i]];
+            if (!cell.failed) {
+                cell.failed = true;
+                cell.error = e.what();
+                campaignMetrics().cellFailures.add(1);
+            }
+        }
+    }
     sweep_phase.reset();
 
     result.cacheStats = repo.stats();

@@ -84,6 +84,17 @@ struct CampaignCell
     double estimatedVariance = 0.0; ///< mean estimated voltage variance
     double measuredVariance = 0.0;  ///< measured voltage variance
 
+    /**
+     * True when this cell's evaluation threw (disk fault, injected
+     * failpoint, ...). The campaign records the failure and keeps
+     * going; benchmark/impedanceScale stay valid, the measurements are
+     * zero, and @ref error says what happened.
+     */
+    bool failed = false;
+
+    /** Failure description when failed (deterministic text). */
+    std::string error;
+
     /** Wall-clock of this cell's analysis (excluded from the
      *  deterministic JSON body). */
     double wallMillis = 0.0;
@@ -99,8 +110,12 @@ struct CampaignResult
     double wallMillis = 0.0;         ///< end-to-end wall clock
     double calibrationMillis = 0.0;  ///< training + model calibration
 
-    /** RMS of (estimated - measured) emergency percentage. */
+    /** RMS of (estimated - measured) emergency percentage, over the
+     *  cells that completed (failed cells carry no measurements). */
     double rmsEstimationErrorPct() const;
+
+    /** Number of cells that failed instead of completing. */
+    std::size_t failedCells() const;
 };
 
 /**

@@ -65,10 +65,18 @@ campaignToJson(const CampaignResult &result, bool include_timing)
         c.set("measured_above_pct", cell.measuredAbovePct);
         c.set("estimated_variance", cell.estimatedVariance);
         c.set("measured_variance", cell.measuredVariance);
+        // Only failed cells carry failure fields, so a clean campaign's
+        // JSON is byte-identical to what pre-failpoint builds wrote.
+        if (cell.failed) {
+            c.set("failed", true);
+            c.set("error", cell.error);
+        }
         cells.push(std::move(c));
     }
     doc.set("cells", std::move(cells));
     doc.set("rms_estimation_error_pct", result.rmsEstimationErrorPct());
+    if (const std::size_t failed = result.failedCells(); failed > 0)
+        doc.set("failed_cells", static_cast<long long>(failed));
 
     if (include_timing) {
         JsonValue timing = JsonValue::object();

@@ -19,10 +19,13 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "verify/failpoint.hh"
 
 namespace didt
 {
@@ -56,9 +59,17 @@ class ThreadPool
     {
         using R = std::invoke_result_t<F>;
         // shared_ptr because std::function requires a copyable
-        // callable and packaged_task is move-only.
+        // callable and packaged_task is move-only. The pool.task
+        // failpoint fires inside the packaged_task, so an injected
+        // fault takes the same path as a real task exception: captured
+        // into the future, worker survives.
         auto task = std::make_shared<std::packaged_task<R()>>(
-            std::forward<F>(fn));
+            [fn = std::forward<F>(fn)]() mutable -> R {
+                if (DIDT_FAILPOINT("pool.task"))
+                    throw std::runtime_error(
+                        "injected fault (pool.task)");
+                return fn();
+            });
         std::future<R> result = task->get_future();
         std::size_t depth = 0;
         {

@@ -9,6 +9,7 @@
 #include "obs/scoped_timer.hh"
 #include "power/trace_io.hh"
 #include "util/logging.hh"
+#include "verify/failpoint.hh"
 
 namespace didt
 {
@@ -175,6 +176,15 @@ TraceRepository::get(const TraceRequest &request)
         try {
             claim.set_value(produce(request));
         } catch (...) {
+            // Evict the failed production before publishing the
+            // exception: waiters already holding the shared future see
+            // the error, but the next get() for this key elects a
+            // fresh producer instead of replaying a stale failure
+            // forever.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                entries_.erase(key);
+            }
             claim.set_exception(std::current_exception());
         }
         return shared.get(); // already ready; never blocks
@@ -211,6 +221,10 @@ TraceRepository::get(const BenchmarkProfile &profile,
 TraceRepository::TracePtr
 TraceRepository::produce(const TraceRequest &request)
 {
+    if (DIDT_FAILPOINT_KEYED("repo.produce", request.profile.name))
+        throw std::runtime_error("injected fault (repo.produce): " +
+                                 request.profile.name);
+
     RepoMetrics &metrics = repoMetrics();
     const std::string path = cachePath(request);
     bool rejected_corrupt = false;
@@ -218,8 +232,10 @@ TraceRepository::produce(const TraceRequest &request)
         std::error_code ec;
         const bool on_disk = std::filesystem::exists(path, ec);
         if (on_disk) {
-            if (std::optional<CurrentTrace> cached =
-                    tryReadTraceBinary(path)) {
+            std::optional<CurrentTrace> cached;
+            if (!DIDT_FAILPOINT_KEYED("repo.disk_read", path))
+                cached = tryReadTraceBinary(path);
+            if (cached) {
                 metrics.diskLoads.add(1);
                 metrics.traceBytes.add(cached->size() * sizeof(Amp));
                 std::lock_guard<std::mutex> lock(mutex_);
@@ -251,6 +267,11 @@ TraceRepository::produce(const TraceRequest &request)
         if (ec) {
             didt_warn("cannot create trace cache dir ", cacheDir_, ": ",
                       ec.message());
+        } else if (DIDT_FAILPOINT_KEYED("repo.disk_write", path)) {
+            // A failed store is not fatal: the trace is already in
+            // memory; only a later process pays a re-simulation.
+            didt_warn("injected fault (repo.disk_write): not storing ",
+                      path);
         } else {
             writeTraceBinary(path, trace);
             stored = true;

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "util/logging.hh"
+#include "verify/failpoint.hh"
 
 namespace didt
 {
@@ -299,6 +300,19 @@ class JsonParser
 
     JsonValue parseValue()
     {
+        // Bounded so adversarial nesting ("[[[[...") fails as a parse
+        // error instead of overflowing the stack (found by the
+        // tests/fuzz/ json driver).
+        if (depth_ >= kMaxDepth)
+            fail("nesting deeper than 256 levels");
+        ++depth_;
+        JsonValue value = parseValueInner();
+        --depth_;
+        return value;
+    }
+
+    JsonValue parseValueInner()
+    {
         skipSpace();
         switch (peek()) {
           case '{':
@@ -466,11 +480,19 @@ class JsonParser
         const double value = std::strtod(token.c_str(), &end);
         if (token.empty() || end != token.c_str() + token.size())
             fail("malformed number '" + token + "'");
+        // "1e999" parses to inf, which no JSON document can represent
+        // and which the writer refuses to re-serialize; reject it here
+        // so a parsed document always round-trips.
+        if (!std::isfinite(value))
+            fail("number out of range '" + token + "'");
         return value;
     }
 
+    static constexpr std::size_t kMaxDepth = 256;
+
     const std::string &text_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 } // namespace
@@ -478,6 +500,9 @@ class JsonParser
 JsonValue
 parseJson(const std::string &text)
 {
+    if (DIDT_FAILPOINT("json.parse"))
+        throw std::runtime_error("JSON parse error: injected fault "
+                                 "(json.parse)");
     return JsonParser(text).parseDocument();
 }
 

@@ -1,0 +1,340 @@
+#include "verify/failpoint.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace didt
+{
+namespace verify
+{
+
+namespace
+{
+
+struct Site
+{
+    TriggerPolicy policy;
+    FailPointStats stats;
+};
+
+/**
+ * Registry state. A plain mutex is enough: the macro's atomic gate
+ * keeps unarmed runs off this path entirely, and armed runs evaluate
+ * sites at failure-path granularity (per disk read, per cell), not in
+ * per-sample loops.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Site, std::less<>> sites;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** FNV-1a over the probability seed, site, and key: the fire decision
+ *  for a keyed probability policy is a pure function of these, so it
+ *  cannot depend on hit order or thread interleaving. */
+double
+keyedUniform(std::uint64_t seed, std::string_view site,
+             std::string_view key, std::uint64_t salt)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const void *data, std::size_t len) {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= p[i];
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(&seed, sizeof(seed));
+    mix(site.data(), site.size());
+    mix(key.data(), key.size());
+    mix(&salt, sizeof(salt));
+    // Top 53 bits -> [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+TriggerPolicy
+TriggerPolicy::always()
+{
+    return TriggerPolicy{};
+}
+
+TriggerPolicy
+TriggerPolicy::nthHit(std::uint64_t n)
+{
+    TriggerPolicy p;
+    p.kind = Kind::NthHit;
+    p.n = n > 0 ? n : 1;
+    return p;
+}
+
+TriggerPolicy
+TriggerPolicy::everyK(std::uint64_t k)
+{
+    TriggerPolicy p;
+    p.kind = Kind::EveryK;
+    p.n = k > 0 ? k : 1;
+    return p;
+}
+
+TriggerPolicy
+TriggerPolicy::probability(double prob, std::uint64_t seed)
+{
+    TriggerPolicy p;
+    p.kind = Kind::Probability;
+    p.p = prob < 0.0 ? 0.0 : (prob > 1.0 ? 1.0 : prob);
+    p.seed = seed;
+    return p;
+}
+
+TriggerPolicy
+TriggerPolicy::keyEquals(std::string key)
+{
+    TriggerPolicy p;
+    p.kind = Kind::KeyEquals;
+    p.key = std::move(key);
+    return p;
+}
+
+namespace detail
+{
+
+std::atomic<bool> g_armed{false};
+
+bool
+evaluate(std::string_view site, std::string_view key)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end())
+        return false;
+    Site &s = it->second;
+    ++s.stats.hits;
+    bool fire = false;
+    switch (s.policy.kind) {
+      case TriggerPolicy::Kind::Always:
+        fire = true;
+        break;
+      case TriggerPolicy::Kind::NthHit:
+        fire = s.stats.hits == s.policy.n;
+        break;
+      case TriggerPolicy::Kind::EveryK:
+        fire = s.stats.hits % s.policy.n == 0;
+        break;
+      case TriggerPolicy::Kind::Probability:
+        // Empty keys fall back to the hit index, which is only
+        // deterministic single-threaded; keyed callers get full
+        // schedule independence.
+        fire = keyedUniform(s.policy.seed, site, key,
+                            key.empty() ? s.stats.hits : 0) < s.policy.p;
+        break;
+      case TriggerPolicy::Kind::KeyEquals:
+        fire = key == s.policy.key;
+        break;
+    }
+    if (fire)
+        ++s.stats.fires;
+    return fire;
+}
+
+} // namespace detail
+
+void
+armFailPoint(const std::string &site, TriggerPolicy policy)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites[site] = Site{std::move(policy), FailPointStats{}};
+    detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+disarmFailPoint(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites.erase(site);
+    detail::g_armed.store(!r.sites.empty(), std::memory_order_relaxed);
+}
+
+void
+resetFailPoints()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites.clear();
+    detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+FailPointStats
+failPointStats(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(site);
+    return it == r.sites.end() ? FailPointStats{} : it->second.stats;
+}
+
+std::vector<std::string>
+armedFailPoints()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.sites.size());
+    for (const auto &entry : r.sites)
+        names.push_back(entry.first);
+    return names; // std::map iterates sorted
+}
+
+namespace
+{
+
+bool
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+/** Parse "<n>" as a positive integer; false on anything else. */
+bool
+parseUint(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = value;
+    return true;
+}
+
+bool
+parsePolicy(const std::string &text, TriggerPolicy *out,
+            std::string *error)
+{
+    const std::size_t colon = text.find(':');
+    const std::string head = text.substr(0, colon);
+    const std::string rest =
+        colon == std::string::npos ? "" : text.substr(colon + 1);
+    if (head == "always") {
+        *out = TriggerPolicy::always();
+        return true;
+    }
+    if (head == "nth" || head == "every") {
+        std::uint64_t n = 0;
+        if (!parseUint(rest, &n) || n == 0)
+            return setError(error, "bad count in '" + text + "'");
+        *out = head == "nth" ? TriggerPolicy::nthHit(n)
+                             : TriggerPolicy::everyK(n);
+        return true;
+    }
+    if (head == "prob") {
+        const std::size_t colon2 = rest.find(':');
+        const std::string p_text = rest.substr(0, colon2);
+        std::size_t consumed = 0;
+        double p = 0.0;
+        try {
+            p = std::stod(p_text, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+        if (p_text.empty() || consumed != p_text.size() || p < 0.0 ||
+            p > 1.0)
+            return setError(error,
+                            "bad probability in '" + text + "'");
+        std::uint64_t seed = 0;
+        if (colon2 != std::string::npos &&
+            !parseUint(rest.substr(colon2 + 1), &seed))
+            return setError(error, "bad seed in '" + text + "'");
+        *out = TriggerPolicy::probability(p, seed);
+        return true;
+    }
+    if (head == "key") {
+        if (rest.empty())
+            return setError(error, "empty key in '" + text + "'");
+        *out = TriggerPolicy::keyEquals(rest);
+        return true;
+    }
+    return setError(error, "unknown policy '" + text + "'");
+}
+
+} // namespace
+
+bool
+armFailPointsFromSpec(const std::string &spec, std::string *error)
+{
+    // Parse the whole spec before arming anything, so a malformed
+    // trailing entry cannot leave a half-armed configuration behind.
+    std::vector<std::pair<std::string, TriggerPolicy>> parsed;
+    std::vector<std::string> disarm;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        const std::size_t semi = spec.find(';', pos);
+        const std::string entry =
+            spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                       : semi - pos);
+        pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+        if (entry.empty())
+            continue;
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return setError(error, "expected site=policy in '" + entry +
+                                       "'");
+        const std::string site = entry.substr(0, eq);
+        const std::string policy_text = entry.substr(eq + 1);
+        if (policy_text == "off") {
+            disarm.push_back(site);
+            continue;
+        }
+        TriggerPolicy policy;
+        if (!parsePolicy(policy_text, &policy, error))
+            return false;
+        parsed.emplace_back(site, std::move(policy));
+    }
+    if (parsed.empty() && disarm.empty())
+        return setError(error, "empty failpoint spec");
+    for (const std::string &site : disarm)
+        disarmFailPoint(site);
+    for (auto &entry : parsed)
+        armFailPoint(entry.first, std::move(entry.second));
+    return true;
+}
+
+void
+armFailPointsFromEnv()
+{
+    const char *spec = std::getenv("DIDT_FAILPOINTS");
+    if (!spec || !*spec)
+        return;
+    const std::string text(spec);
+    if (text == "OFF" || text == "off" || text == "0")
+        return;
+    std::string error;
+    if (!armFailPointsFromSpec(text, &error)) {
+        // A typo in a fault-injection run must not silently become a
+        // clean run; no logging dependency here, so plain stderr.
+        std::fprintf(stderr, "fatal: DIDT_FAILPOINTS: %s\n",
+                     error.c_str());
+        std::exit(2);
+    }
+}
+
+} // namespace verify
+} // namespace didt

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Named, deterministic fault-injection sites (failpoints).
+ *
+ * A failpoint is a named branch compiled into a failure path we ship —
+ * a disk read in the trace repository, a parser entry point, a worker
+ * task — that tests can arm at run time to force that path to fail.
+ * Sites are evaluated through the DIDT_FAILPOINT / DIDT_FAILPOINT_KEYED
+ * macros; a site that is not armed costs a single relaxed atomic load,
+ * and with -DDIDT_FAILPOINTS=OFF the macros expand to a compile-time
+ * `false` so the branch (and the site string) vanish entirely.
+ *
+ * Trigger policies are deterministic by construction:
+ *  - nth-hit / every-k count evaluations of the site under a lock, so
+ *    single-threaded tests can target "the 3rd disk read" exactly;
+ *  - keyed probability hashes (seed, site, key), so whether a given
+ *    key fails never depends on thread interleaving — a campaign with
+ *    an armed probability failpoint fails the same cells at --jobs 1
+ *    and --jobs 8 and its result JSON stays byte-identical;
+ *  - key-equals fires for exactly one key (e.g. one campaign cell).
+ *
+ * Sites are armed programmatically (tests), from a spec string
+ * (didt_campaign --failpoints), or from the DIDT_FAILPOINTS
+ * environment variable. The registry never throws and never fires
+ * anything itself: the call site decides what "fail" means (return
+ * nullopt, throw, skip a write), keeping the injected behaviour
+ * identical to the organic failure it models.
+ */
+
+#ifndef DIDT_VERIFY_FAILPOINT_HH
+#define DIDT_VERIFY_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace didt
+{
+namespace verify
+{
+
+/** How an armed failpoint decides whether one evaluation fires. */
+struct TriggerPolicy
+{
+    enum class Kind
+    {
+        Always,      ///< every evaluation fires
+        NthHit,      ///< exactly the n-th evaluation fires (once)
+        EveryK,      ///< every k-th evaluation fires (k, 2k, ...)
+        Probability, ///< keyed hash of (seed, site, key) under p
+        KeyEquals,   ///< fires iff the evaluation key matches exactly
+    };
+
+    Kind kind = Kind::Always;
+    std::uint64_t n = 1;        ///< NthHit target / EveryK period
+    double p = 0.0;             ///< Probability threshold in [0, 1]
+    std::uint64_t seed = 0;     ///< Probability hash seed
+    std::string key;            ///< KeyEquals match value
+
+    static TriggerPolicy always();
+    static TriggerPolicy nthHit(std::uint64_t n);
+    static TriggerPolicy everyK(std::uint64_t k);
+    static TriggerPolicy probability(double p, std::uint64_t seed = 0);
+    static TriggerPolicy keyEquals(std::string key);
+};
+
+/** Evaluation counters of one site since it was armed (or reset). */
+struct FailPointStats
+{
+    std::uint64_t hits = 0;  ///< evaluations while armed
+    std::uint64_t fires = 0; ///< evaluations that fired
+};
+
+/** Arm @p site with @p policy (replacing any existing arming). */
+void armFailPoint(const std::string &site, TriggerPolicy policy);
+
+/** Disarm @p site; unarmed sites never fire. */
+void disarmFailPoint(const std::string &site);
+
+/** Disarm every site and zero all counters. */
+void resetFailPoints();
+
+/** Counters for @p site (zeros when never armed). */
+FailPointStats failPointStats(const std::string &site);
+
+/** Names of the currently armed sites, sorted. */
+std::vector<std::string> armedFailPoints();
+
+/**
+ * Arm sites from a spec string: semicolon-separated `site=policy`
+ * entries where policy is one of
+ *
+ *   always | nth:<n> | every:<k> | prob:<p>[:<seed>] | key:<value> | off
+ *
+ * e.g. "repo.disk_read=always;campaign.cell=prob:0.2:42". Returns
+ * false (and describes the problem in @p error when non-null) on a
+ * malformed spec, leaving previously armed sites untouched.
+ */
+bool armFailPointsFromSpec(const std::string &spec,
+                           std::string *error = nullptr);
+
+/**
+ * Arm sites from the DIDT_FAILPOINTS environment variable when it is
+ * set and non-empty ("OFF"/"off"/"0" are ignored so the variable can
+ * double as a build-flag mirror). Fatal on a malformed spec: a typo in
+ * a fault-injection run must not silently become a clean run.
+ */
+void armFailPointsFromEnv();
+
+namespace detail
+{
+
+/** True iff any site is armed; the macro's fast-path gate. */
+extern std::atomic<bool> g_armed;
+
+/** Slow path: look up @p site and apply its policy. */
+bool evaluate(std::string_view site, std::string_view key);
+
+} // namespace detail
+
+/** True when at least one failpoint is armed (single relaxed load). */
+inline bool
+failPointsArmed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+} // namespace verify
+} // namespace didt
+
+/**
+ * The hook macros. `DIDT_FAILPOINT("repo.disk_read")` is true when the
+ * named site should inject its fault; the keyed form makes the
+ * decision a deterministic function of @p key for the Probability and
+ * KeyEquals policies. Compiled out entirely under -DDIDT_FAILPOINTS=OFF.
+ */
+#ifdef DIDT_FAILPOINTS_OFF
+#define DIDT_FAILPOINT(site) false
+#define DIDT_FAILPOINT_KEYED(site, key) false
+#else
+#define DIDT_FAILPOINT(site)                                             \
+    (::didt::verify::failPointsArmed() &&                                \
+     ::didt::verify::detail::evaluate((site), std::string_view{}))
+#define DIDT_FAILPOINT_KEYED(site, key)                                  \
+    (::didt::verify::failPointsArmed() &&                                \
+     ::didt::verify::detail::evaluate((site), (key)))
+#endif
+
+#endif // DIDT_VERIFY_FAILPOINT_HH

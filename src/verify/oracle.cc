@@ -1,0 +1,161 @@
+#include "verify/oracle.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/emergency_estimator.hh"
+#include "core/monitor.hh"
+
+namespace didt
+{
+namespace verify
+{
+
+Divergence
+measureDivergence(std::span<const double> a, std::span<const double> b)
+{
+    Divergence d;
+    const std::size_t n = std::min(a.size(), b.size());
+    double sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double err = std::fabs(a[i] - b[i]);
+        d.maxAbs = std::max(d.maxAbs, err);
+        sq += err * err;
+    }
+    d.samples = n;
+    d.rms = n ? std::sqrt(sq / static_cast<double>(n)) : 0.0;
+    return d;
+}
+
+Oracle::Oracle(const ExperimentSetup &setup, OracleTolerances tolerances)
+    : setup_(setup), tol_(tolerances)
+{
+}
+
+MonitorOracleReport
+Oracle::checkMonitor(const SupplyNetwork &network,
+                     const CurrentTrace &trace, std::size_t terms,
+                     std::size_t window, std::size_t levels) const
+{
+    MonitorOracleReport report;
+
+    WaveletMonitor monitor(network, terms, window, levels);
+    // The exact online reference: the same impulse response with every
+    // tap retained (energy fraction 1.0 disables truncation). Both
+    // monitors share the steady-state warm start (history assumed
+    // equal to the first sample), so the only difference between the
+    // two series is the wavelet-domain top-K truncation the analytic
+    // bound covers.
+    FullConvolutionMonitor reference(network, 1.0);
+
+    VoltageTrace wavelet_v(trace.size());
+    VoltageTrace reference_v(trace.size());
+    // True voltage is unused by both estimation monitors.
+    const VoltageTrace unused(trace.size(),
+                              network.config().nominalVoltage);
+    monitor.updateBlock(trace, unused, wavelet_v);
+    reference.updateBlock(trace, unused, reference_v);
+
+    report.divergence = measureDivergence(wavelet_v, reference_v);
+    report.terms = monitor.termCount();
+
+    const auto [lo, hi] = std::minmax_element(trace.begin(), trace.end());
+    report.halfSwing =
+        trace.empty() ? 0.0 : 0.5 * (*hi - *lo);
+    report.bound = monitor.maxError(report.halfSwing);
+    report.pass = report.divergence.maxAbs <=
+                  report.bound * tol_.monitorBoundSlack +
+                      tol_.monitorFloor;
+    return report;
+}
+
+VarianceOracleReport
+Oracle::checkVarianceModel(const SupplyNetwork &network,
+                           const VoltageVarianceModel &model,
+                           std::span<const CurrentTrace> traces,
+                           Volt low_threshold, Volt high_threshold) const
+{
+    VarianceOracleReport report;
+    double var_sq = 0.0;
+    double pct_sq = 0.0;
+    std::size_t pct_samples = 0;
+    for (const CurrentTrace &trace : traces) {
+        const EmergencyProfile ep =
+            profileTrace(trace, network, model, low_threshold,
+                         high_threshold);
+        if (ep.measuredVariance > 0.0) {
+            const double rel = std::fabs(ep.estimatedVariance -
+                                         ep.measuredVariance) /
+                               ep.measuredVariance;
+            report.maxVarianceRelError =
+                std::max(report.maxVarianceRelError, rel);
+            var_sq += rel * rel;
+        }
+        for (const double err :
+             {100.0 * (ep.estimatedBelow - ep.measuredBelow),
+              100.0 * (ep.estimatedAbove - ep.measuredAbove)}) {
+            report.maxEmergencyPctError =
+                std::max(report.maxEmergencyPctError, std::fabs(err));
+            pct_sq += err * err;
+            ++pct_samples;
+        }
+        ++report.traces;
+    }
+    report.rmsVarianceRelError =
+        report.traces
+            ? std::sqrt(var_sq / static_cast<double>(report.traces))
+            : 0.0;
+    report.rmsEmergencyPctError =
+        pct_samples
+            ? std::sqrt(pct_sq / static_cast<double>(pct_samples))
+            : 0.0;
+    report.pass = report.traces > 0 &&
+                  report.maxVarianceRelError <= tol_.varianceRelTol &&
+                  report.maxEmergencyPctError <= tol_.emergencyPctTol;
+    return report;
+}
+
+SchemeOracleReport
+Oracle::checkScheme(ControlScheme scheme, const BenchmarkProfile &profile,
+                    const SupplyNetwork &network,
+                    std::uint64_t instructions,
+                    const VoltageVarianceModel *hazard_model) const
+{
+    SchemeOracleReport report;
+    report.scheme = controlSchemeName(scheme);
+
+    CosimConfig cfg;
+    cfg.instructions = instructions;
+    cfg.scheme = scheme;
+    cfg.hazardModel = hazard_model;
+    cfg.maxCycles = instructions * 64;
+
+    cfg.devirtualize = true;
+    const CosimResult fast =
+        runClosedLoop(profile, setup_.proc, setup_.power, network, cfg);
+    cfg.devirtualize = false;
+    const CosimResult reference =
+        runClosedLoop(profile, setup_.proc, setup_.power, network, cfg);
+
+    report.devirtualizedMatchesReference =
+        fast.cycles == reference.cycles &&
+        fast.committed == reference.committed &&
+        fast.lowFaults == reference.lowFaults &&
+        fast.highFaults == reference.highFaults &&
+        fast.controlCycles == reference.controlCycles &&
+        fast.stallCycles == reference.stallCycles &&
+        fast.noopCycles == reference.noopCycles &&
+        fast.falsePositives == reference.falsePositives &&
+        fast.minVoltage == reference.minVoltage &&
+        fast.maxVoltage == reference.maxVoltage &&
+        fast.meanCurrent == reference.meanCurrent &&
+        fast.energyJ == reference.energyJ;
+    report.committedAll = fast.committed == instructions &&
+                          reference.committed == instructions;
+    report.pass =
+        report.devirtualizedMatchesReference && report.committedAll;
+    return report;
+}
+
+} // namespace verify
+} // namespace didt

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structured fuzz drivers shared by the libFuzzer targets (built under
+ * -DDIDT_FUZZ=ON with Clang) and the corpus-replay ctest, which runs
+ * the exact same code over the committed corpus in every build
+ * configuration. Each driver feeds raw bytes to one parser or
+ * transform entry point and checks its safety contract: malformed
+ * input must surface as a clean error (nullopt or a parse exception),
+ * never a crash, hang, or huge allocation; accepted input must satisfy
+ * the round-trip property of its format. Contract violations abort().
+ */
+
+#ifndef DIDT_TESTS_FUZZ_DRIVERS_HH
+#define DIDT_TESTS_FUZZ_DRIVERS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace didt
+{
+namespace fuzz
+{
+
+/** parseJson: clean errors only; accepted docs round-trip via dump(). */
+int runJson(const std::uint8_t *data, std::size_t size);
+
+/** tryReadTraceText: never throws; accepted traces re-read cleanly. */
+int runTraceText(const std::uint8_t *data, std::size_t size);
+
+/** tryReadTraceBinary: never throws, never trusts the header count. */
+int runTraceBinary(const std::uint8_t *data, std::size_t size);
+
+/** DWT/MODWT forward-inverse round-trip on arbitrary sample bytes. */
+int runDwt(const std::uint8_t *data, std::size_t size);
+
+} // namespace fuzz
+} // namespace didt
+
+#endif // DIDT_TESTS_FUZZ_DRIVERS_HH

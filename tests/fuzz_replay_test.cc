@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Replays the committed fuzz corpus (tests/fuzz/corpus/) through the
+ * structured fuzz drivers as ordinary ctest cases, so every build
+ * configuration — not just the Clang libFuzzer one — proves that each
+ * corpus input (valid seeds and minimized crashers alike) is handled
+ * with a clean error or a correct round-trip, never a crash. A driver
+ * that sees a contract violation abort()s, which surfaces here as a
+ * test-process crash with the offending file named below.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/drivers.hh"
+
+namespace didt
+{
+namespace
+{
+
+std::vector<std::uint8_t>
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<std::uint8_t>(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+}
+
+/** Run every file under corpus/<category> through @p driver. */
+void
+replayCategory(const std::string &category,
+               const std::function<int(const std::uint8_t *,
+                                       std::size_t)> &driver)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(DIDT_FUZZ_CORPUS_DIR) / category;
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "missing corpus directory " << dir;
+    std::size_t replayed = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        SCOPED_TRACE("corpus file: " + entry.path().string());
+        const std::vector<std::uint8_t> bytes = readFile(entry.path());
+        EXPECT_EQ(driver(bytes.data(), bytes.size()), 0);
+        ++replayed;
+    }
+    EXPECT_GE(replayed, 4u)
+        << "corpus for " << category << " looks gutted";
+}
+
+TEST(FuzzReplay, Json) { replayCategory("json", fuzz::runJson); }
+
+TEST(FuzzReplay, TraceText)
+{
+    replayCategory("trace_text", fuzz::runTraceText);
+}
+
+TEST(FuzzReplay, TraceBinary)
+{
+    replayCategory("trace_binary", fuzz::runTraceBinary);
+}
+
+TEST(FuzzReplay, Dwt) { replayCategory("dwt", fuzz::runDwt); }
+
+} // namespace
+} // namespace didt

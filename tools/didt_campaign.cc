@@ -108,7 +108,19 @@ main(int argc, char **argv)
                  "disable metrics collection entirely");
     opts.declare("report", "false",
                  "print a human-readable metrics summary at the end");
+    opts.declare("failpoints", "",
+                 "arm fault-injection sites, e.g. "
+                 "'campaign.cell=key:mcf@1.2;repo.disk_write=always' "
+                 "(also read from $DIDT_FAILPOINTS)");
     opts.parse(argc, argv);
+
+    // Env first so an explicit --failpoints wins over it.
+    verify::armFailPointsFromEnv();
+    if (const std::string fp = opts.get("failpoints"); !fp.empty()) {
+        std::string error;
+        if (!verify::armFailPointsFromSpec(fp, &error))
+            didt_fatal("--failpoints: ", error);
+    }
 
     if (opts.getBool("no-metrics"))
         obs::setMetricsEnabled(false);
@@ -171,11 +183,16 @@ main(int argc, char **argv)
         ++done;
         if (quiet)
             return;
-        std::printf("[%3zu/%zu] %-8s @%.2fx  est %6.2f%%  "
-                    "meas %6.2f%%  (%.0f ms)\n",
-                    done, total_cells, cell.benchmark.c_str(),
-                    cell.impedanceScale, cell.estimatedBelowPct,
-                    cell.measuredBelowPct, cell.wallMillis);
+        if (cell.failed)
+            std::printf("[%3zu/%zu] %-8s @%.2fx  FAILED: %s\n", done,
+                        total_cells, cell.benchmark.c_str(),
+                        cell.impedanceScale, cell.error.c_str());
+        else
+            std::printf("[%3zu/%zu] %-8s @%.2fx  est %6.2f%%  "
+                        "meas %6.2f%%  (%.0f ms)\n",
+                        done, total_cells, cell.benchmark.c_str(),
+                        cell.impedanceScale, cell.estimatedBelowPct,
+                        cell.measuredBelowPct, cell.wallMillis);
         if (done % progress_stride == 0 && done != total_cells) {
             const double elapsed_s =
                 std::chrono::duration<double>(
@@ -222,6 +239,10 @@ main(int argc, char **argv)
                     result.cacheStats.simulations));
     std::printf("RMS estimation error: %.2f%%\n",
                 result.rmsEstimationErrorPct());
+    if (const std::size_t failed = result.failedCells(); failed > 0)
+        std::printf("failed cells: %zu of %zu (marked in the result "
+                    "JSON)\n",
+                    failed, result.cells.size());
 
     const bool timing_json = opts.getBool("timing-json");
     if (!opts.get("json").empty()) {
