@@ -11,8 +11,12 @@
  *  - core/     : offline wavelet variance characterization and online
  *                wavelet-convolution dI/dt control (the paper's
  *                contribution)
- *  - runner/   : parallel experiment campaigns with a content-
- *                addressed trace cache and structured JSON/CSV results
+ *  - runner/   : parallel experiment campaigns (plan / executor split)
+ *                with a content-addressed trace cache and structured
+ *                JSON/CSV results
+ *  - serve/    : the didt_serve daemon — characterization requests
+ *                over Unix/TCP sockets, request batching, and the
+ *                shared byte-budgeted trace-cache tier
  *  - obs/      : metrics registry, scoped timers, and Chrome trace
  *                spans across all of the above
  *  - verify/   : deterministic fault-injection failpoints and the
@@ -35,9 +39,16 @@
 #include "obs/trace_event.hh"
 #include "power/convolution.hh"
 #include "runner/campaign.hh"
+#include "runner/executor.hh"
+#include "runner/plan.hh"
 #include "runner/result_json.hh"
 #include "runner/thread_pool.hh"
 #include "runner/trace_repository.hh"
+#include "serve/batch.hh"
+#include "serve/client.hh"
+#include "serve/frame.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "power/multistage.hh"
 #include "power/stimulus.hh"
 #include "power/supply_network.hh"
@@ -56,6 +67,7 @@
 #include "util/logging.hh"
 #include "util/options.hh"
 #include "util/rng.hh"
+#include "util/shutdown.hh"
 #include "util/types.hh"
 #include "verify/failpoint.hh"
 #include "verify/oracle.hh"

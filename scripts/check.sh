@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 #
-# CI gate: strict warnings everywhere, plus the runner and obs
-# subsystems' concurrency tests under ThreadSanitizer, plus a metrics
-# sidecar smoke run validated against the checked-in schema, plus the
-# SIMD determinism gate: campaign JSON must be byte-identical across
-# -DDIDT_SIMD=ON/OFF and across --jobs 1/4.
+# CI gate: strict warnings everywhere, plus the concurrency-heavy
+# subsystems' tests under ThreadSanitizer, plus a metrics sidecar smoke
+# run validated against the checked-in schema, plus the SIMD
+# determinism gate (campaign JSON byte-identical across
+# -DDIDT_SIMD=ON/OFF and --jobs 1/4), plus the didt_serve service
+# smoke (scripts/serve_smoke.sh: a daemon replay reproduces a batch
+# campaign byte for byte and drains cleanly on SIGTERM).
 #
 #   scripts/check.sh            # full strict build + all tests + TSan + smoke
 #   scripts/check.sh --tsan-only  # just the TSan runner/obs-test pass
@@ -76,14 +78,18 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
     grep -q 'injected fault (campaign.cell): mcf@1.2' \
         "$SMOKE_DIR/fault_j1.json"
     echo "faulted campaign JSON identical across jobs 1/4, 1 failed cell"
+
+    echo "=== service byte-identity smoke (didt_serve / didt_client) ==="
+    BUILD_DIR=build-ci scripts/serve_smoke.sh
 fi
 
-echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify tests ==="
+echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify + serve tests ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
-      obs_test refactor_test simd_test verify_test fuzz_replay_test
-ctest --test-dir build-tsan -L 'runner|obs|refactor|simd|verify' \
+      obs_test refactor_test simd_test verify_test serve_test \
+      fuzz_replay_test
+ctest --test-dir build-tsan -L 'runner|obs|refactor|simd|verify|serve' \
       --output-on-failure -j "$JOBS"
 
 echo "=== all checks passed ==="

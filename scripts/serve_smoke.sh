@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+#
+# Service byte-identity smoke: a didt_client replay of a didt_campaign
+# result document through a didt_serve daemon must reproduce the file
+# byte for byte — at --jobs 1 and --jobs 4, and with socket failpoints
+# armed (the faulted request becomes a per-request error; the daemon
+# still drains cleanly and exits 0 on SIGTERM).
+#
+#   BUILD_DIR=build scripts/serve_smoke.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+CAMPAIGN="$BUILD_DIR/tools/didt_campaign"
+SERVE="$BUILD_DIR/tools/didt_serve"
+CLIENT="$BUILD_DIR/tools/didt_client"
+for tool in "$CAMPAIGN" "$SERVE" "$CLIENT"; do
+    [[ -x "$tool" ]] || { echo "missing tool: $tool" >&2; exit 1; }
+done
+
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SPEC_ARGS=(--benchmarks gzip,mcf --impedances 1.0,1.2
+           --instructions 30000 --window 128 --levels 6)
+SOCK="$WORK/didt.sock"
+
+# Start a daemon, wait for its socket, remember its PID.
+start_server() {
+    rm -f "$SOCK"
+    "$SERVE" --socket "$SOCK" "$@" > "$WORK/serve.log" 2>&1 &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        [[ -S "$SOCK" ]] && return 0
+        kill -0 "$SERVE_PID" 2>/dev/null || break
+        sleep 0.1
+    done
+    echo "didt_serve did not come up:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+}
+
+# SIGTERM the daemon and require a graceful exit 0 with drain output.
+stop_server() {
+    kill -TERM "$SERVE_PID"
+    local status=0
+    wait "$SERVE_PID" || status=$?
+    SERVE_PID=""
+    if [[ $status -ne 0 ]]; then
+        echo "FAIL: didt_serve exited $status on SIGTERM" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    fi
+    grep -q "drained" "$WORK/serve.log" || {
+        echo "FAIL: no drain message in daemon log" >&2
+        cat "$WORK/serve.log" >&2
+        exit 1
+    }
+}
+
+echo "=== reference batch campaign (didt_campaign --jobs 1) ==="
+"$CAMPAIGN" --jobs 1 "${SPEC_ARGS[@]}" --quiet \
+    --json "$WORK/campaign.json"
+
+for jobs in 1 4; do
+    echo "=== replay through didt_serve --jobs $jobs ==="
+    # A fresh daemon per job count: the replayed cache section must
+    # describe a cold shared tier, exactly like the batch run's.
+    start_server --jobs "$jobs"
+    "$CLIENT" ping --socket "$SOCK"
+    "$CLIENT" replay "$WORK/campaign.json" --socket "$SOCK" \
+        --out "$WORK/replay_j$jobs.json"
+    cmp "$WORK/campaign.json" "$WORK/replay_j$jobs.json"
+    echo "replay at --jobs $jobs is byte-identical"
+    stop_server
+done
+
+echo "=== socket failpoint leg (serve.decode=nth:1) ==="
+start_server --jobs 2 --failpoints 'serve.decode=nth:1'
+# The first request hits the injected decode fault and must surface as
+# a typed per-request error (client exit 3), not a daemon crash.
+status=0
+"$CLIENT" replay "$WORK/campaign.json" --socket "$SOCK" \
+    --out "$WORK/replay_faulted.json" 2> "$WORK/fault.err" || status=$?
+if [[ $status -ne 3 ]]; then
+    echo "FAIL: faulted replay exited $status, want 3" >&2
+    cat "$WORK/fault.err" >&2
+    exit 1
+fi
+grep -q "bad_request" "$WORK/fault.err"
+# The daemon survived; the retry reproduces the reference bytes.
+"$CLIENT" replay "$WORK/campaign.json" --socket "$SOCK" \
+    --out "$WORK/replay_retry.json"
+cmp "$WORK/campaign.json" "$WORK/replay_retry.json"
+echo "faulted request was a per-request error; retry is byte-identical"
+stop_server
+
+echo "=== client-side write failpoint (transport error, exit 3) ==="
+start_server --jobs 2
+status=0
+"$CLIENT" ping --socket "$SOCK" --failpoints 'serve.write=nth:1' \
+    2> /dev/null || status=$?
+if [[ $status -ne 3 ]]; then
+    echo "FAIL: client write fault exited $status, want 3" >&2
+    exit 1
+fi
+"$CLIENT" ping --socket "$SOCK"
+stop_server
+
+echo "=== serve smoke passed ==="

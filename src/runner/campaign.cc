@@ -1,70 +1,12 @@
 #include "runner/campaign.hh"
 
-#include <chrono>
 #include <cmath>
-#include <memory>
-#include <mutex>
-#include <optional>
 
-#include "core/emergency_estimator.hh"
-#include "core/variance_model.hh"
-#include "obs/metrics.hh"
-#include "obs/scoped_timer.hh"
-#include "util/json.hh"
-#include "verify/failpoint.hh"
-#include "wavelet/basis.hh"
+#include "runner/executor.hh"
+#include "runner/plan.hh"
 
 namespace didt
 {
-
-namespace
-{
-
-using Clock = std::chrono::steady_clock;
-
-double
-millisSince(Clock::time_point start)
-{
-    return std::chrono::duration<double, std::milli>(Clock::now() -
-                                                     start)
-        .count();
-}
-
-/** Campaign-level metrics (sidecar only; never read for result JSON). */
-struct CampaignMetrics
-{
-    obs::Counter cells;
-    obs::Counter cellFailures;
-    obs::Histogram cellMs;
-    obs::Histogram calibrateMs;
-};
-
-CampaignMetrics &
-campaignMetrics()
-{
-    auto &registry = obs::MetricsRegistry::global();
-    static CampaignMetrics metrics{
-        registry.counter("campaign.cells"),
-        registry.counter("campaign.cell_failures"),
-        registry.histogram("campaign.cell_ms"),
-        registry.histogram("campaign.calibrate_ms"),
-    };
-    return metrics;
-}
-
-/**
- * Stable identity of one campaign cell, used as the failpoint key for
- * the campaign.cell site and in failure messages: "mcf@1.2". The scale
- * prints exactly like the result JSON, so spec strings can be copied
- * from campaign output.
- */
-std::string
-cellKey(const std::string &benchmark, double scale)
-{
-    return benchmark + "@" + jsonNumber(scale);
-}
-
-} // namespace
 
 const std::vector<BenchmarkProfile> &
 CampaignSpec::effectiveProfiles() const
@@ -102,162 +44,14 @@ runCharacterizationCampaign(const ExperimentSetup &setup,
                             const CampaignSpec &spec,
                             TraceRepository &repo, std::size_t jobs,
                             const std::function<void(const CampaignCell &)>
-                                &on_cell)
+                                &on_cell,
+                            const std::atomic<bool> *cancel)
 {
-    const Clock::time_point campaign_start = Clock::now();
-
-    CampaignResult result;
-    result.spec = spec;
-    // Materialize the all-SPEC default so the result echoes the exact
-    // benchmark list it ran.
-    result.spec.profiles = spec.effectiveProfiles();
-    const std::vector<BenchmarkProfile> &profiles = result.spec.profiles;
-    const std::vector<double> &scales = spec.impedanceScales;
-
-    ThreadPool pool(jobs);
-    result.jobs = pool.size();
-
-    // Phase 1: build the calibration training set, each trace on its
-    // own worker.
-    const std::vector<std::function<CurrentTrace()>> builders =
-        calibrationTraceBuilders(setup);
-    std::vector<CurrentTrace> training(builders.size());
-    {
-        obs::ScopedTimer phase("campaign.training", {}, nullptr,
-                               "campaign");
-        pool.parallelFor(builders.size(), [&](std::size_t i) {
-            training[i] = builders[i]();
-        });
-    }
-
-    // Phase 2: one supply network + calibrated variance model per
-    // impedance scale, calibrated in parallel on the shared training
-    // set. Networks are stored first so the models' references stay
-    // valid for the whole campaign.
-    const WaveletBasis basis = WaveletBasis::byName(spec.basis);
-    std::vector<SupplyNetwork> networks;
-    networks.reserve(scales.size());
-    for (double scale : scales)
-        networks.push_back(setup.makeNetwork(scale));
-    std::vector<std::unique_ptr<VoltageVarianceModel>> models(
-        scales.size());
-    {
-        obs::ScopedTimer phase("campaign.calibrate", {}, nullptr,
-                               "campaign");
-        pool.parallelFor(scales.size(), [&](std::size_t si) {
-            obs::ScopedTimer timer("calibrate scale",
-                                   campaignMetrics().calibrateMs,
-                                   nullptr, "campaign");
-            auto model = std::make_unique<VoltageVarianceModel>(
-                networks[si], spec.windowLength, spec.levels, basis);
-            model->calibrateOnTraces(training);
-            models[si] = std::move(model);
-        });
-    }
-    result.calibrationMillis = millisSince(campaign_start);
-
-    // Phase 3: the sweep itself. Cells are stored benchmark-major for
-    // reporting but submitted scale-major, so the first batch of tasks
-    // covers distinct benchmarks and primes the trace cache before the
-    // sharing cells queue up behind it.
-    result.cells.resize(profiles.size() * scales.size());
-    // One analysis workspace per pool worker (plus a slot for any
-    // non-worker thread), indexed lock-free via workerIndex(): every
-    // cell on a worker reuses that worker's buffers, so the per-window
-    // hot path runs allocation-free after the first cell.
-    std::vector<AnalysisWorkspace> workspaces(pool.size() + 1);
-    std::optional<obs::ScopedTimer> sweep_phase;
-    sweep_phase.emplace("campaign.sweep", obs::Histogram{}, nullptr,
-                        "campaign");
-    std::mutex progress_mutex;
-    std::vector<std::future<void>> pending;
-    std::vector<std::size_t> pendingCell; // submission order -> cell
-    pending.reserve(result.cells.size());
-    pendingCell.reserve(result.cells.size());
-    for (std::size_t si = 0; si < scales.size(); ++si) {
-        for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
-            // Identity fields are written on this thread before the
-            // task runs, so even a task that faults before touching its
-            // cell (e.g. an injected pool.task failure) leaves a fully
-            // identified failed cell behind.
-            CampaignCell &submitted =
-                result.cells[pi * scales.size() + si];
-            submitted.benchmark = profiles[pi].name;
-            submitted.impedanceScale = scales[si];
-            pendingCell.push_back(pi * scales.size() + si);
-            pending.push_back(pool.submit([&, si, pi] {
-                obs::ScopedTimer span("cell " + profiles[pi].name,
-                                      campaignMetrics().cellMs, nullptr,
-                                      "campaign");
-                campaignMetrics().cells.add(1);
-                const Clock::time_point cell_start = Clock::now();
-                CampaignCell &cell =
-                    result.cells[pi * scales.size() + si];
-                try {
-                    const std::string key =
-                        cellKey(profiles[pi].name, scales[si]);
-                    if (DIDT_FAILPOINT_KEYED("campaign.cell", key))
-                        throw std::runtime_error(
-                            "injected fault (campaign.cell): " + key);
-                    const std::shared_ptr<const CurrentTrace> trace =
-                        repo.get(profiles[pi], spec.instructions,
-                                 spec.seed, spec.trimWarmup);
-                    const std::size_t wi = ThreadPool::workerIndex();
-                    AnalysisWorkspace &ws =
-                        workspaces[wi == ThreadPool::kNotAWorker
-                                       ? pool.size()
-                                       : wi];
-                    const EmergencyProfile ep = profileTrace(
-                        *trace, networks[si], *models[si],
-                        spec.lowThreshold, spec.highThreshold, ws, {},
-                        spec.useCorrelation);
-
-                    cell.traceCycles = trace->size();
-                    cell.windows = ep.windows;
-                    cell.estimatedBelowPct = 100.0 * ep.estimatedBelow;
-                    cell.measuredBelowPct = 100.0 * ep.measuredBelow;
-                    cell.estimatedAbovePct = 100.0 * ep.estimatedAbove;
-                    cell.measuredAbovePct = 100.0 * ep.measuredAbove;
-                    cell.estimatedVariance = ep.estimatedVariance;
-                    cell.measuredVariance = ep.measuredVariance;
-                } catch (const std::exception &e) {
-                    // A faulting cell is a result, not an abort: the
-                    // rest of the sweep keeps going and the failure
-                    // lands in the result JSON.
-                    cell.failed = true;
-                    cell.error = e.what();
-                    campaignMetrics().cellFailures.add(1);
-                }
-                cell.wallMillis = millisSince(cell_start);
-                if (on_cell) {
-                    std::lock_guard<std::mutex> lock(progress_mutex);
-                    on_cell(cell);
-                }
-            }));
-        }
-    }
-    for (std::future<void> &f : pending)
-        f.wait();
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-        try {
-            pending[i].get();
-        } catch (const std::exception &e) {
-            // The task itself faulted before the cell body's try block
-            // (an injected pool.task fault): record it against the
-            // right cell instead of aborting the campaign.
-            CampaignCell &cell = result.cells[pendingCell[i]];
-            if (!cell.failed) {
-                cell.failed = true;
-                cell.error = e.what();
-                campaignMetrics().cellFailures.add(1);
-            }
-        }
-    }
-    sweep_phase.reset();
-
-    result.cacheStats = repo.stats();
-    result.wallMillis = millisSince(campaign_start);
-    return result;
+    Executor executor(setup, repo, jobs);
+    ExecutionHooks hooks;
+    hooks.onCell = on_cell;
+    hooks.cancel = cancel;
+    return executor.run(buildCampaignPlan(spec), hooks);
 }
 
 } // namespace didt

@@ -3,18 +3,22 @@
  * Declarative experiment campaigns (paper Sections 4-5 sweeps).
  *
  * A campaign describes a full characterization sweep — a benchmark
- * set crossed with impedance scales under one analysis configuration —
- * and executes it cell-by-cell on a ThreadPool, pulling every current
- * trace through a shared TraceRepository so each benchmark is
- * simulated exactly once for the whole sweep. Per-impedance-scale
- * variance models are calibrated in parallel on a training set built
- * once. Results are deterministic: cell values depend only on the
- * spec, never on --jobs or scheduling order.
+ * set crossed with impedance scales under one analysis configuration.
+ * Execution follows a request / plan / execute split: the spec is
+ * materialized into a CampaignPlan (runner/plan.hh) and evaluated by
+ * an Executor (runner/executor.hh) that owns the ThreadPool, pulls
+ * every current trace through a shared TraceRepository (each distinct
+ * workload simulated exactly once), and calibrates per-impedance-scale
+ * variance models in parallel on a training set built once. Results
+ * are deterministic: cell values depend only on the spec, never on
+ * --jobs, scheduling order, or whether the batch CLI or the didt_serve
+ * daemon ran them.
  */
 
 #ifndef DIDT_RUNNER_CAMPAIGN_HH
 #define DIDT_RUNNER_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -105,10 +109,23 @@ struct CampaignResult
 {
     CampaignSpec spec;               ///< the sweep that ran
     std::vector<CampaignCell> cells; ///< benchmark-major, scale-minor
-    TraceCacheStats cacheStats;      ///< repository counters afterwards
+
+    /**
+     * Trace-cache traffic attributable to this run: the sum over its
+     * cells of what each cell's repository lookup observed. For a
+     * fresh repository this equals the repository totals; against a
+     * shared repository (the didt_serve daemon) it is this run's own
+     * contribution.
+     */
+    TraceCacheStats cacheStats;
+
     std::size_t jobs = 1;            ///< worker threads used
     double wallMillis = 0.0;         ///< end-to-end wall clock
     double calibrationMillis = 0.0;  ///< training + model calibration
+
+    /** True when a cancellation flag cut the run short; the skipped
+     *  cells are marked failed with an "interrupted" error. */
+    bool interrupted = false;
 
     /** RMS of (estimated - measured) emergency percentage, over the
      *  cells that completed (failed cells carry no measurements). */
@@ -119,7 +136,11 @@ struct CampaignResult
 };
 
 /**
- * Run a characterization campaign.
+ * Run a characterization campaign. Convenience wrapper that builds a
+ * CampaignPlan (runner/plan.hh) and evaluates it on a one-shot
+ * Executor (runner/executor.hh); long-lived consumers such as the
+ * didt_serve daemon use those pieces directly so requests share one
+ * pool, calibration cache, and trace repository.
  *
  * @param setup experiment environment (shared, read-only)
  * @param spec the sweep description
@@ -128,13 +149,17 @@ struct CampaignResult
  * @param jobs worker threads (0 = hardware concurrency)
  * @param on_cell optional progress callback, invoked from worker
  *        threads as cells finish (serialized by the campaign)
+ * @param cancel optional cooperative cancellation flag: once true,
+ *        cells that have not started are marked failed/"interrupted"
+ *        instead of evaluated (graceful SIGINT/SIGTERM drain)
  */
 CampaignResult
 runCharacterizationCampaign(const ExperimentSetup &setup,
                             const CampaignSpec &spec,
                             TraceRepository &repo, std::size_t jobs = 0,
                             const std::function<void(const CampaignCell &)>
-                                &on_cell = {});
+                                &on_cell = {},
+                            const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Generic campaign fan-out for sweeps whose cells are not emergency

@@ -1,0 +1,314 @@
+#include "runner/executor.hh"
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <optional>
+
+#include "core/emergency_estimator.hh"
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
+#include "util/json.hh"
+#include "verify/failpoint.hh"
+#include "wavelet/basis.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+/** Campaign-level metrics (sidecar only; never read for result JSON). */
+struct CampaignMetrics
+{
+    obs::Counter cells;
+    obs::Counter cellFailures;
+    obs::Counter cellsInterrupted;
+    obs::Histogram cellMs;
+    obs::Histogram calibrateMs;
+};
+
+CampaignMetrics &
+campaignMetrics()
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static CampaignMetrics metrics{
+        registry.counter("campaign.cells"),
+        registry.counter("campaign.cell_failures"),
+        registry.counter("campaign.cells_interrupted"),
+        registry.histogram("campaign.cell_ms"),
+        registry.histogram("campaign.calibrate_ms"),
+    };
+    return metrics;
+}
+
+/**
+ * Stable identity of one campaign cell, used as the failpoint key for
+ * the campaign.cell site and in failure messages: "mcf@1.2". The scale
+ * prints exactly like the result JSON, so spec strings can be copied
+ * from campaign output.
+ */
+std::string
+cellKey(const std::string &benchmark, double scale)
+{
+    return benchmark + "@" + jsonNumber(scale);
+}
+
+std::uint64_t
+doubleBits(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+Executor::Executor(const ExperimentSetup &setup, TraceRepository &repo,
+                   std::size_t jobs)
+    : setup_(setup), repo_(repo), pool_(jobs),
+      workspaces_(pool_.size() + 1)
+{
+}
+
+std::size_t
+Executor::cachedModels() const
+{
+    std::lock_guard<std::mutex> lock(modelsMutex_);
+    return models_.size();
+}
+
+const std::vector<CurrentTrace> &
+Executor::trainingTraces()
+{
+    std::lock_guard<std::mutex> lock(trainingMutex_);
+    if (!trainingBuilt_) {
+        const std::vector<std::function<CurrentTrace()>> builders =
+            calibrationTraceBuilders(setup_);
+        training_.resize(builders.size());
+        obs::ScopedTimer phase("campaign.training", {}, nullptr,
+                               "campaign");
+        pool_.parallelFor(builders.size(), [&](std::size_t i) {
+            training_[i] = builders[i]();
+        });
+        trainingBuilt_ = true;
+    }
+    return training_;
+}
+
+std::vector<const Executor::CalibratedScale *>
+Executor::calibratedScales(const CampaignSpec &spec)
+{
+    const std::vector<double> &scales = spec.impedanceScales;
+    std::vector<const CalibratedScale *> result(scales.size(), nullptr);
+
+    // The lock is held across the whole calibration phase: concurrent
+    // runs serialize here (the parallelFor still fans out across the
+    // pool), and an entry is never replaced once inserted, so returned
+    // pointers stay valid for the executor's lifetime.
+    std::lock_guard<std::mutex> lock(modelsMutex_);
+
+    std::vector<std::size_t> missing;
+    for (std::size_t si = 0; si < scales.size(); ++si) {
+        const ModelKey key{doubleBits(scales[si]), spec.windowLength,
+                           spec.levels, spec.basis};
+        auto it = models_.find(key);
+        if (it != models_.end()) {
+            result[si] = it->second.get();
+        } else {
+            auto entry = std::make_unique<CalibratedScale>(
+                setup_.makeNetwork(scales[si]));
+            result[si] = entry.get();
+            models_.emplace(key, std::move(entry));
+            missing.push_back(si);
+        }
+    }
+    if (missing.empty())
+        return result;
+
+    const std::vector<CurrentTrace> &training = trainingTraces();
+    const WaveletBasis basis = WaveletBasis::byName(spec.basis);
+    obs::ScopedTimer phase("campaign.calibrate", {}, nullptr,
+                           "campaign");
+    pool_.parallelFor(missing.size(), [&](std::size_t mi) {
+        obs::ScopedTimer timer("calibrate scale",
+                               campaignMetrics().calibrateMs, nullptr,
+                               "campaign");
+        const std::size_t si = missing[mi];
+        // result[si] points at the entry this run just inserted, so
+        // writing through the const_cast is exclusive to this task.
+        auto *entry = const_cast<CalibratedScale *>(result[si]);
+        auto model = std::make_unique<VoltageVarianceModel>(
+            entry->network, spec.windowLength, spec.levels, basis);
+        model->calibrateOnTraces(training);
+        entry->model = std::move(model);
+    });
+    return result;
+}
+
+CampaignResult
+Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
+{
+    const Clock::time_point campaign_start = Clock::now();
+
+    CampaignResult result;
+    result.spec = plan.spec;
+    result.jobs = pool_.size();
+    const std::vector<BenchmarkProfile> &profiles = plan.spec.profiles;
+    const std::vector<double> &scales = plan.spec.impedanceScales;
+
+    result.cells.resize(plan.cellCount());
+    if (hooks.cellCacheDeltas) {
+        hooks.cellCacheDeltas->clear();
+        hooks.cellCacheDeltas->resize(plan.cellCount());
+    }
+    std::vector<TraceCacheStats> localDeltas;
+    std::vector<TraceCacheStats> &deltas =
+        hooks.cellCacheDeltas ? *hooks.cellCacheDeltas : localDeltas;
+    if (!hooks.cellCacheDeltas)
+        deltas.resize(plan.cellCount());
+
+    // Phase 1+2: training set and per-scale calibrated models, both
+    // memoized across runs. A run that arrives pre-cancelled skips
+    // calibration entirely and reports every cell as interrupted.
+    const bool cancelled_early =
+        hooks.cancel && hooks.cancel->load(std::memory_order_relaxed);
+    std::vector<const CalibratedScale *> models;
+    if (!cancelled_early)
+        models = calibratedScales(plan.spec);
+    result.calibrationMillis = millisSince(campaign_start);
+
+    // Phase 3: the sweep itself. Cells are stored benchmark-major for
+    // reporting but submitted in the plan's scale-major order, so the
+    // first batch of tasks covers distinct benchmarks and primes the
+    // trace cache before the sharing cells queue up behind it.
+    std::optional<obs::ScopedTimer> sweep_phase;
+    sweep_phase.emplace("campaign.sweep", obs::Histogram{}, nullptr,
+                        "campaign");
+    std::mutex progress_mutex;
+    std::vector<std::future<void>> pending;
+    std::vector<std::size_t> pendingCell; // submission order -> cell
+    pending.reserve(plan.order.size());
+    pendingCell.reserve(plan.order.size());
+    for (const PlanCell &pc : plan.order) {
+        const std::size_t ci = plan.storageIndex(pc);
+        const std::size_t pi = pc.profileIndex;
+        const std::size_t si = pc.scaleIndex;
+        // Identity fields are written on this thread before the task
+        // runs, so even a task that faults before touching its cell
+        // (e.g. an injected pool.task failure) leaves a fully
+        // identified failed cell behind.
+        CampaignCell &submitted = result.cells[ci];
+        submitted.benchmark = profiles[pi].name;
+        submitted.impedanceScale = scales[si];
+        if (cancelled_early) {
+            submitted.failed = true;
+            submitted.error = "interrupted before evaluation";
+            campaignMetrics().cellsInterrupted.add(1);
+            continue;
+        }
+        pendingCell.push_back(ci);
+        pending.push_back(pool_.submit([&, ci, pi, si] {
+            obs::ScopedTimer span("cell " + profiles[pi].name,
+                                  campaignMetrics().cellMs, nullptr,
+                                  "campaign");
+            campaignMetrics().cells.add(1);
+            const Clock::time_point cell_start = Clock::now();
+            CampaignCell &cell = result.cells[ci];
+            try {
+                if (hooks.cancel &&
+                    hooks.cancel->load(std::memory_order_relaxed)) {
+                    cell.failed = true;
+                    cell.error = "interrupted before evaluation";
+                    campaignMetrics().cellsInterrupted.add(1);
+                } else {
+                    const std::string key =
+                        cellKey(profiles[pi].name, scales[si]);
+                    if (DIDT_FAILPOINT_KEYED("campaign.cell", key))
+                        throw std::runtime_error(
+                            "injected fault (campaign.cell): " + key);
+                    TraceRequest request;
+                    request.profile = profiles[pi];
+                    request.instructions = plan.spec.instructions;
+                    request.seed = plan.spec.seed;
+                    request.trimWarmup = plan.spec.trimWarmup;
+                    const std::shared_ptr<const CurrentTrace> trace =
+                        repo_.get(request, &deltas[ci]);
+                    const std::size_t wi = ThreadPool::workerIndex();
+                    AnalysisWorkspace &ws =
+                        workspaces_[wi == ThreadPool::kNotAWorker
+                                        ? pool_.size()
+                                        : wi];
+                    const CalibratedScale &cal = *models[si];
+                    const EmergencyProfile ep = profileTrace(
+                        *trace, cal.network, *cal.model,
+                        plan.spec.lowThreshold, plan.spec.highThreshold,
+                        ws, {}, plan.spec.useCorrelation);
+
+                    cell.traceCycles = trace->size();
+                    cell.windows = ep.windows;
+                    cell.estimatedBelowPct = 100.0 * ep.estimatedBelow;
+                    cell.measuredBelowPct = 100.0 * ep.measuredBelow;
+                    cell.estimatedAbovePct = 100.0 * ep.estimatedAbove;
+                    cell.measuredAbovePct = 100.0 * ep.measuredAbove;
+                    cell.estimatedVariance = ep.estimatedVariance;
+                    cell.measuredVariance = ep.measuredVariance;
+                }
+            } catch (const std::exception &e) {
+                // A faulting cell is a result, not an abort: the rest
+                // of the sweep keeps going and the failure lands in
+                // the result JSON.
+                cell.failed = true;
+                cell.error = e.what();
+                campaignMetrics().cellFailures.add(1);
+            }
+            cell.wallMillis = millisSince(cell_start);
+            if (hooks.onCell) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                hooks.onCell(cell);
+            }
+        }));
+    }
+    for (std::future<void> &f : pending)
+        f.wait();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        try {
+            pending[i].get();
+        } catch (const std::exception &e) {
+            // The task itself faulted before the cell body's try block
+            // (an injected pool.task fault): record it against the
+            // right cell instead of aborting the campaign.
+            CampaignCell &cell = result.cells[pendingCell[i]];
+            if (!cell.failed) {
+                cell.failed = true;
+                cell.error = e.what();
+                campaignMetrics().cellFailures.add(1);
+            }
+        }
+    }
+    sweep_phase.reset();
+
+    // The result's cache section is the sum of what this run's cells
+    // observed — for a fresh repository that equals the repository
+    // totals; for the daemon's shared repository it is this request's
+    // own traffic.
+    for (const TraceCacheStats &delta : deltas)
+        result.cacheStats += delta;
+    result.interrupted =
+        hooks.cancel && hooks.cancel->load(std::memory_order_relaxed);
+    result.wallMillis = millisSince(campaign_start);
+    return result;
+}
+
+} // namespace didt

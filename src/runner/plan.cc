@@ -1,0 +1,24 @@
+#include "runner/plan.hh"
+
+namespace didt
+{
+
+CampaignPlan
+buildCampaignPlan(const CampaignSpec &spec)
+{
+    CampaignPlan plan;
+    plan.spec = spec;
+    // Materialize the all-SPEC default so the plan (and every result
+    // built from it) echoes the exact benchmark list it ran.
+    plan.spec.profiles = spec.effectiveProfiles();
+
+    const std::size_t profiles = plan.spec.profiles.size();
+    const std::size_t scales = plan.spec.impedanceScales.size();
+    plan.order.reserve(profiles * scales);
+    for (std::size_t si = 0; si < scales; ++si)
+        for (std::size_t pi = 0; pi < profiles; ++pi)
+            plan.order.push_back(PlanCell{pi, si});
+    return plan;
+}
+
+} // namespace didt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Campaign plans: the "what to evaluate" half of the request / plan /
+ * execute split.
+ *
+ * A CampaignPlan is a fully materialized, immutable description of the
+ * cells one execution will evaluate: the spec with its all-SPEC default
+ * applied, plus the deterministic submission order. Both the batch
+ * didt_campaign driver and the didt_serve daemon build plans and hand
+ * them to an Executor, so the two entry points share one execution
+ * path and produce byte-identical results for identical specs.
+ */
+
+#ifndef DIDT_RUNNER_PLAN_HH
+#define DIDT_RUNNER_PLAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "runner/campaign.hh"
+
+namespace didt
+{
+
+/** One cell of a plan, by index into the plan's profiles / scales. */
+struct PlanCell
+{
+    std::size_t profileIndex = 0; ///< into plan.spec.profiles
+    std::size_t scaleIndex = 0;   ///< into plan.spec.impedanceScales
+};
+
+/** A materialized campaign: spec plus deterministic cell order. */
+struct CampaignPlan
+{
+    /** The sweep, with profiles materialized (never empty). */
+    CampaignSpec spec;
+
+    /**
+     * Cells in submission order: scale-major, so the first batch of
+     * tasks covers distinct benchmarks and primes the trace cache
+     * before the sharing cells queue up behind it.
+     */
+    std::vector<PlanCell> order;
+
+    /** Total cells (profiles x scales). */
+    std::size_t cellCount() const
+    {
+        return spec.profiles.size() * spec.impedanceScales.size();
+    }
+
+    /**
+     * Storage index of a cell in CampaignResult::cells
+     * (benchmark-major, scale-minor — the reporting order).
+     */
+    std::size_t storageIndex(const PlanCell &cell) const
+    {
+        return cell.profileIndex * spec.impedanceScales.size() +
+               cell.scaleIndex;
+    }
+};
+
+/**
+ * Build the plan for @p spec: materialize the benchmark list and lay
+ * out the scale-major submission order. Pure; the same spec always
+ * yields the same plan.
+ */
+CampaignPlan buildCampaignPlan(const CampaignSpec &spec);
+
+} // namespace didt
+
+#endif // DIDT_RUNNER_PLAN_HH

@@ -1,41 +1,176 @@
 #include "runner/result_json.hh"
 
+#include <cmath>
 #include <fstream>
 
 #include "runner/campaign.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
+#include "wavelet/basis.hh"
 
 namespace didt
 {
+
+namespace
+{
+
+/** Read an optional non-negative integer member into @p out. */
+template <typename T>
+bool
+readCount(const JsonValue &json, const std::string &key, T *out,
+          std::string *error)
+{
+    const JsonValue *member = json.find(key);
+    if (!member)
+        return true;
+    if (member->kind() != JsonValue::Kind::Number) {
+        *error = "spec field '" + key + "' must be a number";
+        return false;
+    }
+    const double value = member->asNumber();
+    if (value < 0.0 || value != std::floor(value)) {
+        *error = "spec field '" + key +
+                 "' must be a non-negative integer";
+        return false;
+    }
+    *out = static_cast<T>(value);
+    return true;
+}
+
+/** Read an optional number member into @p out. */
+bool
+readNumber(const JsonValue &json, const std::string &key, double *out,
+           std::string *error)
+{
+    const JsonValue *member = json.find(key);
+    if (!member)
+        return true;
+    if (member->kind() != JsonValue::Kind::Number) {
+        *error = "spec field '" + key + "' must be a number";
+        return false;
+    }
+    *out = member->asNumber();
+    return true;
+}
+
+} // namespace
+
+JsonValue
+campaignSpecToJson(const CampaignSpec &spec)
+{
+    JsonValue json = JsonValue::object();
+    JsonValue benchmarks = JsonValue::array();
+    for (const BenchmarkProfile &profile : spec.profiles)
+        benchmarks.push(profile.name);
+    json.set("benchmarks", std::move(benchmarks));
+    JsonValue scales = JsonValue::array();
+    for (double scale : spec.impedanceScales)
+        scales.push(scale);
+    json.set("impedance_scales", std::move(scales));
+    json.set("window", static_cast<long long>(spec.windowLength));
+    json.set("levels", static_cast<long long>(spec.levels));
+    json.set("basis", spec.basis);
+    json.set("low_threshold", spec.lowThreshold);
+    json.set("high_threshold", spec.highThreshold);
+    json.set("use_correlation", spec.useCorrelation);
+    json.set("instructions", static_cast<long long>(spec.instructions));
+    json.set("seed", static_cast<long long>(spec.seed));
+    json.set("trim_warmup", static_cast<long long>(spec.trimWarmup));
+    return json;
+}
+
+bool
+campaignSpecFromJson(const JsonValue &json, CampaignSpec *spec,
+                     std::string *error)
+{
+    if (json.kind() != JsonValue::Kind::Object) {
+        *error = "spec must be a JSON object";
+        return false;
+    }
+    CampaignSpec parsed;
+    if (const JsonValue *benchmarks = json.find("benchmarks")) {
+        if (benchmarks->kind() != JsonValue::Kind::Array) {
+            *error = "spec field 'benchmarks' must be an array";
+            return false;
+        }
+        for (const JsonValue &name : benchmarks->items()) {
+            if (name.kind() != JsonValue::Kind::String) {
+                *error = "spec field 'benchmarks' must hold strings";
+                return false;
+            }
+            const BenchmarkProfile *profile =
+                findProfileByName(name.asString());
+            if (!profile) {
+                *error = "unknown benchmark '" + name.asString() + "'";
+                return false;
+            }
+            parsed.profiles.push_back(*profile);
+        }
+    }
+    if (const JsonValue *scales = json.find("impedance_scales")) {
+        if (scales->kind() != JsonValue::Kind::Array) {
+            *error = "spec field 'impedance_scales' must be an array";
+            return false;
+        }
+        parsed.impedanceScales.clear();
+        for (const JsonValue &scale : scales->items()) {
+            if (scale.kind() != JsonValue::Kind::Number ||
+                scale.asNumber() <= 0.0) {
+                *error = "spec field 'impedance_scales' must hold "
+                         "positive numbers";
+                return false;
+            }
+            parsed.impedanceScales.push_back(scale.asNumber());
+        }
+        if (parsed.impedanceScales.empty()) {
+            *error = "spec field 'impedance_scales' must not be empty";
+            return false;
+        }
+    }
+    if (!readCount(json, "window", &parsed.windowLength, error) ||
+        !readCount(json, "levels", &parsed.levels, error) ||
+        !readCount(json, "instructions", &parsed.instructions, error) ||
+        !readCount(json, "seed", &parsed.seed, error) ||
+        !readCount(json, "trim_warmup", &parsed.trimWarmup, error))
+        return false;
+    if (parsed.windowLength == 0) {
+        *error = "spec field 'window' must be positive";
+        return false;
+    }
+    if (const JsonValue *basis = json.find("basis")) {
+        if (basis->kind() != JsonValue::Kind::String) {
+            *error = "spec field 'basis' must be a string";
+            return false;
+        }
+        if (!WaveletBasis::isKnownName(basis->asString())) {
+            *error = "unknown wavelet basis '" + basis->asString() +
+                     "' (try haar, db4, db6)";
+            return false;
+        }
+        parsed.basis = basis->asString();
+    }
+    if (!readNumber(json, "low_threshold", &parsed.lowThreshold,
+                    error) ||
+        !readNumber(json, "high_threshold", &parsed.highThreshold,
+                    error))
+        return false;
+    if (const JsonValue *corr = json.find("use_correlation")) {
+        if (corr->kind() != JsonValue::Kind::Bool) {
+            *error = "spec field 'use_correlation' must be a boolean";
+            return false;
+        }
+        parsed.useCorrelation = corr->asBool();
+    }
+    *spec = std::move(parsed);
+    return true;
+}
 
 JsonValue
 campaignToJson(const CampaignResult &result, bool include_timing)
 {
     JsonValue doc = JsonValue::object();
     doc.set("schema", "didt-campaign-v1");
-
-    JsonValue spec = JsonValue::object();
-    JsonValue benchmarks = JsonValue::array();
-    for (const BenchmarkProfile &profile : result.spec.profiles)
-        benchmarks.push(profile.name);
-    spec.set("benchmarks", std::move(benchmarks));
-    JsonValue scales = JsonValue::array();
-    for (double scale : result.spec.impedanceScales)
-        scales.push(scale);
-    spec.set("impedance_scales", std::move(scales));
-    spec.set("window", static_cast<long long>(result.spec.windowLength));
-    spec.set("levels", static_cast<long long>(result.spec.levels));
-    spec.set("basis", result.spec.basis);
-    spec.set("low_threshold", result.spec.lowThreshold);
-    spec.set("high_threshold", result.spec.highThreshold);
-    spec.set("use_correlation", result.spec.useCorrelation);
-    spec.set("instructions",
-             static_cast<long long>(result.spec.instructions));
-    spec.set("seed", static_cast<long long>(result.spec.seed));
-    spec.set("trim_warmup",
-             static_cast<long long>(result.spec.trimWarmup));
-    doc.set("spec", std::move(spec));
+    doc.set("spec", campaignSpecToJson(result.spec));
 
     JsonValue cache = JsonValue::object();
     cache.set("lookups",
@@ -50,6 +185,11 @@ campaignToJson(const CampaignResult &result, bool include_timing)
               static_cast<long long>(result.cacheStats.diskCorrupt));
     cache.set("simulations",
               static_cast<long long>(result.cacheStats.simulations));
+    // Evictions only happen under a memory budget, so budget-less runs
+    // keep the cache section byte-identical to pre-budget builds.
+    if (result.cacheStats.evictions > 0)
+        cache.set("evictions",
+                  static_cast<long long>(result.cacheStats.evictions));
     doc.set("cache", std::move(cache));
 
     JsonValue cells = JsonValue::array();
@@ -77,6 +217,8 @@ campaignToJson(const CampaignResult &result, bool include_timing)
     doc.set("rms_estimation_error_pct", result.rmsEstimationErrorPct());
     if (const std::size_t failed = result.failedCells(); failed > 0)
         doc.set("failed_cells", static_cast<long long>(failed));
+    if (result.interrupted)
+        doc.set("interrupted", true);
 
     if (include_timing) {
         JsonValue timing = JsonValue::object();

@@ -20,6 +20,26 @@ namespace didt
 {
 
 struct CampaignResult;
+struct CampaignSpec;
+
+/**
+ * Render a campaign spec as a JSON object — the "spec" section of the
+ * campaign document, and the request payload of the didt-serve-v1
+ * protocol (serve/protocol.hh).
+ */
+JsonValue campaignSpecToJson(const CampaignSpec &spec);
+
+/**
+ * Parse a campaign spec from the JSON object campaignSpecToJson
+ * writes. Every field is optional and defaults to the CampaignSpec
+ * default, so a request may carry only what it overrides. Never
+ * panics: on a type mismatch, an unknown benchmark, or an unknown
+ * wavelet basis it fills @p error and returns false, leaving @p spec
+ * unspecified — the daemon turns that into a per-request error
+ * response.
+ */
+bool campaignSpecFromJson(const JsonValue &json, CampaignSpec *spec,
+                          std::string *error);
 
 /**
  * Render a campaign result as a JSON document.

@@ -30,7 +30,9 @@ struct RepoMetrics
     obs::Counter diskStores;
     obs::Counter diskCorrupt;
     obs::Counter simulations;
+    obs::Counter evictions;
     obs::Counter traceBytes;
+    obs::Gauge residentBytes;
     obs::Histogram waitMs;
     obs::Histogram simulateMs;
 };
@@ -46,7 +48,9 @@ repoMetrics()
         registry.counter("repo.disk_stores"),
         registry.counter("repo.disk_corrupt"),
         registry.counter("repo.simulations"),
+        registry.counter("repo.evictions"),
         registry.counter("repo.trace_bytes"),
+        registry.gauge("repo.resident_bytes"),
         registry.histogram("repo.wait_ms"),
         registry.histogram("repo.simulate_ms"),
     };
@@ -91,6 +95,19 @@ class Fnv1a
 };
 
 } // namespace
+
+TraceCacheStats &
+TraceCacheStats::operator+=(const TraceCacheStats &other)
+{
+    lookups += other.lookups;
+    memoryHits += other.memoryHits;
+    diskLoads += other.diskLoads;
+    diskStores += other.diskStores;
+    diskCorrupt += other.diskCorrupt;
+    simulations += other.simulations;
+    evictions += other.evictions;
+    return *this;
+}
 
 std::uint64_t
 fingerprintTraceRequest(const TraceRequest &request)
@@ -145,8 +162,59 @@ TraceRepository::cachePath(const TraceRequest &request) const
     return cacheDir_ + "/" + name;
 }
 
+void
+TraceRepository::touchLocked(Entry &entry)
+{
+    if (entry.resident && entry.lruIt != lru_.begin())
+        lru_.splice(lru_.begin(), lru_, entry.lruIt);
+}
+
+void
+TraceRepository::enforceBudgetLocked()
+{
+    if (budgetBytes_ == 0)
+        return;
+    // Never evict the MRU entry: the budget is a cap on the *shared*
+    // tier, not a way to thrash the trace a request is using right now.
+    while (residentBytes_ > budgetBytes_ && lru_.size() > 1) {
+        const std::uint64_t victim = lru_.back();
+        auto it = entries_.find(victim);
+        if (it != entries_.end()) {
+            residentBytes_ -= it->second.bytes;
+            entries_.erase(it);
+        }
+        lru_.pop_back();
+        ++stats_.evictions;
+        repoMetrics().evictions.add(1);
+    }
+    repoMetrics().residentBytes.record(
+        static_cast<double>(residentBytes_));
+}
+
+void
+TraceRepository::setMemoryBudgetBytes(std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    budgetBytes_ = bytes;
+    enforceBudgetLocked();
+}
+
+std::uint64_t
+TraceRepository::memoryBudgetBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budgetBytes_;
+}
+
+std::uint64_t
+TraceRepository::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return residentBytes_;
+}
+
 std::shared_ptr<const CurrentTrace>
-TraceRepository::get(const TraceRequest &request)
+TraceRepository::get(const TraceRequest &request, TraceCacheStats *delta)
 {
     const std::uint64_t key = fingerprintTraceRequest(request);
 
@@ -161,20 +229,25 @@ TraceRepository::get(const TraceRequest &request)
             // Completed or in flight: either way this caller shares
             // the one production, so it counts as a memory hit.
             ++stats_.memoryHits;
-            shared = it->second;
+            touchLocked(it->second);
+            shared = it->second.future;
         } else {
             producer = true;
             shared = claim.get_future().share();
-            entries_.emplace(key, shared);
+            Entry entry;
+            entry.future = shared;
+            entries_.emplace(key, std::move(entry));
         }
     }
 
     RepoMetrics &metrics = repoMetrics();
     metrics.lookups.add(1);
+    if (delta)
+        ++delta->lookups;
 
     if (producer) {
         try {
-            claim.set_value(produce(request));
+            claim.set_value(produce(request, delta));
         } catch (...) {
             // Evict the failed production before publishing the
             // exception: waiters already holding the shared future see
@@ -186,11 +259,29 @@ TraceRepository::get(const TraceRequest &request)
                 entries_.erase(key);
             }
             claim.set_exception(std::current_exception());
+            return shared.get(); // rethrows; never returns
         }
-        return shared.get(); // already ready; never blocks
+        // Production succeeded: account the trace against the memory
+        // budget and evict older entries if the shared tier overflowed.
+        const TracePtr trace = shared.get(); // already ready
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end() && !it->second.resident) {
+                it->second.bytes = trace->size() * sizeof(Amp);
+                lru_.push_front(key);
+                it->second.lruIt = lru_.begin();
+                it->second.resident = true;
+                residentBytes_ += it->second.bytes;
+                enforceBudgetLocked();
+            }
+        }
+        return trace;
     }
 
     metrics.memoryHits.add(1);
+    if (delta)
+        ++delta->memoryHits;
     if (obs::metricsEnabled()) {
         // Time how long this consumer blocks behind the elected
         // producer (zero when the entry was already complete).
@@ -219,7 +310,8 @@ TraceRepository::get(const BenchmarkProfile &profile,
 }
 
 TraceRepository::TracePtr
-TraceRepository::produce(const TraceRequest &request)
+TraceRepository::produce(const TraceRequest &request,
+                         TraceCacheStats *delta)
 {
     if (DIDT_FAILPOINT_KEYED("repo.produce", request.profile.name))
         throw std::runtime_error("injected fault (repo.produce): " +
@@ -238,6 +330,8 @@ TraceRepository::produce(const TraceRequest &request)
             if (cached) {
                 metrics.diskLoads.add(1);
                 metrics.traceBytes.add(cached->size() * sizeof(Amp));
+                if (delta)
+                    ++delta->diskLoads;
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.diskLoads;
                 return std::make_shared<const CurrentTrace>(
@@ -281,6 +375,13 @@ TraceRepository::produce(const TraceRequest &request)
 
     metrics.simulations.add(1);
     metrics.traceBytes.add(trace.size() * sizeof(Amp));
+    if (delta) {
+        ++delta->simulations;
+        if (rejected_corrupt)
+            ++delta->diskCorrupt;
+        if (stored)
+            ++delta->diskStores;
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.simulations;

@@ -21,6 +21,15 @@
  * binary didt trace files named by their 64-bit content fingerprint,
  * so repeated campaign invocations skip simulation entirely. A
  * corrupt or truncated file is treated as a miss and overwritten.
+ *
+ * Memory budget: as a shared cross-request tier (the didt_serve
+ * daemon keeps one repository alive for its whole lifetime) the
+ * in-memory map can be capped with setMemoryBudgetBytes(). Completed
+ * traces are tracked in LRU order; when the resident bytes exceed the
+ * budget the least-recently-used complete traces are evicted (the
+ * most recent one always stays, and in-flight productions are never
+ * evicted). An evicted trace costs a disk load or a re-simulation on
+ * its next request; callers holding shared_ptrs are unaffected.
  */
 
 #ifndef DIDT_RUNNER_TRACE_REPOSITORY_HH
@@ -28,6 +37,7 @@
 
 #include <cstdint>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +77,10 @@ struct TraceCacheStats
     std::uint64_t diskStores = 0;  ///< traces written to the cache dir
     std::uint64_t diskCorrupt = 0; ///< corrupt cache files rejected
     std::uint64_t simulations = 0; ///< actually simulated
+    std::uint64_t evictions = 0;   ///< traces evicted by the byte budget
+
+    /** Field-wise sum, for aggregating per-cell deltas. */
+    TraceCacheStats &operator+=(const TraceCacheStats &other);
 };
 
 /** Thread-safe memoizing store of benchmark current traces. */
@@ -91,13 +105,33 @@ class TraceRepository
      * directory lifetime). Safe to call from any number of threads;
      * an exception during generation propagates to every waiter of
      * that key.
+     *
+     * @param delta when non-null, the counters this call contributed
+     *        are also added to @p delta (unsynchronized: the caller
+     *        owns it). Lets a multi-request consumer (the didt_serve
+     *        daemon) attribute shared-repository traffic per request.
      */
-    std::shared_ptr<const CurrentTrace> get(const TraceRequest &request);
+    std::shared_ptr<const CurrentTrace>
+    get(const TraceRequest &request, TraceCacheStats *delta = nullptr);
 
     /** Convenience wrapper building the request inline. */
     std::shared_ptr<const CurrentTrace>
     get(const BenchmarkProfile &profile, std::uint64_t instructions,
         std::uint64_t seed = 0, std::size_t trim_warmup = 4096);
+
+    /**
+     * Cap the resident bytes of completed traces. 0 (the default)
+     * disables eviction. Shrinking the budget evicts immediately. The
+     * budget is approximate: the most recently completed trace is
+     * always kept, even when it alone exceeds the budget.
+     */
+    void setMemoryBudgetBytes(std::uint64_t bytes);
+
+    /** The configured byte budget (0 = unlimited). */
+    std::uint64_t memoryBudgetBytes() const;
+
+    /** Bytes of completed traces currently resident in memory. */
+    std::uint64_t residentBytes() const;
 
     /** Snapshot of the counters (consistent under concurrency). */
     TraceCacheStats stats() const;
@@ -111,14 +145,31 @@ class TraceRepository
   private:
     using TracePtr = std::shared_ptr<const CurrentTrace>;
 
+    struct Entry
+    {
+        std::shared_future<TracePtr> future;
+        std::uint64_t bytes = 0; ///< 0 until production completes
+        bool resident = false;   ///< true once tracked in the LRU list
+        std::list<std::uint64_t>::iterator lruIt; ///< valid iff resident
+    };
+
     /** Generate (or load) the trace for one claimed key. */
-    TracePtr produce(const TraceRequest &request);
+    TracePtr produce(const TraceRequest &request, TraceCacheStats *delta);
+
+    /** Move @p key to the front (MRU end) of the LRU list. */
+    void touchLocked(Entry &entry);
+
+    /** Evict LRU entries until the budget is satisfied. */
+    void enforceBudgetLocked();
 
     const ExperimentSetup &setup_;
     const std::string cacheDir_;
 
     mutable std::mutex mutex_;
-    std::map<std::uint64_t, std::shared_future<TracePtr>> entries_;
+    std::map<std::uint64_t, Entry> entries_;
+    std::list<std::uint64_t> lru_; ///< front = most recently used
+    std::uint64_t residentBytes_ = 0;
+    std::uint64_t budgetBytes_ = 0;
     TraceCacheStats stats_;
 };
 

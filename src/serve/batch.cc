@@ -1,0 +1,102 @@
+#include "serve/batch.hh"
+
+#include <map>
+#include <set>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+std::string
+batchKey(const CampaignSpec &spec)
+{
+    std::string key;
+    key += "w=" + std::to_string(spec.windowLength);
+    key += ";l=" + std::to_string(spec.levels);
+    key += ";b=" + spec.basis;
+    key += ";lo=" + jsonNumber(spec.lowThreshold);
+    key += ";hi=" + jsonNumber(spec.highThreshold);
+    key += ";c=" + std::string(spec.useCorrelation ? "1" : "0");
+    key += ";i=" + std::to_string(spec.instructions);
+    key += ";s=" + std::to_string(spec.seed);
+    key += ";t=" + std::to_string(spec.trimWarmup);
+    return key;
+}
+
+CampaignSpec
+mergeSpecs(const std::vector<CampaignSpec> &specs)
+{
+    if (specs.empty())
+        didt_panic("mergeSpecs requires at least one spec");
+    const std::string key = batchKey(specs.front());
+
+    CampaignSpec merged = specs.front();
+    merged.profiles.clear();
+    merged.impedanceScales.clear();
+    std::set<std::string> seen_profiles;
+    std::set<std::uint64_t> seen_scales;
+    for (const CampaignSpec &spec : specs) {
+        if (batchKey(spec) != key)
+            didt_panic("mergeSpecs called with incompatible specs");
+        for (const BenchmarkProfile &profile : spec.effectiveProfiles())
+            if (seen_profiles.insert(profile.name).second)
+                merged.profiles.push_back(profile);
+        for (double scale : spec.impedanceScales) {
+            std::uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(scale));
+            __builtin_memcpy(&bits, &scale, sizeof(bits));
+            if (seen_scales.insert(bits).second)
+                merged.impedanceScales.push_back(scale);
+        }
+    }
+    return merged;
+}
+
+CampaignResult
+sliceResult(const CampaignResult &merged,
+            const std::vector<TraceCacheStats> &cell_deltas,
+            const CampaignSpec &request_spec)
+{
+    // Index the merged run's cells by identity. Scales are keyed by
+    // bit pattern — merging already deduplicated by bit pattern, so
+    // lookup is exact.
+    std::map<std::pair<std::string, std::uint64_t>, std::size_t> index;
+    for (std::size_t i = 0; i < merged.cells.size(); ++i) {
+        const CampaignCell &cell = merged.cells[i];
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &cell.impedanceScale, sizeof(bits));
+        index.emplace(std::make_pair(cell.benchmark, bits), i);
+    }
+
+    CampaignResult result;
+    result.spec = request_spec;
+    result.spec.profiles = request_spec.effectiveProfiles();
+    result.jobs = merged.jobs;
+    result.interrupted = merged.interrupted;
+    result.wallMillis = merged.wallMillis;
+    result.calibrationMillis = merged.calibrationMillis;
+    result.cells.reserve(result.spec.profiles.size() *
+                         result.spec.impedanceScales.size());
+    for (const BenchmarkProfile &profile : result.spec.profiles) {
+        for (double scale : result.spec.impedanceScales) {
+            std::uint64_t bits;
+            __builtin_memcpy(&bits, &scale, sizeof(bits));
+            const auto it =
+                index.find(std::make_pair(profile.name, bits));
+            if (it == index.end())
+                didt_panic("merged campaign is missing cell ",
+                           profile.name, "@", jsonNumber(scale));
+            result.cells.push_back(merged.cells[it->second]);
+            if (it->second < cell_deltas.size())
+                result.cacheStats += cell_deltas[it->second];
+        }
+    }
+    return result;
+}
+
+} // namespace serve
+} // namespace didt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Campaign-request batching for the didt_serve daemon.
+ *
+ * Requests that share one analysis configuration (window, levels,
+ * basis, thresholds, correlation flag, instructions, seed, warmup
+ * trim) differ only in which (benchmark, impedance scale) cells they
+ * want, so the dispatcher merges them into a single campaign whose
+ * cell set is the union and runs it once — one calibration, one trace
+ * fetch per distinct workload, shared across the batch. Each request's
+ * own result is then sliced back out of the merged run.
+ *
+ * Slicing preserves the daemon's byte-identity contract: a cell's
+ * value depends only on the spec, never on what else ran beside it, so
+ * the sliced document equals what a standalone didt_campaign run of
+ * the request's spec writes. Cache traffic is attributed from the
+ * executor's per-cell deltas; a cell wanted by several requests of one
+ * batch counts toward each of them (each request's cache section
+ * reports what serving it alone would have cost at most).
+ */
+
+#ifndef DIDT_SERVE_BATCH_HH
+#define DIDT_SERVE_BATCH_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hh"
+#include "runner/trace_repository.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+/**
+ * Deterministic identity of a spec's analysis configuration: two specs
+ * are batchable iff their keys compare equal. Doubles are rendered
+ * with jsonNumber so the key is exact, not approximate.
+ */
+std::string batchKey(const CampaignSpec &spec);
+
+/**
+ * Merge batchable specs into one campaign spec whose profile and
+ * scale lists are the first-appearance-order unions of the inputs
+ * (profiles materialized through effectiveProfiles). Requires at
+ * least one spec; every spec must have an equal batchKey.
+ */
+CampaignSpec mergeSpecs(const std::vector<CampaignSpec> &specs);
+
+/**
+ * Slice one request's result out of a merged run.
+ *
+ * @param merged result of executing mergeSpecs(...) output
+ * @param cell_deltas the executor's per-cell cache deltas for the
+ *        merged run (ExecutionHooks::cellCacheDeltas)
+ * @param request_spec the original request
+ * @return a result identical to running @p request_spec alone against
+ *         the same repository state
+ */
+CampaignResult sliceResult(const CampaignResult &merged,
+                           const std::vector<TraceCacheStats> &cell_deltas,
+                           const CampaignSpec &request_spec);
+
+} // namespace serve
+} // namespace didt
+
+#endif // DIDT_SERVE_BATCH_HH

@@ -1,0 +1,125 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace didt
+{
+namespace serve
+{
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connectUnix(const std::string &path, std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *error = "unix socket path too long: " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        *error = "cannot connect to " + path + ": " +
+                 std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::connectTcp(const std::string &host, int port, std::string *error)
+{
+    close();
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "invalid address: " + host;
+        return false;
+    }
+
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        *error = "cannot connect to " + host + ":" +
+                 std::to_string(port) + ": " + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::call(const std::string &request, std::string *response,
+             std::string *error, std::uint32_t max_frame)
+{
+    if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+    }
+    if (writeFrame(fd_, request, error) != FrameStatus::Ok) {
+        close();
+        return false;
+    }
+    const FrameStatus status =
+        readFrame(fd_, response, max_frame, error);
+    if (status != FrameStatus::Ok) {
+        if (status == FrameStatus::Closed && error)
+            *error = "connection closed by daemon";
+        close();
+        return false;
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace didt

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Blocking didt_serve client connection.
+ *
+ * One Client is one stream connection speaking didt-serve-v1 frames:
+ * call() writes a request frame and blocks for the response frame.
+ * Requests on one connection are served in order, so a client that
+ * needs pipelining opens several connections. Used by the didt_client
+ * tool and the serve tests; shares the frame codec (and therefore the
+ * serve.read / serve.write failpoints) with the server.
+ */
+
+#ifndef DIDT_SERVE_CLIENT_HH
+#define DIDT_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/frame.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+/** A connected didt_serve client. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+
+    /** Connect to a Unix-domain daemon socket. */
+    bool connectUnix(const std::string &path, std::string *error);
+
+    /** Connect to a TCP daemon endpoint. */
+    bool connectTcp(const std::string &host, int port,
+                    std::string *error);
+
+    /** True while the connection is open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send @p request as one frame and block for the response frame.
+     * False (with @p error set) on any transport failure; the
+     * connection is closed and must be re-established.
+     */
+    bool call(const std::string &request, std::string *response,
+              std::string *error,
+              std::uint32_t max_frame = kDefaultMaxFrameBytes);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace serve
+} // namespace didt
+
+#endif // DIDT_SERVE_CLIENT_HH

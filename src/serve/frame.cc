@@ -1,0 +1,221 @@
+#include "serve/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+
+#include "verify/failpoint.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+namespace
+{
+
+std::uint16_t
+readLe16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t
+readLe32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error)
+        *error = message;
+}
+
+/**
+ * Validate a complete 12-byte header; on success *payload_length is
+ * the announced payload size.
+ */
+FrameStatus
+checkHeader(const unsigned char *header, std::uint32_t max_payload,
+            std::uint32_t *payload_length, std::string *error)
+{
+    if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+        setError(error, "bad frame magic");
+        return FrameStatus::Malformed;
+    }
+    const std::uint16_t version = readLe16(header + 4);
+    if (version != kFrameVersion) {
+        setError(error, "unsupported frame version " +
+                            std::to_string(version));
+        return FrameStatus::Malformed;
+    }
+    if (readLe16(header + 6) != 0) {
+        setError(error, "non-zero reserved frame field");
+        return FrameStatus::Malformed;
+    }
+    const std::uint32_t length = readLe32(header + 8);
+    if (length > max_payload) {
+        setError(error, "frame payload of " + std::to_string(length) +
+                            " bytes exceeds the " +
+                            std::to_string(max_payload) + " byte limit");
+        return FrameStatus::Oversized;
+    }
+    *payload_length = length;
+    return FrameStatus::Ok;
+}
+
+} // namespace
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+    case FrameStatus::Ok:
+        return "ok";
+    case FrameStatus::NeedMore:
+        return "need-more";
+    case FrameStatus::Closed:
+        return "closed";
+    case FrameStatus::Truncated:
+        return "truncated";
+    case FrameStatus::Malformed:
+        return "malformed";
+    case FrameStatus::Oversized:
+        return "oversized";
+    case FrameStatus::IoError:
+        return "io-error";
+    }
+    return "unknown";
+}
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size());
+    frame.append(kFrameMagic, sizeof(kFrameMagic));
+    frame.push_back(static_cast<char>(kFrameVersion & 0xff));
+    frame.push_back(static_cast<char>(kFrameVersion >> 8));
+    frame.push_back('\0'); // reserved
+    frame.push_back('\0');
+    frame.push_back(static_cast<char>(length & 0xff));
+    frame.push_back(static_cast<char>((length >> 8) & 0xff));
+    frame.push_back(static_cast<char>((length >> 16) & 0xff));
+    frame.push_back(static_cast<char>((length >> 24) & 0xff));
+    frame.append(payload);
+    return frame;
+}
+
+FrameStatus
+decodeFrame(const char *data, std::size_t size, std::string *payload,
+            std::size_t *consumed, std::uint32_t max_payload,
+            std::string *error)
+{
+    *consumed = 0;
+    if (size < kFrameHeaderBytes)
+        return FrameStatus::NeedMore;
+    const unsigned char *header =
+        reinterpret_cast<const unsigned char *>(data);
+    std::uint32_t length = 0;
+    const FrameStatus status =
+        checkHeader(header, max_payload, &length, error);
+    if (status != FrameStatus::Ok)
+        return status;
+    if (size < kFrameHeaderBytes + length)
+        return FrameStatus::NeedMore;
+    payload->assign(data + kFrameHeaderBytes, length);
+    *consumed = kFrameHeaderBytes + length;
+    return FrameStatus::Ok;
+}
+
+FrameStatus
+readFrame(int fd, std::string *payload, std::uint32_t max_payload,
+          std::string *error)
+{
+    if (DIDT_FAILPOINT("serve.read")) {
+        setError(error, "injected fault (serve.read)");
+        return FrameStatus::IoError;
+    }
+
+    unsigned char header[kFrameHeaderBytes];
+    std::size_t have = 0;
+    while (have < kFrameHeaderBytes) {
+        const ssize_t n =
+            ::recv(fd, header + have, kFrameHeaderBytes - have, 0);
+        if (n == 0) {
+            if (have == 0)
+                return FrameStatus::Closed;
+            setError(error, "connection closed mid-header");
+            return FrameStatus::Truncated;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("recv: ") +
+                                std::strerror(errno));
+            return FrameStatus::IoError;
+        }
+        have += static_cast<std::size_t>(n);
+    }
+
+    std::uint32_t length = 0;
+    const FrameStatus status =
+        checkHeader(header, max_payload, &length, error);
+    if (status != FrameStatus::Ok)
+        return status;
+
+    payload->resize(length);
+    std::size_t got = 0;
+    while (got < length) {
+        const ssize_t n = ::recv(fd, &(*payload)[got], length - got, 0);
+        if (n == 0) {
+            setError(error, "connection closed mid-payload");
+            return FrameStatus::Truncated;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("recv: ") +
+                                std::strerror(errno));
+            return FrameStatus::IoError;
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+FrameStatus
+writeFrame(int fd, const std::string &payload, std::string *error)
+{
+    if (DIDT_FAILPOINT("serve.write")) {
+        setError(error, "injected fault (serve.write)");
+        return FrameStatus::IoError;
+    }
+
+    const std::string frame = encodeFrame(payload);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, std::string("send: ") +
+                                std::strerror(errno));
+            return FrameStatus::IoError;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+} // namespace serve
+} // namespace didt

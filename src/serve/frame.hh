@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Wire framing for the didt_serve protocol.
+ *
+ * Every message on a didt_serve connection is one frame: a fixed
+ * 12-byte header followed by a JSON payload.
+ *
+ *   offset  size  field
+ *   0       4     magic "DSRV"
+ *   4       2     protocol version, little-endian (currently 1)
+ *   6       2     reserved, must be zero
+ *   8       4     payload length in bytes, little-endian
+ *
+ * The codec is split into a pure buffer layer (encodeFrame /
+ * decodeFrame — what the fuzz driver and golden tests exercise) and an
+ * fd layer (readFrame / writeFrame) that adds blocking socket I/O and
+ * the serve.read / serve.write failpoints. Decoding is strict: a bad
+ * magic, an unsupported version, a non-zero reserved field, or a
+ * payload length above the limit each poison the connection — framing
+ * errors are not recoverable mid-stream, so the server answers with a
+ * typed error frame when possible and closes.
+ */
+
+#ifndef DIDT_SERVE_FRAME_HH
+#define DIDT_SERVE_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace didt
+{
+namespace serve
+{
+
+/** Frame header magic, on the wire in this byte order. */
+inline constexpr char kFrameMagic[4] = {'D', 'S', 'R', 'V'};
+
+/** Protocol version this build speaks. */
+inline constexpr std::uint16_t kFrameVersion = 1;
+
+/** Fixed header size in bytes. */
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/** Default payload size limit (16 MiB). */
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/** Outcome of one frame read / decode. */
+enum class FrameStatus
+{
+    Ok,        ///< a complete frame was decoded
+    NeedMore,  ///< buffer holds only a frame prefix (decode only)
+    Closed,    ///< peer closed cleanly between frames (read only)
+    Truncated, ///< peer closed mid-frame
+    Malformed, ///< bad magic, version, or reserved field
+    Oversized, ///< payload length above the limit
+    IoError,   ///< socket read/write failure (or injected fault)
+};
+
+/** Printable status name for diagnostics. */
+const char *frameStatusName(FrameStatus status);
+
+/** Encode @p payload as one frame (header + payload bytes). */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Decode one frame from the front of @p data.
+ *
+ * On Ok, *payload receives the payload bytes and *consumed the total
+ * frame size. On NeedMore, *consumed is 0 and the caller should supply
+ * more bytes. Any other status is a permanent decode failure for this
+ * stream; *error (when non-null) describes it.
+ */
+FrameStatus decodeFrame(const char *data, std::size_t size,
+                        std::string *payload, std::size_t *consumed,
+                        std::uint32_t max_payload = kDefaultMaxFrameBytes,
+                        std::string *error = nullptr);
+
+/**
+ * Read exactly one frame from @p fd (blocking). Distinguishes a clean
+ * close between frames (Closed) from a close mid-frame (Truncated).
+ * The serve.read failpoint turns the first byte read into an injected
+ * IoError, modelling a connection reset.
+ */
+FrameStatus readFrame(int fd, std::string *payload,
+                      std::uint32_t max_payload = kDefaultMaxFrameBytes,
+                      std::string *error = nullptr);
+
+/**
+ * Write @p payload as one frame to @p fd (blocking, MSG_NOSIGNAL — a
+ * vanished peer surfaces as IoError, never SIGPIPE). The serve.write
+ * failpoint injects an IoError before any byte is sent.
+ */
+FrameStatus writeFrame(int fd, const std::string &payload,
+                       std::string *error = nullptr);
+
+} // namespace serve
+} // namespace didt
+
+#endif // DIDT_SERVE_FRAME_HH

@@ -1,0 +1,167 @@
+#include "serve/protocol.hh"
+
+#include "runner/result_json.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+namespace
+{
+
+/** The shared {"schema", "type", "id"} response envelope. */
+JsonValue
+envelope(const char *type, const std::string &id)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kProtocolSchema);
+    doc.set("type", type);
+    doc.set("id", id);
+    return doc;
+}
+
+} // namespace
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::BadRequest:
+        return "bad_request";
+    case ErrorCode::QueueFull:
+        return "queue_full";
+    case ErrorCode::ShuttingDown:
+        return "shutting_down";
+    case ErrorCode::Internal:
+        return "internal";
+    }
+    return "internal";
+}
+
+bool
+parseRequest(const std::string &payload, Request *request,
+             std::string *error)
+{
+    JsonValue doc;
+    try {
+        doc = parseJson(payload);
+    } catch (const std::exception &e) {
+        *error = std::string("invalid JSON: ") + e.what();
+        return false;
+    }
+    if (doc.kind() != JsonValue::Kind::Object) {
+        *error = "request must be a JSON object";
+        return false;
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->kind() != JsonValue::Kind::String ||
+        schema->asString() != kProtocolSchema) {
+        *error = std::string("request schema must be \"") +
+                 kProtocolSchema + "\"";
+        return false;
+    }
+
+    Request parsed;
+    if (const JsonValue *id = doc.find("id")) {
+        if (id->kind() != JsonValue::Kind::String) {
+            *error = "request 'id' must be a string";
+            return false;
+        }
+        parsed.id = id->asString();
+    }
+
+    const JsonValue *type = doc.find("type");
+    if (!type || type->kind() != JsonValue::Kind::String) {
+        *error = "request 'type' must be a string";
+        return false;
+    }
+    const std::string &name = type->asString();
+    if (name == "ping") {
+        parsed.type = RequestType::Ping;
+    } else if (name == "stats") {
+        parsed.type = RequestType::Stats;
+    } else if (name == "characterize") {
+        parsed.type = RequestType::Characterize;
+        const JsonValue *spec = doc.find("spec");
+        if (!spec) {
+            *error = "characterize request requires a 'spec' object";
+            return false;
+        }
+        if (!campaignSpecFromJson(*spec, &parsed.spec, error))
+            return false;
+    } else {
+        *error = "unknown request type '" + name + "'";
+        return false;
+    }
+    *request = std::move(parsed);
+    return true;
+}
+
+std::string
+characterizeRequestJson(const std::string &id, const JsonValue &spec)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kProtocolSchema);
+    doc.set("type", "characterize");
+    doc.set("id", id);
+    doc.set("spec", spec);
+    return doc.dump();
+}
+
+std::string
+pingRequestJson(const std::string &id)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kProtocolSchema);
+    doc.set("type", "ping");
+    doc.set("id", id);
+    return doc.dump();
+}
+
+std::string
+statsRequestJson(const std::string &id)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", kProtocolSchema);
+    doc.set("type", "stats");
+    doc.set("id", id);
+    return doc.dump();
+}
+
+std::string
+resultResponseJson(const std::string &id, JsonValue result)
+{
+    JsonValue doc = envelope("result", id);
+    doc.set("result", std::move(result));
+    return doc.dump();
+}
+
+std::string
+pongResponseJson(const std::string &id)
+{
+    return envelope("pong", id).dump();
+}
+
+std::string
+statsResponseJson(const std::string &id, JsonValue stats)
+{
+    JsonValue doc = envelope("stats", id);
+    doc.set("stats", std::move(stats));
+    return doc.dump();
+}
+
+std::string
+errorResponseJson(const std::string &id, ErrorCode code,
+                  const std::string &message)
+{
+    JsonValue doc = envelope("error", id);
+    JsonValue err = JsonValue::object();
+    err.set("code", errorCodeName(code));
+    err.set("message", message);
+    doc.set("error", std::move(err));
+    return doc.dump();
+}
+
+} // namespace serve
+} // namespace didt

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The didt-serve-v1 request/response schema.
+ *
+ * Frame payloads are JSON documents (util/json). Every request carries
+ * the schema marker, a type, and a client-chosen id echoed back in the
+ * response so clients can correlate:
+ *
+ *   {"schema": "didt-serve-v1", "type": "characterize",
+ *    "id": "r1", "spec": { ...didt-campaign-v1 spec fields... }}
+ *
+ * Request types: "ping" (liveness), "stats" (daemon counters), and
+ * "characterize" (run the embedded campaign spec; every spec field is
+ * optional and defaults as in CampaignSpec). Responses mirror the
+ * envelope with type "pong", "stats", "result", or "error":
+ *
+ *   {"schema": "didt-serve-v1", "type": "result", "id": "r1",
+ *    "result": { ...didt-campaign-v1 document... }}
+ *   {"schema": "didt-serve-v1", "type": "error", "id": "r1",
+ *    "error": {"code": "queue_full", "message": "..."}}
+ *
+ * The embedded result document is byte-identical to what didt_campaign
+ * writes for the same spec (both sides share campaignToJson and the
+ * deterministic writer), which is what lets didt_client replay a
+ * campaign file and reproduce it byte-for-byte.
+ *
+ * Error codes are closed-enumeration (ErrorCode) so clients can switch
+ * on them: bad_request (unparseable or invalid request — the sender's
+ * fault), queue_full (typed backpressure: admission queue at capacity;
+ * retry later), shutting_down (daemon is draining), internal (the
+ * request was valid but evaluation failed).
+ */
+
+#ifndef DIDT_SERVE_PROTOCOL_HH
+#define DIDT_SERVE_PROTOCOL_HH
+
+#include <string>
+
+#include "runner/campaign.hh"
+#include "util/json.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+/** Schema marker carried by every request and response. */
+inline constexpr const char *kProtocolSchema = "didt-serve-v1";
+
+/** Typed error codes a response can carry. */
+enum class ErrorCode
+{
+    BadRequest,   ///< malformed or invalid request payload
+    QueueFull,    ///< admission queue at capacity (backpressure)
+    ShuttingDown, ///< daemon is draining; no new work accepted
+    Internal,     ///< valid request, evaluation failed
+};
+
+/** Wire name of an error code ("bad_request", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** What a request asks the daemon to do. */
+enum class RequestType
+{
+    Ping,
+    Stats,
+    Characterize,
+};
+
+/** A decoded request. */
+struct Request
+{
+    RequestType type = RequestType::Ping;
+    std::string id;    ///< echoed back verbatim; may be empty
+    CampaignSpec spec; ///< Characterize only
+};
+
+/**
+ * Parse and validate one request payload. Never throws: on any problem
+ * (bad JSON, wrong schema, unknown type, invalid spec) fills @p error
+ * with a bad_request message and returns false.
+ */
+bool parseRequest(const std::string &payload, Request *request,
+                  std::string *error);
+
+/** Serialize a characterize request (didt_client's encoder). */
+std::string characterizeRequestJson(const std::string &id,
+                                    const JsonValue &spec);
+
+/** Serialize a ping / stats request. */
+std::string pingRequestJson(const std::string &id);
+std::string statsRequestJson(const std::string &id);
+
+/** Serialize a "result" response embedding a campaign document. */
+std::string resultResponseJson(const std::string &id, JsonValue result);
+
+/** Serialize a "pong" response. */
+std::string pongResponseJson(const std::string &id);
+
+/** Serialize a "stats" response embedding a daemon-stats object. */
+std::string statsResponseJson(const std::string &id, JsonValue stats);
+
+/** Serialize an "error" response with a typed code. */
+std::string errorResponseJson(const std::string &id, ErrorCode code,
+                              const std::string &message);
+
+} // namespace serve
+} // namespace didt
+
+#endif // DIDT_SERVE_PROTOCOL_HH

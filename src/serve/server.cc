@@ -1,0 +1,562 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "obs/scoped_timer.hh"
+#include "runner/plan.hh"
+#include "runner/result_json.hh"
+#include "serve/batch.hh"
+#include "util/logging.hh"
+#include "verify/failpoint.hh"
+
+namespace didt
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Daemon-level metrics (sidecar only; stats responses use the
+ *  server's own atomics so they survive registry resets). */
+struct ServeMetrics
+{
+    obs::Counter connections;
+    obs::Counter requests;
+    obs::Counter rejected;
+    obs::Counter badRequests;
+    obs::Counter batches;
+    obs::Gauge queueDepth;
+    obs::Histogram requestMs;
+};
+
+ServeMetrics &
+serveMetrics()
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static ServeMetrics metrics{
+        registry.counter("serve.connections"),
+        registry.counter("serve.requests"),
+        registry.counter("serve.rejected"),
+        registry.counter("serve.bad_requests"),
+        registry.counter("serve.batches"),
+        registry.gauge("serve.queue_depth"),
+        registry.histogram("serve.request_ms"),
+    };
+    return metrics;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+bool
+bindUnixListener(const std::string &path, int *out_fd,
+                 std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        *error = "unix socket path too long: " + path;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(path.c_str()); // replace a stale socket from a dead daemon
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+        *error = "cannot listen on " + path + ": " +
+                 std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    *out_fd = fd;
+    return true;
+}
+
+bool
+bindTcpListener(const std::string &host, int port, int *out_fd,
+                int *bound_port, std::string *error)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "invalid TCP bind address: " + host;
+        return false;
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(fd, 64) < 0) {
+        *error = "cannot listen on " + host + ":" +
+                 std::to_string(port) + ": " + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) ==
+        0)
+        *bound_port = ntohs(bound.sin_port);
+    *out_fd = fd;
+    return true;
+}
+
+} // namespace
+
+Server::Server(const ExperimentSetup &setup, ServerConfig config)
+    : config_(std::move(config)), repo_(setup, config_.cacheDir),
+      executor_(
+          std::make_unique<Executor>(setup, repo_, config_.jobs))
+{
+    repo_.setMemoryBudgetBytes(config_.cacheBytes);
+}
+
+Server::~Server()
+{
+    if (started_) {
+        requestStop();
+        wait();
+    }
+    closeFd(wakePipe_[0]);
+    closeFd(wakePipe_[1]);
+}
+
+bool
+Server::start(std::string *error)
+{
+    if (config_.unixPath.empty() && config_.tcpPort < 0) {
+        *error = "no listener configured (need a unix path or a TCP "
+                 "port)";
+        return false;
+    }
+    if (::pipe(wakePipe_) < 0) {
+        *error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    if (!config_.unixPath.empty() &&
+        !bindUnixListener(config_.unixPath, &unixFd_, error))
+        return false;
+    if (config_.tcpPort >= 0 &&
+        !bindTcpListener(config_.tcpHost, config_.tcpPort, &tcpFd_,
+                         &boundTcpPort_, error)) {
+        closeFd(unixFd_);
+        return false;
+    }
+
+    started_ = true;
+    acceptor_ = std::thread([this] { acceptorLoop(); });
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+    if (!config_.metricsOut.empty())
+        metricsThread_ = std::thread([this] { metricsLoop(); });
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (draining_)
+            return;
+        draining_ = true;
+    }
+    queueCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(stopMutex_);
+        stopRequested_ = true;
+    }
+    stopCv_.notify_all();
+    // Wake the acceptor's poll; a failed write means the pipe is gone
+    // (already shut down) and the acceptor is no longer polling.
+    const char byte = 1;
+    if (wakePipe_[1] >= 0)
+        (void)!::write(wakePipe_[1], &byte, 1);
+    // Unblock idle connection reads; in-flight responses still write.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (Connection &conn : connections_)
+        if (conn.fd >= 0)
+            ::shutdown(conn.fd, SHUT_RD);
+}
+
+void
+Server::wait()
+{
+    if (!started_)
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    // The dispatcher drains every admitted job before exiting, which
+    // unblocks the connection threads waiting on responses.
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    {
+        // Splice the list out and join without the lock: an exiting
+        // connection thread takes connMutex_ to close its fd, so
+        // joining it while holding the lock would deadlock. Splicing
+        // keeps the Connection nodes at stable addresses for the
+        // threads still running their epilogue.
+        std::list<Connection> remaining;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            remaining.splice(remaining.begin(), connections_);
+        }
+        for (Connection &conn : remaining)
+            if (conn.thread.joinable())
+                conn.thread.join();
+    }
+    if (metricsThread_.joinable())
+        metricsThread_.join();
+    closeFd(unixFd_);
+    closeFd(tcpFd_);
+    if (!config_.unixPath.empty())
+        ::unlink(config_.unixPath.c_str());
+    started_ = false;
+}
+
+void
+Server::reapConnectionsLocked()
+{
+    for (auto it = connections_.begin(); it != connections_.end();) {
+        if (it->done.load(std::memory_order_acquire)) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = connections_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::acceptorLoop()
+{
+    std::vector<pollfd> fds;
+    if (unixFd_ >= 0)
+        fds.push_back({unixFd_, POLLIN, 0});
+    if (tcpFd_ >= 0)
+        fds.push_back({tcpFd_, POLLIN, 0});
+    fds.push_back({wakePipe_[0], POLLIN, 0});
+
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            if (draining_)
+                return;
+        }
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            didt_warn("didt_serve acceptor poll failed: ",
+                      std::strerror(errno));
+            return;
+        }
+        for (const pollfd &pfd : fds) {
+            if (!(pfd.revents & POLLIN))
+                continue;
+            if (pfd.fd == wakePipe_[0])
+                continue; // drained via the draining_ check above
+            const int client =
+                ::accept4(pfd.fd, nullptr, nullptr, SOCK_CLOEXEC);
+            if (client < 0)
+                continue;
+            if (DIDT_FAILPOINT("serve.accept")) {
+                // An injected accept failure models resource
+                // exhaustion: the connection is dropped, the daemon
+                // keeps serving everyone else.
+                droppedConnections_.fetch_add(1);
+                ::close(client);
+                continue;
+            }
+            connectionsAccepted_.fetch_add(1);
+            serveMetrics().connections.add(1);
+            std::lock_guard<std::mutex> lock(connMutex_);
+            reapConnectionsLocked();
+            connections_.emplace_back();
+            Connection &conn = connections_.back();
+            conn.fd = client;
+            conn.thread =
+                std::thread([this, &conn] { connectionLoop(&conn); });
+        }
+    }
+}
+
+void
+Server::connectionLoop(Connection *conn)
+{
+    const int fd = conn->fd;
+    for (;;) {
+        std::string payload;
+        std::string frame_error;
+        const FrameStatus status = readFrame(
+            fd, &payload, config_.maxFrameBytes, &frame_error);
+        if (status == FrameStatus::Closed)
+            break;
+        if (status == FrameStatus::Malformed ||
+            status == FrameStatus::Oversized) {
+            // The stream is poisoned: answer once, then hang up.
+            badRequests_.fetch_add(1);
+            serveMetrics().badRequests.add(1);
+            (void)writeFrame(fd,
+                             errorResponseJson("",
+                                               ErrorCode::BadRequest,
+                                               frame_error));
+            break;
+        }
+        if (status != FrameStatus::Ok)
+            break; // Truncated / IoError: nothing sane to answer on
+
+        obs::ScopedTimer timer("serve request",
+                               serveMetrics().requestMs, nullptr,
+                               "serve");
+        requests_.fetch_add(1);
+        serveMetrics().requests.add(1);
+
+        std::string response;
+        Request request;
+        std::string parse_error;
+        if (DIDT_FAILPOINT("serve.decode")) {
+            badRequests_.fetch_add(1);
+            serveMetrics().badRequests.add(1);
+            response = errorResponseJson(
+                "", ErrorCode::BadRequest,
+                "injected fault (serve.decode)");
+        } else if (!parseRequest(payload, &request, &parse_error)) {
+            badRequests_.fetch_add(1);
+            serveMetrics().badRequests.add(1);
+            response = errorResponseJson(
+                request.id, ErrorCode::BadRequest, parse_error);
+        } else {
+            switch (request.type) {
+            case RequestType::Ping:
+                response = pongResponseJson(request.id);
+                break;
+            case RequestType::Stats:
+                response = statsResponseJson(request.id, statsJson());
+                break;
+            case RequestType::Characterize:
+                response = serveCharacterize(request);
+                break;
+            }
+        }
+        if (writeFrame(fd, response) != FrameStatus::Ok)
+            break;
+    }
+    {
+        // Close under the lock so requestStop() never shuts down a
+        // reused descriptor.
+        std::lock_guard<std::mutex> lock(connMutex_);
+        ::close(fd);
+        conn->fd = -1;
+    }
+    conn->done.store(true, std::memory_order_release);
+}
+
+std::string
+Server::serveCharacterize(const Request &request)
+{
+    std::future<std::string> pending;
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        if (draining_) {
+            rejectedDraining_.fetch_add(1);
+            serveMetrics().rejected.add(1);
+            return errorResponseJson(request.id,
+                                     ErrorCode::ShuttingDown,
+                                     "daemon is draining");
+        }
+        if (queue_.size() >= config_.maxQueue) {
+            rejectedQueueFull_.fetch_add(1);
+            serveMetrics().rejected.add(1);
+            return errorResponseJson(
+                request.id, ErrorCode::QueueFull,
+                "admission queue is full (" +
+                    std::to_string(queue_.size()) +
+                    " queued); retry later");
+        }
+        Job job;
+        job.id = request.id;
+        job.spec = request.spec;
+        job.key = batchKey(request.spec);
+        pending = job.response.get_future();
+        queue_.push_back(std::move(job));
+        serveMetrics().queueDepth.record(
+            static_cast<double>(queue_.size()));
+        characterizations_.fetch_add(1);
+    }
+    queueCv_.notify_one();
+    return pending.get();
+}
+
+void
+Server::dispatcherLoop()
+{
+    for (;;) {
+        std::vector<Job> batch;
+        {
+            std::unique_lock<std::mutex> lock(queueMutex_);
+            queueCv_.wait(lock, [this] {
+                return !queue_.empty() || draining_;
+            });
+            if (queue_.empty()) {
+                if (draining_)
+                    return;
+                continue;
+            }
+            // Take the head, then every queued job that can batch
+            // with it (first-come order preserved within the batch).
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+            const std::string &key = batch.front().key;
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                if (it->key == key) {
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            serveMetrics().queueDepth.record(
+                static_cast<double>(queue_.size()));
+        }
+        runBatch(std::move(batch));
+    }
+}
+
+void
+Server::runBatch(std::vector<Job> batch)
+{
+    batches_.fetch_add(1);
+    serveMetrics().batches.add(1);
+
+    std::vector<CampaignSpec> specs;
+    specs.reserve(batch.size());
+    for (const Job &job : batch)
+        specs.push_back(job.spec);
+
+    try {
+        const CampaignSpec merged = mergeSpecs(specs);
+        std::vector<TraceCacheStats> deltas;
+        ExecutionHooks hooks;
+        hooks.cellCacheDeltas = &deltas;
+        const CampaignResult result =
+            executor_->run(buildCampaignPlan(merged), hooks);
+        for (Job &job : batch) {
+            const CampaignResult sliced =
+                sliceResult(result, deltas, job.spec);
+            job.response.set_value(resultResponseJson(
+                job.id, campaignToJson(sliced)));
+        }
+    } catch (const std::exception &e) {
+        // Executor-level failures (cell-level faults land in the
+        // result, not here) fail the batch's requests, not the daemon.
+        for (Job &job : batch)
+            job.response.set_value(errorResponseJson(
+                job.id, ErrorCode::Internal, e.what()));
+    }
+}
+
+void
+Server::metricsLoop()
+{
+    const auto interval = std::chrono::duration<double, std::milli>(
+        config_.metricsIntervalMs);
+    std::unique_lock<std::mutex> lock(stopMutex_);
+    for (;;) {
+        const bool stopping = stopCv_.wait_for(
+            lock, interval, [this] { return stopRequested_; });
+        lock.unlock();
+        obs::writeMetricsJson(config_.metricsOut,
+                              obs::MetricsRegistry::global().snapshot());
+        lock.lock();
+        if (stopping)
+            return;
+    }
+}
+
+JsonValue
+Server::statsJson() const
+{
+    JsonValue stats = JsonValue::object();
+    stats.set("connections",
+              static_cast<long long>(connectionsAccepted_.load()));
+    stats.set("dropped_connections",
+              static_cast<long long>(droppedConnections_.load()));
+    stats.set("requests", static_cast<long long>(requests_.load()));
+    stats.set("characterizations",
+              static_cast<long long>(characterizations_.load()));
+    stats.set("rejected_queue_full",
+              static_cast<long long>(rejectedQueueFull_.load()));
+    stats.set("rejected_draining",
+              static_cast<long long>(rejectedDraining_.load()));
+    stats.set("bad_requests",
+              static_cast<long long>(badRequests_.load()));
+    stats.set("batches", static_cast<long long>(batches_.load()));
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        stats.set("queue_depth",
+                  static_cast<long long>(queue_.size()));
+        stats.set("max_queue",
+                  static_cast<long long>(config_.maxQueue));
+    }
+    stats.set("jobs", static_cast<long long>(executor_->jobs()));
+    stats.set("cached_models",
+              static_cast<long long>(executor_->cachedModels()));
+
+    const TraceCacheStats cache = repo_.stats();
+    JsonValue cache_json = JsonValue::object();
+    cache_json.set("lookups", static_cast<long long>(cache.lookups));
+    cache_json.set("memory_hits",
+                   static_cast<long long>(cache.memoryHits));
+    cache_json.set("disk_loads",
+                   static_cast<long long>(cache.diskLoads));
+    cache_json.set("disk_stores",
+                   static_cast<long long>(cache.diskStores));
+    cache_json.set("disk_corrupt",
+                   static_cast<long long>(cache.diskCorrupt));
+    cache_json.set("simulations",
+                   static_cast<long long>(cache.simulations));
+    cache_json.set("evictions",
+                   static_cast<long long>(cache.evictions));
+    cache_json.set("resident_traces",
+                   static_cast<long long>(repo_.residentTraces()));
+    cache_json.set("resident_bytes",
+                   static_cast<long long>(repo_.residentBytes()));
+    cache_json.set("budget_bytes",
+                   static_cast<long long>(repo_.memoryBudgetBytes()));
+    stats.set("cache", std::move(cache_json));
+    return stats;
+}
+
+} // namespace serve
+} // namespace didt

@@ -17,6 +17,40 @@ Options::declare(const std::string &name, const std::string &default_value,
 }
 
 void
+Options::declareSubcommands(const std::vector<std::string> &names)
+{
+    subcommands_ = names;
+}
+
+void
+Options::declarePositionals(const std::string &placeholder,
+                            std::size_t min_count, std::size_t max_count,
+                            const std::string &help)
+{
+    positionalPlaceholder_ = placeholder;
+    positionalMin_ = min_count;
+    positionalMax_ = max_count;
+    positionalsDeclared_ = true;
+    // The help text rides on the usage listing via the placeholder.
+    decls_.emplace("<" + placeholder + ">", Decl{"", help});
+}
+
+namespace
+{
+
+/** Tokens a valueless boolean flag may consume as its value. Anything
+ *  else (a path, a subcommand, ...) belongs to the next parse slot. */
+bool
+looksBoolean(const std::string &token)
+{
+    return token == "true" || token == "false" || token == "1" ||
+           token == "0" || token == "yes" || token == "no" ||
+           token == "on" || token == "off";
+}
+
+} // namespace
+
+void
 Options::parse(int argc, char **argv)
 {
     // Every binary accepts --log-level uniformly; an explicit
@@ -30,8 +64,29 @@ Options::parse(int argc, char **argv)
             std::printf("%s", usage(argv[0]).c_str());
             std::exit(0);
         }
-        if (arg.rfind("--", 0) != 0)
+        if (arg.rfind("--", 0) != 0) {
+            // Positional token: the first one is the subcommand when
+            // subcommands were declared, the rest are free positionals.
+            if (!subcommands_.empty() && subcommand_.empty()) {
+                bool known = false;
+                for (const std::string &name : subcommands_)
+                    known = known || name == arg;
+                if (!known)
+                    didt_fatal("unknown subcommand '", arg,
+                               "' (run with --help for the list)");
+                subcommand_ = arg;
+                continue;
+            }
+            if (positionalsDeclared_) {
+                if (positionals_.size() >= positionalMax_)
+                    didt_fatal("too many positional arguments at '",
+                               arg, "' (at most ", positionalMax_,
+                               " expected)");
+                positionals_.push_back(arg);
+                continue;
+            }
             didt_fatal("unexpected positional argument: ", arg);
+        }
         arg = arg.substr(2);
 
         std::string name;
@@ -48,9 +103,11 @@ Options::parse(int argc, char **argv)
             const bool is_bool_flag =
                 it->second.defaultValue == "true" ||
                 it->second.defaultValue == "false";
+            // A boolean flag only consumes the next token when it is
+            // unambiguously a boolean word; "--verbose replay" leaves
+            // "replay" for the subcommand slot.
             if (is_bool_flag &&
-                (i + 1 >= argc ||
-                 std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+                (i + 1 >= argc || !looksBoolean(argv[i + 1]))) {
                 value = "true";
             } else {
                 if (i + 1 >= argc)
@@ -62,6 +119,14 @@ Options::parse(int argc, char **argv)
             didt_fatal("unknown option --", name);
         values_[name] = value;
     }
+    if (!subcommands_.empty() && subcommand_.empty())
+        didt_fatal("missing subcommand (run with --help for the list)");
+    if (positionals_.size() < positionalMin_)
+        didt_fatal("expected at least ", positionalMin_, " positional ",
+                   positionalMin_ == 1 ? "argument" : "arguments",
+                   positionalPlaceholder_.empty()
+                       ? ""
+                       : " <" + positionalPlaceholder_ + ">");
     setLogLevel(parseLogLevel(get("log-level")));
 }
 
@@ -118,8 +183,21 @@ std::string
 Options::usage(const std::string &program) const
 {
     std::ostringstream os;
-    os << "usage: " << program << " [options]\n";
+    os << "usage: " << program;
+    if (!subcommands_.empty()) {
+        os << " <";
+        for (std::size_t i = 0; i < subcommands_.size(); ++i)
+            os << (i ? "|" : "") << subcommands_[i];
+        os << ">";
+    }
+    if (positionalsDeclared_)
+        os << " [" << positionalPlaceholder_ << "...]";
+    os << " [options]\n";
     for (const auto &[name, decl] : decls_) {
+        if (name.rfind('<', 0) == 0) {
+            os << "  " << name << "\n      " << decl.help << "\n";
+            continue;
+        }
         os << "  --" << name << " (default: " << decl.defaultValue << ")\n"
            << "      " << decl.help << "\n";
     }

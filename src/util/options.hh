@@ -2,11 +2,14 @@
  * @file
  * Minimal command-line option parser for bench/example binaries.
  *
- * Supports "--name value", "--name=value", and boolean "--flag" forms.
- * Unknown options are fatal so typos in sweep scripts fail loudly.
- * Every parser implicitly declares --log-level (quiet/normal/verbose)
- * and applies it via setLogLevel(), so all tools and benches share the
- * same verbosity knob.
+ * Supports "--name value", "--name=value", and boolean "--flag" forms,
+ * plus (when declared) a leading subcommand and free positional
+ * arguments — "didt_client replay out.json --socket /run/didt.sock".
+ * Unknown options, unknown subcommands, and unexpected positionals are
+ * fatal so typos in sweep scripts fail loudly. Every parser implicitly
+ * declares --log-level (quiet/normal/verbose) and applies it via
+ * setLogLevel(), so all tools and benches share the same verbosity
+ * knob.
  */
 
 #ifndef DIDT_UTIL_OPTIONS_HH
@@ -33,9 +36,35 @@ class Options
     void declare(const std::string &name, const std::string &default_value,
                  const std::string &help);
 
+    /**
+     * Declare the accepted subcommand names. The first positional
+     * token must then be one of them (fatal otherwise, including when
+     * it is missing); read it back with subcommand().
+     */
+    void declareSubcommands(const std::vector<std::string> &names);
+
+    /**
+     * Accept between @p min_count and @p max_count free positional
+     * arguments (after the subcommand, when one is declared);
+     * @p placeholder names them in the usage text. Without this
+     * declaration any positional argument is fatal, as before.
+     */
+    void declarePositionals(const std::string &placeholder,
+                            std::size_t min_count, std::size_t max_count,
+                            const std::string &help);
+
     /** Parse argv; fatal on unknown or malformed options, prints usage
      *  and exits 0 on --help. */
     void parse(int argc, char **argv);
+
+    /** The parsed subcommand ("" when none were declared). */
+    const std::string &subcommand() const { return subcommand_; }
+
+    /** The parsed free positional arguments, in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
 
     /** String value of a declared option. */
     std::string get(const std::string &name) const;
@@ -61,6 +90,14 @@ class Options
 
     std::map<std::string, Decl> decls_;
     std::map<std::string, std::string> values_;
+
+    std::vector<std::string> subcommands_;
+    std::string subcommand_;
+    std::string positionalPlaceholder_;
+    std::size_t positionalMin_ = 0;
+    std::size_t positionalMax_ = 0;
+    bool positionalsDeclared_ = false;
+    std::vector<std::string> positionals_;
 };
 
 } // namespace didt

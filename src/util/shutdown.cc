@@ -1,0 +1,70 @@
+#include "util/shutdown.hh"
+
+#include <csignal>
+
+#include <unistd.h>
+
+namespace didt
+{
+
+namespace
+{
+
+std::atomic<bool> g_shutdown{false};
+int g_wake_pipe[2] = {-1, -1};
+
+extern "C" void
+shutdownSignalHandler(int signo)
+{
+    // Async-signal-safe only: set the flag, nudge the pipe, and on a
+    // repeat signal restore the default disposition so the next
+    // delivery terminates a wedged drain.
+    if (g_shutdown.exchange(true, std::memory_order_release))
+        ::signal(signo, SIG_DFL);
+    if (g_wake_pipe[1] >= 0) {
+        const char byte = 1;
+        (void)!::write(g_wake_pipe[1], &byte, 1);
+    }
+}
+
+} // namespace
+
+void
+installShutdownHandler()
+{
+    if (g_wake_pipe[0] >= 0)
+        return;
+    if (::pipe(g_wake_pipe) < 0) {
+        g_wake_pipe[0] = g_wake_pipe[1] = -1;
+        // Degraded but functional: the flag still works, only
+        // poll-based wakeups are lost.
+    }
+    struct sigaction action
+    {
+    };
+    action.sa_handler = shutdownSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // interrupt blocking syscalls (no SA_RESTART)
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return g_shutdown.load(std::memory_order_acquire);
+}
+
+const std::atomic<bool> &
+shutdownFlag()
+{
+    return g_shutdown;
+}
+
+int
+shutdownWakeFd()
+{
+    return g_wake_pipe[0];
+}
+
+} // namespace didt

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Graceful-shutdown signal plumbing shared by the long-running tools.
+ *
+ * installShutdownHandler() routes SIGINT and SIGTERM into a process
+ * flag plus a self-pipe, using only async-signal-safe operations:
+ *
+ *  - pollers (the didt_serve main loop) watch shutdownWakeFd() and
+ *    begin their drain when it becomes readable;
+ *  - workers (didt_campaign's executor) poll shutdownFlag() as the
+ *    cooperative cancellation flag, so cells that have not started are
+ *    marked interrupted instead of evaluated.
+ *
+ * A second signal while a drain is in progress restores the default
+ * disposition, so a third delivery kills the process — the operator
+ * always has an escalation path past a wedged drain.
+ */
+
+#ifndef DIDT_UTIL_SHUTDOWN_HH
+#define DIDT_UTIL_SHUTDOWN_HH
+
+#include <atomic>
+
+namespace didt
+{
+
+/**
+ * Install the SIGINT/SIGTERM handler (idempotent). Must be called
+ * from the main thread before threads that should observe shutdown.
+ */
+void installShutdownHandler();
+
+/** True once a shutdown signal has been delivered. */
+bool shutdownRequested();
+
+/** The flag itself, for APIs taking an atomic (ExecutionHooks). */
+const std::atomic<bool> &shutdownFlag();
+
+/**
+ * Read end of the shutdown self-pipe: becomes readable on the first
+ * signal and stays readable. -1 before installShutdownHandler().
+ */
+int shutdownWakeFd();
+
+} // namespace didt
+
+#endif // DIDT_UTIL_SHUTDOWN_HH

@@ -75,6 +75,12 @@ WaveletBasis::byName(const std::string &name)
     didt_fatal("unknown wavelet basis '", name, "' (try haar, db4, db6)");
 }
 
+bool
+WaveletBasis::isKnownName(const std::string &name)
+{
+    return name == "haar" || name == "db4" || name == "db6";
+}
+
 double
 haarScalingFunction(double t)
 {

@@ -56,6 +56,13 @@ class WaveletBasis
     /** Look up a basis by name; fatal on unknown names. */
     static WaveletBasis byName(const std::string &name);
 
+    /**
+     * True when @ref byName would succeed. Request validators (the
+     * didt_serve daemon) use this so a bad basis in a request becomes
+     * an error response instead of a process exit.
+     */
+    static bool isKnownName(const std::string &name);
+
   private:
     std::string name_;
     std::vector<double> h_;

@@ -292,12 +292,20 @@ spec2000Fp()
     return out;
 }
 
-const BenchmarkProfile &
-profileByName(const std::string &name)
+const BenchmarkProfile *
+findProfileByName(const std::string &name)
 {
     for (const auto &p : spec2000Profiles())
         if (p.name == name)
-            return p;
+            return &p;
+    return nullptr;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    if (const BenchmarkProfile *p = findProfileByName(name))
+        return *p;
     didt_fatal("unknown benchmark '", name, "'");
 }
 

@@ -123,6 +123,13 @@ std::vector<BenchmarkProfile> spec2000Fp();
 /** Look up a profile by name; fatal on unknown names. */
 const BenchmarkProfile &profileByName(const std::string &name);
 
+/**
+ * Look up a profile by name without the fatal exit: nullptr on unknown
+ * names. The didt_serve daemon uses this so a bad benchmark in a
+ * request becomes a per-request error response, never a process exit.
+ */
+const BenchmarkProfile *findProfileByName(const std::string &name);
+
 } // namespace didt
 
 #endif // DIDT_WORKLOAD_PROFILE_HH

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "power/trace_io.hh"
+#include "serve/frame.hh"
+#include "serve/protocol.hh"
 #include "util/json.hh"
 #include "wavelet/basis.hh"
 #include "wavelet/dwt.hh"
@@ -155,6 +157,56 @@ runDwt(const std::uint8_t *data, std::size_t size)
         for (double v : var)
             require(v >= 0.0 && std::isfinite(v),
                     "modwt variance non-negative");
+    }
+    return 0;
+}
+
+int
+runFrame(const std::uint8_t *data, std::size_t size)
+{
+    // A small payload cap keeps hostile length fields from turning
+    // into fuzzer OOMs; the limit check itself is part of the
+    // contract under test.
+    constexpr std::uint32_t max_payload = 1u << 20;
+    const char *bytes = reinterpret_cast<const char *>(data);
+    std::string payload;
+    std::size_t consumed = 0;
+    std::string error;
+    const serve::FrameStatus status = serve::decodeFrame(
+        bytes, size, &payload, &consumed, max_payload, &error);
+    switch (status) {
+    case serve::FrameStatus::Ok: {
+        require(consumed == serve::kFrameHeaderBytes + payload.size(),
+                "frame consumed size");
+        require(consumed <= size, "frame decoded past its input");
+        // Accepted frames must round-trip through the encoder.
+        const std::string again = serve::encodeFrame(payload);
+        std::string payload2;
+        std::size_t consumed2 = 0;
+        require(serve::decodeFrame(again.data(), again.size(),
+                                   &payload2, &consumed2,
+                                   max_payload) ==
+                    serve::FrameStatus::Ok,
+                "frame encode/decode round trip");
+        require(payload2 == payload, "frame payload round trip");
+        // A decoded payload feeds the request parser, which must
+        // reject anything invalid without throwing.
+        serve::Request request;
+        std::string parse_error;
+        (void)serve::parseRequest(payload, &request, &parse_error);
+        break;
+    }
+    case serve::FrameStatus::NeedMore:
+        require(consumed == 0, "NeedMore must consume nothing");
+        break;
+    case serve::FrameStatus::Malformed:
+        require(!error.empty(), "malformed frame without a message");
+        break;
+    case serve::FrameStatus::Oversized:
+        require(!error.empty(), "oversized frame without a message");
+        break;
+    default:
+        require(false, "decodeFrame returned an fd-only status");
     }
     return 0;
 }

@@ -33,6 +33,9 @@ int runTraceBinary(const std::uint8_t *data, std::size_t size);
 /** DWT/MODWT forward-inverse round-trip on arbitrary sample bytes. */
 int runDwt(const std::uint8_t *data, std::size_t size);
 
+/** serve frame decode + request parse: clean statuses, no throws. */
+int runFrame(const std::uint8_t *data, std::size_t size);
+
 } // namespace fuzz
 } // namespace didt
 

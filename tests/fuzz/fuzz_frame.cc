@@ -1,0 +1,9 @@
+/** libFuzzer entry point for the frame driver (see drivers.hh). */
+
+#include "drivers.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    return didt::fuzz::runFrame(data, size);
+}

@@ -73,5 +73,7 @@ TEST(FuzzReplay, TraceBinary)
 
 TEST(FuzzReplay, Dwt) { replayCategory("dwt", fuzz::runDwt); }
 
+TEST(FuzzReplay, Frame) { replayCategory("frame", fuzz::runFrame); }
+
 } // namespace
 } // namespace didt

@@ -297,5 +297,83 @@ TEST(OptionsDeath, NonNumericIntIsFatal)
                 "expects an integer");
 }
 
+TEST(Options, SubcommandAndPositionalsParse)
+{
+    Options opts;
+    opts.declareSubcommands({"ping", "replay"});
+    opts.declarePositionals("file", 0, 2, "input files");
+    opts.declare("socket", "", "daemon socket");
+    const char *argv[] = {"prog", "replay", "a.json",
+                          "--socket", "/run/d.sock", "b.json"};
+    opts.parse(6, const_cast<char **>(argv));
+    EXPECT_EQ(opts.subcommand(), "replay");
+    ASSERT_EQ(opts.positionals().size(), 2u);
+    EXPECT_EQ(opts.positionals()[0], "a.json");
+    EXPECT_EQ(opts.positionals()[1], "b.json");
+    EXPECT_EQ(opts.get("socket"), "/run/d.sock");
+}
+
+TEST(Options, BoolFlagDoesNotSwallowPositional)
+{
+    // "--verbose gzip" with a boolean --verbose: gzip is a positional,
+    // not the flag's value.
+    Options opts;
+    opts.declarePositionals("name", 0, 1, "a name");
+    opts.declare("verbose", "false", "flag");
+    const char *argv[] = {"prog", "--verbose", "gzip"};
+    opts.parse(3, const_cast<char **>(argv));
+    EXPECT_TRUE(opts.getBool("verbose"));
+    ASSERT_EQ(opts.positionals().size(), 1u);
+    EXPECT_EQ(opts.positionals()[0], "gzip");
+}
+
+TEST(Options, UsageNamesSubcommandsAndPositionals)
+{
+    Options opts;
+    opts.declareSubcommands({"ping", "stats"});
+    opts.declarePositionals("campaign.json", 0, 1, "file to replay");
+    const std::string usage = opts.usage("didt_client");
+    EXPECT_NE(usage.find("ping|stats"), std::string::npos) << usage;
+    EXPECT_NE(usage.find("campaign.json"), std::string::npos) << usage;
+}
+
+TEST(OptionsDeath, UnknownSubcommandIsFatal)
+{
+    Options opts;
+    opts.declareSubcommands({"ping"});
+    const char *argv[] = {"prog", "reboot"};
+    EXPECT_EXIT(opts.parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "unknown subcommand");
+}
+
+TEST(OptionsDeath, MissingSubcommandIsFatal)
+{
+    Options opts;
+    opts.declareSubcommands({"ping"});
+    const char *argv[] = {"prog"};
+    EXPECT_EXIT(opts.parse(1, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1), "missing subcommand");
+}
+
+TEST(OptionsDeath, UndeclaredPositionalStaysFatal)
+{
+    Options opts;
+    opts.declare("count", "1", "a count");
+    const char *argv[] = {"prog", "stray"};
+    EXPECT_EXIT(opts.parse(2, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1),
+                "unexpected positional argument");
+}
+
+TEST(OptionsDeath, PositionalOverflowIsFatal)
+{
+    Options opts;
+    opts.declarePositionals("file", 0, 1, "one file");
+    const char *argv[] = {"prog", "a", "b"};
+    EXPECT_EXIT(opts.parse(3, const_cast<char **>(argv)),
+                ::testing::ExitedWithCode(1),
+                "too many positional arguments");
+}
+
 } // namespace
 } // namespace didt

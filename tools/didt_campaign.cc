@@ -12,6 +12,11 @@
  * Typical use:
  *   didt_campaign --jobs 8 --json campaign.json --csv campaign.csv
  *   didt_campaign --benchmarks gzip,mcf --impedances 1.0,1.5
+ *
+ * SIGINT/SIGTERM drain gracefully: in-flight cells finish, cells that
+ * have not started are marked failed/"interrupted", and every
+ * configured sink (JSON, CSV, metrics, trace) is still flushed before
+ * the process exits non-zero.
  */
 
 #include <algorithm>
@@ -206,8 +211,11 @@ main(int argc, char **argv)
         }
     };
 
-    const CampaignResult result =
-        runCharacterizationCampaign(setup, spec, repo, jobs, on_cell);
+    // Graceful SIGINT/SIGTERM: the flag cancels not-yet-started cells
+    // and the sinks below still flush whatever completed.
+    installShutdownHandler();
+    const CampaignResult result = runCharacterizationCampaign(
+        setup, spec, repo, jobs, on_cell, &shutdownFlag());
 
     double cell_ms_sum = 0.0;
     for (const CampaignCell &cell : result.cells)
@@ -268,5 +276,11 @@ main(int argc, char **argv)
     }
     if (opts.getBool("report"))
         printMetricsReport(snapshot);
+    if (result.interrupted) {
+        std::printf("interrupted: %zu cells were cancelled before "
+                    "evaluation (marked in the result JSON)\n",
+                    result.failedCells());
+        return 1;
+    }
     return 0;
 }
