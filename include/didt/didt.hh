@@ -34,7 +34,9 @@
 #include "core/online_characterizer.hh"
 #include "core/variance_model.hh"
 #include "core/window_analysis.hh"
+#include "obs/event_log.hh"
 #include "obs/metrics.hh"
+#include "obs/prometheus.hh"
 #include "obs/scoped_timer.hh"
 #include "obs/trace_event.hh"
 #include "power/convolution.hh"

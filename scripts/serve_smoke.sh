@@ -101,6 +101,50 @@ cmp "$WORK/campaign.json" "$WORK/replay_retry.json"
 echo "faulted request was a per-request error; retry is byte-identical"
 stop_server
 
+echo "=== live telemetry leg (watch / stats --prom / events) ==="
+METRICS_CHECK="$BUILD_DIR/tools/didt_metrics_check"
+[[ -x "$METRICS_CHECK" ]] || {
+    echo "missing tool: $METRICS_CHECK" >&2; exit 1; }
+start_server --jobs 2 --events-capacity 256
+# Replay in the background so the watch stream sees real work...
+"$CLIENT" replay "$WORK/campaign.json" --socket "$SOCK" \
+    --out "$WORK/replay_watched.json" --timings \
+    2> "$WORK/timings.err" &
+REPLAY_PID=$!
+# ...while a subscriber renders a bounded stream of status lines.
+"$CLIENT" watch --socket "$SOCK" --interval-ms 100 --count 5 \
+    > "$WORK/watch.out"
+wait "$REPLAY_PID"
+[[ $(wc -l < "$WORK/watch.out") -eq 5 ]] || {
+    echo "FAIL: want 5 watch lines, got:" >&2
+    cat "$WORK/watch.out" >&2
+    exit 1
+}
+grep -q "conns " "$WORK/watch.out"
+grep -q "queue " "$WORK/watch.out"
+grep -q "cells " "$WORK/watch.out"
+grep -q "p99 " "$WORK/watch.out"
+grep -q "queue_ms" "$WORK/timings.err"
+# Telemetry must not perturb result bytes (timings ride the envelope).
+cmp "$WORK/campaign.json" "$WORK/replay_watched.json"
+echo "watch stream rendered 5 frames; replay under watch is byte-identical"
+
+"$CLIENT" stats --prom --socket "$SOCK" > "$WORK/stats.prom"
+"$METRICS_CHECK" --prom-input "$WORK/stats.prom"
+grep -q "^didt_serve_requests_total " "$WORK/stats.prom"
+grep -q "^didt_serve_request_ms_bucket{le=\"+Inf\"} " "$WORK/stats.prom"
+grep -q "^didt_campaign_cells_total " "$WORK/stats.prom"
+echo "prometheus exposition validated"
+
+"$CLIENT" events --socket "$SOCK" > "$WORK/events.out"
+grep -q "request_admitted" "$WORK/events.out"
+grep -q "batch_formed" "$WORK/events.out"
+grep -q "request_completed" "$WORK/events.out"
+stop_server
+# The drain dumps the retained event ring for post-mortems.
+grep -q "didt_serve: event .* request_completed" "$WORK/serve.log"
+echo "event ring queried live and dumped on SIGTERM"
+
 echo "=== client-side write failpoint (transport error, exit 3) ==="
 start_server --jobs 2
 status=0

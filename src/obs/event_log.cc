@@ -1,0 +1,71 @@
+#include "obs/event_log.hh"
+
+#include <algorithm>
+
+namespace didt::obs
+{
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      epoch_(Clock::now())
+{
+}
+
+void
+EventLog::append(std::string type, std::string detail)
+{
+    const Clock::time_point now = Clock::now();
+    Event event;
+    event.atMs =
+        std::chrono::duration<double, std::milli>(now - epoch_).count();
+    event.type = std::move(type);
+    event.detail = std::move(detail);
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = nextSeq_++;
+    if (ring_.size() == capacity_) {
+        ring_.pop_front();
+        ++dropped_;
+    }
+    ring_.push_back(std::move(event));
+}
+
+EventLog::Query
+EventLog::since(std::uint64_t after, std::size_t limit) const
+{
+    Query query;
+    std::lock_guard<std::mutex> lock(mutex_);
+    query.dropped = dropped_;
+    query.next = after;
+    for (const Event &event : ring_) {
+        if (event.seq <= after)
+            continue;
+        if (limit != 0 && query.events.size() == limit)
+            break;
+        query.events.push_back(event);
+        query.next = event.seq;
+    }
+    return query;
+}
+
+std::uint64_t
+EventLog::appended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return nextSeq_ - 1;
+}
+
+std::uint64_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+} // namespace didt::obs

@@ -512,6 +512,44 @@ writeMetricsJson(const std::string &path, const MetricsSnapshot &snapshot)
         didt_fatal("error writing metrics JSON to ", path);
 }
 
+MetricsSnapshot
+diffSnapshots(const MetricsSnapshot &previous,
+              const MetricsSnapshot &current)
+{
+    MetricsSnapshot delta;
+    delta.metrics.reserve(current.metrics.size());
+    for (const MetricSnapshot &cur : current.metrics) {
+        const MetricSnapshot *prev = previous.find(cur.name);
+        MetricSnapshot d = cur;
+        switch (cur.kind) {
+          case MetricKind::Counter:
+            if (prev != nullptr)
+                d.value = std::max(0.0, cur.value - prev->value);
+            break;
+          case MetricKind::Gauge:
+            break; // levels pass through unchanged
+          case MetricKind::Histogram: {
+            if (prev == nullptr)
+                break;
+            const HistogramSnapshot &p = prev->histogram;
+            HistogramSnapshot &h = d.histogram;
+            h.count = cur.histogram.count >= p.count
+                          ? cur.histogram.count - p.count
+                          : 0;
+            h.sum = cur.histogram.sum - p.sum;
+            if (p.counts.size() == h.counts.size())
+                for (std::size_t i = 0; i < h.counts.size(); ++i)
+                    h.counts[i] = h.counts[i] >= p.counts[i]
+                                      ? h.counts[i] - p.counts[i]
+                                      : 0;
+            break;
+          }
+        }
+        delta.metrics.push_back(std::move(d));
+    }
+    return delta;
+}
+
 const std::vector<double> &
 defaultLatencyBucketsMs()
 {

@@ -124,6 +124,20 @@ struct MetricsSnapshot
 void writeMetricsJson(const std::string &path,
                       const MetricsSnapshot &snapshot);
 
+/**
+ * Interval delta between two snapshots of the same registry: for each
+ * metric in @p current, counters report value - previous (0 floor),
+ * histograms report per-bucket/count/sum differences, and gauges pass
+ * through current last/max (levels have no meaningful delta). Metrics
+ * absent from @p previous are treated as previously zero; metrics
+ * absent from @p current are dropped. Histogram min/max remain the
+ * lifetime values from @p current (stripes don't keep interval
+ * extrema). Result stays sorted by name. This is what the serve
+ * `watch` stream sends per tick.
+ */
+MetricsSnapshot diffSnapshots(const MetricsSnapshot &previous,
+                              const MetricsSnapshot &current);
+
 namespace detail
 {
 struct CounterImpl;

@@ -1,17 +1,52 @@
 #include "obs/scoped_timer.hh"
 
+#include <mutex>
+#include <set>
+
 namespace didt::obs
 {
 
-ScopedTimer::ScopedTimer(std::string label, Histogram histogram,
+namespace
+{
+std::mutex g_labelMutex;
+/// Interned span labels. std::set nodes never move, so returned
+/// references stay valid for the life of the process; std::less<>
+/// enables lookup by string_view without a temporary std::string.
+std::set<std::string, std::less<>> &
+labelTable()
+{
+    static std::set<std::string, std::less<>> table;
+    return table;
+}
+} // namespace
+
+const std::string &
+internSpanLabel(std::string_view label)
+{
+    std::lock_guard<std::mutex> lock(g_labelMutex);
+    auto &table = labelTable();
+    auto it = table.find(label);
+    if (it == table.end())
+        it = table.emplace(label).first;
+    return *it;
+}
+
+ScopedTimer::ScopedTimer(std::string_view label, Histogram histogram,
                          TraceEventSink *sink, const char *category)
-    : label_(std::move(label)), category_(category),
-      histogram_(std::move(histogram)),
+    : category_(category), histogram_(std::move(histogram)),
       sink_(sink ? sink : &TraceEventSink::global()),
       active_((histogram_ && metricsEnabled()) || sink_->enabled())
 {
-    if (active_)
-        start_ = Clock::now();
+    if (!active_)
+        return;
+    start_ = Clock::now();
+    if (sink_->enabled()) {
+        label_ = &internSpanLabel(label);
+        spanId_ = newSpanId();
+        TraceContext &ctx = detail::threadTraceContext();
+        parentId_ = ctx.parentSpan;
+        ctx.parentSpan = spanId_;
+    }
 }
 
 ScopedTimer::~ScopedTimer()
@@ -23,7 +58,12 @@ ScopedTimer::~ScopedTimer()
         histogram_.observe(
             std::chrono::duration<double, std::milli>(end - start_)
                 .count());
-    sink_->record(std::move(label_), category_, start_, end);
+    if (spanId_ != 0) {
+        TraceContext &ctx = detail::threadTraceContext();
+        ctx.parentSpan = parentId_;
+        sink_->record(*label_, category_, start_, end, spanId_,
+                      parentId_, ctx.requestId, ctx.batchId);
+    }
 }
 
 double

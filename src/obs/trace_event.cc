@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <utility>
 
 #include "obs/metrics.hh"
 #include "util/json.hh"
@@ -9,6 +10,40 @@
 
 namespace didt::obs
 {
+
+namespace
+{
+std::atomic<std::uint64_t> g_nextSpanId{1};
+thread_local TraceContext t_traceContext;
+} // namespace
+
+const TraceContext &
+currentTraceContext()
+{
+    return t_traceContext;
+}
+
+TraceContext &
+detail::threadTraceContext()
+{
+    return t_traceContext;
+}
+
+std::uint64_t
+newSpanId()
+{
+    return g_nextSpanId.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : saved_(std::exchange(t_traceContext, std::move(context)))
+{
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    t_traceContext = std::move(saved_);
+}
 
 TraceEventSink::TraceEventSink() : epoch_(Clock::now()) {}
 
@@ -28,6 +63,16 @@ void
 TraceEventSink::record(std::string name, std::string category,
                        Clock::time_point start, Clock::time_point end)
 {
+    record(std::move(name), std::move(category), start, end, 0, 0, {},
+           {});
+}
+
+void
+TraceEventSink::record(std::string name, std::string category,
+                       Clock::time_point start, Clock::time_point end,
+                       std::uint64_t spanId, std::uint64_t parentId,
+                       std::string requestId, std::string batchId)
+{
     if (!enabled())
         return;
     TraceEvent event;
@@ -38,6 +83,10 @@ TraceEventSink::record(std::string name, std::string category,
         std::chrono::duration<double, std::micro>(start - epoch_).count();
     event.durationUs =
         std::chrono::duration<double, std::micro>(end - start).count();
+    event.spanId = spanId;
+    event.parentId = parentId;
+    event.requestId = std::move(requestId);
+    event.batchId = std::move(batchId);
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(std::move(event));
 }
@@ -83,6 +132,21 @@ TraceEventSink::writeChromeTrace(const std::string &path) const
         e.set("tid", static_cast<long long>(event.tid));
         e.set("ts", event.startUs);
         e.set("dur", event.durationUs);
+        if (event.spanId != 0 || event.parentId != 0 ||
+            !event.requestId.empty() || !event.batchId.empty()) {
+            JsonValue args = JsonValue::object();
+            if (event.spanId != 0)
+                args.set("span",
+                         static_cast<long long>(event.spanId));
+            if (event.parentId != 0)
+                args.set("parent",
+                         static_cast<long long>(event.parentId));
+            if (!event.requestId.empty())
+                args.set("request", event.requestId);
+            if (!event.batchId.empty())
+                args.set("batch", event.batchId);
+            e.set("args", std::move(args));
+        }
         arr.push(std::move(e));
     }
     doc.set("traceEvents", std::move(arr));

@@ -99,7 +99,11 @@ Executor::trainingTraces()
         training_.resize(builders.size());
         obs::ScopedTimer phase("campaign.training", {}, nullptr,
                                "campaign");
+        // Workers start with an empty TraceContext; re-apply the
+        // caller's so the per-trace work nests under the phase span.
+        const obs::TraceContext ctx = obs::currentTraceContext();
         pool_.parallelFor(builders.size(), [&](std::size_t i) {
+            obs::ScopedTraceContext scope(ctx);
             training_[i] = builders[i]();
         });
         trainingBuilt_ = true;
@@ -141,7 +145,9 @@ Executor::calibratedScales(const CampaignSpec &spec)
     const WaveletBasis basis = WaveletBasis::byName(spec.basis);
     obs::ScopedTimer phase("campaign.calibrate", {}, nullptr,
                            "campaign");
+    const obs::TraceContext ctx = obs::currentTraceContext();
     pool_.parallelFor(missing.size(), [&](std::size_t mi) {
+        obs::ScopedTraceContext scope(ctx);
         obs::ScopedTimer timer("calibrate scale",
                                campaignMetrics().calibrateMs, nullptr,
                                "campaign");
@@ -161,6 +167,12 @@ CampaignResult
 Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
 {
     const Clock::time_point campaign_start = Clock::now();
+
+    // Attach this run's spans under the caller-provided context (the
+    // serve dispatcher passes its batch span; batch CLI passes the
+    // default root), for this thread and — via capture below — the
+    // pool workers evaluating cells.
+    obs::ScopedTraceContext run_context(hooks.traceContext);
 
     CampaignResult result;
     result.spec = plan.spec;
@@ -196,6 +208,15 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
     std::optional<obs::ScopedTimer> sweep_phase;
     sweep_phase.emplace("campaign.sweep", obs::Histogram{}, nullptr,
                         "campaign");
+    // Captured after the sweep span opens, so cell spans evaluated on
+    // pool workers parent under it. Labels are precomputed per profile
+    // (not per cell) and interned by ScopedTimer, so span creation on
+    // the hot path does not allocate.
+    const obs::TraceContext cell_context = obs::currentTraceContext();
+    std::vector<std::string> cell_labels;
+    cell_labels.reserve(profiles.size());
+    for (const BenchmarkProfile &profile : profiles)
+        cell_labels.push_back("cell " + profile.name);
     std::mutex progress_mutex;
     std::vector<std::future<void>> pending;
     std::vector<std::size_t> pendingCell; // submission order -> cell
@@ -220,7 +241,8 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
         }
         pendingCell.push_back(ci);
         pending.push_back(pool_.submit([&, ci, pi, si] {
-            obs::ScopedTimer span("cell " + profiles[pi].name,
+            obs::ScopedTraceContext cell_scope(cell_context);
+            obs::ScopedTimer span(cell_labels[pi],
                                   campaignMetrics().cellMs, nullptr,
                                   "campaign");
             campaignMetrics().cells.add(1);

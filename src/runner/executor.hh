@@ -41,6 +41,7 @@
 
 #include "core/experiment.hh"
 #include "core/variance_model.hh"
+#include "obs/trace_event.hh"
 #include "runner/plan.hh"
 #include "runner/thread_pool.hh"
 #include "runner/trace_repository.hh"
@@ -69,6 +70,16 @@ struct ExecutionHooks
      * traffic to the requests of a merged batch.
      */
     std::vector<TraceCacheStats> *cellCacheDeltas = nullptr;
+
+    /**
+     * Trace context the run's spans attach under. run() installs it on
+     * the calling thread and re-applies it inside pool workers, so the
+     * sweep/cell spans of a served campaign nest under the daemon's
+     * batch span (and carry its request/batch labels) even though they
+     * execute on pool threads. Default: root, unattributed — the batch
+     * CLI's flat layout.
+     */
+    obs::TraceContext traceContext;
 };
 
 /** Long-lived campaign execution engine (pool + repo + calibration). */

@@ -102,12 +102,31 @@ bool
 Client::call(const std::string &request, std::string *response,
              std::string *error, std::uint32_t max_frame)
 {
+    return send(request, error) && receive(response, error, max_frame);
+}
+
+bool
+Client::send(const std::string &request, std::string *error)
+{
     if (fd_ < 0) {
-        *error = "not connected";
+        if (error)
+            *error = "not connected";
         return false;
     }
     if (writeFrame(fd_, request, error) != FrameStatus::Ok) {
         close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::receive(std::string *response, std::string *error,
+                std::uint32_t max_frame)
+{
+    if (fd_ < 0) {
+        if (error)
+            *error = "not connected";
         return false;
     }
     const FrameStatus status =

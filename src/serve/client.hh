@@ -54,6 +54,18 @@ class Client
               std::string *error,
               std::uint32_t max_frame = kDefaultMaxFrameBytes);
 
+    /**
+     * Send @p request as one frame without waiting for a response.
+     * Used with receive() for streaming exchanges (watch frames),
+     * where one request yields many response frames.
+     */
+    bool send(const std::string &request, std::string *error);
+
+    /** Block for one response frame. False on any transport failure
+     *  (connection closed) with @p error set. */
+    bool receive(std::string *response, std::string *error,
+                 std::uint32_t max_frame = kDefaultMaxFrameBytes);
+
     /** Close the connection (idempotent). */
     void close();
 

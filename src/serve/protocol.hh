@@ -9,10 +9,12 @@
  *   {"schema": "didt-serve-v1", "type": "characterize",
  *    "id": "r1", "spec": { ...didt-campaign-v1 spec fields... }}
  *
- * Request types: "ping" (liveness), "stats" (daemon counters), and
+ * Request types: "ping" (liveness), "stats" (daemon counters),
  * "characterize" (run the embedded campaign spec; every spec field is
- * optional and defaults as in CampaignSpec). Responses mirror the
- * envelope with type "pong", "stats", "result", or "error":
+ * optional and defaults as in CampaignSpec), "watch" (subscribe to
+ * periodic live-stats frames), and "events" (read the daemon's bounded
+ * event ring). Responses mirror the envelope with type "pong",
+ * "stats", "result", "watch", "events", or "error":
  *
  *   {"schema": "didt-serve-v1", "type": "result", "id": "r1",
  *    "result": { ...didt-campaign-v1 document... }}
@@ -24,6 +26,21 @@
  * deterministic writer), which is what lets didt_client replay a
  * campaign file and reproduce it byte-for-byte.
  *
+ * Live-telemetry extension (additive, version-negotiated): a "pong"
+ * response advertises the daemon's optional capabilities in a
+ * "features" array ("watch", "events", "timings"); a didt-serve-v1
+ * peer without the member supports none of them. A characterize
+ * request may set "timings": true to receive a wall-time breakdown
+ * (queue/merge/execute/serialize ms plus cache deltas) as a "timings"
+ * sibling of "result" — never inside the result document, so replay
+ * byte-identity is unaffected. A watch request ({"interval_ms": N,
+ * "count": M}) turns the connection into a stream: the server sends
+ * one "watch" frame per tick ({"seq", "stats", "delta"}) until M
+ * frames were sent (0 = unbounded), the client sends any other
+ * request (which unsubscribes and is then answered normally), or the
+ * daemon drains. An events request ({"after": S, "limit": N}) returns
+ * ring entries with seq > S.
+ *
  * Error codes are closed-enumeration (ErrorCode) so clients can switch
  * on them: bad_request (unparseable or invalid request — the sender's
  * fault), queue_full (typed backpressure: admission queue at capacity;
@@ -34,8 +51,11 @@
 #ifndef DIDT_SERVE_PROTOCOL_HH
 #define DIDT_SERVE_PROTOCOL_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/event_log.hh"
 #include "runner/campaign.hh"
 #include "util/json.hh"
 
@@ -46,6 +66,10 @@ namespace serve
 
 /** Schema marker carried by every request and response. */
 inline constexpr const char *kProtocolSchema = "didt-serve-v1";
+
+/** Optional capabilities advertised in "pong" (sorted). */
+inline constexpr const char *kProtocolFeatures[] = {"events", "timings",
+                                                    "watch"};
 
 /** Typed error codes a response can carry. */
 enum class ErrorCode
@@ -65,6 +89,8 @@ enum class RequestType
     Ping,
     Stats,
     Characterize,
+    Watch,
+    Events,
 };
 
 /** A decoded request. */
@@ -73,6 +99,24 @@ struct Request
     RequestType type = RequestType::Ping;
     std::string id;    ///< echoed back verbatim; may be empty
     CampaignSpec spec; ///< Characterize only
+
+    /** Characterize: echo a "timings" breakdown in the response. */
+    bool wantTimings = false;
+
+    /** Stats: render in Prometheus text exposition format. */
+    bool wantPrometheus = false;
+
+    /** Watch: tick period (>= 10 ms enforced at parse). */
+    double watchIntervalMs = 1000.0;
+
+    /** Watch: frames to send before the stream ends (0 = unbounded). */
+    std::uint64_t watchCount = 0;
+
+    /** Events: return ring entries with seq > after. */
+    std::uint64_t eventsAfter = 0;
+
+    /** Events: max entries returned (0 = no limit). */
+    std::uint64_t eventsLimit = 0;
 };
 
 /**
@@ -85,20 +129,47 @@ bool parseRequest(const std::string &payload, Request *request,
 
 /** Serialize a characterize request (didt_client's encoder). */
 std::string characterizeRequestJson(const std::string &id,
-                                    const JsonValue &spec);
+                                    const JsonValue &spec,
+                                    bool timings = false);
 
-/** Serialize a ping / stats request. */
+/** Serialize a ping / stats request (Prometheus rendering optional). */
 std::string pingRequestJson(const std::string &id);
-std::string statsRequestJson(const std::string &id);
+std::string statsRequestJson(const std::string &id,
+                             bool prometheus = false);
 
-/** Serialize a "result" response embedding a campaign document. */
-std::string resultResponseJson(const std::string &id, JsonValue result);
+/** Serialize a watch subscription request. */
+std::string watchRequestJson(const std::string &id, double intervalMs,
+                             std::uint64_t count);
 
-/** Serialize a "pong" response. */
+/** Serialize an events query request. */
+std::string eventsRequestJson(const std::string &id,
+                              std::uint64_t after, std::uint64_t limit);
+
+/**
+ * Serialize a "result" response embedding a campaign document, plus an
+ * optional "timings" sibling (never merged into the result document —
+ * replay byte-identity depends on "result" alone).
+ */
+std::string resultResponseJson(const std::string &id, JsonValue result,
+                               const JsonValue *timings = nullptr);
+
+/** Serialize a "pong" response (advertises kProtocolFeatures). */
 std::string pongResponseJson(const std::string &id);
 
 /** Serialize a "stats" response embedding a daemon-stats object. */
 std::string statsResponseJson(const std::string &id, JsonValue stats);
+
+/** Serialize a "stats" response carrying Prometheus exposition text. */
+std::string statsPrometheusResponseJson(const std::string &id,
+                                        const std::string &text);
+
+/** Serialize one "watch" stream frame. */
+std::string watchFrameJson(const std::string &id, std::uint64_t seq,
+                           JsonValue stats, JsonValue delta);
+
+/** Serialize an "events" response from a ring query. */
+std::string eventsResponseJson(const std::string &id,
+                               const obs::EventLog::Query &query);
 
 /** Serialize an "error" response with a typed code. */
 std::string errorResponseJson(const std::string &id, ErrorCode code,

@@ -42,6 +42,7 @@
 #define DIDT_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,6 +55,9 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "obs/event_log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_event.hh"
 #include "runner/executor.hh"
 #include "runner/trace_repository.hh"
 #include "serve/frame.hh"
@@ -101,6 +105,10 @@ struct ServerConfig
 
     /** Telemetry rewrite period in milliseconds. */
     double metricsIntervalMs = 1000.0;
+
+    /** Event-ring capacity: the newest this many daemon events are
+     *  retained for `events` queries and the shutdown dump. */
+    std::size_t eventCapacity = 1024;
 };
 
 /** The daemon: listeners + admission queue + dispatcher + executor. */
@@ -140,7 +148,12 @@ class Server
     /** Daemon counters as the "stats" response payload. */
     JsonValue statsJson() const;
 
+    /** The bounded daemon-event ring (admissions, batches, faults). */
+    const obs::EventLog &events() const { return events_; }
+
   private:
+    using Clock = std::chrono::steady_clock;
+
     /** One admitted characterize request awaiting execution. */
     struct Job
     {
@@ -148,6 +161,9 @@ class Server
         CampaignSpec spec;
         std::string key; ///< batchKey(spec)
         std::promise<std::string> response;
+        Clock::time_point admitted;  ///< queue-wait start
+        bool wantTimings = false;    ///< echo a "timings" breakdown
+        obs::TraceContext ctx;       ///< request span / id for nesting
     };
 
     /** One live client connection. */
@@ -172,6 +188,21 @@ class Server
      */
     std::string serveCharacterize(const Request &request);
 
+    /**
+     * Serve a watch subscription on @p fd: send one live-stats frame
+     * per tick until the frame budget is spent, the peer sends another
+     * frame (left unread for the connection loop — that request
+     * unsubscribes and is answered normally), the peer hangs up, or
+     * the daemon drains. False when the connection is dead.
+     */
+    bool streamWatch(int fd, const Request &request);
+
+    /** The per-tick "stats" object of a watch frame. */
+    JsonValue watchStatsJson(double elapsedMs,
+                             const obs::MetricsSnapshot &current,
+                             const obs::MetricsSnapshot &delta,
+                             const TraceCacheStats &cacheDelta) const;
+
     /** Reap joined connection threads; under connMutex_. */
     void reapConnectionsLocked();
 
@@ -192,6 +223,8 @@ class Server
     std::condition_variable queueCv_;
     std::deque<Job> queue_;
     bool draining_ = false;
+    /** Mirrors draining_ for lock-free polls (watch ticks). */
+    std::atomic<bool> drainingFlag_{false};
 
     std::mutex connMutex_;
     std::list<Connection> connections_;
@@ -208,6 +241,10 @@ class Server
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> connectionsAccepted_{0};
     std::atomic<std::uint64_t> droppedConnections_{0};
+    std::atomic<std::uint64_t> activeConnections_{0};
+    std::atomic<std::uint64_t> watchers_{0};
+
+    obs::EventLog events_;
 
     bool started_ = false;
 };

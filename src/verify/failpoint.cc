@@ -106,6 +106,23 @@ TriggerPolicy::keyEquals(std::string key)
     return p;
 }
 
+namespace
+{
+/** Fire observer; both written under the registry lock, read with
+ *  acquire so the firing thread sees a consistent (fn, state) pair. */
+std::atomic<FailPointObserver> g_observer{nullptr};
+std::atomic<void *> g_observerState{nullptr};
+} // namespace
+
+void
+setFailPointObserver(FailPointObserver observer, void *state)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    g_observerState.store(state, std::memory_order_relaxed);
+    g_observer.store(observer, std::memory_order_release);
+}
+
 namespace detail
 {
 
@@ -114,37 +131,46 @@ std::atomic<bool> g_armed{false};
 bool
 evaluate(std::string_view site, std::string_view key)
 {
-    Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    const auto it = r.sites.find(site);
-    if (it == r.sites.end())
-        return false;
-    Site &s = it->second;
-    ++s.stats.hits;
     bool fire = false;
-    switch (s.policy.kind) {
-      case TriggerPolicy::Kind::Always:
-        fire = true;
-        break;
-      case TriggerPolicy::Kind::NthHit:
-        fire = s.stats.hits == s.policy.n;
-        break;
-      case TriggerPolicy::Kind::EveryK:
-        fire = s.stats.hits % s.policy.n == 0;
-        break;
-      case TriggerPolicy::Kind::Probability:
-        // Empty keys fall back to the hit index, which is only
-        // deterministic single-threaded; keyed callers get full
-        // schedule independence.
-        fire = keyedUniform(s.policy.seed, site, key,
-                            key.empty() ? s.stats.hits : 0) < s.policy.p;
-        break;
-      case TriggerPolicy::Kind::KeyEquals:
-        fire = key == s.policy.key;
-        break;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        const auto it = r.sites.find(site);
+        if (it == r.sites.end())
+            return false;
+        Site &s = it->second;
+        ++s.stats.hits;
+        switch (s.policy.kind) {
+          case TriggerPolicy::Kind::Always:
+            fire = true;
+            break;
+          case TriggerPolicy::Kind::NthHit:
+            fire = s.stats.hits == s.policy.n;
+            break;
+          case TriggerPolicy::Kind::EveryK:
+            fire = s.stats.hits % s.policy.n == 0;
+            break;
+          case TriggerPolicy::Kind::Probability:
+            // Empty keys fall back to the hit index, which is only
+            // deterministic single-threaded; keyed callers get full
+            // schedule independence.
+            fire = keyedUniform(s.policy.seed, site, key,
+                                key.empty() ? s.stats.hits : 0) <
+                   s.policy.p;
+            break;
+          case TriggerPolicy::Kind::KeyEquals:
+            fire = key == s.policy.key;
+            break;
+        }
+        if (fire)
+            ++s.stats.fires;
     }
-    if (fire)
-        ++s.stats.fires;
+    if (fire) {
+        if (const FailPointObserver observer =
+                g_observer.load(std::memory_order_acquire))
+            observer(g_observerState.load(std::memory_order_relaxed),
+                     site, key);
+    }
     return fire;
 }
 

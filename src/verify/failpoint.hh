@@ -109,6 +109,17 @@ bool armFailPointsFromSpec(const std::string &spec,
  */
 void armFailPointsFromEnv();
 
+/**
+ * Observer invoked (site, key) each time an armed failpoint fires —
+ * the serve daemon uses it to log "failpoint_fired" events. One
+ * observer process-wide; pass nullptr to remove. The observer runs on
+ * the evaluating thread outside the registry lock and must not
+ * evaluate failpoints itself.
+ */
+using FailPointObserver = void (*)(void *state, std::string_view site,
+                                   std::string_view key);
+void setFailPointObserver(FailPointObserver observer, void *state);
+
 namespace detail
 {
 

@@ -259,6 +259,168 @@ TEST(MetricsSnapshot, JsonGolden)
     EXPECT_EQ(registry.snapshot().toJson().dump(), golden);
 }
 
+TEST(MetricsSnapshot, DiffSubtractsCountersAndHistograms)
+{
+    obs::MetricsRegistry registry;
+    obs::Counter counter = registry.counter("d.count");
+    obs::Gauge gauge = registry.gauge("d.depth");
+    obs::Histogram histogram = registry.histogram("d.ms", {1.0, 2.0});
+    counter.add(3);
+    gauge.record(7.0);
+    histogram.observe(0.5);
+    const obs::MetricsSnapshot before = registry.snapshot();
+
+    counter.add(4);
+    gauge.record(2.0);
+    histogram.observe(1.5);
+    histogram.observe(1.7);
+    registry.counter("d.new").add(1); // born between snapshots
+    const obs::MetricsSnapshot after = registry.snapshot();
+
+    const obs::MetricsSnapshot delta = diffSnapshots(before, after);
+    const obs::MetricSnapshot *dc = delta.find("d.count");
+    ASSERT_NE(dc, nullptr);
+    EXPECT_DOUBLE_EQ(dc->value, 4.0);
+    // Gauges are instantaneous: the delta carries the current value.
+    const obs::MetricSnapshot *dg = delta.find("d.depth");
+    ASSERT_NE(dg, nullptr);
+    EXPECT_DOUBLE_EQ(dg->value, 2.0);
+    const obs::MetricSnapshot *dh = delta.find("d.ms");
+    ASSERT_NE(dh, nullptr);
+    EXPECT_EQ(dh->histogram.count, 2u);
+    EXPECT_DOUBLE_EQ(dh->histogram.sum, 3.2);
+    ASSERT_EQ(dh->histogram.counts.size(), 3u);
+    EXPECT_EQ(dh->histogram.counts[0], 0u);
+    EXPECT_EQ(dh->histogram.counts[1], 2u);
+    // A metric absent from the previous snapshot passes through whole.
+    const obs::MetricSnapshot *dn = delta.find("d.new");
+    ASSERT_NE(dn, nullptr);
+    EXPECT_DOUBLE_EQ(dn->value, 1.0);
+}
+
+TEST(ScopedTimer, NestedSpansLinkParentIds)
+{
+    obs::TraceEventSink sink;
+    sink.setEnabled(true);
+    {
+        obs::ScopedTimer outer("outer", obs::Histogram{}, &sink);
+        {
+            obs::ScopedTimer inner("inner", obs::Histogram{}, &sink);
+        }
+    }
+    const std::vector<obs::TraceEvent> events = sink.events();
+    ASSERT_EQ(events.size(), 2u);
+    const obs::TraceEvent &inner = events[0];
+    const obs::TraceEvent &outer = events[1];
+    EXPECT_NE(outer.spanId, 0u);
+    EXPECT_NE(inner.spanId, 0u);
+    EXPECT_NE(inner.spanId, outer.spanId);
+    EXPECT_EQ(inner.parentId, outer.spanId);
+    // No enclosing ScopedTraceContext: the outer span is a root.
+    EXPECT_EQ(outer.parentId, 0u);
+}
+
+TEST(TraceContext, PropagatesAcrossThreads)
+{
+    obs::TraceEventSink sink;
+    sink.setEnabled(true);
+    {
+        obs::ScopedTraceContext request({0, "req-42", ""});
+        obs::ScopedTimer root("request", obs::Histogram{}, &sink);
+        // Capture on the dispatching thread, re-apply in the worker —
+        // exactly what the executor pool does for cell tasks.
+        const obs::TraceContext ctx = obs::currentTraceContext();
+        std::thread worker([&ctx, &sink] {
+            obs::ScopedTraceContext scope(ctx);
+            obs::ScopedTimer span("cell", obs::Histogram{}, &sink);
+        });
+        worker.join();
+    }
+    const std::vector<obs::TraceEvent> events = sink.events();
+    ASSERT_EQ(events.size(), 2u);
+    const obs::TraceEvent &cell = events[0];
+    const obs::TraceEvent &root = events[1];
+    EXPECT_EQ(root.name, "request");
+    EXPECT_EQ(root.requestId, "req-42");
+    EXPECT_EQ(cell.name, "cell");
+    EXPECT_EQ(cell.requestId, "req-42");
+    // The worker-side span nests under the request's root span even
+    // though it was recorded on a different thread.
+    EXPECT_EQ(cell.parentId, root.spanId);
+}
+
+TEST(TraceContext, RestoredOnScopeExit)
+{
+    const obs::TraceContext &outer = obs::currentTraceContext();
+    EXPECT_EQ(outer.requestId, "");
+    {
+        obs::ScopedTraceContext scope({7, "inner-req", "batch-9"});
+        EXPECT_EQ(obs::currentTraceContext().parentSpan, 7u);
+        EXPECT_EQ(obs::currentTraceContext().requestId, "inner-req");
+        EXPECT_EQ(obs::currentTraceContext().batchId, "batch-9");
+    }
+    EXPECT_EQ(obs::currentTraceContext().parentSpan, 0u);
+    EXPECT_EQ(obs::currentTraceContext().requestId, "");
+}
+
+TEST(ScopedTimer, LabelsAreInterned)
+{
+    const std::string &a = obs::internSpanLabel("cell gzip@1.0");
+    std::string dynamic = "cell gzip@";
+    dynamic += "1.0";
+    const std::string &b = obs::internSpanLabel(dynamic);
+    EXPECT_EQ(&a, &b); // same table node: no per-span allocation
+}
+
+TEST(Prometheus, TextExpositionRendersAllKinds)
+{
+    obs::MetricsRegistry registry;
+    registry.counter("p.requests").add(5);
+    registry.gauge("p.depth").record(2.0);
+    obs::Histogram histogram = registry.histogram("p.ms", {1.0, 2.0});
+    histogram.observe(0.5);
+    histogram.observe(1.5);
+    const std::string text =
+        obs::prometheusText(registry.snapshot());
+
+    EXPECT_NE(text.find("# TYPE didt_p_requests_total counter\n"
+                        "didt_p_requests_total 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE didt_p_depth gauge\ndidt_p_depth 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE didt_p_ms histogram\n"),
+              std::string::npos);
+    // Buckets are cumulative; +Inf equals the observation count.
+    EXPECT_NE(text.find("didt_p_ms_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("didt_p_ms_bucket{le=\"2\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("didt_p_ms_bucket{le=\"+Inf\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("didt_p_ms_count 2\n"), std::string::npos);
+    EXPECT_NE(text.find("didt_p_ms_sum 2\n"), std::string::npos);
+}
+
+TEST(TraceEventSink, ChromeTraceCarriesSpanArgs)
+{
+    obs::TraceEventSink sink;
+    sink.setEnabled(true);
+    {
+        obs::ScopedTraceContext scope({0, "req-7", "batch-3"});
+        obs::ScopedTimer timer("work", obs::Histogram{}, &sink);
+    }
+    const std::string path =
+        testing::TempDir() + "obs_trace_args_test.json";
+    sink.writeChromeTrace(path);
+    const JsonValue doc = readJsonFile(path);
+    const JsonValue &event = doc.find("traceEvents")->items()[0];
+    const JsonValue *args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_GT(args->find("span")->asNumber(), 0.0);
+    EXPECT_EQ(args->find("request")->asString(), "req-7");
+    EXPECT_EQ(args->find("batch")->asString(), "batch-3");
+}
+
 TEST(MetricsSnapshot, JsonRoundTripsThroughParser)
 {
     obs::MetricsRegistry registry;

@@ -9,8 +9,11 @@
  * (faults become per-request errors, never daemon crashes).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -238,6 +241,90 @@ TEST(Protocol, ErrorCodeNames)
                  "shutting_down");
     EXPECT_STREQ(serve::errorCodeName(serve::ErrorCode::Internal),
                  "internal");
+}
+
+TEST(Protocol, WatchAndEventsRequestsRoundTrip)
+{
+    serve::Request request;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(
+        serve::watchRequestJson("w1", 250.0, 4), &request, &error))
+        << error;
+    EXPECT_EQ(request.type, serve::RequestType::Watch);
+    EXPECT_EQ(request.id, "w1");
+    EXPECT_DOUBLE_EQ(request.watchIntervalMs, 250.0);
+    EXPECT_EQ(request.watchCount, 4u);
+
+    ASSERT_TRUE(serve::parseRequest(
+        serve::eventsRequestJson("e1", 17, 5), &request, &error))
+        << error;
+    EXPECT_EQ(request.type, serve::RequestType::Events);
+    EXPECT_EQ(request.eventsAfter, 17u);
+    EXPECT_EQ(request.eventsLimit, 5u);
+
+    // Sub-10ms watch periods are rejected (they would busy-spin the
+    // daemon), as are non-numeric ones.
+    EXPECT_FALSE(serve::parseRequest(
+        "{\"schema\": \"didt-serve-v1\", \"type\": \"watch\", "
+        "\"interval_ms\": 1}",
+        &request, &error));
+}
+
+TEST(Protocol, StatsRequestNegotiatesPrometheusFormat)
+{
+    serve::Request request;
+    std::string error;
+    ASSERT_TRUE(serve::parseRequest(serve::statsRequestJson("s", true),
+                                    &request, &error))
+        << error;
+    EXPECT_TRUE(request.wantPrometheus);
+    ASSERT_TRUE(serve::parseRequest(serve::statsRequestJson("s"),
+                                    &request, &error))
+        << error;
+    EXPECT_FALSE(request.wantPrometheus);
+}
+
+// ---------------------------------------------------------------------------
+// Event log
+// ---------------------------------------------------------------------------
+
+TEST(EventLog, RingDropsOldestAndCountsDrops)
+{
+    obs::EventLog log(3);
+    for (int i = 1; i <= 5; ++i)
+        log.append("type" + std::to_string(i));
+    EXPECT_EQ(log.appended(), 5u);
+    EXPECT_EQ(log.dropped(), 2u);
+    EXPECT_EQ(log.size(), 3u);
+
+    const obs::EventLog::Query all = log.since(0);
+    ASSERT_EQ(all.events.size(), 3u);
+    EXPECT_EQ(all.events[0].seq, 3u);
+    EXPECT_EQ(all.events[0].type, "type3");
+    EXPECT_EQ(all.events[2].seq, 5u);
+    EXPECT_EQ(all.dropped, 2u);
+    EXPECT_EQ(all.next, 5u);
+}
+
+TEST(EventLog, SinceCursorAndLimitPaginate)
+{
+    obs::EventLog log(8);
+    for (int i = 0; i < 6; ++i) {
+        std::string detail = "d";
+        detail += std::to_string(i);
+        log.append("t", detail);
+    }
+    const obs::EventLog::Query page1 = log.since(0, 2);
+    ASSERT_EQ(page1.events.size(), 2u);
+    EXPECT_EQ(page1.events[0].seq, 1u);
+    EXPECT_EQ(page1.next, 2u);
+    const obs::EventLog::Query page2 = log.since(page1.next, 2);
+    ASSERT_EQ(page2.events.size(), 2u);
+    EXPECT_EQ(page2.events[0].seq, 3u);
+    // Past the end: empty page, cursor unchanged.
+    const obs::EventLog::Query done = log.since(6);
+    EXPECT_TRUE(done.events.empty());
+    EXPECT_EQ(done.next, 6u);
 }
 
 // ---------------------------------------------------------------------------
@@ -508,6 +595,314 @@ TEST(Server, DecodeFailpointBecomesPerRequestError)
         << error;
     EXPECT_EQ(parseResponse(response).find("type")->asString(), "pong");
     verify::resetFailPoints();
+}
+
+TEST(Server, PongAdvertisesTelemetryFeatures)
+{
+    serve::ServerConfig config;
+    config.unixPath = testSocketPath("feat");
+    config.jobs = 1;
+    serve::Server server(sharedSetup(), config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const JsonValue pong =
+        parseResponse(callServer(config.unixPath,
+                                 serve::pingRequestJson("f")));
+    const JsonValue *features = pong.find("features");
+    ASSERT_NE(features, nullptr);
+    std::vector<std::string> names;
+    for (const JsonValue &f : features->items())
+        names.push_back(f.asString());
+    for (const char *required : {"events", "timings", "watch"})
+        EXPECT_NE(std::find(names.begin(), names.end(), required),
+                  names.end())
+            << required;
+}
+
+TEST(Server, WatchStreamsFramesUntilNextRequestUnsubscribes)
+{
+    serve::ServerConfig config;
+    config.unixPath = testSocketPath("watch");
+    config.jobs = 1;
+    serve::Server server(sharedSetup(), config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connectUnix(config.unixPath, &error)) << error;
+    ASSERT_TRUE(client.send(serve::watchRequestJson("w1", 10.0, 0),
+                            &error))
+        << error;
+
+    // Unbounded subscription: frames keep arriving with ascending seq.
+    double lastSeq = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        std::string payload;
+        ASSERT_TRUE(client.receive(&payload, &error)) << error;
+        const JsonValue frame = parseResponse(payload);
+        ASSERT_EQ(frame.find("type")->asString(), "watch");
+        EXPECT_EQ(frame.find("id")->asString(), "w1");
+        const double seq = frame.find("seq")->asNumber();
+        EXPECT_GT(seq, lastSeq);
+        lastSeq = seq;
+        const JsonValue *stats = frame.find("stats");
+        ASSERT_NE(stats, nullptr);
+        EXPECT_GE(stats->find("active_connections")->asNumber(), 1.0);
+        EXPECT_GE(stats->find("watchers")->asNumber(), 1.0);
+        ASSERT_NE(frame.find("delta"), nullptr);
+    }
+
+    // Any further request unsubscribes: the daemon stops streaming and
+    // answers it. In-flight watch frames may still be buffered, so
+    // drain until the pong arrives.
+    ASSERT_TRUE(client.send(serve::pingRequestJson("after-watch"),
+                            &error))
+        << error;
+    std::string payload;
+    for (;;) {
+        ASSERT_TRUE(client.receive(&payload, &error)) << error;
+        const JsonValue response = parseResponse(payload);
+        if (response.find("type")->asString() == "watch")
+            continue;
+        EXPECT_EQ(response.find("type")->asString(), "pong");
+        EXPECT_EQ(response.find("id")->asString(), "after-watch");
+        break;
+    }
+
+    // The connection is back in plain request/response mode.
+    ASSERT_TRUE(client.call(serve::statsRequestJson(""), &payload,
+                            &error))
+        << error;
+    EXPECT_EQ(parseResponse(payload).find("type")->asString(), "stats");
+}
+
+TEST(Server, WatchFrameBudgetEndsStream)
+{
+    serve::ServerConfig config;
+    config.unixPath = testSocketPath("wbudget");
+    config.jobs = 1;
+    serve::Server server(sharedSetup(), config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connectUnix(config.unixPath, &error)) << error;
+    ASSERT_TRUE(client.send(serve::watchRequestJson("w2", 10.0, 2),
+                            &error))
+        << error;
+    std::string payload;
+    for (int i = 1; i <= 2; ++i) {
+        ASSERT_TRUE(client.receive(&payload, &error)) << error;
+        EXPECT_EQ(parseResponse(payload).find("seq")->asNumber(),
+                  static_cast<double>(i));
+    }
+    // The budget is spent; the very next frame answers a new request.
+    ASSERT_TRUE(client.call(serve::pingRequestJson("done"), &payload,
+                            &error))
+        << error;
+    EXPECT_EQ(parseResponse(payload).find("type")->asString(), "pong");
+}
+
+TEST(Server, EventsRequestReturnsRequestLifecycle)
+{
+    serve::ServerConfig config;
+    config.unixPath = testSocketPath("events");
+    config.jobs = 1;
+    serve::Server server(sharedSetup(), config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    parseResponse(callServer(config.unixPath,
+                             serve::characterizeRequestJson(
+                                 "ev1", campaignSpecToJson(smallSpec()))));
+
+    const JsonValue response = parseResponse(
+        callServer(config.unixPath, serve::eventsRequestJson("q", 0, 0)));
+    ASSERT_EQ(response.find("type")->asString(), "events");
+    EXPECT_EQ(response.find("dropped")->asNumber(), 0.0);
+    const JsonValue *events = response.find("events");
+    ASSERT_NE(events, nullptr);
+    auto detailOf = [&](const char *type) -> std::string {
+        for (const JsonValue &event : events->items())
+            if (event.find("type")->asString() == type)
+                return event.find("detail")->asString();
+        return {};
+    };
+    EXPECT_NE(detailOf("request_admitted").find("ev1"),
+              std::string::npos);
+    EXPECT_NE(detailOf("batch_formed").find("size=1"),
+              std::string::npos);
+    EXPECT_NE(detailOf("request_completed").find("ev1"),
+              std::string::npos);
+    EXPECT_GE(response.find("next")->asNumber(), 3.0);
+
+    // The cursor pages: nothing new after the last seq.
+    const JsonValue empty = parseResponse(callServer(
+        config.unixPath,
+        serve::eventsRequestJson(
+            "q2",
+            static_cast<std::uint64_t>(
+                response.find("next")->asNumber()),
+            0)));
+    EXPECT_TRUE(empty.find("events")->items().empty());
+}
+
+TEST(Server, TimingsEchoedOnlyWhenRequested)
+{
+    serve::ServerConfig config;
+    config.unixPath = testSocketPath("timings");
+    config.jobs = 1;
+    serve::Server server(sharedSetup(), config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const JsonValue plain = parseResponse(
+        callServer(config.unixPath,
+                   serve::characterizeRequestJson(
+                       "t0", campaignSpecToJson(smallSpec()))));
+    ASSERT_EQ(plain.find("type")->asString(), "result");
+    EXPECT_EQ(plain.find("timings"), nullptr)
+        << "timings must be off by default";
+
+    const JsonValue timed = parseResponse(
+        callServer(config.unixPath,
+                   serve::characterizeRequestJson(
+                       "t1", campaignSpecToJson(smallSpec()), true)));
+    ASSERT_EQ(timed.find("type")->asString(), "result");
+    const JsonValue *timings = timed.find("timings");
+    ASSERT_NE(timings, nullptr);
+    for (const char *field :
+         {"queue_ms", "merge_ms", "execute_ms", "serialize_ms"})
+        EXPECT_GE(timings->find(field)->asNumber(), 0.0) << field;
+    EXPECT_GE(timings->find("cache")->find("lookups")->asNumber(), 1.0);
+
+    // The attribution rides OUTSIDE the result document: the evaluated
+    // members stay byte-identical with and without it.
+    for (const char *member :
+         {"spec", "cells", "rms_estimation_error_pct"}) {
+        std::ostringstream a, b;
+        plain.find("result")->find(member)->write(a);
+        timed.find("result")->find(member)->write(b);
+        EXPECT_EQ(a.str(), b.str()) << member;
+    }
+}
+
+TEST(Server, ConcurrentRequestsYieldDistinctSpanTrees)
+{
+    obs::TraceEventSink &sink = obs::TraceEventSink::global();
+    sink.clear();
+    sink.setEnabled(true);
+
+    serve::ServerConfig config;
+    config.unixPath = testSocketPath("spans");
+    config.jobs = 2;
+    serve::Server server(sharedSetup(), config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Different windows force different batch keys, so the requests
+    // execute as two batches — each request tree must nest cell spans.
+    std::vector<std::thread> clients;
+    for (int i = 0; i < 2; ++i)
+        clients.emplace_back([&, i] {
+            CampaignSpec spec = smallSpec();
+            spec.profiles = {profileByName("gzip")};
+            spec.windowLength = i == 0 ? 64 : 128;
+            callServer(config.unixPath,
+                       serve::characterizeRequestJson(
+                           "span" + std::to_string(i),
+                           campaignSpecToJson(spec)));
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    // The root "request" span ends only after the response frame is
+    // written, and the dispatcher records the "batch" span after it
+    // releases the responses — so a read taken the instant the clients
+    // return can still miss the tail of either tree. Poll until both
+    // trees are complete (bounded), then assert on the final read.
+    std::vector<obs::TraceEvent> events;
+    const auto spanTreesComplete =
+        [](const std::vector<obs::TraceEvent> &all) {
+            std::map<std::uint64_t, const obs::TraceEvent *> spans;
+            for (const obs::TraceEvent &event : all)
+                spans[event.spanId] = &event;
+            auto rootId =
+                [&](const obs::TraceEvent &event) -> std::uint64_t {
+                const obs::TraceEvent *cursor = &event;
+                while (cursor->parentId != 0) {
+                    const auto it = spans.find(cursor->parentId);
+                    if (it == spans.end())
+                        return 0;
+                    cursor = it->second;
+                }
+                return cursor->spanId;
+            };
+            for (const char *id : {"span0", "span1"}) {
+                std::uint64_t root = 0;
+                for (const obs::TraceEvent &event : all)
+                    if (event.name == "request" &&
+                        event.requestId == id)
+                        root = event.spanId;
+                if (root == 0)
+                    return false;
+                bool cell = false;
+                for (const obs::TraceEvent &event : all)
+                    if (event.name.rfind("cell ", 0) == 0 &&
+                        event.requestId == id &&
+                        rootId(event) == root)
+                        cell = true;
+                if (!cell)
+                    return false;
+            }
+            return true;
+        };
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    for (;;) {
+        events = sink.events();
+        if (spanTreesComplete(events) ||
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    sink.setEnabled(false);
+    sink.clear();
+
+    std::map<std::uint64_t, const obs::TraceEvent *> bySpan;
+    for (const obs::TraceEvent &event : events)
+        bySpan[event.spanId] = &event;
+    auto rootOf = [&](const obs::TraceEvent &event) -> std::uint64_t {
+        const obs::TraceEvent *cursor = &event;
+        while (cursor->parentId != 0) {
+            const auto it = bySpan.find(cursor->parentId);
+            if (it == bySpan.end())
+                return 0; // broken link
+            cursor = it->second;
+        }
+        return cursor->spanId;
+    };
+
+    for (const char *id : {"span0", "span1"}) {
+        // Each request has exactly one root "request" span...
+        const obs::TraceEvent *root = nullptr;
+        for (const obs::TraceEvent &event : events)
+            if (event.name == "request" && event.requestId == id) {
+                EXPECT_EQ(root, nullptr) << "duplicate root for " << id;
+                root = &event;
+            }
+        ASSERT_NE(root, nullptr) << id;
+        EXPECT_EQ(root->parentId, 0u);
+        // ...whose tree nests at least one per-cell execution span.
+        std::size_t cells = 0;
+        for (const obs::TraceEvent &event : events)
+            if (event.name.rfind("cell ", 0) == 0 &&
+                event.requestId == id &&
+                rootOf(event) == root->spanId)
+                ++cells;
+        EXPECT_GE(cells, 1u) << id;
+    }
 }
 
 TEST(Server, MalformedFrameGetsErrorResponseThenHangup)

@@ -3,16 +3,24 @@
  * Client for the didt_serve daemon.
  *
  * Subcommands:
- *   ping          liveness check
- *   stats         print the daemon's counters (JSON)
+ *   ping          liveness check (prints the daemon's feature list)
+ *   stats         print the daemon's counters (JSON; --prom for
+ *                 Prometheus text exposition format)
  *   characterize  run a sweep described by the spec options below
+ *                 (--timings echoes the daemon's latency breakdown)
  *   replay        re-run a campaign from a didt-campaign-v1 JSON file
  *                 (or a bare spec object) through the daemon
+ *   watch         subscribe to live daemon telemetry: one status line
+ *                 per tick (connections, queue depth, cells/s, cache
+ *                 hit-rate, p50/p99 request ms)
+ *   events        print the daemon's recent structured events
  *
  * Typical use:
  *   didt_client ping --socket /tmp/didt.sock
  *   didt_client characterize --benchmarks gzip,mcf --out result.json
  *   didt_client replay campaign.json --out replayed.json
+ *   didt_client watch --interval-ms 500
+ *   didt_client stats --prom | promtool check metrics
  *
  * For characterize and replay the daemon's embedded result document is
  * written verbatim (--out file or stdout); it is byte-identical to
@@ -27,8 +35,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "didt/didt.hh"
 
@@ -183,6 +194,45 @@ specFromOptions(const Options &opts)
     return campaignSpecToJson(spec);
 }
 
+/** Numeric field of a JSON object, or 0.0 when absent/non-numeric. */
+double
+numberField(const JsonValue &object, const char *name)
+{
+    const JsonValue *value = object.find(name);
+    if (!value || value->kind() != JsonValue::Kind::Number)
+        return 0.0;
+    return value->asNumber();
+}
+
+/**
+ * Render one watch frame as a single status line. On a terminal the
+ * line overwrites itself (carriage return); piped output gets one line
+ * per frame so the stream stays grep-able.
+ */
+void
+renderWatchLine(const JsonValue &stats, double seq, bool tty)
+{
+    char line[256];
+    std::snprintf(
+        line, sizeof(line),
+        "watch #%.0f | conns %.0f queue %.0f watchers %.0f | "
+        "cells %.0f (%.1f/s) | hit %.1f%% | req p50 %.1fms p99 %.1fms",
+        seq, numberField(stats, "active_connections"),
+        numberField(stats, "queue_depth"),
+        numberField(stats, "watchers"),
+        numberField(stats, "cells_done"),
+        numberField(stats, "cells_per_sec"),
+        100.0 * numberField(stats, "cache_hit_rate"),
+        numberField(stats, "request_ms_p50"),
+        numberField(stats, "request_ms_p99"));
+    if (tty) {
+        std::printf("\r%-110s", line);
+        std::fflush(stdout);
+    } else {
+        std::printf("%s\n", line);
+    }
+}
+
 /** Extract the spec to replay from a result or bare-spec JSON file. */
 JsonValue
 specFromFile(const std::string &path)
@@ -208,7 +258,8 @@ int
 main(int argc, char **argv)
 {
     Options opts;
-    opts.declareSubcommands({"ping", "stats", "characterize", "replay"});
+    opts.declareSubcommands(
+        {"ping", "stats", "characterize", "replay", "watch", "events"});
     opts.declarePositionals("campaign.json", 0, 1,
                             "replay: the didt-campaign-v1 result (or "
                             "bare spec) file to re-run");
@@ -235,6 +286,22 @@ main(int argc, char **argv)
     opts.declare("failpoints", "",
                  "arm client-side fault-injection sites, e.g. "
                  "'serve.write=nth:1'");
+    opts.declare("prom", "false",
+                 "stats: print Prometheus text exposition format");
+    opts.declare("timings", "false",
+                 "characterize/replay: print the daemon's latency "
+                 "attribution (queue/merge/execute/serialize ms) to "
+                 "stderr");
+    opts.declare("interval-ms", "1000",
+                 "watch: telemetry frame period in milliseconds");
+    opts.declare("count", "0",
+                 "watch: stop after this many frames (0 = until "
+                 "interrupted)");
+    opts.declare("after", "0",
+                 "events: return only events with seq > this cursor");
+    opts.declare("limit", "0",
+                 "events: cap the number of events returned (0 = all "
+                 "retained)");
     opts.parse(argc, argv);
 
     verify::armFailPointsFromEnv();
@@ -255,9 +322,22 @@ main(int argc, char **argv)
         return 0;
     }
     if (command == "stats") {
+        const bool prom = opts.getBool("prom");
         const JsonValue response = roundTrip(
-            client, serve::statsRequestJson(opts.get("id")));
+            client, serve::statsRequestJson(opts.get("id"), prom));
         exitOnErrorResponse(response);
+        if (prom) {
+            const JsonValue *text = response.find("prometheus");
+            if (!text || text->kind() != JsonValue::Kind::String) {
+                std::fprintf(
+                    stderr,
+                    "didt_client: response carries no prometheus "
+                    "text\n");
+                return kExitServeError;
+            }
+            std::fputs(text->asString().c_str(), stdout);
+            return 0;
+        }
         const JsonValue *stats = response.find("stats");
         if (!stats) {
             std::fprintf(stderr,
@@ -266,6 +346,82 @@ main(int argc, char **argv)
         }
         stats->write(std::cout);
         std::cout << '\n';
+        return 0;
+    }
+    if (command == "watch") {
+        const double intervalMs = opts.getDouble("interval-ms");
+        const std::uint64_t count =
+            static_cast<std::uint64_t>(opts.getInt("count"));
+        std::string error;
+        if (!client.send(serve::watchRequestJson(opts.get("id"),
+                                                 intervalMs, count),
+                         &error)) {
+            std::fprintf(stderr, "didt_client: %s\n", error.c_str());
+            return kExitServeError;
+        }
+        const bool tty = ::isatty(STDOUT_FILENO) != 0;
+        std::uint64_t frames = 0;
+        std::string payload;
+        while (client.receive(&payload, &error)) {
+            JsonValue frame;
+            try {
+                frame = parseJson(payload);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr,
+                             "didt_client: unparseable frame: %s\n",
+                             e.what());
+                return kExitServeError;
+            }
+            exitOnErrorResponse(frame);
+            const JsonValue *stats = frame.find("stats");
+            if (!stats)
+                continue;
+            renderWatchLine(*stats, numberField(frame, "seq"), tty);
+            ++frames;
+            if (count != 0 && frames >= count)
+                break;
+        }
+        if (tty && frames != 0)
+            std::printf("\n");
+        // The stream ends normally when the frame budget is spent or
+        // the daemon drains; report a transport error only if no frame
+        // was ever delivered.
+        if (frames == 0) {
+            std::fprintf(stderr, "didt_client: %s\n", error.c_str());
+            return kExitServeError;
+        }
+        return 0;
+    }
+    if (command == "events") {
+        const JsonValue response = roundTrip(
+            client,
+            serve::eventsRequestJson(
+                opts.get("id"),
+                static_cast<std::uint64_t>(opts.getInt("after")),
+                static_cast<std::uint64_t>(opts.getInt("limit"))));
+        exitOnErrorResponse(response);
+        const JsonValue *events = response.find("events");
+        if (!events || events->kind() != JsonValue::Kind::Array) {
+            std::fprintf(stderr,
+                         "didt_client: response carries no events\n");
+            return kExitServeError;
+        }
+        for (const JsonValue &event : events->items()) {
+            const JsonValue *type = event.find("type");
+            const JsonValue *detail = event.find("detail");
+            std::printf(
+                "#%-5.0f %9.1fms  %-18s %s\n",
+                numberField(event, "seq"), numberField(event, "at_ms"),
+                type && type->kind() == JsonValue::Kind::String
+                    ? type->asString().c_str()
+                    : "?",
+                detail && detail->kind() == JsonValue::Kind::String
+                    ? detail->asString().c_str()
+                    : "");
+        }
+        std::printf("(dropped %.0f, next cursor %.0f)\n",
+                    numberField(response, "dropped"),
+                    numberField(response, "next"));
         return 0;
     }
 
@@ -278,10 +434,19 @@ main(int argc, char **argv)
     } else {
         spec = specFromOptions(opts);
     }
+    const bool wantTimings = opts.getBool("timings");
     const JsonValue response = roundTrip(
-        client,
-        serve::characterizeRequestJson(opts.get("id"), spec));
+        client, serve::characterizeRequestJson(opts.get("id"), spec,
+                                               wantTimings));
     exitOnErrorResponse(response);
     writeResult(response, opts.get("out"));
+    if (wantTimings) {
+        if (const JsonValue *timings = response.find("timings")) {
+            std::ostringstream text;
+            timings->write(text);
+            std::fprintf(stderr, "didt_client: timings %s\n",
+                         text.str().c_str());
+        }
+    }
     return 0;
 }

@@ -52,6 +52,9 @@ main(int argc, char **argv)
                  "rewrite a live didt-metrics-v1 snapshot here");
     opts.declare("metrics-interval-ms", "1000",
                  "telemetry rewrite period in milliseconds");
+    opts.declare("events-capacity", "1024",
+                 "daemon-event ring size: newest N events retained "
+                 "for `events` queries and the shutdown dump");
     opts.declare("failpoints", "",
                  "arm fault-injection sites, e.g. "
                  "'serve.decode=nth:1;serve.accept=prob:0.1:7' "
@@ -79,6 +82,8 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(opts.getInt("max-frame-bytes"));
     config.metricsOut = opts.get("metrics-out");
     config.metricsIntervalMs = opts.getDouble("metrics-interval-ms");
+    config.eventCapacity =
+        static_cast<std::size_t>(opts.getInt("events-capacity"));
     if (config.unixPath.empty() && config.tcpPort < 0)
         didt_fatal("need --socket and/or --tcp-port");
 
@@ -130,5 +135,17 @@ main(int argc, char **argv)
                     stats.find("characterizations")->asNumber())
                     .c_str(),
                 jsonNumber(stats.find("batches")->asNumber()).c_str());
+
+    // Dump the retained event ring so a post-mortem of the service
+    // window survives the process (the in-memory ring would not).
+    const obs::EventLog::Query tail = server.events().since(0);
+    if (tail.dropped != 0)
+        std::printf("didt_serve: event %llu older events dropped\n",
+                    static_cast<unsigned long long>(tail.dropped));
+    for (const obs::Event &event : tail.events)
+        std::printf("didt_serve: event #%llu %+.1fms %s %s\n",
+                    static_cast<unsigned long long>(event.seq),
+                    event.atMs, event.type.c_str(),
+                    event.detail.c_str());
     return 0;
 }
