@@ -154,6 +154,35 @@ BM_ProcessorStep(benchmark::State &state)
 }
 BENCHMARK(BM_ProcessorStep);
 
+/**
+ * Cycle throughput of the N-core chip model: per-core dI/dt viruses
+ * behind private L1s and the shared banked L2. Read against
+ * BM_ProcessorStep, the cores=1 row prices the Chip wrapper over the
+ * bare uniprocessor and the 2/4-core rows price lockstep stepping
+ * plus aggregation (BENCH_cmp.json records the measured scaling).
+ */
+void
+BM_ChipStep(benchmark::State &state)
+{
+    const auto cores = static_cast<std::size_t>(state.range(0));
+    std::vector<DiDtVirus> viruses(
+        cores, DiDtVirus::tunedFor(3.0e9, 125.0e6, 4, 20));
+    std::vector<InstructionSource *> sources;
+    sources.reserve(cores);
+    for (auto &v : viruses)
+        sources.push_back(&v);
+    ChipConfig cfg;
+    cfg.cores = cores;
+    Chip chip(cfg, {}, sources);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chip.step());
+        benchmark::DoNotOptimize(chip.lastAggregateCurrent());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cores));
+}
+BENCHMARK(BM_ChipStep)->ArgNames({"cores"})->Arg(1)->Arg(2)->Arg(4);
+
 /** Shared fixture for the profileTrace rows: one calibrated model and
  *  a 32-window trace, built once. */
 struct ProfileBenchFixture

@@ -27,6 +27,7 @@
 #define DIDT_DIDT_HH
 
 #include "core/controller.hh"
+#include "core/chip_cosim.hh"
 #include "core/cosim.hh"
 #include "core/emergency_estimator.hh"
 #include "core/experiment.hh"
@@ -57,6 +58,7 @@
 #include "power/trace_io.hh"
 #include "sim/bpred.hh"
 #include "sim/cache.hh"
+#include "sim/chip.hh"
 #include "sim/config.hh"
 #include "sim/instruction.hh"
 #include "sim/power_model.hh"
@@ -84,6 +86,7 @@
 #include "wavelet/subband.hh"
 #include "wavelet/wavelet_stats.hh"
 #include "workload/generator.hh"
+#include "workload/mix.hh"
 #include "workload/profile.hh"
 
 #endif // DIDT_DIDT_HH

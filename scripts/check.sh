@@ -89,7 +89,7 @@ cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
       obs_test refactor_test simd_test verify_test serve_test \
       fuzz_replay_test
-ctest --test-dir build-tsan -L 'runner|obs|refactor|simd|verify|serve' \
+ctest --test-dir build-tsan -L 'runner|obs|refactor|simd|verify|serve|cmp' \
       --output-on-failure -j "$JOBS"
 
 echo "=== all checks passed ==="

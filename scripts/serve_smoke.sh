@@ -81,6 +81,20 @@ for jobs in 1 4; do
     stop_server
 done
 
+echo "=== chip-cell replay leg (--cores 2, --mix) ==="
+# A 2-core chip campaign exercises the chip-sweep spec round trip
+# (cores/mixes/l2 fields) and the per-core trace production path; the
+# served replay must reproduce the batch bytes exactly.
+"$CAMPAIGN" --jobs 1 --mix inphase-gzip,staggered-gzip --cores 2 \
+    --impedances 1.0,1.2 --instructions 30000 --window 128 --levels 6 \
+    --quiet --json "$WORK/chip_campaign.json"
+start_server --jobs 2
+"$CLIENT" replay "$WORK/chip_campaign.json" --socket "$SOCK" \
+    --out "$WORK/chip_replay.json"
+cmp "$WORK/chip_campaign.json" "$WORK/chip_replay.json"
+echo "2-core chip replay is byte-identical"
+stop_server
+
 echo "=== socket failpoint leg (serve.decode=nth:1) ==="
 start_server --jobs 2 --failpoints 'serve.decode=nth:1'
 # The first request hits the injected decode fault and must surface as

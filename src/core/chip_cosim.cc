@@ -1,0 +1,217 @@
+#include "core/chip_cosim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/monitor.hh"
+#include "obs/scoped_timer.hh"
+#include "util/logging.hh"
+#include "wavelet/modwt.hh"
+#include "workload/generator.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/**
+ * The decision history as a ring: slot(0) is the most recent
+ * controller decision, slot(d) the decision from d cycles ago. Core i
+ * under the Staggered scheme applies slot(i * stride).
+ */
+class ActionHistory
+{
+  public:
+    explicit ActionHistory(std::size_t max_delay)
+        : ring_(max_delay + 1)
+    {
+    }
+
+    const ControlActions &slot(std::size_t delay) const
+    {
+        return ring_[(head_ + delay) % ring_.size()];
+    }
+
+    void push(const ControlActions &decided)
+    {
+        head_ = (head_ + ring_.size() - 1) % ring_.size();
+        ring_[head_] = decided;
+    }
+
+  private:
+    std::vector<ControlActions> ring_;
+    std::size_t head_ = 0;
+};
+
+} // namespace
+
+const char *
+chipControlSchemeName(ChipControlScheme scheme)
+{
+    switch (scheme) {
+      case ChipControlScheme::None: return "chip-none";
+      case ChipControlScheme::Independent: return "chip-independent";
+      case ChipControlScheme::Staggered: return "chip-staggered";
+    }
+    didt_panic("unknown chip control scheme");
+}
+
+ChipCosimResult
+runChipClosedLoop(const std::vector<ChipWorkload> &workloads,
+                  const ExperimentSetup &setup,
+                  const SupplyNetwork &network, const ChipCosimConfig &cfg,
+                  ChipConfig chip)
+{
+    if (workloads.empty())
+        didt_fatal("runChipClosedLoop needs at least one workload");
+    obs::ScopedTimer span(std::string("chip-cosim ") +
+                              chipControlSchemeName(cfg.scheme),
+                          obs::Histogram{}, nullptr, "core");
+
+    chip.cores = workloads.size();
+    chip.core = setup.proc;
+
+    std::vector<std::unique_ptr<SyntheticWorkload>> streams;
+    streams.reserve(workloads.size());
+    std::vector<InstructionSource *> sources;
+    sources.reserve(workloads.size());
+    for (const ChipWorkload &w : workloads) {
+        if (w.profile == nullptr)
+            didt_fatal("chip workload has no profile");
+        streams.push_back(std::make_unique<SyntheticWorkload>(
+            *w.profile, cfg.instructions, w.seed));
+        sources.push_back(streams.back().get());
+    }
+
+    Chip machine(chip, setup.power, sources);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        SyntheticWorkload warm_source(*workloads[i].profile, 0,
+                                      workloads[i].seed + 0xDEADBEEF);
+        machine.core(i).warmupFootprint(streams[i]->dataFootprint(),
+                                        streams[i]->codeFootprint());
+        machine.core(i).warmup(warm_source, 150000);
+    }
+    machine.clearSharedStats();
+
+    SupplyStream supply(network);
+    std::unique_ptr<WaveletMonitor> monitor;
+    std::unique_ptr<ThresholdController> threshold;
+    if (cfg.scheme != ChipControlScheme::None) {
+        monitor = std::make_unique<WaveletMonitor>(network,
+                                                   cfg.waveletTerms);
+        threshold = std::make_unique<ThresholdController>(cfg.control);
+    }
+
+    // Stagger stride: spread N actuation phases over one resonant
+    // period, so the per-core actuation current steps cancel at the
+    // resonance instead of adding. Core 0 is never delayed — with one
+    // core both schemes collapse to the uniprocessor controller.
+    const std::size_t cores = workloads.size();
+    std::size_t stride = cfg.staggerStride;
+    if (stride == 0) {
+        const double period_cycles =
+            network.config().clockHz / network.config().resonantHz;
+        stride = std::max<std::size_t>(
+            1, static_cast<std::size_t>(period_cycles) / cores);
+    }
+    const bool staggered = cfg.scheme == ChipControlScheme::Staggered;
+    ActionHistory history(staggered ? stride * (cores - 1) : 0);
+
+    ChipCosimResult result;
+    result.scheme = chipControlSchemeName(cfg.scheme);
+    result.cores = cores;
+    result.minVoltage = network.config().nominalVoltage;
+    result.maxVoltage = network.config().nominalVoltage;
+
+    const Volt low_fault = network.lowFaultLevel();
+    const Volt high_fault = network.highFaultLevel();
+    const Volt low_safe = cfg.control.lowControl();
+    const Volt high_safe = cfg.control.highControl();
+
+    CurrentTrace aggregate;
+    double current_sum = 0.0;
+    constexpr std::uint64_t kChunk = 256;
+    bool running = true;
+    while (running) {
+        std::uint64_t chunk = kChunk;
+        if (cfg.maxCycles != 0) {
+            if (result.cycles >= cfg.maxCycles)
+                break;
+            chunk = std::min<std::uint64_t>(chunk,
+                                            cfg.maxCycles - result.cycles);
+        }
+        for (std::uint64_t c = 0; c < chunk && running; ++c) {
+            // Core i applies the decision from i*stride cycles ago
+            // (delay zero everywhere under Independent).
+            for (std::size_t i = 0; i < cores; ++i) {
+                const ControlActions &applied =
+                    history.slot(staggered ? i * stride : 0);
+                machine.core(i).setStallIssue(applied.stallIssue);
+                machine.core(i).setInjectNoops(applied.injectNoops);
+            }
+            const ControlActions &lead = history.slot(0);
+
+            running = machine.step();
+            const Amp current = machine.lastAggregateCurrent();
+            const Volt true_voltage = supply.push(current);
+            aggregate.push_back(current);
+
+            ++result.cycles;
+            current_sum += current;
+            result.minVoltage = std::min(result.minVoltage, true_voltage);
+            result.maxVoltage = std::max(result.maxVoltage, true_voltage);
+            if (true_voltage < low_fault)
+                ++result.lowFaults;
+            if (true_voltage > high_fault)
+                ++result.highFaults;
+
+            // False positive: the lead (undelayed) actuation asserted
+            // while the true voltage is inside the control band.
+            if ((lead.stallIssue && true_voltage > low_safe) ||
+                (lead.injectNoops && true_voltage < high_safe))
+                ++result.falsePositives;
+
+            ControlActions decided;
+            if (monitor) {
+                const Volt estimated =
+                    monitor->update(current, true_voltage);
+                decided = threshold->decide(estimated);
+            }
+            history.push(decided);
+        }
+    }
+
+    for (std::size_t i = 0; i < cores; ++i) {
+        result.committed += machine.core(i).stats().committed;
+        result.energyJ += machine.core(i).stats().totalEnergyJ;
+    }
+    result.meanCurrent =
+        result.cycles ? current_sum / static_cast<double>(result.cycles)
+                      : 0.0;
+    if (threshold) {
+        result.controlCycles = threshold->controlCycles();
+        result.stallCycles = threshold->stallCycles();
+        result.noopCycles = threshold->noopCycles();
+    }
+
+    // Per-scale variance of the aggregate stimulus: the in-phase vs
+    // staggered contrast shows up as energy in the resonant octave.
+    if (aggregate.size() >= 64) {
+        const Modwt modwt(WaveletBasis::haar());
+        result.aggregateVariances =
+            modwt.waveletVariance(aggregate, cfg.varianceLevels);
+        // Level j spans [clock/2^(j+1), clock/2^j]; pick the octave
+        // containing the resonant frequency (0-based index j-1).
+        const double ratio =
+            network.config().clockHz / network.config().resonantHz;
+        const auto level = static_cast<std::size_t>(
+            std::floor(std::log2(std::max(2.0, ratio))));
+        result.resonanceLevel =
+            std::min(level - 1, result.aggregateVariances.size() - 1);
+    }
+    return result;
+}
+
+} // namespace didt

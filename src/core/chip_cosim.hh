@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Chip-level closed-loop co-simulation: N cores + shared supply.
+ *
+ * The chip generalization of cosim.hh: every cycle the Chip's cores
+ * draw current, the scaled sum drives the one shared SupplyNetwork,
+ * the wavelet monitor estimates the voltage from the aggregate
+ * current, and the controller's actuation is applied to the cores.
+ *
+ * Two chip-level control schemes are compared:
+ *
+ * - Independent: every core applies the controller's decision on the
+ *   same cycle (the per-core-independent baseline — equivalent to
+ *   broadcasting one core's controller chip-wide). All cores throttle
+ *   and release together, so the actuation itself is a synchronized
+ *   current step that can re-excite the package resonance.
+ *
+ * - Staggered: core i applies the decision stream delayed by
+ *   i * stride cycles, stride = max(1, resonant period / cores). The
+ *   per-core current steps caused by actuation are spread uniformly
+ *   across the resonant period, so their fundamental components at
+ *   the resonance cancel in the aggregate instead of adding — the
+ *   desynchronization scheme evaluated in the chip-desync figure.
+ *
+ * A 1-core chip under either scheme reproduces the uniprocessor
+ * Wavelet cosim bit-for-bit (stride delay of core 0 is zero).
+ */
+
+#ifndef DIDT_CORE_CHIP_COSIM_HH
+#define DIDT_CORE_CHIP_COSIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.hh"
+#include "core/experiment.hh"
+#include "power/supply_network.hh"
+#include "sim/chip.hh"
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Chip-level control scheme selection. */
+enum class ChipControlScheme
+{
+    None,        ///< uncontrolled baseline
+    Independent, ///< all cores actuate on the decision cycle
+    Staggered,   ///< core i actuates i*stride cycles later (desync)
+};
+
+/** Scheme name for reports. */
+const char *chipControlSchemeName(ChipControlScheme scheme);
+
+/** Parameters of one chip-level closed-loop run. */
+struct ChipCosimConfig
+{
+    /** Instructions per core (stream length). */
+    std::uint64_t instructions = 200000;
+
+    /** Safety cap on cycles (0 = none). */
+    Cycle maxCycles = 0;
+
+    /** Scheme under test. */
+    ChipControlScheme scheme = ChipControlScheme::None;
+
+    /** Threshold settings (Independent/Staggered schemes). */
+    ControlConfig control{};
+
+    /** Wavelet monitor terms. */
+    std::size_t waveletTerms = 13;
+
+    /**
+     * Stagger stride in cycles between consecutive cores' actuation
+     * phases (Staggered scheme). 0 derives the default: the supply's
+     * resonant period divided by the core count, so N cores cover one
+     * full resonant period.
+     */
+    std::size_t staggerStride = 0;
+
+    /** Decomposition depth for the reported per-scale variances. */
+    std::size_t varianceLevels = 8;
+};
+
+/** Results of one chip-level closed-loop run. */
+struct ChipCosimResult
+{
+    std::string scheme;              ///< scheme name
+    std::size_t cores = 0;           ///< cores on the chip
+    Cycle cycles = 0;                ///< cycles to run all streams
+    std::uint64_t committed = 0;     ///< instructions committed (all cores)
+    std::uint64_t lowFaults = 0;     ///< cycles with true V < low fault
+    std::uint64_t highFaults = 0;    ///< cycles with true V > high fault
+    std::uint64_t controlCycles = 0; ///< decision cycles with actuation
+    std::uint64_t stallCycles = 0;   ///< issue-stall decisions
+    std::uint64_t noopCycles = 0;    ///< no-op decisions
+    std::uint64_t falsePositives = 0;///< actuations inside the safe band
+    Volt minVoltage = 0.0;           ///< lowest true voltage seen
+    Volt maxVoltage = 0.0;           ///< highest true voltage seen
+    double meanCurrent = 0.0;        ///< average aggregate current
+    double energyJ = 0.0;            ///< total energy (all cores)
+
+    /**
+     * Per-scale MODWT variance of the aggregate current (haar,
+     * varianceLevels levels). resonanceBandVariance() picks the level
+     * whose octave contains the supply's resonant frequency.
+     */
+    std::vector<double> aggregateVariances;
+
+    /** Level index (0-based) of the supply's resonant octave. */
+    std::size_t resonanceLevel = 0;
+
+    /** Aggregate-current wavelet variance in the resonant octave. */
+    double resonanceBandVariance() const
+    {
+        return resonanceLevel < aggregateVariances.size()
+                   ? aggregateVariances[resonanceLevel]
+                   : 0.0;
+    }
+};
+
+/**
+ * Run one chip-level closed-loop simulation.
+ *
+ * @param workloads one profile+seed per core
+ * @param setup the experiment environment (per-core machine + power)
+ * @param network shared supply network driven by the aggregate current
+ * @param cfg run parameters
+ * @param chip chip parameters (cores is overwritten from @p workloads;
+ *        core config is overwritten from @p setup)
+ */
+ChipCosimResult runChipClosedLoop(const std::vector<ChipWorkload> &workloads,
+                                  const ExperimentSetup &setup,
+                                  const SupplyNetwork &network,
+                                  const ChipCosimConfig &cfg,
+                                  ChipConfig chip = {});
+
+} // namespace didt
+
+#endif // DIDT_CORE_CHIP_COSIM_HH

@@ -1,5 +1,7 @@
 #include "core/experiment.hh"
 
+#include <memory>
+
 #include "power/stimulus.hh"
 #include "sim/processor.hh"
 #include "util/logging.hh"
@@ -174,6 +176,61 @@ benchmarkCurrentTrace(const ExperimentSetup &setup,
         trace.erase(trace.begin(),
                     trace.begin() + static_cast<long>(trim_warmup));
     return trace;
+}
+
+TraceSet
+chipCurrentTrace(const ExperimentSetup &setup,
+                 const std::vector<ChipWorkload> &workloads,
+                 std::uint64_t instructions, std::size_t trim_warmup,
+                 ChipConfig chip)
+{
+    if (workloads.empty())
+        didt_fatal("chipCurrentTrace needs at least one workload");
+    chip.cores = workloads.size();
+    chip.core = setup.proc;
+
+    // Sources must outlive the chip: each Core keeps a reference.
+    std::vector<std::unique_ptr<SyntheticWorkload>> streams;
+    streams.reserve(workloads.size());
+    std::vector<InstructionSource *> sources;
+    sources.reserve(workloads.size());
+    for (const ChipWorkload &w : workloads) {
+        if (w.profile == nullptr)
+            didt_fatal("chip workload has no profile");
+        streams.push_back(std::make_unique<SyntheticWorkload>(
+            *w.profile, instructions, w.seed));
+        sources.push_back(streams.back().get());
+    }
+
+    Chip machine(chip, setup.power, sources);
+
+    // Per-core SimPoint-style warm start, identical to the
+    // uniprocessor protocol in benchmarkCurrentTrace. Each core's
+    // warmup() clears the shared-L2 statistics on completion, so after
+    // the last core both the L2 counters and every core's miss
+    // baseline sit at zero.
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        SyntheticWorkload warm_source(*workloads[i].profile, 0,
+                                      workloads[i].seed + 0xDEADBEEF);
+        machine.core(i).warmupFootprint(streams[i]->dataFootprint(),
+                                        streams[i]->codeFootprint());
+        machine.core(i).warmup(warm_source, 150000);
+    }
+    machine.clearSharedStats();
+
+    TraceSet set;
+    const Cycle cap = 64 * instructions + 100000;
+    machine.collectTraces(set.perCore, set.aggregate, cap);
+
+    if (set.aggregate.size() > trim_warmup + 1024) {
+        set.aggregate.erase(
+            set.aggregate.begin(),
+            set.aggregate.begin() + static_cast<long>(trim_warmup));
+        for (CurrentTrace &trace : set.perCore)
+            trace.erase(trace.begin(),
+                        trace.begin() + static_cast<long>(trim_warmup));
+    }
+    return set;
 }
 
 } // namespace didt

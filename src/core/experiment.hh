@@ -18,6 +18,8 @@
 
 #include "core/variance_model.hh"
 #include "power/supply_network.hh"
+#include "power/trace_io.hh"
+#include "sim/chip.hh"
 #include "sim/config.hh"
 #include "sim/power_model.hh"
 #include "util/types.hh"
@@ -119,6 +121,34 @@ CurrentTrace benchmarkCurrentTrace(const ExperimentSetup &setup,
                                    std::uint64_t instructions,
                                    std::uint64_t seed = 0,
                                    std::size_t trim_warmup = 4096);
+
+/** Per-core program assignment for one chip-level run. */
+struct ChipWorkload
+{
+    const BenchmarkProfile *profile; ///< benchmark this core runs
+    std::uint64_t seed = 0;          ///< this core's stream seed
+};
+
+/**
+ * Run a multi-program chip and return its per-core + aggregate current
+ * traces. Each core gets the exact warm-up protocol of
+ * benchmarkCurrentTrace (footprint touch plus 150k-instruction warm
+ * stream), the run is capped identically, and the warm-up trim is
+ * applied to the aggregate and every per-core trace alike — so a
+ * 1-core chip reproduces benchmarkCurrentTrace bit-for-bit.
+ *
+ * @param setup the experiment environment
+ * @param workloads one profile+seed per core (size = core count)
+ * @param instructions dynamic instruction count per core
+ * @param trim_warmup cycles dropped from the front (cold caches)
+ * @param chip chip parameters (cores is overwritten from @p workloads;
+ *        core config is overwritten from @p setup)
+ */
+TraceSet chipCurrentTrace(const ExperimentSetup &setup,
+                          const std::vector<ChipWorkload> &workloads,
+                          std::uint64_t instructions,
+                          std::size_t trim_warmup = 4096,
+                          ChipConfig chip = {});
 
 } // namespace didt
 

@@ -17,6 +17,7 @@ namespace
 {
 
 constexpr char kMagic[8] = {'D', 'I', 'D', 'T', 'T', 'R', 'C', '1'};
+constexpr char kSetMagic[8] = {'D', 'I', 'D', 'T', 'T', 'R', 'S', '1'};
 
 } // namespace
 
@@ -217,6 +218,152 @@ tryReadTraceBinary(const std::string &path)
     if (!in)
         return std::nullopt;
     return tryReadTraceBinary(in);
+}
+
+namespace
+{
+
+/** Write one length-prefixed sample array. */
+void
+writeSamples(std::ostream &os, const CurrentTrace &trace)
+{
+    const std::uint64_t count = trace.size();
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    os.write(reinterpret_cast<const char *>(trace.data()),
+             static_cast<std::streamsize>(count * sizeof(double)));
+}
+
+/**
+ * Read one length-prefixed sample array with the same chunked,
+ * bounded-allocation discipline as parseTraceBinary.
+ */
+bool
+parseSamples(std::istream &in, CurrentTrace &trace, std::string *error)
+{
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!in) {
+        if (error)
+            *error = "truncated sample count";
+        return false;
+    }
+    trace.clear();
+    constexpr std::uint64_t kChunkSamples = std::uint64_t{1} << 20;
+    std::uint64_t done = 0;
+    while (done < count) {
+        const std::uint64_t step = std::min(kChunkSamples, count - done);
+        try {
+            trace.resize(static_cast<std::size_t>(done + step));
+        } catch (const std::bad_alloc &) {
+            if (error)
+                *error = "sample count exceeds memory";
+            return false;
+        }
+        in.read(reinterpret_cast<char *>(trace.data() + done),
+                static_cast<std::streamsize>(step * sizeof(double)));
+        if (!in) {
+            if (error)
+                *error = "truncated sample data";
+            return false;
+        }
+        done += step;
+    }
+    return true;
+}
+
+/** More cores than this is certainly corruption, not a chip. */
+constexpr std::uint64_t kMaxTraceSetCores = 1 << 16;
+
+/**
+ * Parse the multi-trace format: magic, core count, aggregate samples,
+ * then each core's samples in core-id order.
+ */
+std::optional<TraceSet>
+parseTraceSetBinary(std::istream &in, std::string *error)
+{
+    char magic[sizeof(kSetMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kSetMagic, sizeof(kSetMagic)) != 0) {
+        if (error)
+            *error = "is not a didt binary trace set";
+        return std::nullopt;
+    }
+    std::uint64_t cores = 0;
+    in.read(reinterpret_cast<char *>(&cores), sizeof(cores));
+    if (!in) {
+        if (error)
+            *error = "truncated header";
+        return std::nullopt;
+    }
+    if (cores == 0 || cores > kMaxTraceSetCores) {
+        if (error)
+            *error = detail::concat("implausible core count ", cores);
+        return std::nullopt;
+    }
+    TraceSet set;
+    if (!parseSamples(in, set.aggregate, error))
+        return std::nullopt;
+    set.perCore.resize(static_cast<std::size_t>(cores));
+    for (CurrentTrace &trace : set.perCore)
+        if (!parseSamples(in, trace, error))
+            return std::nullopt;
+    return set;
+}
+
+} // namespace
+
+void
+writeTraceSetBinary(std::ostream &os, const TraceSet &set)
+{
+    os.write(kSetMagic, sizeof(kSetMagic));
+    const std::uint64_t cores = set.perCore.size();
+    os.write(reinterpret_cast<const char *>(&cores), sizeof(cores));
+    writeSamples(os, set.aggregate);
+    for (const CurrentTrace &trace : set.perCore)
+        writeSamples(os, trace);
+}
+
+void
+writeTraceSetBinary(const std::string &path, const TraceSet &set)
+{
+    if (set.perCore.empty())
+        didt_fatal("a trace set needs at least one per-core trace");
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        didt_fatal("cannot open ", path, " for writing");
+    writeTraceSetBinary(out, set);
+    if (!out)
+        didt_fatal("error writing trace set to ", path);
+}
+
+TraceSet
+readTraceSetBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        didt_fatal("cannot open trace file ", path);
+    std::string error;
+    std::optional<TraceSet> set = parseTraceSetBinary(in, &error);
+    if (!set)
+        didt_fatal(path, " ", error);
+    return *std::move(set);
+}
+
+std::optional<TraceSet>
+tryReadTraceSetBinary(std::istream &is)
+{
+    if (DIDT_FAILPOINT("trace_io.read_set"))
+        return std::nullopt;
+    return parseTraceSetBinary(is, nullptr);
+}
+
+std::optional<TraceSet>
+tryReadTraceSetBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    return tryReadTraceSetBinary(in);
 }
 
 } // namespace didt

@@ -15,11 +15,24 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "util/types.hh"
 
 namespace didt
 {
+
+/**
+ * A chip-level waveform bundle: one trace per core plus the aggregate
+ * chip stimulus (the scaled per-core sum a Chip produced). Cores are
+ * stored in core-id order; a uniprocessor trace set has one per-core
+ * trace identical to the aggregate.
+ */
+struct TraceSet
+{
+    std::vector<CurrentTrace> perCore; ///< unscaled per-core currents
+    CurrentTrace aggregate;            ///< chip-level stimulus
+};
 
 /**
  * Write a trace as text: optional '#' header lines, then one sample
@@ -75,6 +88,28 @@ std::optional<CurrentTrace> tryReadTraceText(std::istream &is);
  * so a corrupt count can never force a huge allocation).
  */
 std::optional<CurrentTrace> tryReadTraceBinary(std::istream &is);
+
+/**
+ * Write a per-core + aggregate trace set in the binary multi-trace
+ * format (magic DIDTTRS1). Fatal on I/O errors.
+ */
+void writeTraceSetBinary(const std::string &path, const TraceSet &set);
+
+/** Read a binary trace set; fatal on bad magic or truncation. */
+TraceSet readTraceSetBinary(const std::string &path);
+
+/**
+ * Non-fatal variant of readTraceSetBinary: nullopt on a missing file,
+ * bad magic, or any truncation. Sample counts are read with the same
+ * bounded-allocation discipline as tryReadTraceBinary.
+ */
+std::optional<TraceSet> tryReadTraceSetBinary(const std::string &path);
+
+/** Stream variant of the trace-set writer. */
+void writeTraceSetBinary(std::ostream &os, const TraceSet &set);
+
+/** Non-fatal trace-set parse from a stream (see tryReadTraceSetBinary). */
+std::optional<TraceSet> tryReadTraceSetBinary(std::istream &is);
 
 } // namespace didt
 

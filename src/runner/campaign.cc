@@ -14,6 +14,24 @@ CampaignSpec::effectiveProfiles() const
     return profiles.empty() ? spec2000Profiles() : profiles;
 }
 
+const std::vector<std::size_t> &
+CampaignSpec::effectiveCoreCounts() const
+{
+    static const std::vector<std::size_t> uniprocessor{1};
+    return coreCounts.empty() ? uniprocessor : coreCounts;
+}
+
+bool
+CampaignSpec::isChipSweep() const
+{
+    if (!mixes.empty())
+        return true;
+    for (std::size_t cores : effectiveCoreCounts())
+        if (cores != 1)
+            return true;
+    return false;
+}
+
 double
 CampaignResult::rmsEstimationErrorPct() const
 {

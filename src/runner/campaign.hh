@@ -69,15 +69,44 @@ struct CampaignSpec
     /** Warmup cycles trimmed from each trace. */
     std::size_t trimWarmup = 4096;
 
+    /**
+     * Chip sizes to sweep (empty = {1}, the uniprocessor). A cell with
+     * cores > 1 simulates an N-core Chip: the benchmark (or mix) runs
+     * on every core with deterministically derived per-core seeds, and
+     * the analyzed trace is the aggregate chip current.
+     */
+    std::vector<std::size_t> coreCounts;
+
+    /**
+     * Workload mixes by name (see findMixByName). When non-empty the
+     * mixes replace the benchmarks axis: each cell co-schedules one
+     * mix across the cell's cores. When empty the benchmarks axis is
+     * used (each benchmark cloned across cores when cores > 1).
+     */
+    std::vector<std::string> mixes;
+
+    /** Shared-L2 banks for chip cells (power of two). */
+    std::size_t l2Banks = 8;
+
+    /** Bank-conflict penalty in cycles for chip cells. */
+    std::size_t l2BankPenalty = 4;
+
     /** The profiles list with the all-SPEC default applied. */
     const std::vector<BenchmarkProfile> &effectiveProfiles() const;
+
+    /** The core-count list with the uniprocessor default applied. */
+    const std::vector<std::size_t> &effectiveCoreCounts() const;
+
+    /** True when any spec dimension needs the chip path. */
+    bool isChipSweep() const;
 };
 
 /** One (benchmark, impedance scale) cell of a campaign. */
 struct CampaignCell
 {
-    std::string benchmark;       ///< profile name
+    std::string benchmark;       ///< profile (or mix) name
     double impedanceScale = 1.0; ///< network scale for this cell
+    std::size_t cores = 1;       ///< chip size simulated for this cell
     std::size_t traceCycles = 0; ///< trace length analyzed
     std::size_t windows = 0;     ///< analysis windows profiled
 

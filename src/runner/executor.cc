@@ -11,6 +11,8 @@
 #include "util/json.hh"
 #include "verify/failpoint.hh"
 #include "wavelet/basis.hh"
+#include "workload/generator.hh"
+#include "workload/mix.hh"
 
 namespace didt
 {
@@ -59,9 +61,71 @@ campaignMetrics()
  * from campaign output.
  */
 std::string
-cellKey(const std::string &benchmark, double scale)
+cellKey(const std::string &benchmark, double scale,
+        std::size_t cores = 1)
 {
-    return benchmark + "@" + jsonNumber(scale);
+    std::string key = benchmark + "@" + jsonNumber(scale);
+    // Chip cells extend the key; single-core cells keep the
+    // historical form so existing failpoint specs stay valid.
+    if (cores != 1)
+        key += "@c" + std::to_string(cores);
+    return key;
+}
+
+/**
+ * Build the trace request for one plan cell. A single-core cell —
+ * including a 1-core mix cell, which collapses to its core-0 profile
+ * and seed — produces exactly the legacy request, so its cache
+ * fingerprint (and on-disk trace file) is unchanged; a multi-core
+ * cell carries per-core profiles with deterministically derived
+ * seeds. Throws on unknown mix names (serve-safe: the failure lands
+ * in the cell, not the process).
+ */
+TraceRequest
+cellTraceRequest(const CampaignSpec &spec, std::size_t workload_index,
+                 std::size_t cores)
+{
+    TraceRequest request;
+    request.instructions = spec.instructions;
+    request.trimWarmup = spec.trimWarmup;
+
+    if (spec.mixes.empty()) {
+        // Benchmarks axis: the benchmark is cloned across cores with
+        // derived per-core seeds.
+        const BenchmarkProfile &profile =
+            spec.profiles[workload_index];
+        request.profile = profile;
+        request.seed = spec.seed;
+        if (cores > 1) {
+            request.cores = cores;
+            request.l2Banks = spec.l2Banks;
+            request.l2BankPenalty = spec.l2BankPenalty;
+            for (std::size_t i = 0; i < cores; ++i) {
+                request.coreProfiles.push_back(profile);
+                request.coreSeeds.push_back(
+                    deriveCoreSeed(spec.seed, i));
+            }
+        }
+        return request;
+    }
+
+    const std::string &name = spec.mixes[workload_index];
+    const std::optional<WorkloadMix> mix = findMixByName(name);
+    if (!mix)
+        throw std::runtime_error("unknown workload mix: " + name);
+    request.profile = mixProfileForCore(*mix, 0);
+    request.seed = mixCoreSeed(*mix, spec.seed, 0);
+    if (cores > 1) {
+        request.cores = cores;
+        request.l2Banks = spec.l2Banks;
+        request.l2BankPenalty = spec.l2BankPenalty;
+        for (std::size_t i = 0; i < cores; ++i) {
+            request.coreProfiles.push_back(mixProfileForCore(*mix, i));
+            request.coreSeeds.push_back(
+                mixCoreSeed(*mix, spec.seed, i));
+        }
+    }
+    return request;
 }
 
 std::uint64_t
@@ -177,8 +241,9 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
     CampaignResult result;
     result.spec = plan.spec;
     result.jobs = pool_.size();
-    const std::vector<BenchmarkProfile> &profiles = plan.spec.profiles;
     const std::vector<double> &scales = plan.spec.impedanceScales;
+    const std::vector<std::size_t> &coreCounts =
+        plan.spec.effectiveCoreCounts();
 
     result.cells.resize(plan.cellCount());
     if (hooks.cellCacheDeltas) {
@@ -214,9 +279,9 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
     // the hot path does not allocate.
     const obs::TraceContext cell_context = obs::currentTraceContext();
     std::vector<std::string> cell_labels;
-    cell_labels.reserve(profiles.size());
-    for (const BenchmarkProfile &profile : profiles)
-        cell_labels.push_back("cell " + profile.name);
+    cell_labels.reserve(plan.workloadCount());
+    for (std::size_t pi = 0; pi < plan.workloadCount(); ++pi)
+        cell_labels.push_back("cell " + plan.workloadName(pi));
     std::mutex progress_mutex;
     std::vector<std::future<void>> pending;
     std::vector<std::size_t> pendingCell; // submission order -> cell
@@ -226,13 +291,15 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
         const std::size_t ci = plan.storageIndex(pc);
         const std::size_t pi = pc.profileIndex;
         const std::size_t si = pc.scaleIndex;
+        const std::size_t cores = coreCounts[pc.coreIndex];
         // Identity fields are written on this thread before the task
         // runs, so even a task that faults before touching its cell
         // (e.g. an injected pool.task failure) leaves a fully
         // identified failed cell behind.
         CampaignCell &submitted = result.cells[ci];
-        submitted.benchmark = profiles[pi].name;
+        submitted.benchmark = plan.workloadName(pi);
         submitted.impedanceScale = scales[si];
+        submitted.cores = cores;
         if (cancelled_early) {
             submitted.failed = true;
             submitted.error = "interrupted before evaluation";
@@ -240,7 +307,7 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
             continue;
         }
         pendingCell.push_back(ci);
-        pending.push_back(pool_.submit([&, ci, pi, si] {
+        pending.push_back(pool_.submit([&, ci, pi, si, cores] {
             obs::ScopedTraceContext cell_scope(cell_context);
             obs::ScopedTimer span(cell_labels[pi],
                                   campaignMetrics().cellMs, nullptr,
@@ -255,16 +322,13 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
                     cell.error = "interrupted before evaluation";
                     campaignMetrics().cellsInterrupted.add(1);
                 } else {
-                    const std::string key =
-                        cellKey(profiles[pi].name, scales[si]);
+                    const std::string key = cellKey(
+                        plan.workloadName(pi), scales[si], cores);
                     if (DIDT_FAILPOINT_KEYED("campaign.cell", key))
                         throw std::runtime_error(
                             "injected fault (campaign.cell): " + key);
-                    TraceRequest request;
-                    request.profile = profiles[pi];
-                    request.instructions = plan.spec.instructions;
-                    request.seed = plan.spec.seed;
-                    request.trimWarmup = plan.spec.trimWarmup;
+                    const TraceRequest request =
+                        cellTraceRequest(plan.spec, pi, cores);
                     const std::shared_ptr<const CurrentTrace> trace =
                         repo_.get(request, &deltas[ci]);
                     const std::size_t wi = ThreadPool::workerIndex();

@@ -9,15 +9,20 @@ buildCampaignPlan(const CampaignSpec &spec)
     CampaignPlan plan;
     plan.spec = spec;
     // Materialize the all-SPEC default so the plan (and every result
-    // built from it) echoes the exact benchmark list it ran.
-    plan.spec.profiles = spec.effectiveProfiles();
+    // built from it) echoes the exact benchmark list it ran. Under the
+    // mixes axis the mixes list is the workload axis and the profiles
+    // list stays untouched.
+    if (spec.mixes.empty())
+        plan.spec.profiles = spec.effectiveProfiles();
 
-    const std::size_t profiles = plan.spec.profiles.size();
+    const std::size_t workloads = plan.workloadCount();
+    const std::size_t cores = plan.spec.effectiveCoreCounts().size();
     const std::size_t scales = plan.spec.impedanceScales.size();
-    plan.order.reserve(profiles * scales);
+    plan.order.reserve(workloads * cores * scales);
     for (std::size_t si = 0; si < scales; ++si)
-        for (std::size_t pi = 0; pi < profiles; ++pi)
-            plan.order.push_back(PlanCell{pi, si});
+        for (std::size_t ci = 0; ci < cores; ++ci)
+            for (std::size_t pi = 0; pi < workloads; ++pi)
+                plan.order.push_back(PlanCell{pi, ci, si});
     return plan;
 }
 

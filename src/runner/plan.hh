@@ -22,39 +22,65 @@
 namespace didt
 {
 
-/** One cell of a plan, by index into the plan's profiles / scales. */
+/** One cell of a plan, by index into the plan's axes. */
 struct PlanCell
 {
-    std::size_t profileIndex = 0; ///< into plan.spec.profiles
-    std::size_t scaleIndex = 0;   ///< into plan.spec.impedanceScales
+    /** Workload index: into plan.spec.profiles, or into
+     *  plan.spec.mixes when the mixes axis is active. */
+    std::size_t profileIndex = 0;
+    std::size_t coreIndex = 0;  ///< into plan.spec.effectiveCoreCounts()
+    std::size_t scaleIndex = 0; ///< into plan.spec.impedanceScales
 };
 
 /** A materialized campaign: spec plus deterministic cell order. */
 struct CampaignPlan
 {
-    /** The sweep, with profiles materialized (never empty). */
+    /**
+     * The sweep, with profiles materialized (never empty) when the
+     * benchmarks axis is active; under the mixes axis the mixes list
+     * is the workload axis and profiles stay as given.
+     */
     CampaignSpec spec;
 
     /**
      * Cells in submission order: scale-major, so the first batch of
-     * tasks covers distinct benchmarks and primes the trace cache
+     * tasks covers distinct workloads and primes the trace cache
      * before the sharing cells queue up behind it.
      */
     std::vector<PlanCell> order;
 
-    /** Total cells (profiles x scales). */
+    /** Workloads on the cell axis (mixes when active, else profiles). */
+    std::size_t workloadCount() const
+    {
+        return spec.mixes.empty() ? spec.profiles.size()
+                                  : spec.mixes.size();
+    }
+
+    /** Display name of workload @p index (profile or mix name). */
+    const std::string &workloadName(std::size_t index) const
+    {
+        return spec.mixes.empty() ? spec.profiles[index].name
+                                  : spec.mixes[index];
+    }
+
+    /** Total cells (workloads x cores x scales). */
     std::size_t cellCount() const
     {
-        return spec.profiles.size() * spec.impedanceScales.size();
+        return workloadCount() * spec.effectiveCoreCounts().size() *
+               spec.impedanceScales.size();
     }
 
     /**
      * Storage index of a cell in CampaignResult::cells
-     * (benchmark-major, scale-minor — the reporting order).
+     * (workload-major, then cores, then scales — the reporting
+     * order; reduces to benchmark-major/scale-minor for a
+     * single-core sweep).
      */
     std::size_t storageIndex(const PlanCell &cell) const
     {
-        return cell.profileIndex * spec.impedanceScales.size() +
+        return (cell.profileIndex * spec.effectiveCoreCounts().size() +
+                cell.coreIndex) *
+                   spec.impedanceScales.size() +
                cell.scaleIndex;
     }
 };

@@ -7,6 +7,7 @@
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "wavelet/basis.hh"
+#include "workload/mix.hh"
 
 namespace didt
 {
@@ -76,6 +77,24 @@ campaignSpecToJson(const CampaignSpec &spec)
     json.set("instructions", static_cast<long long>(spec.instructions));
     json.set("seed", static_cast<long long>(spec.seed));
     json.set("trim_warmup", static_cast<long long>(spec.trimWarmup));
+    // Chip fields appear only when they deviate from the uniprocessor
+    // defaults, so single-core spec JSON stays byte-identical to what
+    // pre-chip builds wrote.
+    if (spec.isChipSweep()) {
+        JsonValue cores = JsonValue::array();
+        for (std::size_t n : spec.effectiveCoreCounts())
+            cores.push(static_cast<long long>(n));
+        json.set("cores", std::move(cores));
+        if (!spec.mixes.empty()) {
+            JsonValue mixes = JsonValue::array();
+            for (const std::string &mix : spec.mixes)
+                mixes.push(mix);
+            json.set("mixes", std::move(mixes));
+        }
+        json.set("l2_banks", static_cast<long long>(spec.l2Banks));
+        json.set("l2_bank_penalty",
+                 static_cast<long long>(spec.l2BankPenalty));
+    }
     return json;
 }
 
@@ -161,6 +180,56 @@ campaignSpecFromJson(const JsonValue &json, CampaignSpec *spec,
         }
         parsed.useCorrelation = corr->asBool();
     }
+    if (const JsonValue *cores = json.find("cores")) {
+        if (cores->kind() != JsonValue::Kind::Array) {
+            *error = "spec field 'cores' must be an array";
+            return false;
+        }
+        for (const JsonValue &count : cores->items()) {
+            if (count.kind() != JsonValue::Kind::Number ||
+                count.asNumber() < 1.0 ||
+                count.asNumber() != std::floor(count.asNumber()) ||
+                count.asNumber() > 1024.0) {
+                *error = "spec field 'cores' must hold integers in "
+                         "[1, 1024]";
+                return false;
+            }
+            parsed.coreCounts.push_back(
+                static_cast<std::size_t>(count.asNumber()));
+        }
+    }
+    if (const JsonValue *mixes = json.find("mixes")) {
+        if (mixes->kind() != JsonValue::Kind::Array) {
+            *error = "spec field 'mixes' must be an array";
+            return false;
+        }
+        for (const JsonValue &name : mixes->items()) {
+            if (name.kind() != JsonValue::Kind::String) {
+                *error = "spec field 'mixes' must hold strings";
+                return false;
+            }
+            if (!findMixByName(name.asString())) {
+                *error = "unknown workload mix '" + name.asString() +
+                         "'";
+                return false;
+            }
+            parsed.mixes.push_back(name.asString());
+        }
+        if (!parsed.profiles.empty()) {
+            *error = "spec fields 'benchmarks' and 'mixes' are "
+                     "mutually exclusive";
+            return false;
+        }
+    }
+    if (!readCount(json, "l2_banks", &parsed.l2Banks, error) ||
+        !readCount(json, "l2_bank_penalty", &parsed.l2BankPenalty,
+                   error))
+        return false;
+    if (parsed.l2Banks == 0 ||
+        (parsed.l2Banks & (parsed.l2Banks - 1)) != 0) {
+        *error = "spec field 'l2_banks' must be a power of two";
+        return false;
+    }
     *spec = std::move(parsed);
     return true;
 }
@@ -197,6 +266,10 @@ campaignToJson(const CampaignResult &result, bool include_timing)
         JsonValue c = JsonValue::object();
         c.set("benchmark", cell.benchmark);
         c.set("impedance_scale", cell.impedanceScale);
+        // Uniprocessor cells omit the field: single-core campaign JSON
+        // stays byte-identical to pre-chip builds.
+        if (cell.cores != 1)
+            c.set("cores", static_cast<long long>(cell.cores));
         c.set("trace_cycles", static_cast<long long>(cell.traceCycles));
         c.set("windows", static_cast<long long>(cell.windows));
         c.set("estimated_below_pct", cell.estimatedBelowPct);

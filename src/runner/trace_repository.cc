@@ -94,26 +94,10 @@ class Fnv1a
     std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
-} // namespace
-
-TraceCacheStats &
-TraceCacheStats::operator+=(const TraceCacheStats &other)
+/** Hash every field of @p p into @p h (order is part of the key). */
+void
+hashProfile(Fnv1a &h, const BenchmarkProfile &p)
 {
-    lookups += other.lookups;
-    memoryHits += other.memoryHits;
-    diskLoads += other.diskLoads;
-    diskStores += other.diskStores;
-    diskCorrupt += other.diskCorrupt;
-    simulations += other.simulations;
-    evictions += other.evictions;
-    return *this;
-}
-
-std::uint64_t
-fingerprintTraceRequest(const TraceRequest &request)
-{
-    Fnv1a h;
-    const BenchmarkProfile &p = request.profile;
     h.str(p.name);
     h.u64(p.floatingPoint ? 1 : 0);
     h.u64(p.codeBytes);
@@ -138,9 +122,45 @@ fingerprintTraceRequest(const TraceRequest &request)
         h.f64(ph.dep2Prob);
         h.u64(ph.lengthInsts);
     }
+}
+
+} // namespace
+
+TraceCacheStats &
+TraceCacheStats::operator+=(const TraceCacheStats &other)
+{
+    lookups += other.lookups;
+    memoryHits += other.memoryHits;
+    diskLoads += other.diskLoads;
+    diskStores += other.diskStores;
+    diskCorrupt += other.diskCorrupt;
+    simulations += other.simulations;
+    evictions += other.evictions;
+    return *this;
+}
+
+std::uint64_t
+fingerprintTraceRequest(const TraceRequest &request)
+{
+    Fnv1a h;
+    hashProfile(h, request.profile);
     h.u64(request.instructions);
     h.u64(request.seed);
     h.u64(request.trimWarmup);
+    // Chip fields participate only for multi-core requests so every
+    // single-core request keeps its historical fingerprint (and its
+    // on-disk cache file).
+    if (request.cores > 1) {
+        h.u64(request.cores);
+        h.u64(request.coreProfiles.size());
+        for (const BenchmarkProfile &cp : request.coreProfiles)
+            hashProfile(h, cp);
+        h.u64(request.coreSeeds.size());
+        for (std::uint64_t seed : request.coreSeeds)
+            h.u64(seed);
+        h.u64(request.l2Banks);
+        h.u64(request.l2BankPenalty);
+    }
     return h.value();
 }
 
@@ -349,9 +369,31 @@ TraceRepository::produce(const TraceRequest &request,
     {
         obs::ScopedTimer timer("simulate " + request.profile.name,
                                metrics.simulateMs, nullptr, "repo");
-        trace = benchmarkCurrentTrace(
-            setup_, request.profile, request.instructions, request.seed,
-            request.trimWarmup);
+        if (request.cores > 1) {
+            // Chip request: co-simulate the per-core streams and cache
+            // the aggregate chip current.
+            if (request.coreProfiles.size() != request.cores ||
+                request.coreSeeds.size() != request.cores)
+                throw std::runtime_error(
+                    "chip trace request: coreProfiles/coreSeeds must "
+                    "match cores");
+            std::vector<ChipWorkload> workloads(request.cores);
+            for (std::size_t i = 0; i < request.cores; ++i) {
+                workloads[i].profile = &request.coreProfiles[i];
+                workloads[i].seed = request.coreSeeds[i];
+            }
+            ChipConfig chip;
+            chip.l2Banks = request.l2Banks;
+            chip.l2BankPenalty = request.l2BankPenalty;
+            TraceSet set = chipCurrentTrace(setup_, workloads,
+                                            request.instructions,
+                                            request.trimWarmup, chip);
+            trace = std::move(set.aggregate);
+        } else {
+            trace = benchmarkCurrentTrace(
+                setup_, request.profile, request.instructions,
+                request.seed, request.trimWarmup);
+        }
     }
 
     bool stored = false;

@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "util/types.hh"
@@ -57,6 +58,21 @@ struct TraceRequest
     std::uint64_t instructions = 120000;
     std::uint64_t seed = 0;
     std::size_t trimWarmup = 4096;
+
+    /**
+     * Chip size. 1 (the default) is the legacy uniprocessor path:
+     * the request is exactly (profile, instructions, seed, trim) and
+     * keeps its historical fingerprint. With cores > 1 the request
+     * describes an N-core Chip whose aggregate current is the cached
+     * trace; coreProfiles/coreSeeds (both of size cores) give each
+     * core its stream, and the shared-L2 parameters below shape the
+     * bank-conflict model.
+     */
+    std::size_t cores = 1;
+    std::vector<BenchmarkProfile> coreProfiles; ///< per-core, cores > 1
+    std::vector<std::uint64_t> coreSeeds;       ///< per-core, cores > 1
+    std::size_t l2Banks = 8;        ///< chip shared-L2 banks
+    std::size_t l2BankPenalty = 4;  ///< bank-conflict stall cycles
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <tuple>
 
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -24,6 +25,23 @@ batchKey(const CampaignSpec &spec)
     key += ";i=" + std::to_string(spec.instructions);
     key += ";s=" + std::to_string(spec.seed);
     key += ";t=" + std::to_string(spec.trimWarmup);
+    // Chip dimensions join the key only for chip sweeps, so every
+    // single-core spec keeps its historical key (and merges with
+    // requests from pre-chip clients). Chip sweeps merge only when
+    // their core counts, mixes, and L2 model agree — the benchmark
+    // and scale axes still merge freely.
+    if (spec.isChipSweep()) {
+        key += ";n=";
+        for (std::size_t cores : spec.effectiveCoreCounts())
+            key += std::to_string(cores) + ",";
+        if (!spec.mixes.empty()) {
+            key += ";m=";
+            for (const std::string &mix : spec.mixes)
+                key += mix + ",";
+        }
+        key += ";l2b=" + std::to_string(spec.l2Banks);
+        key += ";l2p=" + std::to_string(spec.l2BankPenalty);
+    }
     return key;
 }
 
@@ -42,9 +60,14 @@ mergeSpecs(const std::vector<CampaignSpec> &specs)
     for (const CampaignSpec &spec : specs) {
         if (batchKey(spec) != key)
             didt_panic("mergeSpecs called with incompatible specs");
-        for (const BenchmarkProfile &profile : spec.effectiveProfiles())
-            if (seen_profiles.insert(profile.name).second)
-                merged.profiles.push_back(profile);
+        // Under the mixes axis the mixes list (identical across the
+        // batch, it is in the key) is the workload axis; profiles stay
+        // empty rather than materializing the all-SPEC default.
+        if (merged.mixes.empty())
+            for (const BenchmarkProfile &profile :
+                 spec.effectiveProfiles())
+                if (seen_profiles.insert(profile.name).second)
+                    merged.profiles.push_back(profile);
         for (double scale : spec.impedanceScales) {
             std::uint64_t bits;
             static_assert(sizeof(bits) == sizeof(scale));
@@ -63,36 +86,52 @@ sliceResult(const CampaignResult &merged,
 {
     // Index the merged run's cells by identity. Scales are keyed by
     // bit pattern — merging already deduplicated by bit pattern, so
-    // lookup is exact.
-    std::map<std::pair<std::string, std::uint64_t>, std::size_t> index;
+    // lookup is exact. Cores joins the identity so a chip sweep's
+    // cells never alias a uniprocessor cell of the same workload.
+    std::map<std::tuple<std::string, std::size_t, std::uint64_t>,
+             std::size_t>
+        index;
     for (std::size_t i = 0; i < merged.cells.size(); ++i) {
         const CampaignCell &cell = merged.cells[i];
         std::uint64_t bits;
         __builtin_memcpy(&bits, &cell.impedanceScale, sizeof(bits));
-        index.emplace(std::make_pair(cell.benchmark, bits), i);
+        index.emplace(std::make_tuple(cell.benchmark, cell.cores, bits),
+                      i);
     }
 
     CampaignResult result;
     result.spec = request_spec;
-    result.spec.profiles = request_spec.effectiveProfiles();
+    if (request_spec.mixes.empty())
+        result.spec.profiles = request_spec.effectiveProfiles();
     result.jobs = merged.jobs;
     result.interrupted = merged.interrupted;
     result.wallMillis = merged.wallMillis;
     result.calibrationMillis = merged.calibrationMillis;
-    result.cells.reserve(result.spec.profiles.size() *
+    const std::size_t workloads = result.spec.mixes.empty()
+                                      ? result.spec.profiles.size()
+                                      : result.spec.mixes.size();
+    const std::vector<std::size_t> &core_counts =
+        result.spec.effectiveCoreCounts();
+    result.cells.reserve(workloads * core_counts.size() *
                          result.spec.impedanceScales.size());
-    for (const BenchmarkProfile &profile : result.spec.profiles) {
-        for (double scale : result.spec.impedanceScales) {
-            std::uint64_t bits;
-            __builtin_memcpy(&bits, &scale, sizeof(bits));
-            const auto it =
-                index.find(std::make_pair(profile.name, bits));
-            if (it == index.end())
-                didt_panic("merged campaign is missing cell ",
-                           profile.name, "@", jsonNumber(scale));
-            result.cells.push_back(merged.cells[it->second]);
-            if (it->second < cell_deltas.size())
-                result.cacheStats += cell_deltas[it->second];
+    for (std::size_t wi = 0; wi < workloads; ++wi) {
+        const std::string &workload =
+            result.spec.mixes.empty() ? result.spec.profiles[wi].name
+                                      : result.spec.mixes[wi];
+        for (std::size_t cores : core_counts) {
+            for (double scale : result.spec.impedanceScales) {
+                std::uint64_t bits;
+                __builtin_memcpy(&bits, &scale, sizeof(bits));
+                const auto it = index.find(
+                    std::make_tuple(workload, cores, bits));
+                if (it == index.end())
+                    didt_panic("merged campaign is missing cell ",
+                               workload, "@", jsonNumber(scale), "@c",
+                               cores);
+                result.cells.push_back(merged.cells[it->second]);
+                if (it->second < cell_deltas.size())
+                    result.cacheStats += cell_deltas[it->second];
+            }
         }
     }
     return result;

@@ -67,9 +67,11 @@ namespace serve
 /** Schema marker carried by every request and response. */
 inline constexpr const char *kProtocolSchema = "didt-serve-v1";
 
-/** Optional capabilities advertised in "pong" (sorted). */
-inline constexpr const char *kProtocolFeatures[] = {"events", "timings",
-                                                    "watch"};
+/** Optional capabilities advertised in "pong" (sorted). "chip" means
+ *  characterize specs may carry cores/mixes/l2_banks/l2_bank_penalty
+ *  members (N-core chip cells). */
+inline constexpr const char *kProtocolFeatures[] = {"chip", "events",
+                                                    "timings", "watch"};
 
 /** Typed error codes a response can carry. */
 enum class ErrorCode

@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/logging.hh"
@@ -98,9 +99,48 @@ Cache::reset()
     stats_ = CacheStats{};
 }
 
+L2BankArbiter::L2BankArbiter(std::size_t banks, std::size_t penalty,
+                             std::size_t line_bytes,
+                             std::size_t max_cores)
+    : banks_(banks), penalty_(penalty), lineBytes_(line_bytes)
+{
+    if (banks_ == 0 || !std::has_single_bit(banks_))
+        didt_fatal("L2 bank count must be a power of two, got ", banks_);
+    if (lineBytes_ == 0 || !std::has_single_bit(lineBytes_))
+        didt_fatal("L2 bank interleave must be a power of two, got ",
+                   lineBytes_);
+    if (max_cores == 0)
+        didt_fatal("L2 arbiter needs at least one core");
+    state_.resize(banks_);
+    for (BankState &bank : state_)
+        bank.perCore.assign(max_cores, 0);
+}
+
+std::size_t
+L2BankArbiter::claim(std::uint64_t address, unsigned core_id)
+{
+    BankState &bank = state_[(address / lineBytes_) & (banks_ - 1)];
+    if (bank.epoch != epoch_) {
+        bank.epoch = epoch_;
+        bank.total = 0;
+        std::fill(bank.perCore.begin(), bank.perCore.end(), 0);
+    }
+    if (core_id >= bank.perCore.size())
+        didt_panic("L2 arbiter claim from unknown core ", core_id);
+    const std::uint32_t foreign = bank.total - bank.perCore[core_id];
+    ++bank.perCore[core_id];
+    ++bank.total;
+    ++totalClaims_;
+    if (foreign > 0)
+        ++conflicts_;
+    return penalty_ * foreign;
+}
+
 MemoryHierarchy::MemoryHierarchy(const CacheConfig &l1, Cache &l2,
-                                 std::size_t memory_latency)
-    : l1_(l1), l2_(l2), memoryLatency_(memory_latency)
+                                 std::size_t memory_latency,
+                                 L2BankArbiter *arbiter, unsigned core_id)
+    : l1_(l1), l2_(l2), memoryLatency_(memory_latency),
+      arbiter_(arbiter), coreId_(core_id)
 {
 }
 
@@ -109,10 +149,12 @@ MemoryHierarchy::access(std::uint64_t address)
 {
     if (l1_.access(address))
         return {MemLevel::L1, l1_.latency()};
+    const std::size_t conflict =
+        arbiter_ ? arbiter_->claim(address, coreId_) : 0;
     if (l2_.access(address))
-        return {MemLevel::L2, l1_.latency() + l2_.latency()};
+        return {MemLevel::L2, l1_.latency() + l2_.latency() + conflict};
     return {MemLevel::Memory,
-            l1_.latency() + l2_.latency() + memoryLatency_};
+            l1_.latency() + l2_.latency() + conflict + memoryLatency_};
 }
 
 } // namespace didt

@@ -76,6 +76,69 @@ class Cache
     std::uint64_t tagOf(std::uint64_t address) const;
 };
 
+/**
+ * Bank-conflict arbiter for a shared L2 (chip-level occupancy model).
+ *
+ * The shared L2 is interleaved across banks at line granularity. Each
+ * cycle every core's L2 accesses claim their target bank; a claim that
+ * finds the bank already claimed this cycle by a *different* core pays
+ * a fixed serialization penalty per prior foreign claim. A single-core
+ * machine can never conflict with itself, so routing its accesses
+ * through an arbiter is latency-neutral — the invariant that keeps a
+ * 1-core Chip byte-identical to the plain Processor path.
+ */
+class L2BankArbiter
+{
+  public:
+    /**
+     * @param banks bank count (power of two)
+     * @param penalty extra cycles per conflicting foreign claim
+     * @param line_bytes interleave granularity (the L2 line size)
+     * @param max_cores highest core id that will claim, plus one
+     */
+    L2BankArbiter(std::size_t banks, std::size_t penalty,
+                  std::size_t line_bytes, std::size_t max_cores);
+
+    /** Open a new cycle: later claims no longer see older ones. */
+    void beginCycle() { ++epoch_; }
+
+    /**
+     * Claim the bank holding @p address for @p core_id.
+     * @return extra cycles of bank-conflict delay (0 when no other
+     *         core touched the bank this cycle)
+     */
+    std::size_t claim(std::uint64_t address, unsigned core_id);
+
+    /** Claims that collided with another core's same-cycle claim. */
+    std::uint64_t conflicts() const { return conflicts_; }
+
+    /** Total claims observed. */
+    std::uint64_t claims() const { return totalClaims_; }
+
+    /** Clear the conflict counters (post-warm-up). */
+    void clearStats()
+    {
+        conflicts_ = 0;
+        totalClaims_ = 0;
+    }
+
+  private:
+    struct BankState
+    {
+        std::uint64_t epoch = 0;      ///< cycle the counts belong to
+        std::uint32_t total = 0;      ///< claims this cycle
+        std::vector<std::uint32_t> perCore; ///< claims per core id
+    };
+
+    std::size_t banks_;
+    std::size_t penalty_;
+    std::size_t lineBytes_;
+    std::uint64_t epoch_ = 0;
+    std::vector<BankState> state_;
+    std::uint64_t conflicts_ = 0;
+    std::uint64_t totalClaims_ = 0;
+};
+
 /** Where in the hierarchy an access was satisfied. */
 enum class MemLevel : std::uint8_t
 {
@@ -103,9 +166,14 @@ class MemoryHierarchy
      * @param l1 configuration of the level-1 cache owned by this object
      * @param l2 the shared level-2 cache (not owned; must outlive this)
      * @param memory_latency main-memory latency in cycles
+     * @param arbiter shared-L2 bank arbiter charged on every L1 miss
+     *        (nullptr for a private/uncontended L2; not owned)
+     * @param core_id claiming core's id when an arbiter is attached
      */
     MemoryHierarchy(const CacheConfig &l1, Cache &l2,
-                    std::size_t memory_latency);
+                    std::size_t memory_latency,
+                    L2BankArbiter *arbiter = nullptr,
+                    unsigned core_id = 0);
 
     /** Access @p address through L1 -> L2 -> memory. */
     MemAccessResult access(std::uint64_t address);
@@ -123,6 +191,8 @@ class MemoryHierarchy
     Cache l1_;
     Cache &l2_;
     std::size_t memoryLatency_;
+    L2BankArbiter *arbiter_;
+    unsigned coreId_;
 };
 
 } // namespace didt

@@ -1,0 +1,88 @@
+#include "sim/chip.hh"
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+Chip::Chip(const ChipConfig &config, const PowerModelConfig &power_config,
+           std::span<InstructionSource *const> sources)
+    : config_(config),
+      l2_(config.core.l2),
+      arbiter_(config.l2Banks, config.l2BankPenalty,
+               config.core.l2.lineBytes, config.cores)
+{
+    if (config_.cores == 0)
+        didt_fatal("a chip needs at least one core");
+    if (sources.size() != config_.cores)
+        didt_fatal("chip with ", config_.cores, " cores got ",
+                   sources.size(), " instruction streams");
+    if (!config_.coreCurrentScales.empty() &&
+        config_.coreCurrentScales.size() != config_.cores)
+        didt_fatal("chip with ", config_.cores, " cores got ",
+                   config_.coreCurrentScales.size(), " current scales");
+
+    if (config_.coreCurrentScales.empty()) {
+        scales_.assign(config_.cores,
+                       1.0 / static_cast<double>(config_.cores));
+    } else {
+        for (double scale : config_.coreCurrentScales)
+            if (!(scale > 0.0))
+                didt_fatal("core current scales must be positive");
+        scales_ = config_.coreCurrentScales;
+    }
+
+    cores_.reserve(config_.cores);
+    for (std::size_t i = 0; i < config_.cores; ++i) {
+        if (sources[i] == nullptr)
+            didt_fatal("chip core ", i, " has no instruction stream");
+        cores_.push_back(std::make_unique<Core>(
+            config_.core, power_config, *sources[i], l2_, &arbiter_,
+            static_cast<unsigned>(i)));
+    }
+}
+
+bool
+Chip::step()
+{
+    // Warm-up claims land in epoch 0; opening a fresh epoch before the
+    // first timed cycle (and every cycle after) keeps each cycle's bank
+    // contention isolated.
+    arbiter_.beginCycle();
+    bool active = false;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (cores_[i]->step())
+            active = true;
+        sum += scales_[i] * cores_[i]->lastCurrent();
+    }
+    lastAggregate_ = sum;
+    return active;
+}
+
+Cycle
+Chip::collectTraces(std::vector<CurrentTrace> &per_core,
+                    CurrentTrace &aggregate, Cycle max_cycles)
+{
+    per_core.resize(cores_.size());
+    Cycle executed = 0;
+    while (executed < max_cycles) {
+        const bool more = step();
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            per_core[i].push_back(cores_[i]->lastCurrent());
+        aggregate.push_back(lastAggregate_);
+        ++executed;
+        if (!more)
+            break;
+    }
+    return executed;
+}
+
+void
+Chip::clearSharedStats()
+{
+    l2_.clearStats();
+    arbiter_.clearStats();
+}
+
+} // namespace didt

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Chip multiprocessor: N cores in lockstep behind a shared L2.
+ *
+ * The CMP generalization of the paper's machine (ROADMAP north-star):
+ * each Core keeps its private pipeline, L1s and predictor, while the
+ * unified L2 is shared through a bank-conflict arbiter that charges
+ * same-cycle cross-core claims. The chip steps all cores in lockstep
+ * and sums their per-cycle currents — optionally scaled per core —
+ * into the single chip-level stimulus the supply network consumes.
+ * Cores ramping in phase therefore excite the package resonance
+ * constructively; staggered activity partially cancels, which is the
+ * aggregation physics the chip-level controllers exploit.
+ *
+ * Invariant: a 1-core Chip is byte-identical to the Processor path.
+ * The single core gets core id 0 (no address offset, historical noise
+ * seed), can never conflict with itself in the arbiter, and the
+ * default current scale for one core is exactly 1.0.
+ */
+
+#ifndef DIDT_SIM_CHIP_HH
+#define DIDT_SIM_CHIP_HH
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/processor.hh"
+
+namespace didt
+{
+
+/** Chip-level parameters on top of the per-core configuration. */
+struct ChipConfig
+{
+    std::size_t cores = 1;        ///< hardware contexts on the chip
+    std::size_t l2Banks = 8;      ///< shared-L2 banks (power of two)
+    std::size_t l2BankPenalty = 4;///< cycles per same-cycle foreign claim
+
+    /**
+     * Per-core scale applied when summing currents into the chip
+     * stimulus (models per-core supply impedance). Empty selects the
+     * default 1/cores for every core, which keeps the aggregate in the
+     * single-core-calibrated range — and is exactly 1.0 for one core.
+     */
+    std::vector<double> coreCurrentScales;
+
+    ProcessorConfig core; ///< configuration shared by every core
+};
+
+/**
+ * N lockstep cores sharing one unified L2 behind a bank arbiter.
+ *
+ * Construction wires core i to @p sources[i]; warm-up is per core via
+ * core(i).warmup()/warmupFootprint() before the first step(). Each
+ * step() advances every core one cycle (drained cores keep clocking —
+ * an idle core still draws idle current and switching noise) and
+ * refreshes the aggregate current.
+ */
+class Chip
+{
+  public:
+    /**
+     * @param config chip and per-core parameters
+     * @param power_config power-model budget (shared by every core)
+     * @param sources one instruction stream per core (must outlive
+     *        this; sources.size() must equal config.cores)
+     */
+    Chip(const ChipConfig &config, const PowerModelConfig &power_config,
+         std::span<InstructionSource *const> sources);
+
+    /** Number of cores. */
+    std::size_t coreCount() const { return cores_.size(); }
+
+    /** Core @p index (valid for index < coreCount()). */
+    Core &core(std::size_t index) { return *cores_[index]; }
+
+    /** @copydoc core */
+    const Core &core(std::size_t index) const { return *cores_[index]; }
+
+    /**
+     * Advance every core one cycle in core-id order.
+     * @retval true at least one core did or may still do work
+     * @retval false all sources exhausted and all pipelines drained
+     */
+    bool step();
+
+    /** Chip-level current of the most recent cycle (scaled sum). */
+    Amp lastAggregateCurrent() const { return lastAggregate_; }
+
+    /** Core @p index current of the most recent cycle (unscaled). */
+    Amp lastCoreCurrent(std::size_t index) const
+    {
+        return cores_[index]->lastCurrent();
+    }
+
+    /** Scale applied to core @p index in the aggregate. */
+    double coreScale(std::size_t index) const { return scales_[index]; }
+
+    /** The shared L2. */
+    const Cache &l2() const { return l2_; }
+
+    /** The shared-L2 bank arbiter. */
+    const L2BankArbiter &arbiter() const { return arbiter_; }
+
+    /** The chip configuration. */
+    const ChipConfig &config() const { return config_; }
+
+    /**
+     * Run until @p max_cycles elapse or every core drains, appending
+     * each cycle's unscaled per-core currents to @p per_core (resized
+     * to coreCount()) and the scaled sum to @p aggregate.
+     * @return number of cycles executed
+     */
+    Cycle collectTraces(std::vector<CurrentTrace> &per_core,
+                        CurrentTrace &aggregate, Cycle max_cycles);
+
+    /** Clear shared-L2 and arbiter statistics (post-warm-up). */
+    void clearSharedStats();
+
+  private:
+    ChipConfig config_;
+    Cache l2_;
+    L2BankArbiter arbiter_;
+    std::vector<double> scales_;
+    std::vector<std::unique_ptr<Core>> cores_; ///< Core is not movable
+    Amp lastAggregate_ = 0.0;
+};
+
+} // namespace didt
+
+#endif // DIDT_SIM_CHIP_HH

@@ -11,19 +11,98 @@
 namespace didt
 {
 
-Processor::Processor(const ProcessorConfig &config,
-                     const PowerModelConfig &power_config,
-                     InstructionSource &source)
+namespace
+{
+
+/** Noise RNG seed of the pre-CMP uniprocessor (core 0 keeps it). */
+constexpr std::uint64_t kNoiseSeed = 0x51CA7E5EEDULL;
+
+/** Stable 64-bit hash (splitmix-style finalizer). */
+std::uint64_t
+hashCoreId(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Per-core noise seed: core 0 keeps the historical seed bit-for-bit;
+ * other cores decorrelate their data-dependent switching noise.
+ */
+std::uint64_t
+noiseSeedFor(unsigned core_id)
+{
+    return core_id == 0 ? kNoiseSeed : kNoiseSeed ^ hashCoreId(core_id);
+}
+
+/** Slots of the wrong-path activity moving averages. */
+enum EmaSlot : std::size_t
+{
+    kEmaIntAlu,
+    kEmaFpAlu,
+    kEmaIntMult,
+    kEmaFpMult,
+    kEmaLsq,
+    kEmaDcache,
+    kEmaRegReads,
+    kEmaRegWrites,
+    kEmaDispatch,
+};
+static_assert(kEmaDispatch + 1 == kNumActivityEmas);
+
+/**
+ * Structure -> moving-average table driving the wrong-path activity
+ * model: each entry maps an ActivitySample field to the average slot
+ * that boosts it during misprediction recovery. `tracked` entries also
+ * feed that slot outside recovery; decoded mirrors the dispatch
+ * average without contributing to it, exactly as the hand-unrolled
+ * ladder did. Table order is the historical boost order (results are
+ * independent of it — every entry touches a distinct field — but
+ * keeping it makes the equivalence easy to audit). The flat layout is
+ * the SoA seam for vectorizing power accumulation later.
+ */
+struct EmaEntry
+{
+    std::size_t ActivitySample::*field;
+    std::size_t slot;
+    bool tracked;
+};
+
+constexpr EmaEntry kEmaTable[] = {
+    {&ActivitySample::issuedIntAlu, kEmaIntAlu, true},
+    {&ActivitySample::issuedFpAlu, kEmaFpAlu, true},
+    {&ActivitySample::issuedIntMult, kEmaIntMult, true},
+    {&ActivitySample::issuedFpMult, kEmaFpMult, true},
+    {&ActivitySample::lsqOps, kEmaLsq, true},
+    {&ActivitySample::dcacheAccesses, kEmaDcache, true},
+    {&ActivitySample::regReads, kEmaRegReads, true},
+    {&ActivitySample::regWrites, kEmaRegWrites, true},
+    {&ActivitySample::dispatched, kEmaDispatch, true},
+    {&ActivitySample::decoded, kEmaDispatch, false},
+};
+
+} // namespace
+
+Core::Core(const ProcessorConfig &config,
+           const PowerModelConfig &power_config, InstructionSource &source,
+           Cache &l2, L2BankArbiter *arbiter, unsigned core_id)
     : config_(config),
       power_(power_config, config),
       source_(source),
       bpred_(config),
-      l2_(config.l2),
-      icache_(config.l1i, l2_, config.memoryLatency),
-      dcache_(config.l1d, l2_, config.memoryLatency),
+      l2_(l2),
+      icache_(config.l1i, l2_, config.memoryLatency, arbiter, core_id),
+      dcache_(config.l1d, l2_, config.memoryLatency, arbiter, core_id),
       fus_(config),
+      coreId_(core_id),
+      addrBase_(static_cast<std::uint64_t>(core_id) << 40),
       seqRing_(kSeqRingSize),
-      missRetireRing_(1024, 0)
+      missRetireRing_(1024, 0),
+      noiseRng_(noiseSeedFor(core_id))
 {
     if (config_.memoryLatency + config_.l2.latency + config_.l1d.latency +
             8 >=
@@ -36,7 +115,7 @@ Processor::Processor(const ProcessorConfig &config,
         didt_fatal("RUU too large for the dependency ring");
 }
 
-Processor::~Processor()
+Core::~Core()
 {
     // Per-cycle counting stays in stats_; the registry sees one flush
     // per simulated machine so the hot loop pays nothing for metrics.
@@ -74,7 +153,7 @@ Processor::~Processor()
 }
 
 Cycle
-Processor::depReadyCycle(std::uint64_t producer_seq) const
+Core::depReadyCycle(std::uint64_t producer_seq) const
 {
     const SeqSlot &slot = seqRing_[producer_seq % kSeqRingSize];
     if (slot.seq != producer_seq)
@@ -83,7 +162,7 @@ Processor::depReadyCycle(std::uint64_t producer_seq) const
 }
 
 bool
-Processor::depReady(const WindowEntry &entry) const
+Core::depReady(const WindowEntry &entry) const
 {
     auto check = [&](std::uint32_t dist) {
         if (dist == 0)
@@ -97,7 +176,7 @@ Processor::depReady(const WindowEntry &entry) const
 }
 
 void
-Processor::doCommit()
+Core::doCommit()
 {
     std::size_t committed = 0;
     while (!window_.empty() && committed < config_.commitWidth) {
@@ -117,7 +196,7 @@ Processor::doCommit()
 }
 
 void
-Processor::doComplete()
+Core::doComplete()
 {
     // Mark instructions whose execution finishes this cycle and charge
     // their writeback register-file traffic.
@@ -136,7 +215,7 @@ Processor::doComplete()
 }
 
 void
-Processor::doIssue()
+Core::doIssue()
 {
     if (stallIssue_) {
         ++stats_.issueStallCycles;
@@ -161,12 +240,12 @@ Processor::doIssue()
                 // MSHR limit: a load that would miss the L1 cannot
                 // issue while all miss registers are busy.
                 if (outstandingMisses_ >= config_.mshrCount &&
-                    !dcache_.l1().probe(entry.inst.address)) {
+                    !dcache_.l1().probe(entry.inst.address + addrBase_)) {
                     fus_.undoIssue(cls, now_);
                     continue;
                 }
                 const MemAccessResult res =
-                    dcache_.access(entry.inst.address);
+                    dcache_.access(entry.inst.address + addrBase_);
                 total_lat += res.latency;
                 ++stats_.l1dAccesses;
                 if (res.level != MemLevel::L1) {
@@ -183,7 +262,7 @@ Processor::doIssue()
                 // write-allocate; store completion does not gate
                 // dependents through memory).
                 const MemAccessResult res =
-                    dcache_.access(entry.inst.address);
+                    dcache_.access(entry.inst.address + addrBase_);
                 ++stats_.l1dAccesses;
                 if (res.level != MemLevel::L1) {
                     ++stats_.l1dMisses;
@@ -250,7 +329,7 @@ Processor::doIssue()
 }
 
 void
-Processor::doDispatch()
+Core::doDispatch()
 {
     std::size_t dispatched = 0;
     while (!frontEnd_.empty() && dispatched < config_.decodeWidth) {
@@ -282,7 +361,7 @@ Processor::doDispatch()
 }
 
 void
-Processor::doFetch()
+Core::doFetch()
 {
     if (sourceExhausted_)
         return;
@@ -315,7 +394,7 @@ Processor::doFetch()
         // Instruction-cache access for the first instruction of each
         // fetch block; a miss stalls fetch for the fill latency.
         if (fetched == 0) {
-            const MemAccessResult res = icache_.access(inst.pc);
+            const MemAccessResult res = icache_.access(inst.pc + addrBase_);
             if (res.level != MemLevel::L1) {
                 ++stats_.l1iMisses;
                 ++lastActivity_.l2Accesses;
@@ -349,7 +428,7 @@ Processor::doFetch()
 }
 
 bool
-Processor::step()
+Core::step()
 {
     lastActivity_ = ActivitySample{};
     lastActivity_.windowOccupancy = window_.size();
@@ -373,37 +452,28 @@ Processor::step()
     // machine keeps issuing and executing down the wrong path at close
     // to its recent pace, so current does not collapse to idle. Charge
     // synthetic activity tracking the pre-recovery moving average.
+    // Both directions walk the structure->average table (kEmaTable):
+    // during recovery every mapped field is boosted to its average;
+    // otherwise each tracked field feeds its average.
     const bool recovering =
         fetchBlockedOnBranch_ || branchRecoveryUntil_ > now_;
     if (recovering) {
-        auto boost = [](std::size_t &field, double ema) {
-            const auto target = static_cast<std::size_t>(ema + 0.5);
+        for (const EmaEntry &entry : kEmaTable) {
+            std::size_t &field = lastActivity_.*(entry.field);
+            const auto target =
+                static_cast<std::size_t>(emas_[entry.slot] + 0.5);
             field = std::max(field, target);
-        };
-        boost(lastActivity_.issuedIntAlu, emaIntAlu_);
-        boost(lastActivity_.issuedFpAlu, emaFpAlu_);
-        boost(lastActivity_.issuedIntMult, emaIntMult_);
-        boost(lastActivity_.issuedFpMult, emaFpMult_);
-        boost(lastActivity_.lsqOps, emaLsq_);
-        boost(lastActivity_.dcacheAccesses, emaDcache_);
-        boost(lastActivity_.regReads, emaRegReads_);
-        boost(lastActivity_.regWrites, emaRegWrites_);
-        boost(lastActivity_.dispatched, emaDispatch_);
-        boost(lastActivity_.decoded, emaDispatch_);
+        }
     } else {
         constexpr double alpha = 1.0 / 32.0;
-        auto track = [](double &ema, std::size_t value) {
-            ema += alpha * (static_cast<double>(value) - ema);
-        };
-        track(emaIntAlu_, lastActivity_.issuedIntAlu);
-        track(emaFpAlu_, lastActivity_.issuedFpAlu);
-        track(emaIntMult_, lastActivity_.issuedIntMult);
-        track(emaFpMult_, lastActivity_.issuedFpMult);
-        track(emaLsq_, lastActivity_.lsqOps);
-        track(emaDcache_, lastActivity_.dcacheAccesses);
-        track(emaRegReads_, lastActivity_.regReads);
-        track(emaRegWrites_, lastActivity_.regWrites);
-        track(emaDispatch_, lastActivity_.dispatched);
+        for (const EmaEntry &entry : kEmaTable) {
+            if (!entry.tracked)
+                continue;
+            double &ema = emas_[entry.slot];
+            ema += alpha * (static_cast<double>(
+                                lastActivity_.*(entry.field)) -
+                            ema);
+        }
     }
 
     const std::uint64_t l2_misses_now = l2_.stats().misses;
@@ -465,8 +535,7 @@ Processor::step()
 }
 
 void
-Processor::warmup(InstructionSource &warm_source,
-                  std::uint64_t instructions)
+Core::warmup(InstructionSource &warm_source, std::uint64_t instructions)
 {
     if (now_ != 0)
         didt_panic("warmup() must run before the timed simulation");
@@ -474,9 +543,9 @@ Processor::warmup(InstructionSource &warm_source,
     for (std::uint64_t i = 0; i < instructions; ++i) {
         if (!warm_source.next(inst))
             break;
-        icache_.access(inst.pc);
+        icache_.access(inst.pc + addrBase_);
         if (isMemOp(inst.op))
-            dcache_.access(inst.address);
+            dcache_.access(inst.address + addrBase_);
         if (inst.op == OpClass::Branch)
             bpred_.predictAndTrain(inst);
     }
@@ -490,16 +559,16 @@ Processor::warmup(InstructionSource &warm_source,
 }
 
 void
-Processor::warmupFootprint(std::span<const std::uint64_t> data_lines,
-                           std::span<const std::uint64_t> code_lines)
+Core::warmupFootprint(std::span<const std::uint64_t> data_lines,
+                      std::span<const std::uint64_t> code_lines)
 {
     if (now_ != 0)
         didt_panic("warmupFootprint() must run before the timed "
                    "simulation");
     for (std::uint64_t addr : data_lines)
-        dcache_.access(addr);
+        dcache_.access(addr + addrBase_);
     for (std::uint64_t addr : code_lines)
-        icache_.access(addr);
+        icache_.access(addr + addrBase_);
     l2_.clearStats();
     icache_.clearL1Stats();
     dcache_.clearL1Stats();
@@ -507,7 +576,7 @@ Processor::warmupFootprint(std::span<const std::uint64_t> data_lines,
 }
 
 void
-Processor::dumpStats(std::ostream &os) const
+Core::dumpStats(std::ostream &os) const
 {
     auto line = [&os](const char *name, double value) {
         os << std::left << std::setw(28) << name << value << '\n';
@@ -545,7 +614,7 @@ Processor::dumpStats(std::ostream &os) const
 }
 
 Cycle
-Processor::collectTrace(CurrentTrace &trace, Cycle max_cycles)
+Core::collectTrace(CurrentTrace &trace, Cycle max_cycles)
 {
     Cycle executed = 0;
     while (executed < max_cycles) {

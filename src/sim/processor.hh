@@ -13,6 +13,14 @@
  * two-level hierarchy. Each cycle produces an activity sample and a
  * current draw, forming the waveform all dI/dt analyses consume.
  *
+ * The machine is split along the chip-multiprocessor seam: a Core
+ * holds everything private to one hardware context (pipeline, private
+ * L1s, predictor, power model, noise state) and runs against a Cache
+ * it does *not* own — the unified L2. A Processor is the classic
+ * single-core machine: one Core plus its own L2, preserved as the
+ * uniprocessor entry point all paper figures use. A Chip (sim/chip.hh)
+ * instead shares one L2 (and a bank-conflict arbiter) among N Cores.
+ *
  * The two dI/dt actuation hooks the paper's controller uses are
  * exposed directly: stallIssue() suppresses instruction issue to cut
  * current, injectNoops() fills idle functional units with no-ops to
@@ -22,6 +30,7 @@
 #ifndef DIDT_SIM_PROCESSOR_HH
 #define DIDT_SIM_PROCESSOR_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
@@ -76,21 +85,38 @@ struct ProcessorStats
     }
 };
 
-/** The cycle-level processor model. */
-class Processor
+/** Number of tracked wrong-path activity averages (see kEmaTable). */
+constexpr std::size_t kNumActivityEmas = 9;
+
+/**
+ * One hardware context of the machine: the full out-of-order pipeline
+ * with its private L1s, running against a unified L2 supplied by the
+ * owner (a Processor for the single-core machine, a Chip for a CMP).
+ *
+ * When the L2 is shared, an L2BankArbiter models same-cycle bank
+ * conflicts between cores and @p core_id isolates this core's address
+ * space (tag bits above every workload footprint), so cores contend
+ * for shared-L2 capacity without falsely sharing lines. Core 0 with no
+ * arbiter behaves bit-identically to the pre-CMP machine.
+ */
+class Core
 {
   public:
     /**
      * @param config machine parameters (Table 1 defaults)
      * @param power_config power-model budget
      * @param source dynamic instruction stream (must outlive this)
+     * @param l2 unified L2 (not owned; must outlive this)
+     * @param arbiter shared-L2 bank arbiter (nullptr = uncontended)
+     * @param core_id this core's index on its chip (0 for a uniprocessor)
      */
-    Processor(const ProcessorConfig &config,
-              const PowerModelConfig &power_config,
-              InstructionSource &source);
+    Core(const ProcessorConfig &config,
+         const PowerModelConfig &power_config, InstructionSource &source,
+         Cache &l2, L2BankArbiter *arbiter = nullptr,
+         unsigned core_id = 0);
 
     /** Flushes aggregate statistics into the sim.* metrics counters. */
-    ~Processor();
+    ~Core();
 
     /**
      * Advance one cycle.
@@ -128,6 +154,9 @@ class Processor
 
     /** The power model in use. */
     const PowerModel &powerModel() const { return power_; }
+
+    /** This core's index on its chip. */
+    unsigned coreId() const { return coreId_; }
 
     /**
      * Run until @p max_cycles elapse or the source is exhausted,
@@ -194,10 +223,16 @@ class Processor
     InstructionSource &source_;
 
     BranchPredictor bpred_;
-    Cache l2_;
+    Cache &l2_; ///< unified L2, owned by the Processor or Chip
     MemoryHierarchy icache_;
     MemoryHierarchy dcache_;
     FuPool fus_;
+
+    unsigned coreId_;
+    /** Per-core address-space offset (tag bits only; set bits
+     *  untouched), so cores never falsely share cache lines. Zero for
+     *  core 0: the uniprocessor address stream is unchanged. */
+    std::uint64_t addrBase_;
 
     std::deque<WindowEntry> window_;
     std::deque<FrontEndEntry> frontEnd_;
@@ -220,27 +255,112 @@ class Processor
     bool stallIssue_ = false;
     bool injectNoops_ = false;
 
-    // Moving averages of issue-side activity, used to charge
-    // wrong-path execution power during misprediction recovery.
-    double emaIntAlu_ = 0.0;
-    double emaFpAlu_ = 0.0;
-    double emaIntMult_ = 0.0;
-    double emaFpMult_ = 0.0;
-    double emaLsq_ = 0.0;
-    double emaDcache_ = 0.0;
-    double emaRegReads_ = 0.0;
-    double emaRegWrites_ = 0.0;
-    double emaDispatch_ = 0.0;
+    /**
+     * Moving averages of issue-side activity, used to charge
+     * wrong-path execution power during misprediction recovery.
+     * Slot assignments live in the structure->average table
+     * (kEmaTable in processor.cc) driving both the tracking and the
+     * recovery boost.
+     */
+    std::array<double, kNumActivityEmas> emas_{};
 
     ActivitySample lastActivity_{};
     Amp lastCurrent_ = 0.0;
-    Rng noiseRng_{0x51CA7E5EEDULL}; ///< data-dependent switching noise
+    Rng noiseRng_; ///< data-dependent switching noise
     std::vector<Watt> spreadRing_;  ///< pipelined-power spreading FIFO
     std::size_t spreadHead_ = 0;
     bool lastCycleL2Miss_ = false;
     std::uint64_t prevL2Misses_ = 0;
 
     ProcessorStats stats_;
+};
+
+/**
+ * The classic single-core machine: one Core plus its own unified L2.
+ * Thin owning wrapper kept as the uniprocessor entry point — every
+ * call forwards to the Core, so the Processor and a 1-core Chip run
+ * the exact same code path.
+ */
+class Processor
+{
+  public:
+    /**
+     * @param config machine parameters (Table 1 defaults)
+     * @param power_config power-model budget
+     * @param source dynamic instruction stream (must outlive this)
+     */
+    Processor(const ProcessorConfig &config,
+              const PowerModelConfig &power_config,
+              InstructionSource &source)
+        : l2_(config.l2), core_(config, power_config, source, l2_)
+    {
+    }
+
+    /** @copydoc Core::step */
+    bool step() { return core_.step(); }
+
+    /** @copydoc Core::setStallIssue */
+    void setStallIssue(bool stall) { core_.setStallIssue(stall); }
+
+    /** @copydoc Core::setInjectNoops */
+    void setInjectNoops(bool inject) { core_.setInjectNoops(inject); }
+
+    /** @copydoc Core::lastCurrent */
+    Amp lastCurrent() const { return core_.lastCurrent(); }
+
+    /** @copydoc Core::lastActivity */
+    const ActivitySample &lastActivity() const
+    {
+        return core_.lastActivity();
+    }
+
+    /** @copydoc Core::lastCycleHadL2Miss */
+    bool lastCycleHadL2Miss() const { return core_.lastCycleHadL2Miss(); }
+
+    /** @copydoc Core::stats */
+    const ProcessorStats &stats() const { return core_.stats(); }
+
+    /** @copydoc Core::dumpStats */
+    void dumpStats(std::ostream &os) const { core_.dumpStats(os); }
+
+    /** @copydoc Core::bpredStats */
+    const BPredStats &bpredStats() const { return core_.bpredStats(); }
+
+    /** @copydoc Core::config */
+    const ProcessorConfig &config() const { return core_.config(); }
+
+    /** @copydoc Core::powerModel */
+    const PowerModel &powerModel() const { return core_.powerModel(); }
+
+    /** @copydoc Core::collectTrace */
+    Cycle collectTrace(CurrentTrace &trace, Cycle max_cycles)
+    {
+        return core_.collectTrace(trace, max_cycles);
+    }
+
+    /** @copydoc Core::warmup */
+    void warmup(InstructionSource &warm_source,
+                std::uint64_t instructions)
+    {
+        core_.warmup(warm_source, instructions);
+    }
+
+    /** @copydoc Core::warmupFootprint */
+    void warmupFootprint(std::span<const std::uint64_t> data_lines,
+                         std::span<const std::uint64_t> code_lines)
+    {
+        core_.warmupFootprint(data_lines, code_lines);
+    }
+
+    /** The underlying core. */
+    Core &core() { return core_; }
+
+    /** The underlying core. */
+    const Core &core() const { return core_; }
+
+  private:
+    Cache l2_;
+    Core core_;
 };
 
 } // namespace didt

@@ -8,12 +8,8 @@
 namespace didt
 {
 
-namespace
-{
-
-/** Stable 64-bit hash (splitmix-style finalizer). */
 std::uint64_t
-hash64(std::uint64_t x)
+splitmix64(std::uint64_t x)
 {
     x ^= x >> 30;
     x *= 0xbf58476d1ce4e5b9ULL;
@@ -23,14 +19,22 @@ hash64(std::uint64_t x)
     return x;
 }
 
-} // namespace
+std::uint64_t
+deriveCoreSeed(std::uint64_t campaign_seed, std::size_t core_index)
+{
+    if (core_index == 0)
+        return campaign_seed;
+    return splitmix64(campaign_seed +
+                      0x9e3779b97f4a7c15ULL *
+                          static_cast<std::uint64_t>(core_index));
+}
 
 SyntheticWorkload::SyntheticWorkload(const BenchmarkProfile &profile,
                                      std::uint64_t max_instructions,
                                      std::uint64_t seed)
     : profile_(profile),
       maxInstructions_(max_instructions),
-      rng_(hash64(profile.seed * 0x9e3779b97f4a7c15ULL + seed + 1)),
+      rng_(splitmix64(profile.seed * 0x9e3779b97f4a7c15ULL + seed + 1)),
       pc_(kCodeBase)
 {
     if (profile_.phases.empty())
@@ -63,7 +67,7 @@ SyntheticWorkload::isBranchSite(std::uint64_t pc,
 {
     // Branch sites are a pure function of the PC so static branches
     // are stable and the predictor/BTB can train on them.
-    const std::uint64_t h = hash64(pc ^ 0xb5a5b5a5deadbeefULL);
+    const std::uint64_t h = splitmix64(pc ^ 0xb5a5b5a5deadbeefULL);
     return (h % 10000) <
            static_cast<std::uint64_t>(phase.branchFrac * 10000.0);
 }
@@ -158,7 +162,7 @@ SyntheticWorkload::makeBranch(const WorkloadPhase &phase, Instruction &inst)
 {
     // Branch behaviour is a deterministic function of the PC so the
     // predictor sees stable per-static-branch statistics.
-    const std::uint64_t h = hash64(inst.pc);
+    const std::uint64_t h = splitmix64(inst.pc);
     const bool predictable =
         (h % 1000) < static_cast<std::uint64_t>(
                          phase.predictableBranchFrac * 1000.0);
@@ -170,7 +174,7 @@ SyntheticWorkload::makeBranch(const WorkloadPhase &phase, Instruction &inst)
     // wrapped into the code footprint. Backward jumps give the walk
     // the loop structure real code has.
     const std::uint64_t span = profile_.codeBytes;
-    const std::uint64_t dist_bytes = (64 + hash64(h + 1) % 2048) * 4;
+    const std::uint64_t dist_bytes = (64 + splitmix64(h + 1) % 2048) * 4;
     std::uint64_t off = inst.pc - kCodeBase;
     off = (off + span - dist_bytes % span) % span;
     inst.target = kCodeBase + off;

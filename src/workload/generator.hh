@@ -25,6 +25,25 @@
 namespace didt
 {
 
+/**
+ * splitmix64 finalizer: a stable, well-mixed 64-bit hash. The seed of
+ * every synthetic stream passes through this, and it is the derivation
+ * step for per-core seeds — part of the reproducibility contract, so
+ * its bits must never change.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Derive core @p core_index's workload seed from one campaign seed.
+ *
+ * Core 0 gets the campaign seed unchanged (a 1-core chip replays the
+ * uniprocessor stream bit-for-bit); higher cores get splitmix-style
+ * decorrelated seeds, so N streams from one campaign seed are mutually
+ * independent yet individually reproducible.
+ */
+std::uint64_t deriveCoreSeed(std::uint64_t campaign_seed,
+                             std::size_t core_index);
+
 /** Deterministic synthetic workload for one benchmark profile. */
 class SyntheticWorkload : public InstructionSource
 {

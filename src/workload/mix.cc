@@ -1,0 +1,92 @@
+#include "workload/mix.hh"
+
+#include "util/logging.hh"
+#include "workload/generator.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+constexpr const char kInPhasePrefix[] = "inphase-";
+constexpr const char kStaggeredPrefix[] = "staggered-";
+
+bool
+hasPrefix(const std::string &name, const char *prefix)
+{
+    return name.rfind(prefix, 0) == 0;
+}
+
+} // namespace
+
+const std::vector<WorkloadMix> &
+standardMixes()
+{
+    static const std::vector<WorkloadMix> mixes = {
+        // Four-program flavours of the SPEC subsets: compute-bound
+        // integer, floating point, memory stressors, and a balanced
+        // mix pairing a dI/dt stressor (mcf's gated L2-hit bursts)
+        // with smooth issuers.
+        {"int4", {"gzip", "gcc", "crafty", "vortex"}, true},
+        {"fp4", {"swim", "applu", "art", "equake"}, true},
+        {"mem4", {"mcf", "art", "swim", "lucas"}, true},
+        {"mixed4", {"gzip", "mcf", "swim", "crafty"}, true},
+    };
+    return mixes;
+}
+
+std::optional<WorkloadMix>
+findMixByName(const std::string &name)
+{
+    for (const WorkloadMix &mix : standardMixes())
+        if (mix.name == name)
+            return mix;
+
+    // Dynamic single-benchmark mixes: every core runs <bench>, either
+    // phase-locked (identical streams) or seed-staggered.
+    for (const char *prefix : {kInPhasePrefix, kStaggeredPrefix}) {
+        if (!hasPrefix(name, prefix))
+            continue;
+        const std::string bench = name.substr(std::string(prefix).size());
+        if (findProfileByName(bench) == nullptr)
+            return std::nullopt;
+        WorkloadMix mix;
+        mix.name = name;
+        mix.benchmarks = {bench};
+        mix.staggerSeeds = prefix == kStaggeredPrefix;
+        return mix;
+    }
+    return std::nullopt;
+}
+
+WorkloadMix
+mixByName(const std::string &name)
+{
+    std::optional<WorkloadMix> mix = findMixByName(name);
+    if (!mix)
+        didt_fatal("unknown workload mix '", name,
+                   "' (try int4, fp4, mem4, mixed4, inphase-<bench>, "
+                   "staggered-<bench>)");
+    return *std::move(mix);
+}
+
+const BenchmarkProfile &
+mixProfileForCore(const WorkloadMix &mix, std::size_t core_index)
+{
+    if (mix.benchmarks.empty())
+        didt_fatal("mix '", mix.name, "' has no benchmarks");
+    return profileByName(
+        mix.benchmarks[core_index % mix.benchmarks.size()]);
+}
+
+std::uint64_t
+mixCoreSeed(const WorkloadMix &mix, std::uint64_t campaign_seed,
+            std::size_t core_index)
+{
+    if (!mix.staggerSeeds)
+        return campaign_seed;
+    return deriveCoreSeed(campaign_seed, core_index);
+}
+
+} // namespace didt

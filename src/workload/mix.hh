@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-program workload mixes for chip-level simulation.
+ *
+ * A mix co-schedules the synthetic SPEC profiles onto the cores of a
+ * Chip: core i runs the mix's benchmark list cycled at position i,
+ * with its stream seed derived deterministically from the single
+ * campaign seed (see deriveCoreSeed). Mixes whose cores run the same
+ * benchmark come in two phase flavours — `inphase-<bench>` clones one
+ * stream onto every core (the resonance worst case: all cores stall
+ * and ramp together), while `staggered-<bench>` decorrelates the
+ * per-core seeds so activity bursts cancel in the aggregate.
+ */
+
+#ifndef DIDT_WORKLOAD_MIX_HH
+#define DIDT_WORKLOAD_MIX_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace didt
+{
+
+/** A named assignment of benchmarks to chip cores. */
+struct WorkloadMix
+{
+    /** Mix name as used by `didt_campaign --mix`. */
+    std::string name;
+
+    /** Benchmarks cycled over cores (core i runs entry i mod size). */
+    std::vector<std::string> benchmarks;
+
+    /**
+     * When true (the default), each core's stream seed is derived via
+     * deriveCoreSeed, so cores run independent streams. When false,
+     * every core repeats the campaign seed: cores running the same
+     * benchmark execute identical streams in lockstep — the in-phase
+     * resonance stressor.
+     */
+    bool staggerSeeds = true;
+};
+
+/** The built-in named mixes (all names resolvable by findMixByName). */
+const std::vector<WorkloadMix> &standardMixes();
+
+/**
+ * Resolve a mix name: a built-in from standardMixes(), or the dynamic
+ * forms `inphase-<bench>` / `staggered-<bench>` which run benchmark
+ * <bench> on every core. Returns nullopt for unknown names or unknown
+ * benchmarks (serve-safe: a bad request must not exit the daemon).
+ */
+std::optional<WorkloadMix> findMixByName(const std::string &name);
+
+/** Resolve a mix name; fatal on unknown names (CLI entry point). */
+WorkloadMix mixByName(const std::string &name);
+
+/** The profile core @p core_index runs under @p mix. */
+const BenchmarkProfile &mixProfileForCore(const WorkloadMix &mix,
+                                          std::size_t core_index);
+
+/**
+ * The stream seed core @p core_index uses under @p mix: the campaign
+ * seed itself when the mix is in phase, a deriveCoreSeed derivation
+ * otherwise. Core 0 always keeps the campaign seed.
+ */
+std::uint64_t mixCoreSeed(const WorkloadMix &mix,
+                          std::uint64_t campaign_seed,
+                          std::size_t core_index);
+
+} // namespace didt
+
+#endif // DIDT_WORKLOAD_MIX_HH

@@ -77,6 +77,38 @@ TEST(TraceIo, BinaryRoundTripIsExact)
     std::filesystem::remove(path);
 }
 
+TEST(TraceIo, TraceSetRoundTripIsExact)
+{
+    Rng rng(3);
+    TraceSet set;
+    set.perCore.push_back(gaussianCurrent(40.0, 10.0, 1024, rng));
+    set.perCore.push_back(gaussianCurrent(35.0, 8.0, 1024, rng));
+    set.aggregate.resize(1024);
+    for (std::size_t i = 0; i < 1024; ++i)
+        set.aggregate[i] = 0.5 * (set.perCore[0][i] + set.perCore[1][i]);
+
+    const std::string path = tempPath("didt_trace_set.bin");
+    writeTraceSetBinary(path, set);
+    const TraceSet back = readTraceSetBinary(path);
+    ASSERT_EQ(back.perCore.size(), 2u);
+    EXPECT_EQ(back.aggregate, set.aggregate); // bit-exact
+    EXPECT_EQ(back.perCore[0], set.perCore[0]);
+    EXPECT_EQ(back.perCore[1], set.perCore[1]);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, TraceSetRejectsSingleTraceFile)
+{
+    // The two binary formats are distinct: a single-trace file is not
+    // a valid trace set, and the tolerant reader says so (nullopt)
+    // instead of dying.
+    Rng rng(4);
+    const std::string path = tempPath("didt_trace_not_set.bin");
+    writeTraceBinary(path, gaussianCurrent(40.0, 10.0, 64, rng));
+    EXPECT_FALSE(tryReadTraceSetBinary(path).has_value());
+    std::filesystem::remove(path);
+}
+
 TEST(TraceIo, BinaryEmptyTrace)
 {
     const std::string path = tempPath("didt_trace_empty.bin");

@@ -85,6 +85,16 @@ main(int argc, char **argv)
                  "worker threads (0 = one per hardware thread)");
     opts.declare("benchmarks", "",
                  "comma-separated benchmark subset (empty = all 26)");
+    opts.declare("mix", "",
+                 "comma-separated workload mixes (int4, fp4, mem4, "
+                 "mixed4, inphase-<bench>, staggered-<bench>); replaces "
+                 "the benchmarks axis");
+    opts.declare("cores", "",
+                 "comma-separated chip sizes to sweep (empty = 1)");
+    opts.declare("l2-banks", "8",
+                 "shared-L2 banks for chip cells (power of two)");
+    opts.declare("l2-bank-penalty", "4",
+                 "bank-conflict stall cycles for chip cells");
     opts.declare("impedances", "1.0,1.1,1.2,1.3,1.5",
                  "comma-separated target-impedance scales");
     opts.declare("instructions", "120000",
@@ -136,6 +146,29 @@ main(int argc, char **argv)
     CampaignSpec spec;
     for (const std::string &name : splitList(opts.get("benchmarks")))
         spec.profiles.push_back(profileByName(name));
+    for (const std::string &name : splitList(opts.get("mix"))) {
+        mixByName(name); // fatal on unknown names, with suggestions
+        spec.mixes.push_back(name);
+    }
+    if (!spec.mixes.empty() && !spec.profiles.empty())
+        didt_fatal("--benchmarks and --mix are mutually exclusive");
+    for (const std::string &count : splitList(opts.get("cores"))) {
+        std::size_t consumed = 0;
+        unsigned long value = 0;
+        try {
+            value = std::stoul(count, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+        if (consumed != count.size() || value == 0 || value > 1024)
+            didt_fatal("--cores: bad chip size '" + count + "'");
+        spec.coreCounts.push_back(static_cast<std::size_t>(value));
+    }
+    spec.l2Banks = static_cast<std::size_t>(opts.getInt("l2-banks"));
+    spec.l2BankPenalty =
+        static_cast<std::size_t>(opts.getInt("l2-bank-penalty"));
+    if (spec.l2Banks == 0 || (spec.l2Banks & (spec.l2Banks - 1)) != 0)
+        didt_fatal("--l2-banks must be a power of two");
     spec.impedanceScales.clear();
     for (const std::string &scale : splitList(opts.get("impedances"))) {
         std::size_t consumed = 0;
@@ -172,12 +205,22 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - setup_start)
             .count();
 
+    const std::size_t workloads = spec.mixes.empty()
+                                      ? spec.effectiveProfiles().size()
+                                      : spec.mixes.size();
+    const std::size_t chip_sizes = spec.effectiveCoreCounts().size();
     const std::size_t total_cells =
-        spec.effectiveProfiles().size() * spec.impedanceScales.size();
-    std::printf("campaign: %zu benchmarks x %zu impedance scales = %zu "
-                "cells, %zu jobs\n",
-                spec.effectiveProfiles().size(),
-                spec.impedanceScales.size(), total_cells, jobs);
+        workloads * chip_sizes * spec.impedanceScales.size();
+    if (spec.isChipSweep())
+        std::printf("campaign: %zu workloads x %zu chip sizes x %zu "
+                    "impedance scales = %zu cells, %zu jobs\n",
+                    workloads, chip_sizes, spec.impedanceScales.size(),
+                    total_cells, jobs);
+    else
+        std::printf("campaign: %zu benchmarks x %zu impedance scales = "
+                    "%zu cells, %zu jobs\n",
+                    workloads, spec.impedanceScales.size(), total_cells,
+                    jobs);
 
     TraceRepository repo(setup, opts.get("cache-dir"));
     std::size_t done = 0;
