@@ -155,6 +155,114 @@ BM_ProcessorStep(benchmark::State &state)
 BENCHMARK(BM_ProcessorStep);
 
 /**
+ * Cycle throughput per workload class: the same step() loop driven by
+ * a compute-bound (gzip), floating-point (mgrid), and memory-bound
+ * (mcf) synthetic stream instead of the dI/dt virus. The classes
+ * stress different pipeline paths — mcf keeps the window full of
+ * stalled loads, mgrid exercises the FP issue ports — so a hot-loop
+ * regression that BM_ProcessorStep's virus misses shows up here
+ * (BENCH_simloop.json records the per-class before/after).
+ */
+void
+BM_ProcessorStepClass(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    const char *kClasses[] = {"gzip", "mgrid", "mcf"};
+    const char *name = kClasses[state.range(0)];
+    state.SetLabel(name);
+    SyntheticWorkload source(profileByName(name),
+                             std::uint64_t{1} << 40, 0);
+    Processor proc(setup.proc, setup.power, source);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(proc.step());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProcessorStepClass)
+    ->ArgNames({"class"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+/**
+ * Full benchmark trace collection, full-detail vs sampled: the
+ * end-to-end cost one campaign cell pays for its trace. The sampled
+ * row runs the validated 4096/28672/512 configuration (12.5% detailed
+ * cycles — the most aggressive geometry verify::Oracle::checkSampling
+ * holds green across all 26 profiles), covering the same virtual
+ * cycles; BENCH_simloop.json pairs the rows into the measured speedup
+ * and tests/simfast_test.cc bounds what the skip costs in analysis
+ * accuracy.
+ */
+void
+BM_CollectTraceSampled(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    SamplingConfig sampling;
+    if (state.range(0) != 0) {
+        sampling.detailCycles = 4096;
+        sampling.skipCycles = 28672;
+        sampling.warmupCycles = 512;
+    }
+    std::size_t cycles = 0;
+    for (auto _ : state) {
+        const CurrentTrace trace = benchmarkCurrentTrace(
+            setup, profileByName("gzip"), 120000, 0, 4096, sampling);
+        cycles = trace.size();
+        benchmark::DoNotOptimize(trace.data());
+    }
+    state.counters["trace_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_CollectTraceSampled)
+    ->ArgNames({"sampled"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Characterization campaign, full-detail vs sampled, at the default
+ * per-cell instruction budget: 8 benchmarks x 2 scales with a fresh
+ * in-memory repository per iteration. Simulation dominates this
+ * configuration (each workload is simulated once and analyzed twice),
+ * so the row pair approximates the campaign-throughput gain sampling
+ * buys on the full 26x5 sweep.
+ */
+void
+BM_SampledCampaign(benchmark::State &state)
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    CampaignSpec spec;
+    {
+        const auto &all = spec2000Profiles();
+        spec.profiles.assign(all.begin(), all.begin() + 8);
+    }
+    spec.impedanceScales = {1.0, 1.2};
+    spec.windowLength = 128;
+    spec.levels = 6;
+    spec.instructions = 120000;
+    if (state.range(0) != 0) {
+        spec.sampleDetail = 4096;
+        spec.sampleSkip = 28672;
+        spec.sampleWarmup = 512;
+    }
+    for (auto _ : state) {
+        TraceRepository repo(setup);
+        const CampaignResult result =
+            runCharacterizationCampaign(setup, spec, repo, 1);
+        benchmark::DoNotOptimize(result.cells.data());
+    }
+    state.counters["cells"] = static_cast<double>(
+        spec.profiles.size() * spec.impedanceScales.size());
+}
+BENCHMARK(BM_SampledCampaign)
+    ->ArgNames({"sampled"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/**
  * Cycle throughput of the N-core chip model: per-core dI/dt viruses
  * behind private L1s and the shared banked L2. Read against
  * BM_ProcessorStep, the cores=1 row prices the Chip wrapper over the

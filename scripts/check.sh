@@ -64,6 +64,29 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
     fi
     echo "campaign JSON identical across SIMD on/off and jobs 1/4"
 
+    echo "=== sampled-campaign byte-identity: SIMD on/off x jobs 1/4 ==="
+    # Sampling must be deterministic too: the same sampled sweep gives
+    # the same bytes regardless of worker count or kernel dispatch, and
+    # its spec JSON records the sampling dimensions.
+    SAMPLE_ARGS=("${CAMPAIGN_ARGS[@]}" --sample-detail 4096
+                 --sample-skip 28672 --sample-warmup 512)
+    build-ci/tools/didt_campaign --jobs 1 "${SAMPLE_ARGS[@]}" \
+        --json "$SMOKE_DIR/sampled_j1.json"
+    build-ci/tools/didt_campaign --jobs 4 "${SAMPLE_ARGS[@]}" \
+        --json "$SMOKE_DIR/sampled_j4.json"
+    build-scalar/tools/didt_campaign --jobs 4 "${SAMPLE_ARGS[@]}" \
+        --json "$SMOKE_DIR/sampled_scalar.json"
+    cmp "$SMOKE_DIR/sampled_j1.json" "$SMOKE_DIR/sampled_j4.json"
+    cmp "$SMOKE_DIR/sampled_j1.json" "$SMOKE_DIR/sampled_scalar.json"
+    grep -q '"sample_skip": 28672' "$SMOKE_DIR/sampled_j1.json"
+    # And sampling OFF must leave the campaign JSON untouched: the
+    # sampled run's existence must not perturb the unsampled bytes.
+    if grep -q 'sample_' "$SMOKE_DIR/simd_j1.json"; then
+        echo "FAIL: sampling-off campaign JSON mentions sampling" >&2
+        exit 1
+    fi
+    echo "sampled campaign JSON identical across SIMD on/off and jobs 1/4"
+
     echo "=== fault-injection smoke: failed cells recorded, byte-identical ==="
     # A campaign with an injected cell fault and a dead disk cache must
     # still exit 0, mark exactly the faulted cell in the JSON, and stay
@@ -83,13 +106,14 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
     BUILD_DIR=build-ci scripts/serve_smoke.sh
 fi
 
-echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify + serve tests ==="
+echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify + serve + simfast tests ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
       obs_test refactor_test simd_test verify_test serve_test \
-      fuzz_replay_test
-ctest --test-dir build-tsan -L 'runner|obs|refactor|simd|verify|serve|cmp' \
+      fuzz_replay_test simfast_test
+ctest --test-dir build-tsan \
+      -L 'runner|obs|refactor|simd|verify|serve|cmp|simfast' \
       --output-on-failure -j "$JOBS"
 
 echo "=== all checks passed ==="

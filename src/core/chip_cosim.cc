@@ -131,6 +131,8 @@ runChipClosedLoop(const std::vector<ChipWorkload> &workloads,
     const Volt high_safe = cfg.control.highControl();
 
     CurrentTrace aggregate;
+    if (cfg.maxCycles != 0)
+        reserveTraceCapacity(aggregate, cfg.maxCycles);
     double current_sum = 0.0;
     constexpr std::uint64_t kChunk = 256;
     bool running = true;

@@ -154,7 +154,8 @@ CurrentTrace
 benchmarkCurrentTrace(const ExperimentSetup &setup,
                       const BenchmarkProfile &profile,
                       std::uint64_t instructions, std::uint64_t seed,
-                      std::size_t trim_warmup)
+                      std::size_t trim_warmup,
+                      const SamplingConfig &sampling)
 {
     SyntheticWorkload workload(profile, instructions, seed);
     Processor processor(setup.proc, setup.power, workload);
@@ -170,7 +171,10 @@ benchmarkCurrentTrace(const ExperimentSetup &setup,
     // A generous cap: even fully memory-bound streams rarely exceed
     // ~40 cycles per instruction on this machine.
     const Cycle cap = 64 * instructions + 100000;
-    processor.collectTrace(trace, cap);
+    if (sampling.enabled())
+        processor.collectTraceSampled(trace, cap, sampling);
+    else
+        processor.collectTrace(trace, cap);
 
     if (trace.size() > trim_warmup + 1024)
         trace.erase(trace.begin(),
@@ -182,7 +186,7 @@ TraceSet
 chipCurrentTrace(const ExperimentSetup &setup,
                  const std::vector<ChipWorkload> &workloads,
                  std::uint64_t instructions, std::size_t trim_warmup,
-                 ChipConfig chip)
+                 ChipConfig chip, const SamplingConfig &sampling)
 {
     if (workloads.empty())
         didt_fatal("chipCurrentTrace needs at least one workload");
@@ -220,7 +224,11 @@ chipCurrentTrace(const ExperimentSetup &setup,
 
     TraceSet set;
     const Cycle cap = 64 * instructions + 100000;
-    machine.collectTraces(set.perCore, set.aggregate, cap);
+    if (sampling.enabled())
+        machine.collectTracesSampled(set.perCore, set.aggregate, cap,
+                                     sampling);
+    else
+        machine.collectTraces(set.perCore, set.aggregate, cap);
 
     if (set.aggregate.size() > trim_warmup + 1024) {
         set.aggregate.erase(

@@ -115,12 +115,16 @@ makeCalibratedModel(const ExperimentSetup &setup,
  * @param instructions dynamic instruction count
  * @param seed extra workload seed
  * @param trim_warmup cycles dropped from the front (cold caches)
+ * @param sampling optional SimPoint-style sampling; the disabled
+ *        default runs full detail and is byte-identical to the
+ *        historical signature
  */
 CurrentTrace benchmarkCurrentTrace(const ExperimentSetup &setup,
                                    const BenchmarkProfile &profile,
                                    std::uint64_t instructions,
                                    std::uint64_t seed = 0,
-                                   std::size_t trim_warmup = 4096);
+                                   std::size_t trim_warmup = 4096,
+                                   const SamplingConfig &sampling = {});
 
 /** Per-core program assignment for one chip-level run. */
 struct ChipWorkload
@@ -143,12 +147,16 @@ struct ChipWorkload
  * @param trim_warmup cycles dropped from the front (cold caches)
  * @param chip chip parameters (cores is overwritten from @p workloads;
  *        core config is overwritten from @p setup)
+ * @param sampling optional SimPoint-style sampling applied to every
+ *        core in lockstep; disabled by default (full detail,
+ *        byte-identical to the historical signature)
  */
 TraceSet chipCurrentTrace(const ExperimentSetup &setup,
                           const std::vector<ChipWorkload> &workloads,
                           std::uint64_t instructions,
                           std::size_t trim_warmup = 4096,
-                          ChipConfig chip = {});
+                          ChipConfig chip = {},
+                          const SamplingConfig &sampling = {});
 
 } // namespace didt
 

@@ -91,6 +91,17 @@ struct CampaignSpec
     /** Bank-conflict penalty in cycles for chip cells. */
     std::size_t l2BankPenalty = 4;
 
+    /**
+     * SimPoint-style trace sampling (sim/sampling.hh), applied to
+     * every cell's simulation. sampleSkip == 0 (the default) keeps the
+     * historical full-detail behaviour — and the historical JSON
+     * bytes, cache keys, and disk files. sampleSkip > 0 requires
+     * sampleDetail > 0 and sampleWarmup <= sampleSkip.
+     */
+    Cycle sampleDetail = 0;   ///< detailed cycles per window
+    Cycle sampleSkip = 0;     ///< skipped cycles between windows
+    Cycle sampleWarmup = 512; ///< detailed refill tail of each skip
+
     /** The profiles list with the all-SPEC default applied. */
     const std::vector<BenchmarkProfile> &effectiveProfiles() const;
 
@@ -99,6 +110,9 @@ struct CampaignSpec
 
     /** True when any spec dimension needs the chip path. */
     bool isChipSweep() const;
+
+    /** True when trace sampling is active. */
+    bool isSampled() const { return sampleSkip > 0; }
 };
 
 /** One (benchmark, impedance scale) cell of a campaign. */

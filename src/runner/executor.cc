@@ -88,6 +88,9 @@ cellTraceRequest(const CampaignSpec &spec, std::size_t workload_index,
     TraceRequest request;
     request.instructions = spec.instructions;
     request.trimWarmup = spec.trimWarmup;
+    request.sampleDetail = spec.sampleDetail;
+    request.sampleSkip = spec.sampleSkip;
+    request.sampleWarmup = spec.sampleWarmup;
 
     if (spec.mixes.empty()) {
         // Benchmarks axis: the benchmark is cloned across cores with

@@ -95,6 +95,15 @@ campaignSpecToJson(const CampaignSpec &spec)
         json.set("l2_bank_penalty",
                  static_cast<long long>(spec.l2BankPenalty));
     }
+    // Sampling fields appear only for sampled sweeps, so sampling-off
+    // spec JSON stays byte-identical to pre-sampling builds.
+    if (spec.isSampled()) {
+        json.set("sample_detail",
+                 static_cast<long long>(spec.sampleDetail));
+        json.set("sample_skip", static_cast<long long>(spec.sampleSkip));
+        json.set("sample_warmup",
+                 static_cast<long long>(spec.sampleWarmup));
+    }
     return json;
 }
 
@@ -229,6 +238,22 @@ campaignSpecFromJson(const JsonValue &json, CampaignSpec *spec,
         (parsed.l2Banks & (parsed.l2Banks - 1)) != 0) {
         *error = "spec field 'l2_banks' must be a power of two";
         return false;
+    }
+    if (!readCount(json, "sample_detail", &parsed.sampleDetail, error) ||
+        !readCount(json, "sample_skip", &parsed.sampleSkip, error) ||
+        !readCount(json, "sample_warmup", &parsed.sampleWarmup, error))
+        return false;
+    if (parsed.isSampled()) {
+        if (parsed.sampleDetail == 0) {
+            *error = "spec field 'sample_detail' must be positive when "
+                     "'sample_skip' is set";
+            return false;
+        }
+        if (parsed.sampleWarmup > parsed.sampleSkip) {
+            *error = "spec field 'sample_warmup' must not exceed "
+                     "'sample_skip'";
+            return false;
+        }
     }
     *spec = std::move(parsed);
     return true;

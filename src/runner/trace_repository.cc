@@ -161,6 +161,13 @@ fingerprintTraceRequest(const TraceRequest &request)
         h.u64(request.l2Banks);
         h.u64(request.l2BankPenalty);
     }
+    // Sampling dimensions participate only when sampling is on, so
+    // unsampled requests keep their historical fingerprint.
+    if (request.sampleSkip > 0) {
+        h.u64(request.sampleDetail);
+        h.u64(request.sampleSkip);
+        h.u64(request.sampleWarmup);
+    }
     return h.value();
 }
 
@@ -369,6 +376,10 @@ TraceRepository::produce(const TraceRequest &request,
     {
         obs::ScopedTimer timer("simulate " + request.profile.name,
                                metrics.simulateMs, nullptr, "repo");
+        SamplingConfig sampling;
+        sampling.detailCycles = request.sampleDetail;
+        sampling.skipCycles = request.sampleSkip;
+        sampling.warmupCycles = request.sampleWarmup;
         if (request.cores > 1) {
             // Chip request: co-simulate the per-core streams and cache
             // the aggregate chip current.
@@ -387,12 +398,13 @@ TraceRepository::produce(const TraceRequest &request,
             chip.l2BankPenalty = request.l2BankPenalty;
             TraceSet set = chipCurrentTrace(setup_, workloads,
                                             request.instructions,
-                                            request.trimWarmup, chip);
+                                            request.trimWarmup, chip,
+                                            sampling);
             trace = std::move(set.aggregate);
         } else {
             trace = benchmarkCurrentTrace(
                 setup_, request.profile, request.instructions,
-                request.seed, request.trimWarmup);
+                request.seed, request.trimWarmup, sampling);
         }
     }
 

@@ -73,6 +73,18 @@ struct TraceRequest
     std::vector<std::uint64_t> coreSeeds;       ///< per-core, cores > 1
     std::size_t l2Banks = 8;        ///< chip shared-L2 banks
     std::size_t l2BankPenalty = 4;  ///< bank-conflict stall cycles
+
+    /**
+     * SimPoint-style sampling (sim/sampling.hh). sampleSkip == 0 (the
+     * default) is full-detail simulation: the request hashes exactly
+     * as before sampling existed, so every unsampled request keeps its
+     * historical fingerprint and on-disk cache file. With
+     * sampleSkip > 0 the sampling dimensions join the key — a sampled
+     * trace is a different artifact and must never alias a full one.
+     */
+    Cycle sampleDetail = 0;   ///< detailed cycles per window
+    Cycle sampleSkip = 0;     ///< skipped cycles between windows
+    Cycle sampleWarmup = 512; ///< detailed refill tail of each skip
 };
 
 /**

@@ -42,6 +42,15 @@ batchKey(const CampaignSpec &spec)
         key += ";l2b=" + std::to_string(spec.l2Banks);
         key += ";l2p=" + std::to_string(spec.l2BankPenalty);
     }
+    // Sampling dimensions join the key only for sampled sweeps (same
+    // pattern as the chip block): sampling-off specs keep their
+    // historical key, and a sampled request never merges with a
+    // full-detail one.
+    if (spec.isSampled()) {
+        key += ";sd=" + std::to_string(spec.sampleDetail);
+        key += ";ss=" + std::to_string(spec.sampleSkip);
+        key += ";sw=" + std::to_string(spec.sampleWarmup);
+    }
     return key;
 }
 

@@ -65,6 +65,9 @@ Chip::collectTraces(std::vector<CurrentTrace> &per_core,
                     CurrentTrace &aggregate, Cycle max_cycles)
 {
     per_core.resize(cores_.size());
+    for (CurrentTrace &trace : per_core)
+        reserveTraceCapacity(trace, max_cycles);
+    reserveTraceCapacity(aggregate, max_cycles);
     Cycle executed = 0;
     while (executed < max_cycles) {
         const bool more = step();
@@ -76,6 +79,92 @@ Chip::collectTraces(std::vector<CurrentTrace> &per_core,
             break;
     }
     return executed;
+}
+
+Cycle
+Chip::collectTracesSampled(std::vector<CurrentTrace> &per_core,
+                           CurrentTrace &aggregate, Cycle max_cycles,
+                           const SamplingConfig &sampling)
+{
+    sampling.validate();
+    if (!sampling.enabled())
+        return collectTraces(per_core, aggregate, max_cycles);
+
+    const std::size_t n = cores_.size();
+    per_core.resize(n);
+    for (CurrentTrace &trace : per_core)
+        reserveTraceCapacity(trace, max_cycles);
+    reserveTraceCapacity(aggregate, max_cycles);
+
+    Cycle total = 0;
+    bool more = true;
+
+    // Bracketing detailed windows, one pair per core plus one for the
+    // aggregate. The cores skip in lockstep, so every window spans the
+    // same cycles and the reconstructions stay phase-aligned; the
+    // aggregate is tiled from its own windows, which — the tile
+    // selection picking the same source index at every offset — equals
+    // the scaled sum of the per-core reconstructions.
+    std::vector<std::vector<double>> prev(n), cur(n);
+    std::vector<double> prev_agg, cur_agg;
+
+    auto runDetail = [&] {
+        for (std::vector<double> &window : cur)
+            window.clear();
+        cur_agg.clear();
+        const Cycle target =
+            std::min<Cycle>(sampling.detailCycles, max_cycles - total);
+        while (cur_agg.size() < target && more) {
+            more = step();
+            for (std::size_t i = 0; i < n; ++i)
+                cur[i].push_back(cores_[i]->lastCurrent());
+            cur_agg.push_back(lastAggregate_);
+        }
+        total += cur_agg.size();
+    };
+
+    auto appendWindows = [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+            per_core[i].insert(per_core[i].end(), cur[i].begin(),
+                               cur[i].end());
+            prev[i].swap(cur[i]);
+        }
+        aggregate.insert(aggregate.end(), cur_agg.begin(), cur_agg.end());
+        prev_agg.swap(cur_agg);
+    };
+
+    runDetail();
+    appendWindows();
+
+    while (more && total < max_cycles) {
+        const Cycle gap =
+            std::min<Cycle>(sampling.skipCycles, max_cycles - total);
+        const Cycle warm = std::min<Cycle>(sampling.warmupCycles, gap);
+        for (auto &core : cores_)
+            core->fastForward(gap - warm);
+        for (Cycle w = 0; w < warm && more; ++w)
+            more = step();
+        total += gap;
+
+        if (!more || total >= max_cycles) {
+            for (std::size_t i = 0; i < n; ++i)
+                appendReconstructedGap(prev[i], std::vector<double>(),
+                                       gap, cores_[i]->lastCurrent(),
+                                       per_core[i]);
+            appendReconstructedGap(prev_agg, std::vector<double>(), gap,
+                                   lastAggregate_, aggregate);
+            break;
+        }
+
+        runDetail();
+        for (std::size_t i = 0; i < n; ++i)
+            appendReconstructedGap(prev[i], cur[i], gap,
+                                   cores_[i]->lastCurrent(), per_core[i]);
+        appendReconstructedGap(prev_agg, cur_agg, gap, lastAggregate_,
+                               aggregate);
+        appendWindows();
+    }
+    return total;
 }
 
 void

@@ -115,6 +115,19 @@ class Chip
     Cycle collectTraces(std::vector<CurrentTrace> &per_core,
                         CurrentTrace &aggregate, Cycle max_cycles);
 
+    /**
+     * Sampled variant of collectTraces: the whole chip alternates
+     * lockstep detailed windows with fast-forwarded segments (every
+     * core skips together, so windows stay aligned across cores), and
+     * both the per-core traces and the aggregate have their gaps
+     * reconstructed from the bracketing windows (sim/sampling.hh). A
+     * disabled @p sampling runs plain collectTraces byte-identically.
+     * @return virtual cycles covered
+     */
+    Cycle collectTracesSampled(std::vector<CurrentTrace> &per_core,
+                               CurrentTrace &aggregate, Cycle max_cycles,
+                               const SamplingConfig &sampling);
+
     /** Clear shared-L2 and arbiter statistics (post-warm-up). */
     void clearSharedStats();
 

@@ -100,6 +100,25 @@ class InstructionSource
      * @retval false the stream is exhausted
      */
     virtual bool next(Instruction &out) = 0;
+
+    /**
+     * Advance the stream past @p count instructions without the
+     * caller observing them (sampled-simulation fast-forward,
+     * DESIGN.md §15).
+     * @return instructions actually skipped — less than @p count only
+     *         when the stream is exhausted
+     *
+     * The default draws and discards; sources whose position is cheap
+     * arithmetic (e.g. the synthetic generator) should override it.
+     */
+    virtual std::uint64_t skipInstructions(std::uint64_t count)
+    {
+        Instruction scratch;
+        std::uint64_t skipped = 0;
+        while (skipped < count && next(scratch))
+            ++skipped;
+        return skipped;
+    }
 };
 
 } // namespace didt

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -16,6 +17,11 @@ PowerModel::PowerModel(const PowerModelConfig &power,
     if (config_.idleFraction < 0.0 || config_.idleFraction >= 1.0)
         didt_fatal("idleFraction must be in [0,1), got ",
                    config_.idleFraction);
+    idlePower_ = cyclePower(ActivitySample{});
+    Watt peak = config_.leakage;
+    for (Watt w : config_.peak)
+        peak += w;
+    peakPower_ = peak;
 }
 
 Watt
@@ -46,14 +52,18 @@ PowerModel::unitPower(const ActivitySample &a) const
         return static_cast<double>(used) / static_cast<double>(ports);
     };
 
-    std::array<Watt, kNumPowerUnits> out{};
-
-    out[static_cast<std::size_t>(PowerUnit::Fetch)] =
-        gated(PowerUnit::Fetch, ratio(a.fetched, proc_.fetchWidth));
-    out[static_cast<std::size_t>(PowerUnit::Bpred)] =
-        gated(PowerUnit::Bpred, a.bpredLookups > 0 ? 1.0 : 0.0);
-    out[static_cast<std::size_t>(PowerUnit::Decode)] =
-        gated(PowerUnit::Decode, ratio(a.decoded, proc_.decodeWidth));
+    // Per-structure utilizations in PowerUnit order (Clock excluded:
+    // it is derived from the other structures' power below). Clamped
+    // to [0, 1] here exactly as gated() clamps, so both gating paths
+    // see identical inputs.
+    constexpr std::size_t kGatedUnits = kNumPowerUnits - 1;
+    std::array<double, kGatedUnits> util;
+    util[static_cast<std::size_t>(PowerUnit::Fetch)] =
+        ratio(a.fetched, proc_.fetchWidth);
+    util[static_cast<std::size_t>(PowerUnit::Bpred)] =
+        a.bpredLookups > 0 ? 1.0 : 0.0;
+    util[static_cast<std::size_t>(PowerUnit::Decode)] =
+        ratio(a.decoded, proc_.decodeWidth);
 
     // Window power has a wakeup component proportional to occupancy
     // and a selection component proportional to issue activity.
@@ -61,32 +71,46 @@ PowerModel::unitPower(const ActivitySample &a) const
                                a.issuedFpAlu + a.issuedFpMult;
     const std::size_t total_units = proc_.intAluCount + proc_.intMultCount +
                                     proc_.fpAluCount + proc_.fpMultCount;
-    const double window_util =
+    util[static_cast<std::size_t>(PowerUnit::Window)] =
         0.5 * ratio(a.windowOccupancy, proc_.ruuSize) +
         0.5 * ratio(issued, total_units);
-    out[static_cast<std::size_t>(PowerUnit::Window)] =
-        gated(PowerUnit::Window, window_util);
 
     const std::size_t reg_ports = 2 * proc_.decodeWidth + proc_.commitWidth;
-    out[static_cast<std::size_t>(PowerUnit::RegFile)] =
-        gated(PowerUnit::RegFile, ratio(a.regReads + a.regWrites, reg_ports));
+    util[static_cast<std::size_t>(PowerUnit::RegFile)] =
+        ratio(a.regReads + a.regWrites, reg_ports);
 
-    out[static_cast<std::size_t>(PowerUnit::IntAlu)] =
-        gated(PowerUnit::IntAlu, ratio(a.issuedIntAlu, proc_.intAluCount));
-    out[static_cast<std::size_t>(PowerUnit::IntMult)] =
-        gated(PowerUnit::IntMult, ratio(a.issuedIntMult, proc_.intMultCount));
-    out[static_cast<std::size_t>(PowerUnit::FpAlu)] =
-        gated(PowerUnit::FpAlu, ratio(a.issuedFpAlu, proc_.fpAluCount));
-    out[static_cast<std::size_t>(PowerUnit::FpMult)] =
-        gated(PowerUnit::FpMult, ratio(a.issuedFpMult, proc_.fpMultCount));
+    util[static_cast<std::size_t>(PowerUnit::IntAlu)] =
+        ratio(a.issuedIntAlu, proc_.intAluCount);
+    util[static_cast<std::size_t>(PowerUnit::IntMult)] =
+        ratio(a.issuedIntMult, proc_.intMultCount);
+    util[static_cast<std::size_t>(PowerUnit::FpAlu)] =
+        ratio(a.issuedFpAlu, proc_.fpAluCount);
+    util[static_cast<std::size_t>(PowerUnit::FpMult)] =
+        ratio(a.issuedFpMult, proc_.fpMultCount);
 
-    out[static_cast<std::size_t>(PowerUnit::Lsq)] =
-        gated(PowerUnit::Lsq, ratio(a.lsqOps, proc_.memPortCount));
-    out[static_cast<std::size_t>(PowerUnit::DCache)] =
-        gated(PowerUnit::DCache,
-              ratio(a.dcacheAccesses, proc_.memPortCount));
-    out[static_cast<std::size_t>(PowerUnit::L2)] =
-        gated(PowerUnit::L2, a.l2Accesses > 0 ? 1.0 : 0.0);
+    util[static_cast<std::size_t>(PowerUnit::Lsq)] =
+        ratio(a.lsqOps, proc_.memPortCount);
+    util[static_cast<std::size_t>(PowerUnit::DCache)] =
+        ratio(a.dcacheAccesses, proc_.memPortCount);
+    util[static_cast<std::size_t>(PowerUnit::L2)] =
+        a.l2Accesses > 0 ? 1.0 : 0.0;
+
+    for (double &u : util)
+        u = std::clamp(u, 0.0, 1.0);
+
+    std::array<Watt, kNumPowerUnits> out{};
+    if (config_.gating == ClockGating::LinearIdle) {
+        // The default Wattch cc3 style applies one identical affine
+        // formula to every structure — the per-structure outputs are
+        // independent, so this vectorizes through the kernel table
+        // (bit-for-bit equal to the scalar gated() chain).
+        simd::kernels().gatedLinearIdle(config_.peak.data(), util.data(),
+                                        kGatedUnits, config_.idleFraction,
+                                        out.data());
+    } else {
+        for (std::size_t u = 0; u < kGatedUnits; ++u)
+            out[u] = gated(static_cast<PowerUnit>(u), util[u]);
+    }
 
     // Clock power: an ungated fraction plus a gated part tracking core
     // activity (average utilization of the other structures).
@@ -122,22 +146,6 @@ Amp
 PowerModel::cycleCurrent(const ActivitySample &activity) const
 {
     return cyclePower(activity) / vdd_;
-}
-
-Watt
-PowerModel::peakPower() const
-{
-    Watt total = config_.leakage;
-    for (Watt w : config_.peak)
-        total += w;
-    return total;
-}
-
-Watt
-PowerModel::idlePower() const
-{
-    ActivitySample idle{};
-    return cyclePower(idle);
 }
 
 const char *

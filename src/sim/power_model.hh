@@ -142,10 +142,10 @@ class PowerModel
     Amp cycleCurrent(const ActivitySample &activity) const;
 
     /** Sum of all peaks plus leakage: the maximum possible draw. */
-    Watt peakPower() const;
+    Watt peakPower() const { return peakPower_; }
 
     /** Minimum possible draw (everything idle). */
-    Watt idlePower() const;
+    Watt idlePower() const { return idlePower_; }
 
     /** The configuration in use. */
     const PowerModelConfig &config() const { return config_; }
@@ -154,6 +154,16 @@ class PowerModel
     PowerModelConfig config_;
     ProcessorConfig proc_;
     Volt vdd_;
+
+    /**
+     * Idle and peak draw depend only on the immutable configuration,
+     * so they are computed once at construction: the simulator's hot
+     * loop reads both every cycle (power spreading and the switching-
+     * noise activity scale) and must not re-derive a full unitPower
+     * breakdown each time.
+     */
+    Watt idlePower_ = 0.0;
+    Watt peakPower_ = 0.0;
 
     /** Gated power of one unit given utilization in [0, 1]. */
     Watt gated(PowerUnit unit, double utilization) const;

@@ -1,12 +1,14 @@
 #include "sim/processor.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <iomanip>
 #include <ostream>
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace didt
 {
@@ -113,6 +115,33 @@ Core::Core(const ProcessorConfig &config,
     if (config_.ruuSize + config_.frontEndDepth * config_.fetchWidth >=
         kSeqRingSize)
         didt_fatal("RUU too large for the dependency ring");
+
+    // Preallocate the SoA pipeline rings: power-of-two capacities so
+    // logical-to-physical indexing is a mask, never a division. The
+    // front end can briefly exceed its steady bound by one fetch group
+    // (the bound is checked before a group is fetched), so size for it.
+    const std::size_t win_cap = std::bit_ceil(config_.ruuSize);
+    winMask_ = win_cap - 1;
+    winSeq_.resize(win_cap);
+    winOp_.resize(win_cap);
+    winDep1_.resize(win_cap);
+    winDep2_.resize(win_cap);
+    winAddr_.resize(win_cap);
+    winIssued_.resize(win_cap);
+    winComplete_.resize(win_cap);
+    winInLsq_.resize(win_cap);
+    winCompleteCycle_.resize(win_cap);
+
+    const std::size_t fe_bound =
+        (config_.frontEndDepth + 2) * config_.fetchWidth;
+    const std::size_t fe_cap = std::bit_ceil(fe_bound + config_.fetchWidth);
+    feMask_ = fe_cap - 1;
+    feOp_.resize(fe_cap);
+    feDep1_.resize(fe_cap);
+    feDep2_.resize(fe_cap);
+    feAddr_.resize(fe_cap);
+    feSeq_.resize(fe_cap);
+    feReady_.resize(fe_cap);
 }
 
 Core::~Core()
@@ -162,33 +191,35 @@ Core::depReadyCycle(std::uint64_t producer_seq) const
 }
 
 bool
-Core::depReady(const WindowEntry &entry) const
+Core::depReady(std::uint64_t seq, std::uint32_t dep1,
+               std::uint32_t dep2) const
 {
     auto check = [&](std::uint32_t dist) {
         if (dist == 0)
             return true;
-        if (dist > entry.seq)
+        if (dist > seq)
             return true; // depends on pre-trace state
-        const Cycle ready = depReadyCycle(entry.seq - dist);
+        const Cycle ready = depReadyCycle(seq - dist);
         return ready != kUnknownReady && ready <= now_;
     };
-    return check(entry.inst.dep1) && check(entry.inst.dep2);
+    return check(dep1) && check(dep2);
 }
 
 void
 Core::doCommit()
 {
     std::size_t committed = 0;
-    while (!window_.empty() && committed < config_.commitWidth) {
-        WindowEntry &head = window_.front();
-        if (!head.complete || head.completeCycle > now_)
+    while (winCount_ > 0 && committed < config_.commitWidth) {
+        const std::size_t s = winHead_;
+        if (!winComplete_[s] || winCompleteCycle_[s] > now_)
             break;
-        if (head.inLsq) {
+        if (winInLsq_[s]) {
             if (lsqOccupancy_ == 0)
                 didt_panic("LSQ underflow at commit");
             --lsqOccupancy_;
         }
-        window_.pop_front();
+        winHead_ = (s + 1) & winMask_;
+        --winCount_;
         ++committed;
         ++stats_.committed;
     }
@@ -199,16 +230,25 @@ void
 Core::doComplete()
 {
     // Mark instructions whose execution finishes this cycle and charge
-    // their writeback register-file traffic.
+    // their writeback register-file traffic. The issued-but-incomplete
+    // occupancy count makes idle and stalled cycles free: the write
+    // count is an order-independent integer, so skipping the scan when
+    // nothing is in flight is exact.
+    if (inFlight_ == 0)
+        return;
     std::size_t writes = 0;
-    for (auto &entry : window_) {
-        if (entry.issued && !entry.complete &&
-            entry.completeCycle <= now_) {
-            entry.complete = true;
-            if (entry.inst.op != OpClass::Store &&
-                entry.inst.op != OpClass::Branch &&
-                entry.inst.op != OpClass::Nop)
+    for (std::size_t i = 0; i < winCount_; ++i) {
+        const std::size_t s = (winHead_ + i) & winMask_;
+        if (winIssued_[s] && !winComplete_[s] &&
+            winCompleteCycle_[s] <= now_) {
+            winComplete_[s] = 1;
+            --inFlight_;
+            const OpClass op = winOp_[s];
+            if (op != OpClass::Store && op != OpClass::Branch &&
+                op != OpClass::Nop)
                 ++writes;
+            if (inFlight_ == 0)
+                break;
         }
     }
     lastActivity_.regWrites += writes;
@@ -222,13 +262,15 @@ Core::doIssue()
     } else {
         std::size_t issued = 0;
         const std::size_t issue_width = config_.decodeWidth + 2;
-        for (auto &entry : window_) {
+        for (std::size_t i = 0; i < winCount_; ++i) {
             if (issued >= issue_width)
                 break;
-            if (entry.issued || !depReady(entry))
+            const std::size_t s = (winHead_ + i) & winMask_;
+            if (winIssued_[s] ||
+                !depReady(winSeq_[s], winDep1_[s], winDep2_[s]))
                 continue;
 
-            const OpClass op = entry.inst.op;
+            const OpClass op = winOp_[s];
             const FuClass cls = fuClassFor(op);
             const std::size_t exec_lat = executeLatency(config_, op);
             const Cycle busy = isUnpipelined(op) ? exec_lat : 1;
@@ -240,12 +282,12 @@ Core::doIssue()
                 // MSHR limit: a load that would miss the L1 cannot
                 // issue while all miss registers are busy.
                 if (outstandingMisses_ >= config_.mshrCount &&
-                    !dcache_.l1().probe(entry.inst.address + addrBase_)) {
+                    !dcache_.l1().probe(winAddr_[s] + addrBase_)) {
                     fus_.undoIssue(cls, now_);
                     continue;
                 }
                 const MemAccessResult res =
-                    dcache_.access(entry.inst.address + addrBase_);
+                    dcache_.access(winAddr_[s] + addrBase_);
                 total_lat += res.latency;
                 ++stats_.l1dAccesses;
                 if (res.level != MemLevel::L1) {
@@ -262,7 +304,7 @@ Core::doIssue()
                 // write-allocate; store completion does not gate
                 // dependents through memory).
                 const MemAccessResult res =
-                    dcache_.access(entry.inst.address + addrBase_);
+                    dcache_.access(winAddr_[s] + addrBase_);
                 ++stats_.l1dAccesses;
                 if (res.level != MemLevel::L1) {
                     ++stats_.l1dMisses;
@@ -272,9 +314,11 @@ Core::doIssue()
                 ++lastActivity_.lsqOps;
             }
 
-            entry.issued = true;
-            entry.completeCycle = now_ + total_lat;
-            seqRing_[entry.seq % kSeqRingSize].ready = entry.completeCycle;
+            winIssued_[s] = 1;
+            ++inFlight_;
+            winCompleteCycle_[s] = now_ + total_lat;
+            seqRing_[winSeq_[s] % kSeqRingSize].ready =
+                winCompleteCycle_[s];
             ++issued;
             ++stats_.issued;
             lastActivity_.regReads += 2;
@@ -299,14 +343,15 @@ Core::doIssue()
             // A resolving mispredicted branch unblocks fetch after the
             // redirect penalty (minus the front-end refill already
             // modeled by the dispatch-ready delay).
-            if (fetchBlockedOnBranch_ && entry.seq == blockingBranchSeq_) {
+            if (fetchBlockedOnBranch_ &&
+                winSeq_[s] == blockingBranchSeq_) {
                 const std::size_t refill =
                     config_.branchPenalty > config_.frontEndDepth
                         ? config_.branchPenalty - config_.frontEndDepth
                         : 0;
                 fetchBlockedOnBranch_ = false;
-                fetchResumeCycle_ =
-                    std::max(fetchResumeCycle_, entry.completeCycle + refill);
+                fetchResumeCycle_ = std::max(
+                    fetchResumeCycle_, winCompleteCycle_[s] + refill);
                 branchRecoveryUntil_ = fetchResumeCycle_;
             }
         }
@@ -332,27 +377,35 @@ void
 Core::doDispatch()
 {
     std::size_t dispatched = 0;
-    while (!frontEnd_.empty() && dispatched < config_.decodeWidth) {
-        FrontEndEntry &fe = frontEnd_.front();
-        if (fe.dispatchReady > now_)
+    while (feCount_ > 0 && dispatched < config_.decodeWidth) {
+        const std::size_t f = feHead_;
+        if (feReady_[f] > now_)
             break;
-        if (window_.size() >= config_.ruuSize)
+        if (winCount_ >= config_.ruuSize)
             break;
-        const bool is_mem = isMemOp(fe.inst.op);
+        const OpClass op = feOp_[f];
+        const bool is_mem = isMemOp(op);
         if (is_mem && lsqOccupancy_ >= config_.lsqSize)
             break;
 
-        WindowEntry entry;
-        entry.inst = fe.inst;
-        entry.seq = fe.seq;
-        entry.inLsq = is_mem;
+        const std::uint64_t seq = feSeq_[f];
+        const std::size_t s = (winHead_ + winCount_) & winMask_;
+        winSeq_[s] = seq;
+        winOp_[s] = op;
+        winDep1_[s] = feDep1_[f];
+        winDep2_[s] = feDep2_[f];
+        winAddr_[s] = feAddr_[f];
+        winIssued_[s] = 0;
+        winComplete_[s] = 0;
+        winInLsq_[s] = is_mem;
+        winCompleteCycle_[s] = 0;
         if (is_mem)
             ++lsqOccupancy_;
 
-        seqRing_[entry.seq % kSeqRingSize] =
-            SeqSlot{entry.seq, kUnknownReady};
-        window_.push_back(entry);
-        frontEnd_.pop_front();
+        seqRing_[seq % kSeqRingSize] = SeqSlot{seq, kUnknownReady};
+        ++winCount_;
+        feHead_ = (f + 1) & feMask_;
+        --feCount_;
         ++dispatched;
         ++stats_.dispatched;
     }
@@ -379,8 +432,7 @@ Core::doFetch()
         return;
     // Bound the front-end queue to its pipeline capacity plus two
     // fetch groups of slack so balanced fill/drain does not stutter.
-    if (frontEnd_.size() >=
-        (config_.frontEndDepth + 2) * config_.fetchWidth)
+    if (feCount_ >= (config_.frontEndDepth + 2) * config_.fetchWidth)
         return;
 
     std::size_t fetched = 0;
@@ -402,11 +454,15 @@ Core::doFetch()
             }
         }
 
-        FrontEndEntry fe;
-        fe.inst = inst;
-        fe.seq = nextSeq_++;
-        fe.dispatchReady = now_ + config_.frontEndDepth;
-        frontEnd_.push_back(fe);
+        const std::uint64_t seq = nextSeq_++;
+        const std::size_t f = (feHead_ + feCount_) & feMask_;
+        feOp_[f] = inst.op;
+        feDep1_[f] = inst.dep1;
+        feDep2_[f] = inst.dep2;
+        feAddr_[f] = inst.address;
+        feSeq_[f] = seq;
+        feReady_[f] = now_ + config_.frontEndDepth;
+        ++feCount_;
         ++fetched;
         ++stats_.fetched;
 
@@ -417,7 +473,7 @@ Core::doFetch()
             if (pred.mispredict) {
                 ++stats_.mispredicts;
                 fetchBlockedOnBranch_ = true;
-                blockingBranchSeq_ = fe.seq;
+                blockingBranchSeq_ = seq;
                 break;
             }
             if (inst.taken)
@@ -431,7 +487,7 @@ bool
 Core::step()
 {
     lastActivity_ = ActivitySample{};
-    lastActivity_.windowOccupancy = window_.size();
+    lastActivity_.windowOccupancy = winCount_;
 
     // Retire MSHRs whose misses complete this cycle.
     auto &retiring = missRetireRing_[now_ % missRetireRing_.size()];
@@ -465,15 +521,18 @@ Core::step()
             field = std::max(field, target);
         }
     } else {
+        // Every tracked entry feeds a distinct slot, so the averages
+        // are independent accumulators: gather the targets in slot
+        // order and run the table-driven EMA kernel (bit-for-bit the
+        // scalar ladder; see KernelTable::emaUpdate).
         constexpr double alpha = 1.0 / 32.0;
-        for (const EmaEntry &entry : kEmaTable) {
-            if (!entry.tracked)
-                continue;
-            double &ema = emas_[entry.slot];
-            ema += alpha * (static_cast<double>(
-                                lastActivity_.*(entry.field)) -
-                            ema);
-        }
+        std::array<double, kNumActivityEmas> targets;
+        for (const EmaEntry &entry : kEmaTable)
+            if (entry.tracked)
+                targets[entry.slot] = static_cast<double>(
+                    lastActivity_.*(entry.field));
+        simd::kernels().emaUpdate(emas_.data(), targets.data(),
+                                  kNumActivityEmas, alpha);
     }
 
     const std::uint64_t l2_misses_now = l2_.stats().misses;
@@ -530,7 +589,7 @@ Core::step()
     ++stats_.cycles;
 
     const bool drained =
-        sourceExhausted_ && window_.empty() && frontEnd_.empty();
+        sourceExhausted_ && winCount_ == 0 && feCount_ == 0;
     return !drained;
 }
 
@@ -616,6 +675,7 @@ Core::dumpStats(std::ostream &os) const
 Cycle
 Core::collectTrace(CurrentTrace &trace, Cycle max_cycles)
 {
+    reserveTraceCapacity(trace, max_cycles);
     Cycle executed = 0;
     while (executed < max_cycles) {
         const bool more = step();
@@ -625,6 +685,128 @@ Core::collectTrace(CurrentTrace &trace, Cycle max_cycles)
             break;
     }
     return executed;
+}
+
+std::uint64_t
+Core::fastForward(Cycle cycles)
+{
+    if (cycles == 0)
+        return 0;
+    // Estimate how many instructions the skipped cycles cover from the
+    // detailed-simulation pace so far; a machine with no detailed
+    // history yet assumes one instruction per cycle.
+    const double ipc =
+        stats_.cycles ? static_cast<double>(stats_.committed) /
+                            static_cast<double>(stats_.cycles)
+                      : 1.0;
+    const auto insts = static_cast<std::uint64_t>(std::llround(
+        std::max(1.0, ipc * static_cast<double>(cycles))));
+
+    // Bounded functional warming: skim the stream to near the resume
+    // point (cheap positional advance, no per-instruction work) and
+    // functionally execute only the tail adjacent to it. The skipped
+    // middle would have re-touched the same stationary working set the
+    // caches already hold, so the tail re-establishes recency at a
+    // cost independent of the skip length.
+    const std::uint64_t warm_insts =
+        std::min(insts, SamplingConfig::kFunctionalWarmInsts);
+    std::uint64_t advanced = 0;
+    if (const std::uint64_t skim = insts - warm_insts; skim > 0) {
+        const std::uint64_t got = source_.skipInstructions(skim);
+        advanced += got;
+        if (got < skim)
+            sourceExhausted_ = true;
+    }
+
+    Instruction inst;
+    while (advanced < insts && !sourceExhausted_) {
+        if (!source_.next(inst)) {
+            sourceExhausted_ = true;
+            break;
+        }
+        ++advanced;
+        icache_.access(inst.pc + addrBase_);
+        if (isMemOp(inst.op))
+            dcache_.access(inst.address + addrBase_);
+        if (inst.op == OpClass::Branch)
+            bpred_.predictAndTrain(inst);
+    }
+
+    // Jump the clock across the segment. Every pending completion now
+    // lies in the skipped past, so in-flight work finishes immediately
+    // on resume; outstanding misses retired inside the skip.
+    now_ += cycles;
+    std::fill(missRetireRing_.begin(), missRetireRing_.end(),
+              std::uint16_t{0});
+    outstandingMisses_ = 0;
+    // Misses generated by the functional stream are not a detailed-
+    // cycle L2 event: resynchronize the delta tracker.
+    prevL2Misses_ = l2_.stats().misses;
+
+    stats_.sampledSkipCycles += cycles;
+    stats_.sampledSkipInstructions += advanced;
+    return advanced;
+}
+
+Cycle
+Core::collectTraceSampled(CurrentTrace &trace, Cycle max_cycles,
+                          const SamplingConfig &sampling)
+{
+    sampling.validate();
+    if (!sampling.enabled())
+        return collectTrace(trace, max_cycles);
+    reserveTraceCapacity(trace, max_cycles);
+
+    Cycle total = 0;
+    bool more = true;
+
+    std::vector<double> prev;
+    std::vector<double> cur;
+    prev.reserve(sampling.detailCycles);
+    cur.reserve(sampling.detailCycles);
+
+    auto runDetail = [&](std::vector<double> &out) {
+        out.clear();
+        const Cycle target =
+            std::min<Cycle>(sampling.detailCycles, max_cycles - total);
+        while (out.size() < target && more) {
+            more = step();
+            out.push_back(lastCurrent_);
+        }
+        total += out.size();
+    };
+
+    // Leading detailed window anchors the first reconstruction.
+    runDetail(cur);
+    trace.insert(trace.end(), cur.begin(), cur.end());
+    prev.swap(cur);
+
+    while (more && total < max_cycles) {
+        // Skipped segment: functional fast-forward, then a detailed
+        // pipeline refill whose samples are discarded (they belong to
+        // the reconstructed gap, not the next window).
+        const Cycle gap =
+            std::min<Cycle>(sampling.skipCycles, max_cycles - total);
+        const Cycle warm = std::min<Cycle>(sampling.warmupCycles, gap);
+        fastForward(gap - warm);
+        for (Cycle w = 0; w < warm && more; ++w)
+            more = step();
+        total += gap;
+
+        const double fallback = lastCurrent_;
+        if (!more || total >= max_cycles) {
+            // End of run inside a skip: tile the last window out.
+            appendReconstructedGap(prev, std::vector<double>(), gap,
+                                   fallback, trace);
+            break;
+        }
+
+        runDetail(cur);
+        appendReconstructedGap(prev, cur, gap, fallback, trace);
+        trace.insert(trace.end(), cur.begin(), cur.end());
+        prev.swap(cur);
+    }
+    return total;
 }
 
 } // namespace didt

@@ -32,7 +32,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <span>
 #include <vector>
@@ -43,6 +42,7 @@
 #include "sim/fu_pool.hh"
 #include "sim/instruction.hh"
 #include "sim/power_model.hh"
+#include "sim/sampling.hh"
 #include "util/rng.hh"
 #include "util/types.hh"
 
@@ -66,6 +66,10 @@ struct ProcessorStats
     std::uint64_t l2Misses = 0;
     std::uint64_t noopsInjected = 0;
     std::uint64_t issueStallCycles = 0;
+    /** Cycles crossed functionally in sampled mode (no detail). */
+    std::uint64_t sampledSkipCycles = 0;
+    /** Instructions advanced functionally in sampled mode. */
+    std::uint64_t sampledSkipInstructions = 0;
     double totalEnergyJ = 0.0; ///< integral of power over time
 
     /** Committed instructions per cycle. */
@@ -166,6 +170,29 @@ class Core
     Cycle collectTrace(CurrentTrace &trace, Cycle max_cycles);
 
     /**
+     * Sampled trace collection: alternate detailed windows with
+     * fast-forwarded segments whose current is reconstructed from the
+     * bracketing windows (see sim/sampling.hh). A disabled @p sampling
+     * (skipCycles == 0) runs plain collectTrace and is byte-identical
+     * to it. Throws std::invalid_argument on contradictory sampling
+     * parameters.
+     * @return virtual cycles covered (== samples appended)
+     */
+    Cycle collectTraceSampled(CurrentTrace &trace, Cycle max_cycles,
+                              const SamplingConfig &sampling);
+
+    /**
+     * Cross @p cycles without detailed simulation: stream the
+     * estimated number of instructions (detailed IPC so far times the
+     * skipped cycles) through the caches and branch predictor to keep
+     * them warm, then jump the clock. Pending in-flight completions
+     * all land inside the skip; outstanding misses are considered
+     * retired. Used by the sampling mode between detailed windows.
+     * @return instructions advanced
+     */
+    std::uint64_t fastForward(Cycle cycles);
+
+    /**
      * Architectural warm-up: stream @p instructions through the
      * caches and branch predictor without timing, then clear the
      * warm-up's statistics. Models SimPoint-style warm simulation
@@ -182,25 +209,6 @@ class Core
                          std::span<const std::uint64_t> code_lines);
 
   private:
-    /** An instruction in flight inside the window. */
-    struct WindowEntry
-    {
-        Instruction inst;
-        std::uint64_t seq = 0;
-        bool issued = false;
-        bool complete = false;
-        Cycle completeCycle = 0;
-        bool inLsq = false;
-    };
-
-    /** A fetched instruction progressing through the front end. */
-    struct FrontEndEntry
-    {
-        Instruction inst;
-        std::uint64_t seq = 0;
-        Cycle dispatchReady = 0; ///< earliest dispatch cycle
-    };
-
     static constexpr std::uint64_t kUnknownReady = ~std::uint64_t(0);
     static constexpr std::size_t kSeqRingSize = 1024;
 
@@ -215,7 +223,8 @@ class Core
     void doIssue();
     void doDispatch();
     void doFetch();
-    bool depReady(const WindowEntry &entry) const;
+    bool depReady(std::uint64_t seq, std::uint32_t dep1,
+                  std::uint32_t dep2) const;
     Cycle depReadyCycle(std::uint64_t producer_seq) const;
 
     ProcessorConfig config_;
@@ -234,8 +243,47 @@ class Core
      *  core 0: the uniprocessor address stream is unchanged. */
     std::uint64_t addrBase_;
 
-    std::deque<WindowEntry> window_;
-    std::deque<FrontEndEntry> frontEnd_;
+    /**
+     * In-flight window (RUU) as a preallocated structure-of-arrays
+     * ring: capacity is ruuSize rounded up to a power of two (indexing
+     * is head + logical offset masked), occupancy is tracked in
+     * winCount_, and each pipeline stage walks only the parallel
+     * arrays it touches. Logical front-to-back order — and therefore
+     * every commit, issue, and completion decision — is exactly the
+     * old deque walk, so traces stay bit-identical; the win is zero
+     * steady-state allocation and contiguous stage scans.
+     */
+    std::size_t winMask_ = 0; ///< ring capacity - 1 (capacity is pow2)
+    std::size_t winHead_ = 0; ///< physical slot of the oldest entry
+    std::size_t winCount_ = 0;
+    std::vector<std::uint64_t> winSeq_;
+    std::vector<OpClass> winOp_;
+    std::vector<std::uint32_t> winDep1_;
+    std::vector<std::uint32_t> winDep2_;
+    std::vector<std::uint64_t> winAddr_;
+    std::vector<std::uint8_t> winIssued_;
+    std::vector<std::uint8_t> winComplete_;
+    std::vector<std::uint8_t> winInLsq_;
+    std::vector<Cycle> winCompleteCycle_;
+    /** Entries issued but not yet complete; doComplete() skips its
+     *  window scan entirely when zero (exact: integer occupancy). */
+    std::size_t inFlight_ = 0;
+
+    /**
+     * Front-end queue as the same SoA ring shape. Only the fields
+     * dispatch needs survive fetch (op, deps, address, seq, ready
+     * cycle) — the branch-predictor fields are consumed at fetch.
+     */
+    std::size_t feMask_ = 0;
+    std::size_t feHead_ = 0;
+    std::size_t feCount_ = 0;
+    std::vector<OpClass> feOp_;
+    std::vector<std::uint32_t> feDep1_;
+    std::vector<std::uint32_t> feDep2_;
+    std::vector<std::uint64_t> feAddr_;
+    std::vector<std::uint64_t> feSeq_;
+    std::vector<Cycle> feReady_;
+
     std::size_t lsqOccupancy_ = 0;
 
     std::vector<SeqSlot> seqRing_;
@@ -336,6 +384,13 @@ class Processor
     Cycle collectTrace(CurrentTrace &trace, Cycle max_cycles)
     {
         return core_.collectTrace(trace, max_cycles);
+    }
+
+    /** @copydoc Core::collectTraceSampled */
+    Cycle collectTraceSampled(CurrentTrace &trace, Cycle max_cycles,
+                              const SamplingConfig &sampling)
+    {
+        return core_.collectTraceSampled(trace, max_cycles, sampling);
     }
 
     /** @copydoc Core::warmup */

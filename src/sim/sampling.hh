@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SimPoint-style sampled trace collection (paper Section 4 context;
+ * see DESIGN.md section 15).
+ *
+ * A sampled run alternates detailed windows — full cycle-level
+ * simulation producing real current samples — with skipped segments
+ * the machine crosses functionally: the instruction stream still
+ * flows through the caches and branch predictor (so microarchitectural
+ * state stays warm, as in SimPoint's warm fast-forward), but no
+ * pipeline timing or per-cycle power is computed. The tail of each
+ * skipped segment is re-simulated in detail with the samples discarded
+ * so the next window starts from a refilled pipeline.
+ *
+ * Skipped segments still occupy their cycles in the output trace:
+ * their current is reconstructed from cyclic tiles of the bracketing
+ * detailed windows, which preserves the cycle-scale spectral content
+ * the wavelet analyses measure. The error this
+ * introduces is bounded by verify::Oracle::checkSampling
+ * (resonance-band variance and threshold-crossing tolerances).
+ */
+
+#ifndef DIDT_SIM_SAMPLING_HH
+#define DIDT_SIM_SAMPLING_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace didt
+{
+
+/** Parameters of a sampled (detail + fast-forward) simulation. */
+struct SamplingConfig
+{
+    /** Cycles simulated in full detail per window. */
+    Cycle detailCycles = 0;
+
+    /**
+     * Cycles skipped between detailed windows. 0 disables sampling:
+     * the run collapses to plain full-detail collection and stays
+     * byte-identical to the unsampled path.
+     */
+    Cycle skipCycles = 0;
+
+    /**
+     * Trailing cycles of each skipped segment re-simulated in detail
+     * (samples discarded) so the next window starts from a refilled
+     * pipeline, not a cold one. Clamped to skipCycles.
+     */
+    Cycle warmupCycles = 512;
+
+    /** True when sampling is active. */
+    bool enabled() const { return skipCycles > 0; }
+
+    /**
+     * Functional-warming budget per skipped segment, in instructions.
+     * The synthetic workloads are stationary within a phase, so the
+     * cache/predictor state after a long skip is statistically the
+     * state after this many adjacent instructions; the stream position
+     * is advanced arithmetically (InstructionSource::skipInstructions)
+     * and only this tail is executed functionally. Bounds fast-forward
+     * cost per segment to O(budget) regardless of skip length;
+     * verify::Oracle::checkSampling gates the resulting error.
+     */
+    static constexpr std::uint64_t kFunctionalWarmInsts = 4096;
+
+    /**
+     * Reject contradictory parameters. A zero detail window with a
+     * nonzero skip would produce a trace with no simulated content at
+     * all; a warm-up longer than the skip would re-simulate more than
+     * it skips. Throws std::invalid_argument (campaign cells surface
+     * this as a per-cell error, never a process exit).
+     */
+    void validate() const
+    {
+        if (!enabled())
+            return;
+        if (detailCycles == 0)
+            throw std::invalid_argument(
+                "sampling: detailCycles must be positive when "
+                "skipCycles > 0");
+        if (warmupCycles > skipCycles)
+            throw std::invalid_argument(
+                "sampling: warmupCycles must not exceed skipCycles");
+    }
+};
+
+/**
+ * Reserve capacity for @p max_cycles more samples in @p trace, capped
+ * so the campaign drivers' generous safety cap (64x the instruction
+ * count) does not balloon memory: typical runs retire a few hundred
+ * thousand cycles, so growth beyond the cap falls back to amortized
+ * doubling.
+ */
+inline void
+reserveTraceCapacity(std::vector<double> &trace, Cycle max_cycles)
+{
+    constexpr std::size_t kReserveCap = std::size_t{1} << 21;
+    const std::size_t want =
+        trace.size() +
+        static_cast<std::size_t>(
+            std::min<Cycle>(max_cycles, kReserveCap));
+    if (trace.capacity() < want)
+        trace.reserve(want);
+}
+
+/**
+ * Append the reconstruction of one skipped segment of @p gap cycles to
+ * @p out: cyclic tiles of the bracketing detailed windows (@p prev
+ * before the gap, @p next after it), alternating tile-by-tile between
+ * the two sources. Tiling preserves the windows' cycle-scale
+ * structure — and therefore their wavelet-band content — and because
+ * every reconstructed sample is a real simulated sample, the marginal
+ * current distribution (and with it the threshold-crossing statistics
+ * the oracle gates) is the mixture of the two windows' distributions;
+ * alternating doubles the number of windows each gap draws from,
+ * halving the estimator variance a single unlucky window would
+ * otherwise imprint on the whole gap. A crossfade would instead
+ * average the tiles, shrinking the distribution's tails and
+ * systematically under-counting voltage emergencies. An empty @p next
+ * (end of run) tiles @p prev alone; if both are empty the segment is
+ * filled with @p fallback.
+ */
+inline void
+appendReconstructedGap(const std::vector<double> &prev,
+                       const std::vector<double> &next, Cycle gap,
+                       double fallback, std::vector<double> &out)
+{
+    if (prev.empty() && next.empty()) {
+        out.insert(out.end(), static_cast<std::size_t>(gap), fallback);
+        return;
+    }
+    const std::size_t tile =
+        std::min(prev.empty() ? next.size() : prev.size(),
+                 next.empty() ? prev.size() : next.size());
+    for (Cycle j = 0; j < gap; ++j) {
+        const bool odd = (static_cast<std::size_t>(j) / tile) % 2 != 0;
+        const std::vector<double> &pick =
+            odd ? (next.empty() ? prev : next)
+                : (prev.empty() ? next : prev);
+        out.push_back(
+            pick[static_cast<std::size_t>(j) % pick.size()]);
+    }
+}
+
+} // namespace didt
+
+#endif // DIDT_SIM_SAMPLING_HH

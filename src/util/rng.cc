@@ -1,7 +1,5 @@
 #include "util/rng.hh"
 
-#include <cmath>
-
 #include "util/logging.hh"
 
 namespace didt
@@ -19,12 +17,6 @@ splitmix64(std::uint64_t &x)
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
-}
-
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
 }
 
 } // namespace
@@ -45,57 +37,6 @@ Rng::seed(std::uint64_t seed_value)
         s_[0] = 1;
     spareNormal_ = 0.0;
     hasSpare_ = false;
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t
-Rng::uniformInt(std::uint64_t n)
-{
-    if (n == 0)
-        didt_panic("uniformInt(0) is ill-defined");
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t threshold = (0ULL - n) % n;
-    for (;;) {
-        const std::uint64_t r = next();
-        if (r >= threshold)
-            return r % n;
-    }
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
 }
 
 double
@@ -123,30 +64,22 @@ Rng::normal(double mean, double stddev)
     return mean + stddev * normal();
 }
 
-double
-Rng::exponential(double lambda)
+void
+Rng::failUniformInt()
 {
-    if (lambda <= 0.0)
-        didt_panic("exponential() requires lambda > 0, got ", lambda);
-    double u;
-    do {
-        u = uniform();
-    } while (u <= 0.0);
-    return -std::log(u) / lambda;
+    didt_panic("uniformInt(0) is ill-defined");
 }
 
-std::uint64_t
-Rng::geometric(double p)
+void
+Rng::failExponential(double lambda)
 {
-    if (p <= 0.0 || p > 1.0)
-        didt_panic("geometric() requires p in (0,1], got ", p);
-    if (p == 1.0)
-        return 0;
-    double u;
-    do {
-        u = uniform();
-    } while (u <= 0.0);
-    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+    didt_panic("exponential() requires lambda > 0, got ", lambda);
+}
+
+void
+Rng::failGeometric(double p)
+{
+    didt_panic("geometric() requires p in (0,1], got ", p);
 }
 
 } // namespace didt

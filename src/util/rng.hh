@@ -12,6 +12,7 @@
 #ifndef DIDT_UTIL_RNG_HH
 #define DIDT_UTIL_RNG_HH
 
+#include <cmath>
 #include <cstdint>
 
 namespace didt
@@ -20,6 +21,12 @@ namespace didt
 /**
  * Deterministic xoshiro256++ pseudo-random generator with distribution
  * helpers. All draws are reproducible for a given seed on any platform.
+ *
+ * The hot draws are defined inline: the workload generator makes
+ * several per instruction, and the simulator's fast-forward path makes
+ * them by the million. The arithmetic is draw-for-draw identical to
+ * the historical out-of-line definitions, so streams (and therefore
+ * traces) are unchanged.
  */
 class Rng
 {
@@ -28,19 +35,55 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
     /** Next raw 64-bit output. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [0, n). @pre n > 0. */
-    std::uint64_t uniformInt(std::uint64_t n);
+    std::uint64_t uniformInt(std::uint64_t n)
+    {
+        if (n == 0)
+            failUniformInt();
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = (0ULL - n) % n;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % n;
+        }
+    }
 
     /** Bernoulli draw: true with probability p (clamped to [0,1]). */
-    bool bernoulli(double p);
+    bool bernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /** Standard normal draw (Box-Muller with cached spare). */
     double normal();
@@ -49,18 +92,47 @@ class Rng
     double normal(double mean, double stddev);
 
     /** Exponential draw with the given rate lambda. @pre lambda > 0. */
-    double exponential(double lambda);
+    double exponential(double lambda)
+    {
+        if (lambda <= 0.0)
+            failExponential(lambda);
+        double u;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        return -std::log(u) / lambda;
+    }
 
     /**
      * Geometric draw: number of failures before first success with
      * success probability p in (0, 1].
      */
-    std::uint64_t geometric(double p);
+    std::uint64_t geometric(double p)
+    {
+        if (p <= 0.0 || p > 1.0)
+            failGeometric(p);
+        if (p == 1.0)
+            return 0;
+        double u;
+        do {
+            u = uniform();
+        } while (u <= 0.0);
+        return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+    }
 
     /** Re-seed the generator, discarding all state. */
     void seed(std::uint64_t seed_value);
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    [[noreturn]] static void failUniformInt();
+    [[noreturn]] static void failExponential(double lambda);
+    [[noreturn]] static void failGeometric(double p);
+
     std::uint64_t s_[4];
     double spareNormal_;
     bool hasSpare_;

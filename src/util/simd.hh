@@ -122,6 +122,29 @@ struct KernelTable
      */
     void (*binIndices)(const double *x, std::size_t n, double lo,
                        double width, double *bins);
+
+    /**
+     * Exponential-moving-average step over independent accumulators:
+     * emas[i] += alpha * (targets[i] - emas[i]) for i in [0, n). Each
+     * lane owns one accumulator (the simulator's per-structure
+     * wrong-path activity averages), so the per-accumulator operation
+     * chain — subtract, multiply, add, no FMA fusing — is exactly the
+     * scalar reference and results are bit-for-bit identical.
+     */
+    void (*emaUpdate)(double *emas, const double *targets, std::size_t n,
+                      double alpha);
+
+    /**
+     * Wattch cc3 (LinearIdle) gated power over independent structures:
+     * out[i] = peak[i] * (idle_fraction + (1 - idle_fraction) *
+     * util[i]) for i in [0, n). Utilizations must be pre-clamped to
+     * [0, 1] by the caller (the clamp depends on per-unit port counts
+     * and stays scalar). Each lane owns one structure; the per-output
+     * multiply/add chain matches the scalar gated() reference exactly.
+     */
+    void (*gatedLinearIdle)(const double *peak, const double *util,
+                            std::size_t n, double idle_fraction,
+                            double *out);
 };
 
 /** Best level the running CPU and build support (env DIDT_SIMD can

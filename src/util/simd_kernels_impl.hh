@@ -248,6 +248,42 @@ binIndicesImpl(const double *x, std::size_t n, double lo, double width,
 }
 
 template <class V>
+void
+emaUpdateImpl(double *emas, const double *targets, std::size_t n,
+              double alpha)
+{
+    constexpr std::size_t W = V::width;
+    const V va = V::set1(alpha);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+        const V e = V::load(emas + i);
+        const V t = V::load(targets + i);
+        (e + va * (t - e)).store(emas + i);
+    }
+    for (; i < n; ++i)
+        emas[i] += alpha * (targets[i] - emas[i]);
+}
+
+template <class V>
+void
+gatedLinearIdleImpl(const double *peak, const double *util, std::size_t n,
+                    double idle_fraction, double *out)
+{
+    constexpr std::size_t W = V::width;
+    const V idle = V::set1(idle_fraction);
+    const V active = V::set1(1.0 - idle_fraction);
+    std::size_t i = 0;
+    for (; i + W <= n; i += W) {
+        const V p = V::load(peak + i);
+        const V u = V::load(util + i);
+        (p * (idle + active * u)).store(out + i);
+    }
+    for (; i < n; ++i)
+        out[i] = peak[i] *
+                 (idle_fraction + (1.0 - idle_fraction) * util[i]);
+}
+
+template <class V>
 KernelTable
 makeKernelTable()
 {
@@ -258,6 +294,8 @@ makeKernelTable()
     t.convolveSteady = &convolveSteadyImpl<V>;
     t.thresholdCounts = &thresholdCountsImpl<V>;
     t.binIndices = &binIndicesImpl<V>;
+    t.emaUpdate = &emaUpdateImpl<V>;
+    t.gatedLinearIdle = &gatedLinearIdleImpl<V>;
     return t;
 }
 

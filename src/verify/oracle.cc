@@ -5,6 +5,7 @@
 
 #include "core/emergency_estimator.hh"
 #include "core/monitor.hh"
+#include "wavelet/modwt.hh"
 
 namespace didt
 {
@@ -112,6 +113,77 @@ Oracle::checkVarianceModel(const SupplyNetwork &network,
     report.pass = report.traces > 0 &&
                   report.maxVarianceRelError <= tol_.varianceRelTol &&
                   report.maxEmergencyPctError <= tol_.emergencyPctTol;
+    return report;
+}
+
+SamplingOracleReport
+Oracle::checkSampling(const BenchmarkProfile &profile,
+                      const SamplingConfig &sampling,
+                      std::uint64_t instructions, double impedance_scale,
+                      std::size_t levels, Volt low_threshold,
+                      Volt high_threshold) const
+{
+    SamplingOracleReport report;
+
+    const CurrentTrace full =
+        benchmarkCurrentTrace(setup_, profile, instructions);
+    const CurrentTrace sampled = benchmarkCurrentTrace(
+        setup_, profile, instructions, 0, 4096, sampling);
+    report.fullCycles = full.size();
+    report.sampledCycles = sampled.size();
+    if (full.size() < 64 || sampled.size() < 64)
+        return report;
+
+    const SupplyNetwork network = setup_.makeNetwork(impedance_scale);
+
+    // Resonant-octave wavelet variance, the chip_cosim.cc recipe:
+    // level j spans [clock/2^(j+1), clock/2^j].
+    const Modwt modwt(WaveletBasis::haar());
+    const std::vector<double> full_var =
+        modwt.waveletVariance(full, levels);
+    const std::vector<double> sampled_var =
+        modwt.waveletVariance(sampled, levels);
+    const double ratio =
+        network.config().clockHz / network.config().resonantHz;
+    const auto octave = static_cast<std::size_t>(
+        std::floor(std::log2(std::max(2.0, ratio))));
+    const std::size_t level = std::min(octave - 1, full_var.size() - 1);
+    report.fullResonanceVariance = full_var[level];
+    report.sampledResonanceVariance = sampled_var[level];
+    if (report.fullResonanceVariance > 0.0)
+        report.resonanceVarianceRelError =
+            std::fabs(report.sampledResonanceVariance -
+                      report.fullResonanceVariance) /
+            report.fullResonanceVariance;
+
+    // Control-point crossing fractions of the resulting voltage.
+    auto crossingPct = [&](const CurrentTrace &trace, double &below,
+                           double &above) {
+        const VoltageTrace v = network.computeVoltage(trace);
+        std::size_t n_below = 0;
+        std::size_t n_above = 0;
+        for (const Volt volt : v) {
+            if (volt < low_threshold)
+                ++n_below;
+            if (volt > high_threshold)
+                ++n_above;
+        }
+        below = 100.0 * static_cast<double>(n_below) /
+                static_cast<double>(v.size());
+        above = 100.0 * static_cast<double>(n_above) /
+                static_cast<double>(v.size());
+    };
+    double full_below = 0.0, full_above = 0.0;
+    double sampled_below = 0.0, sampled_above = 0.0;
+    crossingPct(full, full_below, full_above);
+    crossingPct(sampled, sampled_below, sampled_above);
+    report.lowCrossingPctError = std::fabs(sampled_below - full_below);
+    report.highCrossingPctError = std::fabs(sampled_above - full_above);
+
+    report.pass =
+        report.resonanceVarianceRelError <= tol_.samplingVarianceRelTol &&
+        report.lowCrossingPctError <= tol_.samplingCrossingPctTol &&
+        report.highCrossingPctError <= tol_.samplingCrossingPctTol;
     return report;
 }
 

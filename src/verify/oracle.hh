@@ -79,6 +79,16 @@ struct OracleTolerances
     /** Allowed |estimated - measured| emergency fraction, in
      *  percentage points (Figure 9 tracks within a few points). */
     double emergencyPctTol = 5.0;
+
+    /** Allowed relative error of the sampled trace's resonant-octave
+     *  wavelet variance vs the full-detail trace's (the quantity the
+     *  dI/dt analyses key on; reconstruction preserves the band but
+     *  not the exact phase alignment). */
+    double samplingVarianceRelTol = 0.5;
+
+    /** Allowed |sampled - full| threshold-crossing fraction for a
+     *  sampled trace, in percentage points per threshold. */
+    double samplingCrossingPctTol = 3.0;
 };
 
 /** Result of one monitor-vs-reference differential run. */
@@ -99,6 +109,19 @@ struct VarianceOracleReport
     double maxEmergencyPctError = 0.0; ///< worst |est - meas| pct points
     double rmsEmergencyPctError = 0.0;
     std::size_t traces = 0;
+    bool pass = false;
+};
+
+/** Result of one sampled-vs-full-detail differential run. */
+struct SamplingOracleReport
+{
+    double fullResonanceVariance = 0.0;    ///< full-detail octave variance
+    double sampledResonanceVariance = 0.0; ///< sampled-trace octave variance
+    double resonanceVarianceRelError = 0.0; ///< |sampled/full - 1|
+    double lowCrossingPctError = 0.0;  ///< |sampled - full| % below low
+    double highCrossingPctError = 0.0; ///< |sampled - full| % above high
+    std::size_t fullCycles = 0;        ///< full-detail trace length
+    std::size_t sampledCycles = 0;     ///< sampled trace length
     bool pass = false;
 };
 
@@ -157,6 +180,23 @@ class Oracle
                 const SupplyNetwork &network,
                 std::uint64_t instructions = 20000,
                 const VoltageVarianceModel *hazard_model = nullptr) const;
+
+    /**
+     * Run @p profile full-detail and under @p sampling, then compare
+     * the two traces on the statistics the dI/dt analyses consume:
+     * the wavelet variance of the resonant octave (MODWT, haar) and
+     * the fraction of cycles whose supply voltage crosses the
+     * low/high control points on the @p impedance_scale network.
+     * Sampling trades per-cycle fidelity for throughput; this oracle
+     * bounds what the trade costs.
+     */
+    SamplingOracleReport
+    checkSampling(const BenchmarkProfile &profile,
+                  const SamplingConfig &sampling,
+                  std::uint64_t instructions = 60000,
+                  double impedance_scale = 1.0,
+                  std::size_t levels = 8, Volt low_threshold = 0.97,
+                  Volt high_threshold = 1.03) const;
 
     const OracleTolerances &tolerances() const { return tol_; }
 

@@ -193,6 +193,35 @@ SyntheticWorkload::makeBranch(const WorkloadPhase &phase, Instruction &inst)
     }
 }
 
+std::uint64_t
+SyntheticWorkload::skipInstructions(std::uint64_t count)
+{
+    if (maxInstructions_ != 0)
+        count = std::min(count, maxInstructions_ - produced_);
+
+    // Walk the phase schedule the way per-instruction advancePhase()
+    // would: an instruction arriving at phaseRemaining_ == 0 rolls
+    // over to the next phase's full budget.
+    std::uint64_t left = count;
+    while (left > 0) {
+        if (phaseRemaining_ >= left) {
+            phaseRemaining_ -= left;
+            left = 0;
+        } else {
+            left -= phaseRemaining_ + 1;
+            phaseIndex_ = (phaseIndex_ + 1) % profile_.phases.size();
+            phaseRemaining_ = profile_.phases[phaseIndex_].lengthInsts;
+        }
+    }
+
+    // Reposition the PC as a straight-line walk; the next branch
+    // re-establishes the loop structure. The RNG state is untouched,
+    // which is what keeps this O(1) per phase.
+    pc_ = kCodeBase + (pc_ - kCodeBase + 4 * count) % profile_.codeBytes;
+    produced_ += count;
+    return count;
+}
+
 std::vector<std::uint64_t>
 SyntheticWorkload::dataFootprint() const
 {

@@ -59,6 +59,16 @@ class SyntheticWorkload : public InstructionSource
 
     bool next(Instruction &out) override;
 
+    /**
+     * Positional fast-forward: advances the instruction count, phase
+     * schedule, and program counter arithmetically without drawing
+     * from the generator. The stream is stochastic and stationary
+     * within a phase, so the continuation after a skip is
+     * statistically the same stream that full generation would have
+     * reached — at O(phases crossed) cost instead of O(count).
+     */
+    std::uint64_t skipInstructions(std::uint64_t count) override;
+
     /** Instructions produced so far. */
     std::uint64_t produced() const { return produced_; }
 

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Simulator hot-loop and sampling regression suite (DESIGN.md
+ * section 15).
+ *
+ * The SoA ring-buffer pipeline, the vectorized power accumulation, and
+ * the cached idle/peak power are pure performance work: they must not
+ * move a single bit of simulator output. The golden FNV-1a hashes
+ * below were generated from the deque-based seed build (20000
+ * instructions, seed 0, trim 4096) and pin:
+ *
+ *   - every SPEC 2000 profile's open-loop current trace,
+ *   - a 2-core chip's aggregate and per-core traces (shared L2 +
+ *     bank arbiter), and
+ *   - every closed-loop control scheme's full CosimResult.
+ *
+ * Sampling (sim/sampling.hh) is the one feature allowed to change
+ * output — and only when explicitly enabled: a disabled SamplingConfig
+ * must collapse byte-identically to the full-detail path, invalid
+ * configurations must throw, and an enabled one must stay inside the
+ * verify::Oracle::checkSampling tolerances.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cosim.hh"
+#include "core/experiment.hh"
+#include "runner/campaign.hh"
+#include "runner/result_json.hh"
+#include "runner/trace_repository.hh"
+#include "sim/chip.hh"
+#include "util/simd.hh"
+#include "verify/oracle.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace didt
+{
+namespace
+{
+
+/** FNV-1a, matching the offline golden-hash generator exactly. */
+std::uint64_t
+fnv1a(const void *data, std::size_t bytes,
+      std::uint64_t hash = 1469598103934665603ULL)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+hashTrace(const CurrentTrace &trace)
+{
+    std::uint64_t n = trace.size();
+    std::uint64_t h = fnv1a(&n, sizeof n);
+    return fnv1a(trace.data(), trace.size() * sizeof(double), h);
+}
+
+std::uint64_t
+hashCosim(const CosimResult &r)
+{
+    std::uint64_t h = fnv1a(r.scheme.data(), r.scheme.size());
+    std::uint64_t u[] = {r.cycles,     r.committed,     r.lowFaults,
+                         r.highFaults, r.controlCycles, r.stallCycles,
+                         r.noopCycles, r.falsePositives};
+    h = fnv1a(u, sizeof u, h);
+    double d[] = {r.minVoltage, r.maxVoltage, r.meanCurrent, r.energyJ};
+    return fnv1a(d, sizeof d, h);
+}
+
+struct GoldenHash
+{
+    const char *name;
+    std::uint64_t hash;
+};
+
+// Seed-build (deque pipeline) trace hashes: 20000 insts, seed 0,
+// trim 4096.
+constexpr GoldenHash kProfileGolden[] = {
+    {"gzip", 0x5fd1648152423b6bULL},    {"vpr", 0x228194cca56e649eULL},
+    {"gcc", 0xd66a1772a937ffc7ULL},     {"mcf", 0x0b056c64c4ee6d9bULL},
+    {"crafty", 0xe7dac73bb2086887ULL},  {"parser", 0x1b924bf29a6f0c76ULL},
+    {"eon", 0xc308538f06b5968dULL},     {"perlbmk", 0x19ef2066a215d9fbULL},
+    {"gap", 0xb60549a1c1986368ULL},     {"vortex", 0x8d77a839d14f57e1ULL},
+    {"bzip2", 0xec6f4a4ba35d4b9cULL},   {"twolf", 0x29e7329f610a2ebdULL},
+    {"wupwise", 0xfee07097cf348fe8ULL}, {"swim", 0x0250ba6e23f700a5ULL},
+    {"mgrid", 0xa88f5689c8275003ULL},   {"applu", 0x581e97908283efe7ULL},
+    {"mesa", 0x30271a5a8acb7cb6ULL},    {"galgel", 0x0bef1657736fc83aULL},
+    {"art", 0x59eb30175c32e170ULL},     {"equake", 0x675847d899f419a2ULL},
+    {"facerec", 0xf98709623082aebbULL}, {"ammp", 0xbf86bef66c9d9110ULL},
+    {"lucas", 0x2ee5eb00c2cf9e5eULL},   {"fma3d", 0x98a04e412a3abb37ULL},
+    {"sixtrack", 0x17e4a43706d7d92dULL},{"apsi", 0x127c7da183a56212ULL},
+};
+
+// Seed-build 2-core chip (gzip seed 0 + mcf seed 1, 20000 insts).
+constexpr std::uint64_t kChipAggregateGolden = 0x8698e9513cb52e4aULL;
+constexpr std::uint64_t kChipCoreGolden[] = {0x17754c0d559c6a73ULL,
+                                             0x8c3c0f686fef91e7ULL};
+
+// Seed-build closed-loop results: gzip, 20000 insts, impedance 1.0.
+constexpr GoldenHash kSchemeGolden[] = {
+    {"none", 0x3976e7728acc3162ULL},
+    {"wavelet", 0x60f318f73eaf90f8ULL},
+    {"full-convolution", 0xd01b8f310d071ad6ULL},
+    {"analog-sensor", 0xdd385c7b7434345bULL},
+    {"pipeline-damping", 0x330ce4fb402e3764ULL},
+    {"adaptive-wavelet", 0xac19e0d1f10d65a2ULL},
+};
+
+const ExperimentSetup &
+sharedSetup()
+{
+    static const ExperimentSetup setup = makeStandardSetup();
+    return setup;
+}
+
+/** Restore CPU-probed SIMD dispatch when a test scope ends. */
+struct LevelGuard
+{
+    ~LevelGuard() { simd::clearForcedLevel(); }
+};
+
+std::vector<simd::Level>
+allLevels()
+{
+    std::vector<simd::Level> out{simd::Level::Scalar};
+    for (simd::Level level :
+         {simd::Level::Sse2, simd::Level::Avx2, simd::Level::Neon})
+        if (simd::levelAvailable(level))
+            out.push_back(level);
+    return out;
+}
+
+TEST(SimLoopGolden, ProfileTracesMatchSeedBuild)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    for (const GoldenHash &golden : kProfileGolden) {
+        const CurrentTrace trace = benchmarkCurrentTrace(
+            setup, profileByName(golden.name), 20000, 0);
+        EXPECT_EQ(hashTrace(trace), golden.hash) << golden.name;
+    }
+}
+
+TEST(SimLoopGolden, ChipTracesMatchSeedBuild)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    const std::vector<ChipWorkload> workloads{
+        {&profileByName("gzip"), 0}, {&profileByName("mcf"), 1}};
+    const TraceSet set = chipCurrentTrace(setup, workloads, 20000);
+    EXPECT_EQ(hashTrace(set.aggregate), kChipAggregateGolden);
+    ASSERT_EQ(set.perCore.size(), 2u);
+    for (std::size_t i = 0; i < set.perCore.size(); ++i)
+        EXPECT_EQ(hashTrace(set.perCore[i]), kChipCoreGolden[i])
+            << "core " << i;
+}
+
+TEST(SimLoopGolden, ClosedLoopSchemesMatchSeedBuild)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    const SupplyNetwork network = setup.makeNetwork(1.0);
+    const VoltageVarianceModel model =
+        makeCalibratedModel(setup, network, 256, 8);
+    const ControlScheme schemes[] = {
+        ControlScheme::None,           ControlScheme::Wavelet,
+        ControlScheme::FullConvolution, ControlScheme::AnalogSensor,
+        ControlScheme::PipelineDamping, ControlScheme::AdaptiveWavelet,
+    };
+    for (std::size_t i = 0; i < std::size(schemes); ++i) {
+        CosimConfig cfg;
+        cfg.instructions = 20000;
+        cfg.scheme = schemes[i];
+        if (schemes[i] == ControlScheme::AdaptiveWavelet)
+            cfg.hazardModel = &model;
+        const CosimResult result = runClosedLoop(
+            profileByName("gzip"), setup.proc, setup.power, network, cfg);
+        EXPECT_EQ(result.scheme, kSchemeGolden[i].name);
+        EXPECT_EQ(hashCosim(result), kSchemeGolden[i].hash)
+            << kSchemeGolden[i].name;
+    }
+}
+
+/** One small campaign's deterministic JSON, as a string. */
+std::string
+campaignJson(const ExperimentSetup &setup, std::size_t jobs)
+{
+    CampaignSpec spec;
+    spec.profiles = {profileByName("gzip"), profileByName("mcf")};
+    spec.impedanceScales = {1.0, 1.2};
+    spec.instructions = 20000;
+    spec.windowLength = 128;
+    spec.levels = 6;
+    TraceRepository repo(setup);
+    const CampaignResult result =
+        runCharacterizationCampaign(setup, spec, repo, jobs);
+    std::ostringstream out;
+    campaignToJson(result, false).write(out);
+    return out.str();
+}
+
+TEST(SimLoopGolden, CampaignJsonInvariantAcrossJobsAndSimdLevels)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    LevelGuard guard;
+    simd::forceLevel(simd::Level::Scalar);
+    const std::string reference = campaignJson(setup, 1);
+    EXPECT_NE(reference.find("\"schema\":"), std::string::npos);
+    // Sampling-off campaigns must not mention sampling at all.
+    EXPECT_EQ(reference.find("sample_"), std::string::npos);
+    for (simd::Level level : allLevels()) {
+        simd::forceLevel(level);
+        for (std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+            EXPECT_EQ(campaignJson(setup, jobs), reference)
+                << simd::levelName(level) << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Sampling, InvalidConfigsThrow)
+{
+    SamplingConfig no_detail;
+    no_detail.skipCycles = 1000;
+    no_detail.detailCycles = 0;
+    EXPECT_THROW(no_detail.validate(), std::invalid_argument);
+
+    SamplingConfig warm_overflow;
+    warm_overflow.detailCycles = 256;
+    warm_overflow.skipCycles = 100;
+    warm_overflow.warmupCycles = 200;
+    EXPECT_THROW(warm_overflow.validate(), std::invalid_argument);
+
+    const ExperimentSetup &setup = sharedSetup();
+    SyntheticWorkload source(profileByName("gzip"), 2000, 0);
+    Processor processor(setup.proc, setup.power, source);
+    CurrentTrace trace;
+    EXPECT_THROW(processor.collectTraceSampled(trace, 10000, no_detail),
+                 std::invalid_argument);
+    EXPECT_TRUE(trace.empty());
+}
+
+TEST(Sampling, DisabledCollapsesToFullDetail)
+{
+    const ExperimentSetup &setup = sharedSetup();
+
+    SyntheticWorkload full_source(profileByName("vpr"), 5000, 0);
+    Processor full(setup.proc, setup.power, full_source);
+    CurrentTrace full_trace;
+    const Cycle full_cycles = full.collectTrace(full_trace, 400000);
+
+    SamplingConfig off; // skipCycles == 0: sampling disabled
+    off.detailCycles = 1234;
+    SyntheticWorkload sampled_source(profileByName("vpr"), 5000, 0);
+    Processor sampled(setup.proc, setup.power, sampled_source);
+    CurrentTrace sampled_trace;
+    const Cycle sampled_cycles =
+        sampled.collectTraceSampled(sampled_trace, 400000, off);
+
+    EXPECT_EQ(full_cycles, sampled_cycles);
+    ASSERT_EQ(full_trace.size(), sampled_trace.size());
+    EXPECT_EQ(std::memcmp(full_trace.data(), sampled_trace.data(),
+                          full_trace.size() * sizeof(double)),
+              0);
+}
+
+TEST(Sampling, CoversRequestedCyclesAndSkipsDetail)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    SamplingConfig sampling;
+    sampling.detailCycles = 2048;
+    sampling.skipCycles = 8192;
+    sampling.warmupCycles = 512;
+
+    const CurrentTrace full =
+        benchmarkCurrentTrace(setup, profileByName("gzip"), 30000, 0);
+    const CurrentTrace sampled = benchmarkCurrentTrace(
+        setup, profileByName("gzip"), 30000, 0, 4096, sampling);
+
+    // The sampled trace covers the same virtual cycles (within one
+    // window+skip period of drift from where the stream ends).
+    ASSERT_FALSE(sampled.empty());
+    const double drift =
+        static_cast<double>(sampling.detailCycles + sampling.skipCycles);
+    EXPECT_NEAR(static_cast<double>(sampled.size()),
+                static_cast<double>(full.size()), drift);
+}
+
+TEST(Sampling, ChipSampledCoversRequestedCycles)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    SamplingConfig sampling;
+    sampling.detailCycles = 2048;
+    sampling.skipCycles = 8192;
+    sampling.warmupCycles = 512;
+
+    const std::vector<ChipWorkload> workloads{
+        {&profileByName("gzip"), 0}, {&profileByName("mcf"), 1}};
+    const TraceSet full = chipCurrentTrace(setup, workloads, 20000);
+    const TraceSet sampled =
+        chipCurrentTrace(setup, workloads, 20000, 4096, {}, sampling);
+
+    ASSERT_EQ(sampled.perCore.size(), 2u);
+    // Lockstep windows: every per-core trace spans exactly the
+    // aggregate's cycles.
+    for (const CurrentTrace &trace : sampled.perCore)
+        EXPECT_EQ(trace.size(), sampled.aggregate.size());
+    const double drift =
+        static_cast<double>(sampling.detailCycles + sampling.skipCycles);
+    EXPECT_NEAR(static_cast<double>(sampled.aggregate.size()),
+                static_cast<double>(full.aggregate.size()), drift);
+}
+
+TEST(Sampling, OracleTolerancesHold)
+{
+    const ExperimentSetup &setup = sharedSetup();
+    const verify::Oracle oracle(setup);
+    SamplingConfig sampling;
+    sampling.detailCycles = 4096;
+    sampling.skipCycles = 8192;
+    sampling.warmupCycles = 512;
+    for (const char *name : {"gzip", "mgrid", "mcf"}) {
+        const verify::SamplingOracleReport report =
+            oracle.checkSampling(profileByName(name), sampling, 60000);
+        EXPECT_GT(report.fullCycles, 0u) << name;
+        EXPECT_GT(report.sampledCycles, 0u) << name;
+        EXPECT_TRUE(report.pass)
+            << name << ": variance rel err "
+            << report.resonanceVarianceRelError << ", low crossing err "
+            << report.lowCrossingPctError << " pct, high crossing err "
+            << report.highCrossingPctError << " pct";
+    }
+}
+
+TEST(Sampling, SpecJsonRoundTripsAndValidates)
+{
+    CampaignSpec spec;
+    spec.sampleDetail = 2048;
+    spec.sampleSkip = 16384;
+    spec.sampleWarmup = 256;
+    ASSERT_TRUE(spec.isSampled());
+    std::ostringstream out;
+    campaignSpecToJson(spec).write(out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"sample_detail\": 2048"), std::string::npos);
+    EXPECT_NE(json.find("\"sample_skip\": 16384"), std::string::npos);
+    EXPECT_NE(json.find("\"sample_warmup\": 256"), std::string::npos);
+
+    std::string error;
+    JsonValue parsed = parseJson(json);
+    CampaignSpec round;
+    ASSERT_TRUE(campaignSpecFromJson(parsed, &round, &error)) << error;
+    EXPECT_EQ(round.sampleDetail, spec.sampleDetail);
+    EXPECT_EQ(round.sampleSkip, spec.sampleSkip);
+    EXPECT_EQ(round.sampleWarmup, spec.sampleWarmup);
+
+    // Contradictory sampled specs are rejected with a field error.
+    parsed.set("sample_detail", static_cast<long long>(0));
+    EXPECT_FALSE(campaignSpecFromJson(parsed, &round, &error));
+    EXPECT_NE(error.find("sample_detail"), std::string::npos);
+
+    // Sampling-off specs keep their historical JSON bytes.
+    CampaignSpec off;
+    std::ostringstream off_json;
+    campaignSpecToJson(off).write(off_json);
+    EXPECT_EQ(off_json.str().find("sample_"), std::string::npos);
+}
+
+} // namespace
+} // namespace didt

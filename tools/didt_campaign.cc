@@ -97,6 +97,15 @@ main(int argc, char **argv)
                  "bank-conflict stall cycles for chip cells");
     opts.declare("impedances", "1.0,1.1,1.2,1.3,1.5",
                  "comma-separated target-impedance scales");
+    opts.declare("sample-detail", "0",
+                 "sampled simulation: detailed cycles per window "
+                 "(required when --sample-skip is set)");
+    opts.declare("sample-skip", "0",
+                 "sampled simulation: cycles fast-forwarded between "
+                 "detailed windows (0 = full detail)");
+    opts.declare("sample-warmup", "512",
+                 "sampled simulation: detailed refill cycles at the end "
+                 "of each skip (must not exceed --sample-skip)");
     opts.declare("instructions", "120000",
                  "dynamic instructions per benchmark");
     opts.declare("seed", "0", "extra workload seed");
@@ -193,6 +202,17 @@ main(int argc, char **argv)
     spec.instructions =
         static_cast<std::uint64_t>(opts.getInt("instructions"));
     spec.seed = static_cast<std::uint64_t>(opts.getInt("seed"));
+    spec.sampleDetail =
+        static_cast<Cycle>(opts.getInt("sample-detail"));
+    spec.sampleSkip = static_cast<Cycle>(opts.getInt("sample-skip"));
+    spec.sampleWarmup =
+        static_cast<Cycle>(opts.getInt("sample-warmup"));
+    if (spec.isSampled()) {
+        if (spec.sampleDetail == 0)
+            didt_fatal("--sample-skip requires --sample-detail > 0");
+        if (spec.sampleWarmup > spec.sampleSkip)
+            didt_fatal("--sample-warmup must not exceed --sample-skip");
+    }
 
     const std::size_t jobs = ThreadPool::resolveJobs(
         static_cast<std::size_t>(opts.getInt("jobs")));
