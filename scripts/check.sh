@@ -102,18 +102,36 @@ if [[ $TSAN_ONLY -eq 0 ]]; then
         "$SMOKE_DIR/fault_j1.json"
     echo "faulted campaign JSON identical across jobs 1/4, 1 failed cell"
 
+    echo "=== Monte Carlo campaign byte-identity: jobs 1/4, off = seed bytes ==="
+    # The variation-aware draw axis must be as deterministic as the
+    # nominal path: an MC sweep gives the same bytes at any worker
+    # count, and MC off must not leak a single mc_ field into the JSON.
+    MC_ARGS=("${CAMPAIGN_ARGS[@]}" --mc-draws 16 --mc-seed 7
+             --mc-sigma 0.08)
+    build-ci/tools/didt_campaign --jobs 1 "${MC_ARGS[@]}" \
+        --json "$SMOKE_DIR/mc_j1.json"
+    build-ci/tools/didt_campaign --jobs 4 "${MC_ARGS[@]}" \
+        --json "$SMOKE_DIR/mc_j4.json"
+    cmp "$SMOKE_DIR/mc_j1.json" "$SMOKE_DIR/mc_j4.json"
+    grep -q '"yield_curve"' "$SMOKE_DIR/mc_j1.json"
+    if grep -q 'mc_\|monte_carlo' "$SMOKE_DIR/simd_j1.json"; then
+        echo "FAIL: MC-off campaign JSON mentions Monte Carlo" >&2
+        exit 1
+    fi
+    echo "MC campaign JSON identical across jobs 1/4; MC-off bytes clean"
+
     echo "=== service byte-identity smoke (didt_serve / didt_client) ==="
     BUILD_DIR=build-ci scripts/serve_smoke.sh
 fi
 
-echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify + serve + simfast tests ==="
+echo "=== ThreadSanitizer pass over runner + obs + refactor + simd + verify + serve + simfast + mc tests ==="
 cmake -B build-tsan -S . -DDIDT_WERROR=ON -DDIDT_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target runner_test determinism_test \
       obs_test refactor_test simd_test verify_test serve_test \
-      fuzz_replay_test simfast_test
+      fuzz_replay_test simfast_test mc_test
 ctest --test-dir build-tsan \
-      -L 'runner|obs|refactor|simd|verify|serve|cmp|simfast' \
+      -L 'runner|obs|refactor|simd|verify|serve|cmp|simfast|mc' \
       --output-on-failure -j "$JOBS"
 
 echo "=== all checks passed ==="

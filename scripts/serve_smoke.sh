@@ -95,6 +95,19 @@ cmp "$WORK/chip_campaign.json" "$WORK/chip_replay.json"
 echo "2-core chip replay is byte-identical"
 stop_server
 
+echo "=== Monte Carlo cell replay leg (--mc-draws 8) ==="
+# A variation-aware campaign exercises the mc_* spec round trip and
+# the per-draw cell path; the served replay must reproduce the batch
+# bytes — yield curves included — exactly.
+"$CAMPAIGN" --jobs 1 "${SPEC_ARGS[@]}" --mc-draws 8 --mc-seed 7 \
+    --mc-sigma 0.08 --quiet --json "$WORK/mc_campaign.json"
+start_server --jobs 2
+"$CLIENT" replay "$WORK/mc_campaign.json" --socket "$SOCK" \
+    --out "$WORK/mc_replay.json"
+cmp "$WORK/mc_campaign.json" "$WORK/mc_replay.json"
+echo "Monte Carlo replay is byte-identical"
+stop_server
+
 echo "=== socket failpoint leg (serve.decode=nth:1) ==="
 start_server --jobs 2 --failpoints 'serve.decode=nth:1'
 # The first request hits the injected decode fault and must surface as

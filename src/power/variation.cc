@@ -1,0 +1,93 @@
+#include "power/variation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace didt
+{
+
+namespace
+{
+
+/**
+ * The splitmix64 finalizer (same mixing steps as the workload
+ * generator's seed derivation; duplicated here because power/ sits
+ * below workload/ in the layering).
+ */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Clamp a standard normal to +/- 4 sigma so corner draws stay sane. */
+double
+clampZ(double z)
+{
+    return std::clamp(z, -4.0, 4.0);
+}
+
+/** Mean-one lognormal factor exp(sigma z - sigma^2 / 2). */
+double
+lognormalFactor(double sigma, double z)
+{
+    return std::exp(sigma * clampZ(z) - 0.5 * sigma * sigma);
+}
+
+} // namespace
+
+std::uint64_t
+deriveDrawSeed(std::uint64_t mc_seed, std::size_t draw_index)
+{
+    return mix64((mc_seed ^ 0x5d1d7c5a11ab0b37ULL) +
+                 0x9e3779b97f4a7c15ULL *
+                     (static_cast<std::uint64_t>(draw_index) + 1));
+}
+
+SupplyNetworkConfig
+drawSupplyConfig(const SupplyNetworkConfig &base,
+                 const SupplyVariationSpec &variation,
+                 std::uint64_t draw_seed)
+{
+    if (variation.sigmaR < 0.0 || variation.sigmaResonance < 0.0 ||
+        variation.sigmaQ < 0.0) {
+        didt_fatal("supply variation sigmas must be >= 0, got r=",
+                   variation.sigmaR, " f=", variation.sigmaResonance,
+                   " q=", variation.sigmaQ);
+    }
+
+    Rng rng(draw_seed);
+    // Fixed draw order, always all three, so a dimension's stream does
+    // not depend on which other dimensions are enabled.
+    const double zr = rng.normal();
+    const double zf = rng.normal();
+    const double zq = rng.normal();
+
+    SupplyNetworkConfig out = base;
+    if (variation.sigmaR > 0.0)
+        out.dcResistance =
+            base.dcResistance * lognormalFactor(variation.sigmaR, zr);
+    if (variation.sigmaResonance > 0.0) {
+        out.resonantHz = base.resonantHz *
+                         (1.0 + variation.sigmaResonance * clampZ(zf));
+        // Keep the resonance inside the band the SupplyNetwork
+        // constructor accepts: strictly below Nyquist, above DC.
+        out.resonantHz = std::clamp(out.resonantHz, 1.0e6,
+                                    0.45 * base.clockHz);
+    }
+    if (variation.sigmaQ > 0.0)
+        out.qualityFactor =
+            std::max(0.6, base.qualityFactor *
+                              lognormalFactor(variation.sigmaQ, zq));
+    return out;
+}
+
+} // namespace didt

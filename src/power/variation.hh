@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Process-variation model of the supply network.
+ *
+ * Real chips do not see one fixed RLC network: die-to-die variation in
+ * metallization, package parasitics, and decap density moves the DC
+ * resistance, the resonance placement, and the damping of the
+ * mid-frequency peak. Following the stochastic power-grid literature,
+ * the grid response is treated as a random variable: each Monte Carlo
+ * draw perturbs the nominal SupplyNetworkConfig with mean-one
+ * multiplicative factors and a deterministic, splitmix64-derived
+ * per-draw seed, so draws are reproducible and cache-addressable the
+ * same way workload mix seeds are.
+ */
+
+#ifndef DIDT_POWER_VARIATION_HH
+#define DIDT_POWER_VARIATION_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "power/supply_network.hh"
+
+namespace didt
+{
+
+/**
+ * Relative variation sigmas for the supply-network random variables.
+ * A sigma of zero disables that dimension; the all-zero default draws
+ * configs bit-identical to the nominal network.
+ */
+struct SupplyVariationSpec
+{
+    /** Lognormal sigma on the DC resistance (and thus R, L, C). */
+    double sigmaR = 0.0;
+
+    /** Normal relative sigma on the resonant-frequency placement. */
+    double sigmaResonance = 0.0;
+
+    /** Lognormal sigma on the quality factor (resonance damping). */
+    double sigmaQ = 0.0;
+
+    /** True when any dimension is enabled. */
+    bool any() const
+    {
+        return sigmaR > 0.0 || sigmaResonance > 0.0 || sigmaQ > 0.0;
+    }
+};
+
+/**
+ * Deterministic per-draw seed: a splitmix64 finalizer over the
+ * campaign-level Monte Carlo seed and the draw index, offset by a
+ * stream tag so draw seeds never collide with the workload core-seed
+ * stream derived from the same campaign seed.
+ */
+std::uint64_t deriveDrawSeed(std::uint64_t mc_seed, std::size_t draw_index);
+
+/**
+ * Draw one varied supply config. Exactly three standard normals are
+ * consumed in a fixed order (R, resonance, Q) regardless of which
+ * sigmas are enabled, so enabling one dimension never shifts another
+ * dimension's stream. Zero-sigma dimensions are left bit-identical to
+ * @p base. Drawn values are clamped to the region the SupplyNetwork
+ * constructor accepts (Q > 0.5, resonance below Nyquist).
+ */
+SupplyNetworkConfig drawSupplyConfig(const SupplyNetworkConfig &base,
+                                     const SupplyVariationSpec &variation,
+                                     std::uint64_t draw_seed);
+
+} // namespace didt
+
+#endif // DIDT_POWER_VARIATION_HH

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "power/variation.hh"
 #include "runner/thread_pool.hh"
 #include "runner/trace_repository.hh"
 #include "util/types.hh"
@@ -102,6 +103,26 @@ struct CampaignSpec
     Cycle sampleSkip = 0;     ///< skipped cycles between windows
     Cycle sampleWarmup = 512; ///< detailed refill tail of each skip
 
+    /**
+     * Variation-aware Monte Carlo (power/variation.hh). mcDraws == 0
+     * (the default) is the nominal path: one cell per (workload,
+     * cores, scale) against the calibrated network, byte-identical to
+     * the historical JSON. mcDraws > 0 fans every (workload, cores,
+     * scale) cell into mcDraws supply-network draws — first-class
+     * cells with deterministic splitmix64-derived seeds
+     * (deriveDrawSeed(mcSeed, draw)) — and the result JSON gains a
+     * per-group yield-curve aggregation. Draws vary only the supply
+     * network, so all draws of one workload share one simulated trace,
+     * and each scale's variance model stays the nominal calibration
+     * (the spread therefore measures both chip yield and model
+     * robustness across corners).
+     */
+    std::size_t mcDraws = 0;      ///< draws per cell (0 = MC off)
+    std::uint64_t mcSeed = 0;     ///< campaign-level Monte Carlo seed
+    double mcSigmaR = 0.0;        ///< lognormal sigma on DC resistance
+    double mcSigmaResonance = 0.0; ///< relative sigma on resonance
+    double mcSigmaQ = 0.0;        ///< lognormal sigma on quality factor
+
     /** The profiles list with the all-SPEC default applied. */
     const std::vector<BenchmarkProfile> &effectiveProfiles() const;
 
@@ -113,6 +134,18 @@ struct CampaignSpec
 
     /** True when trace sampling is active. */
     bool isSampled() const { return sampleSkip > 0; }
+
+    /** True when the Monte Carlo draw axis is active. */
+    bool isMonteCarlo() const { return mcDraws > 0; }
+
+    /** Cells per (workload, cores, scale) group: max(mcDraws, 1). */
+    std::size_t drawCount() const { return mcDraws > 0 ? mcDraws : 1; }
+
+    /** The variation sigmas as a power/variation.hh spec. */
+    SupplyVariationSpec variation() const
+    {
+        return SupplyVariationSpec{mcSigmaR, mcSigmaResonance, mcSigmaQ};
+    }
 };
 
 /** One (benchmark, impedance scale) cell of a campaign. */
@@ -121,6 +154,7 @@ struct CampaignCell
     std::string benchmark;       ///< profile (or mix) name
     double impedanceScale = 1.0; ///< network scale for this cell
     std::size_t cores = 1;       ///< chip size simulated for this cell
+    std::size_t draw = 0;        ///< Monte Carlo draw index (MC only)
     std::size_t traceCycles = 0; ///< trace length analyzed
     std::size_t windows = 0;     ///< analysis windows profiled
 

@@ -7,6 +7,7 @@
 
 #include "core/emergency_estimator.hh"
 #include "obs/metrics.hh"
+#include "power/variation.hh"
 #include "obs/scoped_timer.hh"
 #include "util/json.hh"
 #include "verify/failpoint.hh"
@@ -61,14 +62,17 @@ campaignMetrics()
  * from campaign output.
  */
 std::string
-cellKey(const std::string &benchmark, double scale,
-        std::size_t cores = 1)
+cellKey(const std::string &benchmark, double scale, std::size_t cores = 1,
+        std::size_t draw = 0, bool monte_carlo = false)
 {
     std::string key = benchmark + "@" + jsonNumber(scale);
-    // Chip cells extend the key; single-core cells keep the
-    // historical form so existing failpoint specs stay valid.
+    // Chip and Monte Carlo cells extend the key; single-core MC-off
+    // cells keep the historical form so existing failpoint specs stay
+    // valid.
     if (cores != 1)
         key += "@c" + std::to_string(cores);
+    if (monte_carlo)
+        key += "@d" + std::to_string(draw);
     return key;
 }
 
@@ -294,6 +298,7 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
         const std::size_t ci = plan.storageIndex(pc);
         const std::size_t pi = pc.profileIndex;
         const std::size_t si = pc.scaleIndex;
+        const std::size_t di = pc.drawIndex;
         const std::size_t cores = coreCounts[pc.coreIndex];
         // Identity fields are written on this thread before the task
         // runs, so even a task that faults before touching its cell
@@ -303,6 +308,7 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
         submitted.benchmark = plan.workloadName(pi);
         submitted.impedanceScale = scales[si];
         submitted.cores = cores;
+        submitted.draw = di;
         if (cancelled_early) {
             submitted.failed = true;
             submitted.error = "interrupted before evaluation";
@@ -310,7 +316,7 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
             continue;
         }
         pendingCell.push_back(ci);
-        pending.push_back(pool_.submit([&, ci, pi, si, cores] {
+        pending.push_back(pool_.submit([&, ci, pi, si, di, cores] {
             obs::ScopedTraceContext cell_scope(cell_context);
             obs::ScopedTimer span(cell_labels[pi],
                                   campaignMetrics().cellMs, nullptr,
@@ -326,7 +332,8 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
                     campaignMetrics().cellsInterrupted.add(1);
                 } else {
                     const std::string key = cellKey(
-                        plan.workloadName(pi), scales[si], cores);
+                        plan.workloadName(pi), scales[si], cores, di,
+                        plan.spec.isMonteCarlo());
                     if (DIDT_FAILPOINT_KEYED("campaign.cell", key))
                         throw std::runtime_error(
                             "injected fault (campaign.cell): " + key);
@@ -340,10 +347,31 @@ Executor::run(const CampaignPlan &plan, const ExecutionHooks &hooks)
                                         ? pool_.size()
                                         : wi];
                     const CalibratedScale &cal = *models[si];
-                    const EmergencyProfile ep = profileTrace(
-                        *trace, cal.network, *cal.model,
-                        plan.spec.lowThreshold, plan.spec.highThreshold,
-                        ws, {}, plan.spec.useCorrelation);
+                    EmergencyProfile ep;
+                    if (plan.spec.isMonteCarlo()) {
+                        // The draw perturbs the supply network only;
+                        // the trace and the calibrated variance model
+                        // stay nominal, so the per-draw spread
+                        // measures chip yield and model robustness
+                        // across process corners at once.
+                        SupplyNetworkConfig varied = drawSupplyConfig(
+                            setup_.supplyBase, plan.spec.variation(),
+                            deriveDrawSeed(plan.spec.mcSeed, di));
+                        varied.impedanceScale = scales[si];
+                        const SupplyNetwork drawn(varied);
+                        ep = profileTrace(*trace, drawn, *cal.model,
+                                          plan.spec.lowThreshold,
+                                          plan.spec.highThreshold, ws,
+                                          {},
+                                          plan.spec.useCorrelation);
+                    } else {
+                        ep = profileTrace(*trace, cal.network,
+                                          *cal.model,
+                                          plan.spec.lowThreshold,
+                                          plan.spec.highThreshold, ws,
+                                          {},
+                                          plan.spec.useCorrelation);
+                    }
 
                     cell.traceCycles = trace->size();
                     cell.windows = ep.windows;

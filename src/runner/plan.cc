@@ -18,11 +18,16 @@ buildCampaignPlan(const CampaignSpec &spec)
     const std::size_t workloads = plan.workloadCount();
     const std::size_t cores = plan.spec.effectiveCoreCounts().size();
     const std::size_t scales = plan.spec.impedanceScales.size();
-    plan.order.reserve(workloads * cores * scales);
+    const std::size_t draws = plan.spec.drawCount();
+    plan.order.reserve(workloads * cores * scales * draws);
+    // Workloads stay innermost so the first batch of tasks covers
+    // distinct workloads (priming the trace cache) before the draws —
+    // which all share the same trace — queue up behind it.
     for (std::size_t si = 0; si < scales; ++si)
         for (std::size_t ci = 0; ci < cores; ++ci)
-            for (std::size_t pi = 0; pi < workloads; ++pi)
-                plan.order.push_back(PlanCell{pi, ci, si});
+            for (std::size_t di = 0; di < draws; ++di)
+                for (std::size_t pi = 0; pi < workloads; ++pi)
+                    plan.order.push_back(PlanCell{pi, ci, si, di});
     return plan;
 }
 

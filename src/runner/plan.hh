@@ -30,6 +30,7 @@ struct PlanCell
     std::size_t profileIndex = 0;
     std::size_t coreIndex = 0;  ///< into plan.spec.effectiveCoreCounts()
     std::size_t scaleIndex = 0; ///< into plan.spec.impedanceScales
+    std::size_t drawIndex = 0;  ///< Monte Carlo draw (always 0 MC-off)
 };
 
 /** A materialized campaign: spec plus deterministic cell order. */
@@ -63,25 +64,29 @@ struct CampaignPlan
                                   : spec.mixes[index];
     }
 
-    /** Total cells (workloads x cores x scales). */
+    /** Total cells (workloads x cores x scales x draws). */
     std::size_t cellCount() const
     {
         return workloadCount() * spec.effectiveCoreCounts().size() *
-               spec.impedanceScales.size();
+               spec.impedanceScales.size() * spec.drawCount();
     }
 
     /**
      * Storage index of a cell in CampaignResult::cells
-     * (workload-major, then cores, then scales — the reporting
-     * order; reduces to benchmark-major/scale-minor for a
-     * single-core sweep).
+     * (workload-major, then cores, then scales, then Monte Carlo
+     * draws — the reporting order; reduces to benchmark-major /
+     * scale-minor for a single-core MC-off sweep). Draws are
+     * innermost so one group's draws sit contiguous for quantile
+     * aggregation.
      */
     std::size_t storageIndex(const PlanCell &cell) const
     {
-        return (cell.profileIndex * spec.effectiveCoreCounts().size() +
-                cell.coreIndex) *
-                   spec.impedanceScales.size() +
-               cell.scaleIndex;
+        return ((cell.profileIndex * spec.effectiveCoreCounts().size() +
+                 cell.coreIndex) *
+                    spec.impedanceScales.size() +
+                cell.scaleIndex) *
+                   spec.drawCount() +
+               cell.drawIndex;
     }
 };
 

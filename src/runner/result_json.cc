@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "runner/campaign.hh"
+#include "stats/quantiles.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "wavelet/basis.hh"
@@ -14,6 +15,12 @@ namespace didt
 
 namespace
 {
+
+/**
+ * Emergency-budget thresholds (percent of cycles outside the voltage
+ * band) swept by the Monte Carlo yield curve.
+ */
+constexpr double kEmergencyBudgetsPct[] = {0.01, 0.1, 0.5, 1.0, 2.0, 5.0};
 
 /** Read an optional non-negative integer member into @p out. */
 template <typename T>
@@ -52,6 +59,93 @@ readNumber(const JsonValue &json, const std::string &key, double *out,
     }
     *out = member->asNumber();
     return true;
+}
+
+/** Quantile-band summary of an empirical distribution. */
+JsonValue
+quantileBlock(const EmpiricalDistribution &dist)
+{
+    JsonValue block = JsonValue::object();
+    block.set("mean", dist.mean());
+    block.set("min", dist.min());
+    block.set("p05", dist.quantile(0.05));
+    block.set("p25", dist.quantile(0.25));
+    block.set("p50", dist.quantile(0.50));
+    block.set("p75", dist.quantile(0.75));
+    block.set("p95", dist.quantile(0.95));
+    block.set("max", dist.max());
+    return block;
+}
+
+/**
+ * The Monte Carlo aggregation section: per (workload, cores, scale)
+ * group, quantile bands of the per-draw emergency percentage and
+ * resonance-band variance, plus the yield curve — the fraction of
+ * drawn chips whose emergency percentage exceeds each budget. Cells
+ * are stored draw-innermost, so each group is one contiguous run of
+ * spec.drawCount() cells. Computed from the finished cells at
+ * serialization time, so batch and served output agree byte for byte.
+ */
+JsonValue
+monteCarloToJson(const CampaignResult &result)
+{
+    const CampaignSpec &spec = result.spec;
+    const std::size_t draws = spec.drawCount();
+    JsonValue mc = JsonValue::object();
+    mc.set("draws", static_cast<long long>(spec.mcDraws));
+    mc.set("seed", static_cast<long long>(spec.mcSeed));
+    mc.set("sigma_r", spec.mcSigmaR);
+    mc.set("sigma_resonance", spec.mcSigmaResonance);
+    mc.set("sigma_q", spec.mcSigmaQ);
+    JsonValue budgets = JsonValue::array();
+    for (double budget : kEmergencyBudgetsPct)
+        budgets.push(budget);
+    mc.set("budget_pcts", std::move(budgets));
+
+    JsonValue groups = JsonValue::array();
+    for (std::size_t base = 0; base + draws <= result.cells.size();
+         base += draws) {
+        const CampaignCell &first = result.cells[base];
+        JsonValue group = JsonValue::object();
+        group.set("benchmark", first.benchmark);
+        group.set("impedance_scale", first.impedanceScale);
+        if (first.cores != 1)
+            group.set("cores", static_cast<long long>(first.cores));
+
+        EmpiricalDistribution emergency;
+        EmpiricalDistribution variance;
+        std::size_t failed = 0;
+        for (std::size_t di = 0; di < draws; ++di) {
+            const CampaignCell &cell = result.cells[base + di];
+            if (cell.failed) {
+                ++failed;
+                continue;
+            }
+            emergency.push(cell.measuredBelowPct +
+                           cell.measuredAbovePct);
+            variance.push(cell.measuredVariance);
+        }
+        group.set("completed_draws",
+                  static_cast<long long>(draws - failed));
+        if (failed > 0)
+            group.set("failed_draws", static_cast<long long>(failed));
+        if (emergency.count() > 0) {
+            group.set("emergency_pct", quantileBlock(emergency));
+            group.set("measured_variance", quantileBlock(variance));
+            JsonValue curve = JsonValue::array();
+            for (double budget : kEmergencyBudgetsPct) {
+                JsonValue point = JsonValue::object();
+                point.set("budget_pct", budget);
+                point.set("exceed_fraction",
+                          emergency.exceedanceFraction(budget));
+                curve.push(std::move(point));
+            }
+            group.set("yield_curve", std::move(curve));
+        }
+        groups.push(std::move(group));
+    }
+    mc.set("groups", std::move(groups));
+    return mc;
 }
 
 } // namespace
@@ -103,6 +197,15 @@ campaignSpecToJson(const CampaignSpec &spec)
         json.set("sample_skip", static_cast<long long>(spec.sampleSkip));
         json.set("sample_warmup",
                  static_cast<long long>(spec.sampleWarmup));
+    }
+    // Monte Carlo fields appear only when the draw axis is active, so
+    // MC-off spec JSON stays byte-identical to pre-variation builds.
+    if (spec.isMonteCarlo()) {
+        json.set("mc_draws", static_cast<long long>(spec.mcDraws));
+        json.set("mc_seed", static_cast<long long>(spec.mcSeed));
+        json.set("mc_sigma_r", spec.mcSigmaR);
+        json.set("mc_sigma_resonance", spec.mcSigmaResonance);
+        json.set("mc_sigma_q", spec.mcSigmaQ);
     }
     return json;
 }
@@ -172,7 +275,7 @@ campaignSpecFromJson(const JsonValue &json, CampaignSpec *spec,
         }
         if (!WaveletBasis::isKnownName(basis->asString())) {
             *error = "unknown wavelet basis '" + basis->asString() +
-                     "' (try haar, db4, db6)";
+                     "' (try " + WaveletBasis::knownNamesHint() + ")";
             return false;
         }
         parsed.basis = basis->asString();
@@ -255,6 +358,24 @@ campaignSpecFromJson(const JsonValue &json, CampaignSpec *spec,
             return false;
         }
     }
+    if (!readCount(json, "mc_draws", &parsed.mcDraws, error) ||
+        !readCount(json, "mc_seed", &parsed.mcSeed, error) ||
+        !readNumber(json, "mc_sigma_r", &parsed.mcSigmaR, error) ||
+        !readNumber(json, "mc_sigma_resonance",
+                    &parsed.mcSigmaResonance, error) ||
+        !readNumber(json, "mc_sigma_q", &parsed.mcSigmaQ, error))
+        return false;
+    if (parsed.mcDraws > 100000) {
+        *error = "spec field 'mc_draws' must not exceed 100000";
+        return false;
+    }
+    for (double sigma : {parsed.mcSigmaR, parsed.mcSigmaResonance,
+                         parsed.mcSigmaQ}) {
+        if (sigma < 0.0 || sigma > 1.0) {
+            *error = "spec fields 'mc_sigma_*' must be in [0, 1]";
+            return false;
+        }
+    }
     *spec = std::move(parsed);
     return true;
 }
@@ -295,6 +416,9 @@ campaignToJson(const CampaignResult &result, bool include_timing)
         // stays byte-identical to pre-chip builds.
         if (cell.cores != 1)
             c.set("cores", static_cast<long long>(cell.cores));
+        // Likewise only Monte Carlo cells carry a draw index.
+        if (result.spec.isMonteCarlo())
+            c.set("draw", static_cast<long long>(cell.draw));
         c.set("trace_cycles", static_cast<long long>(cell.traceCycles));
         c.set("windows", static_cast<long long>(cell.windows));
         c.set("estimated_below_pct", cell.estimatedBelowPct);
@@ -312,6 +436,10 @@ campaignToJson(const CampaignResult &result, bool include_timing)
         cells.push(std::move(c));
     }
     doc.set("cells", std::move(cells));
+    // The yield aggregation exists only for Monte Carlo campaigns, so
+    // MC-off documents keep their historical bytes.
+    if (result.spec.isMonteCarlo())
+        doc.set("monte_carlo", monteCarloToJson(result));
     doc.set("rms_estimation_error_pct", result.rmsEstimationErrorPct());
     if (const std::size_t failed = result.failedCells(); failed > 0)
         doc.set("failed_cells", static_cast<long long>(failed));
@@ -348,14 +476,25 @@ writeCampaignJson(const std::string &path, const CampaignResult &result,
 void
 writeCampaignCsv(const std::string &path, const CampaignResult &result)
 {
-    Table table({"benchmark", "impedance_scale", "trace_cycles",
-                 "windows", "estimated_below_pct", "measured_below_pct",
-                 "estimated_above_pct", "measured_above_pct",
-                 "estimated_variance", "measured_variance"});
+    // The draw column exists only for Monte Carlo campaigns, keeping
+    // MC-off CSV headers (and bytes) unchanged.
+    const bool mc = result.spec.isMonteCarlo();
+    std::vector<std::string> columns{"benchmark", "impedance_scale"};
+    if (mc)
+        columns.push_back("draw");
+    for (const char *name :
+         {"trace_cycles", "windows", "estimated_below_pct",
+          "measured_below_pct", "estimated_above_pct",
+          "measured_above_pct", "estimated_variance",
+          "measured_variance"})
+        columns.push_back(name);
+    Table table(columns);
     for (const CampaignCell &cell : result.cells) {
         table.newRow();
         table.add(cell.benchmark);
         table.add(cell.impedanceScale, 2);
+        if (mc)
+            table.add(static_cast<long long>(cell.draw));
         table.add(static_cast<long long>(cell.traceCycles));
         table.add(static_cast<long long>(cell.windows));
         table.add(cell.estimatedBelowPct, 4);

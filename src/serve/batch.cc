@@ -51,6 +51,17 @@ batchKey(const CampaignSpec &spec)
         key += ";ss=" + std::to_string(spec.sampleSkip);
         key += ";sw=" + std::to_string(spec.sampleWarmup);
     }
+    // Monte Carlo dimensions likewise join only when the draw axis is
+    // active: MC-off specs keep their historical key, and MC requests
+    // merge only when draws, seed, and sigmas all agree (the drawn
+    // networks are then identical across the batch).
+    if (spec.isMonteCarlo()) {
+        key += ";mcd=" + std::to_string(spec.mcDraws);
+        key += ";mcs=" + std::to_string(spec.mcSeed);
+        key += ";mcr=" + jsonNumber(spec.mcSigmaR);
+        key += ";mcf=" + jsonNumber(spec.mcSigmaResonance);
+        key += ";mcq=" + jsonNumber(spec.mcSigmaQ);
+    }
     return key;
 }
 
@@ -96,15 +107,19 @@ sliceResult(const CampaignResult &merged,
     // Index the merged run's cells by identity. Scales are keyed by
     // bit pattern — merging already deduplicated by bit pattern, so
     // lookup is exact. Cores joins the identity so a chip sweep's
-    // cells never alias a uniprocessor cell of the same workload.
-    std::map<std::tuple<std::string, std::size_t, std::uint64_t>,
+    // cells never alias a uniprocessor cell of the same workload, and
+    // the Monte Carlo draw index joins so each draw slices back to
+    // itself (always 0 for MC-off cells, where it is inert).
+    std::map<std::tuple<std::string, std::size_t, std::uint64_t,
+                        std::size_t>,
              std::size_t>
         index;
     for (std::size_t i = 0; i < merged.cells.size(); ++i) {
         const CampaignCell &cell = merged.cells[i];
         std::uint64_t bits;
         __builtin_memcpy(&bits, &cell.impedanceScale, sizeof(bits));
-        index.emplace(std::make_tuple(cell.benchmark, cell.cores, bits),
+        index.emplace(std::make_tuple(cell.benchmark, cell.cores, bits,
+                                      cell.draw),
                       i);
     }
 
@@ -121,8 +136,9 @@ sliceResult(const CampaignResult &merged,
                                       : result.spec.mixes.size();
     const std::vector<std::size_t> &core_counts =
         result.spec.effectiveCoreCounts();
+    const std::size_t draws = result.spec.drawCount();
     result.cells.reserve(workloads * core_counts.size() *
-                         result.spec.impedanceScales.size());
+                         result.spec.impedanceScales.size() * draws);
     for (std::size_t wi = 0; wi < workloads; ++wi) {
         const std::string &workload =
             result.spec.mixes.empty() ? result.spec.profiles[wi].name
@@ -131,15 +147,17 @@ sliceResult(const CampaignResult &merged,
             for (double scale : result.spec.impedanceScales) {
                 std::uint64_t bits;
                 __builtin_memcpy(&bits, &scale, sizeof(bits));
-                const auto it = index.find(
-                    std::make_tuple(workload, cores, bits));
-                if (it == index.end())
-                    didt_panic("merged campaign is missing cell ",
-                               workload, "@", jsonNumber(scale), "@c",
-                               cores);
-                result.cells.push_back(merged.cells[it->second]);
-                if (it->second < cell_deltas.size())
-                    result.cacheStats += cell_deltas[it->second];
+                for (std::size_t draw = 0; draw < draws; ++draw) {
+                    const auto it = index.find(std::make_tuple(
+                        workload, cores, bits, draw));
+                    if (it == index.end())
+                        didt_panic("merged campaign is missing cell ",
+                                   workload, "@", jsonNumber(scale),
+                                   "@c", cores, "@d", draw);
+                    result.cells.push_back(merged.cells[it->second]);
+                    if (it->second < cell_deltas.size())
+                        result.cacheStats += cell_deltas[it->second];
+                }
             }
         }
     }

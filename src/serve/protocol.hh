@@ -69,9 +69,12 @@ inline constexpr const char *kProtocolSchema = "didt-serve-v1";
 
 /** Optional capabilities advertised in "pong" (sorted). "chip" means
  *  characterize specs may carry cores/mixes/l2_banks/l2_bank_penalty
- *  members (N-core chip cells). */
+ *  members (N-core chip cells); "mc" means they may carry the
+ *  mc_draws/mc_seed/mc_sigma_* members (variation-aware Monte Carlo
+ *  cells that batch and replay byte-identically). */
 inline constexpr const char *kProtocolFeatures[] = {"chip", "events",
-                                                    "timings", "watch"};
+                                                    "mc", "timings",
+                                                    "watch"};
 
 /** Typed error codes a response can carry. */
 enum class ErrorCode

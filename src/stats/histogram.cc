@@ -23,9 +23,13 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::push(double x)
 {
-    auto idx = static_cast<long long>(std::floor((x - lo_) / width_));
-    idx = std::clamp<long long>(idx, 0,
-                                static_cast<long long>(counts_.size()) - 1);
+    const auto raw = static_cast<long long>(std::floor((x - lo_) / width_));
+    const long long last = static_cast<long long>(counts_.size()) - 1;
+    if (raw < 0)
+        ++underflow_;
+    else if (raw > last)
+        ++overflow_;
+    const auto idx = std::clamp<long long>(raw, 0, last);
     ++counts_[static_cast<std::size_t>(idx)];
     ++total_;
 }
@@ -44,8 +48,12 @@ Histogram::pushBlock(std::span<const double> xs)
         const std::size_t len = std::min(kBlock, xs.size() - off);
         simd::kernels().binIndices(xs.data() + off, len, lo_, width_, idx);
         for (std::size_t i = 0; i < len; ++i) {
-            const auto bin = std::clamp<long long>(
-                static_cast<long long>(idx[i]), 0, last);
+            const auto raw = static_cast<long long>(idx[i]);
+            if (raw < 0)
+                ++underflow_;
+            else if (raw > last)
+                ++overflow_;
+            const auto bin = std::clamp<long long>(raw, 0, last);
             ++counts_[static_cast<std::size_t>(bin)];
         }
     }
@@ -106,6 +114,8 @@ Histogram::clear()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     total_ = 0;
+    underflow_ = 0;
+    overflow_ = 0;
 }
 
 } // namespace didt

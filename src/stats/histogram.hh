@@ -18,7 +18,10 @@ namespace didt
 /**
  * Histogram with uniformly-sized bins over [lo, hi). Samples outside the
  * range are clamped into the first/last bin so totals are preserved
- * (the tails matter for voltage-emergency counting).
+ * (the tails matter for voltage-emergency counting), but the clamps are
+ * counted: underflow()/overflow() report how many samples fell outside
+ * the range, so truncated distribution tails (supply-variation corner
+ * draws, for instance) are visible instead of silently absorbed.
  */
 class Histogram
 {
@@ -68,6 +71,15 @@ class Histogram
     /** Fraction of samples strictly below @p threshold. */
     double fractionBelow(double threshold) const;
 
+    /**
+     * Samples that fell below lo (including NaNs) and were clamped
+     * into the first bin.
+     */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above hi that were clamped into the last bin. */
+    std::uint64_t overflow() const { return overflow_; }
+
     /** Reset all counts. */
     void clear();
 
@@ -77,6 +89,8 @@ class Histogram
     double width_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
 };
 
 } // namespace didt

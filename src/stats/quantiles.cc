@@ -1,0 +1,107 @@
+#include "stats/quantiles.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace didt
+{
+
+double
+empiricalQuantile(std::span<const double> sorted, double q)
+{
+    if (sorted.empty())
+        didt_panic("empiricalQuantile on an empty sample");
+    q = std::clamp(q, 0.0, 1.0);
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    if (lo + 1 >= sorted.size())
+        return sorted[sorted.size() - 1];
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+void
+EmpiricalDistribution::push(double x)
+{
+    samples_.push_back(x);
+    sorted_ = samples_.size() <= 1;
+}
+
+double
+EmpiricalDistribution::quantile(double q) const
+{
+    if (samples_.empty())
+        failEmpty("quantile");
+    ensureSorted();
+    return empiricalQuantile(samples_, q);
+}
+
+double
+EmpiricalDistribution::cdfAt(double x) const
+{
+    if (samples_.empty())
+        failEmpty("cdfAt");
+    ensureSorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalDistribution::exceedanceFraction(double x) const
+{
+    return 1.0 - cdfAt(x);
+}
+
+double
+EmpiricalDistribution::mean() const
+{
+    if (samples_.empty())
+        failEmpty("mean");
+    // Sum in sorted order so the float accumulation is canonical
+    // regardless of which queries ran first.
+    ensureSorted();
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalDistribution::min() const
+{
+    if (samples_.empty())
+        failEmpty("min");
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+EmpiricalDistribution::max() const
+{
+    if (samples_.empty())
+        failEmpty("max");
+    ensureSorted();
+    return samples_.back();
+}
+
+void
+EmpiricalDistribution::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+void
+EmpiricalDistribution::failEmpty(const char *what) const
+{
+    didt_panic("EmpiricalDistribution::", what,
+               " on an empty distribution");
+}
+
+} // namespace didt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Empirical distribution helpers for Monte Carlo yield aggregation.
+ *
+ * The variation campaigns summarize per-draw observables (emergency
+ * fraction, resonance-band variance) into quantile bands and yield
+ * curves. Everything here is deterministic: quantiles are computed
+ * from an exact sort with linear interpolation (the "type 7"
+ * definition), so the same draws always serialize to the same bytes.
+ */
+
+#ifndef DIDT_STATS_QUANTILES_HH
+#define DIDT_STATS_QUANTILES_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace didt
+{
+
+/**
+ * Linear-interpolation empirical quantile of an ascending-sorted,
+ * non-empty sample: position q * (n - 1), interpolated between the
+ * two straddling order statistics. @p q is clamped to [0, 1].
+ */
+double empiricalQuantile(std::span<const double> sorted, double q);
+
+/**
+ * An accumulated empirical distribution with lazily-sorted quantile,
+ * CDF, and exceedance queries. Query methods panic on an empty
+ * distribution.
+ */
+class EmpiricalDistribution
+{
+  public:
+    /** Add one sample. */
+    void push(double x);
+
+    /** Number of samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Empirical quantile (see @ref empiricalQuantile). */
+    double quantile(double q) const;
+
+    /** Fraction of samples <= @p x. */
+    double cdfAt(double x) const;
+
+    /** Fraction of samples strictly above @p x (1 - cdfAt(x)). */
+    double exceedanceFraction(double x) const;
+
+    /** Sample mean. */
+    double mean() const;
+
+    /** Smallest sample. */
+    double min() const;
+
+    /** Largest sample. */
+    double max() const;
+
+  private:
+    void ensureSorted() const;
+    [[noreturn]] void failEmpty(const char *what) const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+} // namespace didt
+
+#endif // DIDT_STATS_QUANTILES_HH

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "core/emergency_estimator.hh"
 #include "core/monitor.hh"
+#include "power/variation.hh"
 #include "wavelet/modwt.hh"
 
 namespace didt
@@ -226,6 +228,63 @@ Oracle::checkScheme(ControlScheme scheme, const BenchmarkProfile &profile,
                           reference.committed == instructions;
     report.pass =
         report.devirtualizedMatchesReference && report.committedAll;
+    return report;
+}
+
+VariationOracleReport
+Oracle::checkVariation(const BenchmarkProfile &profile,
+                       double impedance_scale,
+                       std::uint64_t instructions, double sigma,
+                       std::uint64_t mc_seed) const
+{
+    VariationOracleReport report;
+
+    SupplyNetworkConfig base = setup_.supplyBase;
+    base.impedanceScale = impedance_scale;
+
+    const auto configBitsEqual = [](const SupplyNetworkConfig &a,
+                                    const SupplyNetworkConfig &b) {
+        return std::memcmp(&a, &b, sizeof(SupplyNetworkConfig)) == 0;
+    };
+
+    // Zero sigma: the draw must not touch a single field, and the
+    // network built from it must compute bit-identical voltages —
+    // exactly the guarantee the MC-off campaign path relies on.
+    const std::uint64_t seed0 = deriveDrawSeed(mc_seed, 0);
+    const SupplyNetworkConfig zero_draw =
+        drawSupplyConfig(base, SupplyVariationSpec{}, seed0);
+    report.zeroSigmaConfigBitIdentical = configBitsEqual(zero_draw, base);
+
+    const CurrentTrace trace =
+        benchmarkCurrentTrace(setup_, profile, instructions);
+    const SupplyNetwork nominal(base);
+    const SupplyNetwork redrawn(zero_draw);
+    const VoltageTrace v_nominal = nominal.computeVoltage(trace);
+    const VoltageTrace v_redrawn = redrawn.computeVoltage(trace);
+    report.zeroSigmaVoltageBitIdentical =
+        v_nominal.size() == v_redrawn.size() &&
+        std::memcmp(v_nominal.data(), v_redrawn.data(),
+                    v_nominal.size() * sizeof(Volt)) == 0;
+
+    // Determinism: the same (seed, draw index) must always yield the
+    // same config bits; a different draw index must not.
+    const SupplyVariationSpec varied{sigma, sigma, sigma};
+    const SupplyNetworkConfig draw_a =
+        drawSupplyConfig(base, varied, deriveDrawSeed(mc_seed, 1));
+    const SupplyNetworkConfig draw_b =
+        drawSupplyConfig(base, varied, deriveDrawSeed(mc_seed, 1));
+    const SupplyNetworkConfig draw_c =
+        drawSupplyConfig(base, varied, deriveDrawSeed(mc_seed, 2));
+    report.drawDeterministic = configBitsEqual(draw_a, draw_b) &&
+                               !configBitsEqual(draw_a, draw_c);
+
+    // And a nonzero sigma must actually move the network.
+    report.nonzeroSigmaPerturbs = !configBitsEqual(draw_a, base);
+
+    report.pass = report.zeroSigmaConfigBitIdentical &&
+                  report.zeroSigmaVoltageBitIdentical &&
+                  report.drawDeterministic &&
+                  report.nonzeroSigmaPerturbs;
     return report;
 }
 

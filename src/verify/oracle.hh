@@ -134,6 +134,25 @@ struct SchemeOracleReport
     bool pass = false;
 };
 
+/** Result of one supply-variation differential run. */
+struct VariationOracleReport
+{
+    /** A zero-sigma draw reproduces the base config bit for bit. */
+    bool zeroSigmaConfigBitIdentical = false;
+
+    /** The zero-sigma drawn network's voltage trace equals the
+     *  nominal network's exactly (MC off stays the seed path). */
+    bool zeroSigmaVoltageBitIdentical = false;
+
+    /** The same (seed, draw) always yields the same config bits. */
+    bool drawDeterministic = false;
+
+    /** A nonzero sigma actually perturbs the drawn network. */
+    bool nonzeroSigmaPerturbs = false;
+
+    bool pass = false; ///< all of the above
+};
+
 /** Differential oracle bound to one experiment environment. */
 class Oracle
 {
@@ -197,6 +216,21 @@ class Oracle
                   double impedance_scale = 1.0,
                   std::size_t levels = 8, Volt low_threshold = 0.97,
                   Volt high_threshold = 1.03) const;
+
+    /**
+     * Differential check of the Monte Carlo variation layer
+     * (power/variation.hh): a zero-sigma draw must leave the supply
+     * config — and the voltage trace it computes for @p profile —
+     * bit-identical to the nominal network (MC off is the seed path);
+     * draws must be deterministic in (seed, index); and a draw at
+     * @p sigma must actually move the network.
+     */
+    VariationOracleReport
+    checkVariation(const BenchmarkProfile &profile,
+                   double impedance_scale = 1.2,
+                   std::uint64_t instructions = 20000,
+                   double sigma = 0.05,
+                   std::uint64_t mc_seed = 42) const;
 
     const OracleTolerances &tolerances() const { return tol_; }
 

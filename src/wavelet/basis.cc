@@ -56,29 +56,140 @@ WaveletBasis::daubechies4()
 WaveletBasis
 WaveletBasis::daubechies6()
 {
-    // D6 low-pass coefficients (already normalized to sum = sqrt 2).
-    return WaveletBasis(
-        "db6",
-        {0.33267055295095688, 0.80689150931333875, 0.45987750211933132,
-         -0.13501102001039084, -0.08544127388224149, 0.03522629188210562});
+    // Closed-form D6 coefficients (normalized so sum = sqrt 2).
+    // Computing from the radicals instead of decimal literals keeps
+    // the double-shift orthogonality defect at machine epsilon, which
+    // the basis-wide perfect-reconstruction property tests rely on.
+    const double s10 = std::sqrt(10.0);
+    const double s5 = std::sqrt(5.0 + 2.0 * s10);
+    const double norm = std::sqrt(2.0) / 32.0;
+    return WaveletBasis("db6", {(1.0 + s10 + s5) * norm,
+                                (5.0 + s10 + 3.0 * s5) * norm,
+                                (10.0 - 2.0 * s10 + 2.0 * s5) * norm,
+                                (10.0 - 2.0 * s10 - 2.0 * s5) * norm,
+                                (5.0 + s10 - 3.0 * s5) * norm,
+                                (1.0 + s10 - s5) * norm});
 }
+
+WaveletBasis
+WaveletBasis::adjustedHaar()
+{
+    const double theta = 5.0 * M_PI / 12.0;
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double norm = 2.0 * std::sqrt(2.0);
+    return WaveletBasis("ahaar",
+                        {(1.0 - c + s) / norm, (1.0 + c + s) / norm,
+                         (1.0 + c - s) / norm, (1.0 - c - s) / norm});
+}
+
+WaveletBasis
+WaveletBasis::splineLinear()
+{
+    // Taps in n = -kSupport .. kSupport+1, computed once by inverse
+    // discrete-time Fourier transform of the closed-form H(w). The
+    // even length keeps the SIMD synthesis kernels applicable, and
+    // the fixed tap count keeps the filter bit-deterministic.
+    static const std::vector<double> taps = [] {
+        // The taps decay like exp(-0.66 n) (the nearest complex zero
+        // of the downsampled autocorrelation), so truncating at
+        // |n| = 63 leaves ~1e-18 outside the window — comfortably
+        // below the 1e-12 perfect-reconstruction property bound.
+        constexpr std::size_t kSamples = 8192;
+        constexpr long long kSupport = 63;
+        const auto spline_autocorr = [](double w) {
+            const double sn = std::sin(0.5 * w);
+            return 1.0 - (2.0 / 3.0) * sn * sn;
+        };
+        std::vector<double> h(2 * kSupport + 2, 0.0);
+        for (std::size_t j = 0; j < kSamples; ++j) {
+            const double w = 2.0 * M_PI * static_cast<double>(j) /
+                             static_cast<double>(kSamples);
+            const double cs = std::cos(0.5 * w);
+            const double mag =
+                std::sqrt(2.0) * cs * cs *
+                std::sqrt(spline_autocorr(w) / spline_autocorr(2.0 * w));
+            for (long long n = -kSupport; n <= kSupport + 1; ++n) {
+                h[static_cast<std::size_t>(n + kSupport)] +=
+                    mag * std::cos(w * static_cast<double>(n)) /
+                    static_cast<double>(kSamples);
+            }
+        }
+        // Renormalize so sum(h) = sqrt(2) exactly; the sampling grid
+        // leaves only ~1e-16 of drift but the constructor checks to
+        // 1e-9 and perfect reconstruction benefits from the exact sum.
+        double sum = 0.0;
+        for (double v : h)
+            sum += v;
+        const double scale = std::sqrt(2.0) / sum;
+        for (double &v : h)
+            v *= scale;
+        return h;
+    }();
+    return WaveletBasis("spline", taps);
+}
+
+namespace
+{
+
+using BasisFactory = WaveletBasis (*)();
+
+struct BasisEntry
+{
+    const char *name;
+    BasisFactory make;
+};
+
+constexpr BasisEntry kBasisRegistry[] = {
+    {"haar", &WaveletBasis::haar},
+    {"db4", &WaveletBasis::daubechies4},
+    {"db6", &WaveletBasis::daubechies6},
+    {"ahaar", &WaveletBasis::adjustedHaar},
+    {"spline", &WaveletBasis::splineLinear},
+};
+
+} // namespace
 
 WaveletBasis
 WaveletBasis::byName(const std::string &name)
 {
-    if (name == "haar")
-        return haar();
-    if (name == "db4")
-        return daubechies4();
-    if (name == "db6")
-        return daubechies6();
-    didt_fatal("unknown wavelet basis '", name, "' (try haar, db4, db6)");
+    for (const BasisEntry &entry : kBasisRegistry) {
+        if (name == entry.name)
+            return entry.make();
+    }
+    didt_fatal("unknown wavelet basis '", name, "' (try ",
+               knownNamesHint(), ")");
 }
 
 bool
 WaveletBasis::isKnownName(const std::string &name)
 {
-    return name == "haar" || name == "db4" || name == "db6";
+    for (const BasisEntry &entry : kBasisRegistry) {
+        if (name == entry.name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+WaveletBasis::allNames()
+{
+    std::vector<std::string> names;
+    for (const BasisEntry &entry : kBasisRegistry)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+std::string
+WaveletBasis::knownNamesHint()
+{
+    std::string hint;
+    for (const BasisEntry &entry : kBasisRegistry) {
+        if (!hint.empty())
+            hint += ", ";
+        hint += entry.name;
+    }
+    return hint;
 }
 
 double

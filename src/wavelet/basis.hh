@@ -53,8 +53,37 @@ class WaveletBasis
     /** Daubechies-6 (three vanishing moments). */
     static WaveletBasis daubechies6();
 
+    /**
+     * "Adjusted Haar": the 4-tap orthonormal rotation family
+     * h(theta) = {1-c+s, 1+c+s, 1+c-s, 1-c-s} / (2 sqrt 2) with
+     * c = cos(theta), s = sin(theta), evaluated at theta = 5 pi / 12.
+     * The family interpolates between Haar (theta = pi/2, where the
+     * outer taps vanish) and db4 (theta = pi/3); the ablation point
+     * keeps Haar's step-tracking bias while gaining a smoothing tap
+     * pair. Double-shift orthogonality holds exactly for every theta.
+     */
+    static WaveletBasis adjustedHaar();
+
+    /**
+     * Battle-Lemarie orthonormalized linear-spline wavelet,
+     * truncated to 64 taps. Constructed numerically from the
+     * closed-form frequency response
+     *   H(w) = sqrt(2) cos^2(w/2) sqrt(P(w) / P(2w)),
+     *   P(w) = 1 - (2/3) sin^2(w/2),
+     * by dense frequency sampling. The taps decay like
+     * (2 - sqrt 3)^|n| ~ 0.27^|n|, so the 64-tap truncation error is
+     * far below double precision.
+     */
+    static WaveletBasis splineLinear();
+
     /** Look up a basis by name; fatal on unknown names. */
     static WaveletBasis byName(const std::string &name);
+
+    /** All registered basis names, in canonical order. */
+    static std::vector<std::string> allNames();
+
+    /** Comma-separated registered names, for error messages. */
+    static std::string knownNamesHint();
 
     /**
      * True when @ref byName would succeed. Request validators (the

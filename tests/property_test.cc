@@ -300,5 +300,106 @@ TEST_P(ConvolverProperty, StreamingEqualsBatch)
 INSTANTIATE_TEST_SUITE_P(KernelLengths, ConvolverProperty,
                          ::testing::Values(1, 2, 7, 33, 128));
 
+// ---------------------------------------------------------------------------
+// Every registered basis: orthonormality, perfect reconstruction at
+// non-dyadic lengths, energy preservation, flat-vs-legacy bit identity
+// ---------------------------------------------------------------------------
+
+class AllBases : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    WaveletBasis basis() const { return WaveletBasis::byName(GetParam()); }
+};
+
+TEST_P(AllBases, FilterSatisfiesDoubleShiftOrthogonality)
+{
+    const WaveletBasis b = basis();
+    const std::vector<double> &h = b.lowpass();
+    // sum_n h[n] h[n + 2k] = delta(k): the CQF condition perfect
+    // reconstruction rests on.
+    for (std::size_t k = 0; 2 * k < h.size(); ++k) {
+        double dot = 0.0;
+        for (std::size_t n = 0; n + 2 * k < h.size(); ++n)
+            dot += h[n] * h[n + 2 * k];
+        EXPECT_NEAR(dot, k == 0 ? 1.0 : 0.0, 1e-12)
+            << b.name() << " shift " << k;
+    }
+}
+
+TEST_P(AllBases, PerfectReconstructionAtNonDyadicLengths)
+{
+    const Dwt dwt(basis());
+    // Non-dyadic lengths: divisible by 2^levels but not powers of two.
+    const struct
+    {
+        std::size_t length;
+        std::size_t levels;
+    } cases[] = {{96, 5}, {160, 4}, {288, 5}};
+    Rng rng(101);
+    for (const auto &c : cases) {
+        std::vector<double> x(c.length);
+        for (auto &v : x)
+            v = rng.normal();
+        const WaveletDecomposition dec = dwt.forward(x, c.levels);
+        const std::vector<double> back = dwt.inverse(dec);
+        ASSERT_EQ(back.size(), x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            ASSERT_NEAR(back[i], x[i], 1e-12)
+                << GetParam() << " n=" << c.length << " i=" << i;
+    }
+}
+
+TEST_P(AllBases, EnergyIsPreserved)
+{
+    const Dwt dwt(basis());
+    Rng rng(103);
+    std::vector<double> x(256);
+    double energy = 0.0;
+    for (auto &v : x) {
+        v = rng.normal(2.0, 1.5);
+        energy += v * v;
+    }
+    const WaveletDecomposition dec = dwt.forward(x, 6);
+    EXPECT_NEAR(dec.energy(), energy, 1e-10 * energy) << GetParam();
+}
+
+TEST_P(AllBases, FlatPathBitIdenticalToLegacy)
+{
+    const Dwt dwt(basis());
+    Rng rng(107);
+    std::vector<double> x(128);
+    for (auto &v : x)
+        v = rng.normal(40.0, 10.0);
+
+    const WaveletDecomposition legacy = dwt.forward(x, 5);
+    FlatDecomposition flat;
+    DwtWorkspace ws;
+    dwt.forward(x, 5, flat, ws);
+    for (std::size_t j = 0; j < 5; ++j) {
+        const auto row = flat.detail(j);
+        ASSERT_EQ(row.size(), legacy.details[j].size());
+        for (std::size_t k = 0; k < row.size(); ++k)
+            ASSERT_EQ(row[k], legacy.details[j][k])
+                << GetParam() << " level " << j;
+    }
+    const auto approx = flat.approximation();
+    ASSERT_EQ(approx.size(), legacy.approximation.size());
+    for (std::size_t k = 0; k < approx.size(); ++k)
+        ASSERT_EQ(approx[k], legacy.approximation[k]) << GetParam();
+
+    std::vector<double> back_flat(x.size());
+    dwt.inverse(flat, back_flat, ws);
+    const std::vector<double> back_legacy = dwt.inverse(legacy);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        ASSERT_EQ(back_flat[i], back_legacy[i]) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registered, AllBases,
+    ::testing::ValuesIn(WaveletBasis::allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
 } // namespace
 } // namespace didt

@@ -12,6 +12,7 @@
 #include "stats/chi_square.hh"
 #include "stats/gaussian.hh"
 #include "stats/histogram.hh"
+#include "stats/quantiles.hh"
 #include "stats/running_stats.hh"
 #include "util/rng.hh"
 
@@ -377,6 +378,104 @@ TEST_P(NormalityWindowSize, GaussianWindowsMostlyAccepted)
 
 INSTANTIATE_TEST_SUITE_P(PaperWindowSizes, NormalityWindowSize,
                          ::testing::Values(32, 64, 128, 256));
+
+// Regression: out-of-range samples are still clamped into the edge
+// bins (totals preserved), but no longer silently — the counter pair
+// reports how much of each tail was truncated.
+TEST(Histogram, CountsUnderflowAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.push(-1.0);  // below lo -> bin 0, underflow
+    h.push(0.0);   // in range
+    h.push(9.99);  // in range
+    h.push(10.0);  // at hi -> clamped into last bin, overflow
+    h.push(25.0);  // far above -> overflow
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(0), 2u); // -1.0 clamp + 0.0
+    EXPECT_EQ(h.count(4), 3u); // 9.99 + two clamps
+
+    h.clear();
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, PushBlockCountsTailsLikePush)
+{
+    const std::vector<double> xs = {-3.0, -0.5, 1.0, 5.0,
+                                    9.0,  12.0, 99.0};
+    Histogram scalar(0.0, 10.0, 10);
+    for (double x : xs)
+        scalar.push(x);
+    Histogram block(0.0, 10.0, 10);
+    block.pushBlock(xs);
+    EXPECT_EQ(block.underflow(), scalar.underflow());
+    EXPECT_EQ(block.overflow(), scalar.overflow());
+    EXPECT_EQ(block.underflow(), 2u);
+    EXPECT_EQ(block.overflow(), 2u);
+    for (std::size_t i = 0; i < scalar.bins(); ++i)
+        EXPECT_EQ(block.count(i), scalar.count(i)) << i;
+}
+
+// ---------------------------------------------------------------------------
+// Empirical quantiles vs hand-computed fixtures
+// ---------------------------------------------------------------------------
+
+TEST(Quantiles, HandComputedFixtures)
+{
+    // Sorted sample {1, 2, 3, 4}: type-7 position q * 3.
+    const std::vector<double> s = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(empiricalQuantile(s, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(empiricalQuantile(s, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(empiricalQuantile(s, 0.25), 1.75);
+    EXPECT_DOUBLE_EQ(empiricalQuantile(s, 1.0), 4.0);
+    // Out-of-range q clamps.
+    EXPECT_DOUBLE_EQ(empiricalQuantile(s, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(empiricalQuantile(s, 1.5), 4.0);
+    // Single sample: every quantile is that sample.
+    const std::vector<double> one = {7.0};
+    EXPECT_DOUBLE_EQ(empiricalQuantile(one, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(empiricalQuantile(one, 0.99), 7.0);
+}
+
+TEST(Quantiles, DistributionQueriesMatchFixtures)
+{
+    EmpiricalDistribution d;
+    // Pushed unsorted on purpose.
+    for (double x : {5.0, 1.0, 3.0, 2.0, 4.0})
+        d.push(x);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.25), 2.0);
+    // CDF counts <= x; exceedance is its complement.
+    EXPECT_DOUBLE_EQ(d.cdfAt(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(d.cdfAt(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.cdfAt(5.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.exceedanceFraction(3.0), 0.4);
+    EXPECT_DOUBLE_EQ(d.exceedanceFraction(4.9), 0.2);
+}
+
+TEST(Quantiles, MeanIsStableAcrossQueryOrder)
+{
+    EmpiricalDistribution a;
+    EmpiricalDistribution b;
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        a.push(x);
+        b.push(x);
+    }
+    // a: mean first; b: quantile (forces the sort) first. The sums
+    // must agree bit for bit — aggregation order cannot leak into
+    // campaign JSON.
+    const double mean_first = a.mean();
+    (void)b.quantile(0.5);
+    EXPECT_EQ(mean_first, b.mean());
+}
 
 } // namespace
 } // namespace didt

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -111,7 +112,22 @@ main(int argc, char **argv)
     opts.declare("seed", "0", "extra workload seed");
     opts.declare("window", "256", "analysis window in cycles");
     opts.declare("levels", "8", "wavelet decomposition depth");
-    opts.declare("basis", "haar", "wavelet basis (haar, db4, db6)");
+    opts.declare("basis", "haar",
+                 "wavelet basis (haar, db4, db6, ahaar, spline)");
+    opts.declare("bases", "",
+                 "comma-separated basis ablation: run the sweep once "
+                 "per basis and write a combined "
+                 "didt-basis-ablation-v1 JSON (overrides --basis)");
+    opts.declare("mc-draws", "0",
+                 "Monte Carlo supply-network draws per cell "
+                 "(0 = nominal network only)");
+    opts.declare("mc-seed", "0", "campaign-level Monte Carlo seed");
+    opts.declare("mc-sigma", "0.05",
+                 "relative sigma on supply DC resistance and resonance "
+                 "placement for Monte Carlo draws");
+    opts.declare("mc-sigma-q", "0",
+                 "lognormal sigma on supply quality factor for Monte "
+                 "Carlo draws");
     opts.declare("low", "0.97", "low control point in volts");
     opts.declare("high", "1.03", "high control point in volts");
     opts.declare("no-correlation", "false",
@@ -213,6 +229,26 @@ main(int argc, char **argv)
         if (spec.sampleWarmup > spec.sampleSkip)
             didt_fatal("--sample-warmup must not exceed --sample-skip");
     }
+    spec.mcDraws = static_cast<std::size_t>(opts.getInt("mc-draws"));
+    if (spec.isMonteCarlo()) {
+        spec.mcSeed = static_cast<std::uint64_t>(opts.getInt("mc-seed"));
+        spec.mcSigmaR = opts.getDouble("mc-sigma");
+        spec.mcSigmaResonance = spec.mcSigmaR;
+        spec.mcSigmaQ = opts.getDouble("mc-sigma-q");
+        if (spec.mcDraws > 100000)
+            didt_fatal("--mc-draws must not exceed 100000");
+        for (double sigma : {spec.mcSigmaR, spec.mcSigmaQ})
+            if (sigma < 0.0 || sigma > 1.0)
+                didt_fatal("--mc-sigma/--mc-sigma-q must be in [0, 1]");
+    }
+    const std::vector<std::string> bases = splitList(opts.get("bases"));
+    for (const std::string &name : bases)
+        if (!WaveletBasis::isKnownName(name))
+            didt_fatal("--bases: unknown wavelet basis '", name,
+                       "' (try ", WaveletBasis::knownNamesHint(), ")");
+    if (!bases.empty() && !opts.get("csv").empty())
+        didt_fatal("--bases and --csv are mutually exclusive (the "
+                   "ablation writes one combined JSON document)");
 
     const std::size_t jobs = ThreadPool::resolveJobs(
         static_cast<std::size_t>(opts.getInt("jobs")));
@@ -229,9 +265,15 @@ main(int argc, char **argv)
                                       ? spec.effectiveProfiles().size()
                                       : spec.mixes.size();
     const std::size_t chip_sizes = spec.effectiveCoreCounts().size();
-    const std::size_t total_cells =
-        workloads * chip_sizes * spec.impedanceScales.size();
-    if (spec.isChipSweep())
+    const std::size_t total_cells = workloads * chip_sizes *
+                                    spec.impedanceScales.size() *
+                                    spec.drawCount();
+    if (spec.isMonteCarlo())
+        std::printf("campaign: %zu workloads x %zu impedance scales x "
+                    "%zu Monte Carlo draws = %zu cells, %zu jobs\n",
+                    workloads * chip_sizes, spec.impedanceScales.size(),
+                    spec.mcDraws, total_cells, jobs);
+    else if (spec.isChipSweep())
         std::printf("campaign: %zu workloads x %zu chip sizes x %zu "
                     "impedance scales = %zu cells, %zu jobs\n",
                     workloads, chip_sizes, spec.impedanceScales.size(),
@@ -243,6 +285,74 @@ main(int argc, char **argv)
                     jobs);
 
     TraceRepository repo(setup, opts.get("cache-dir"));
+
+    // Basis ablation: run the identical sweep once per basis through
+    // one shared repository (each workload trace simulates exactly
+    // once) and combine the runs into one document plus a summary
+    // table on stdout.
+    if (!bases.empty()) {
+        installShutdownHandler();
+        JsonValue campaigns = JsonValue::array();
+        JsonValue summary = JsonValue::array();
+        std::printf("basis ablation: %zu bases x %zu cells\n\n",
+                    bases.size(), total_cells);
+        std::printf("%-8s %14s %18s %18s\n", "basis", "rms_err_pct",
+                    "mean_meas_below", "mean_est_below");
+        const bool timing = opts.getBool("timing-json");
+        for (const std::string &name : bases) {
+            CampaignSpec ablated = spec;
+            ablated.basis = name;
+            const CampaignResult result = runCharacterizationCampaign(
+                setup, ablated, repo, jobs, {}, &shutdownFlag());
+            double meas = 0.0;
+            double est = 0.0;
+            std::size_t completed = 0;
+            for (const CampaignCell &cell : result.cells) {
+                if (cell.failed)
+                    continue;
+                meas += cell.measuredBelowPct;
+                est += cell.estimatedBelowPct;
+                ++completed;
+            }
+            const double denom =
+                completed > 0 ? static_cast<double>(completed) : 1.0;
+            std::printf("%-8s %14.4f %18.4f %18.4f\n", name.c_str(),
+                        result.rmsEstimationErrorPct(), meas / denom,
+                        est / denom);
+            JsonValue row = JsonValue::object();
+            row.set("basis", name);
+            row.set("rms_estimation_error_pct",
+                    result.rmsEstimationErrorPct());
+            row.set("mean_measured_below_pct", meas / denom);
+            row.set("mean_estimated_below_pct", est / denom);
+            summary.push(std::move(row));
+            campaigns.push(campaignToJson(result, timing));
+            if (result.interrupted) {
+                std::printf("interrupted during basis '%s'\n",
+                            name.c_str());
+                return 1;
+            }
+        }
+        if (!opts.get("json").empty()) {
+            JsonValue doc = JsonValue::object();
+            doc.set("schema", "didt-basis-ablation-v1");
+            JsonValue basis_names = JsonValue::array();
+            for (const std::string &name : bases)
+                basis_names.push(name);
+            doc.set("bases", std::move(basis_names));
+            doc.set("summary", std::move(summary));
+            doc.set("campaigns", std::move(campaigns));
+            std::ofstream out(opts.get("json"));
+            if (!out)
+                didt_fatal("cannot open ", opts.get("json"),
+                           " for writing");
+            doc.write(out);
+            out << '\n';
+            std::printf("(json written to %s)\n",
+                        opts.get("json").c_str());
+        }
+        return 0;
+    }
     std::size_t done = 0;
     const std::size_t progress_stride =
         std::max<std::size_t>(std::size_t{1}, total_cells / 10);
